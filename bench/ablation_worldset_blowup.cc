@@ -1,0 +1,81 @@
+// Ablation: WSD size vs. explicit world-set size (the 10^(10^6) argument).
+//
+// The paper's motivation (Section 1): a census survey with or-set noise
+// represents 2^(#or-set-fields) and more worlds; the world-set relation
+// grows exponentially while the WSD stays linear in the or-set relation.
+// This harness quantifies that: for k = 1..kMaxFields noisy fields we
+// report the world count, the world-set-relation cell count (enumerated up
+// to a cap) and the WSD cell count, plus the time to materialize each.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/orset.h"
+#include "core/worldset.h"
+
+int main() {
+  using namespace maywsd;
+  constexpr int kMaxFields = 18;
+  constexpr uint64_t kEnumCap = 1u << 20;
+
+  census::CensusSchema schema = census::CensusSchema::Standard();
+  std::printf(
+      "# Ablation: explicit world-set relation vs. WSD representation\n");
+  std::printf("%8s %14s %18s %14s %12s %12s\n", "orsets", "worlds",
+              "wsr_cells", "wsd_cells", "enum_sec", "wsd_sec");
+  for (int k = 1; k <= kMaxFields; ++k) {
+    // One 20-tuple relation; k fields carry or-sets of size 2.
+    rel::Relation base = census::GenerateCensus(schema, 20, 7);
+    core::OrSetRelation orset(base.schema(), "R");
+    int noisy = 0;
+    for (size_t r = 0; r < base.NumRows(); ++r) {
+      std::vector<core::OrSetField> row;
+      for (size_t a = 0; a < base.arity(); ++a) {
+        if (noisy < k && a == r % base.arity()) {
+          int64_t v = base.row(r)[a].AsInt();
+          row.emplace_back(std::vector<rel::Value>{
+              rel::Value::Int(v),
+              rel::Value::Int((v + 1) %
+                              schema.attributes()[a].domain_size)});
+          ++noisy;
+        } else {
+          row.emplace_back(base.row(r)[a]);
+        }
+      }
+      if (!orset.AppendRow(std::move(row)).ok()) return 1;
+    }
+    uint64_t worlds = orset.WorldCount(kEnumCap);
+
+    Timer t_wsd;
+    auto wsd = orset.ToWsd();
+    if (!wsd.ok()) return 1;
+    double wsd_sec = t_wsd.Seconds();
+    size_t wsd_cells = 0;
+    for (size_t i : wsd->LiveComponents()) {
+      wsd_cells +=
+          wsd->component(i).NumFields() * wsd->component(i).NumWorlds();
+    }
+
+    double enum_sec = -1.0;
+    uint64_t wsr_cells = 0;
+    if (worlds < kEnumCap) {
+      Timer t_enum;
+      auto enumerated = wsd->EnumerateWorlds(kEnumCap);
+      if (enumerated.ok()) {
+        enum_sec = t_enum.Seconds();
+        auto ischema = core::DeriveInlinedSchema(*enumerated).value();
+        wsr_cells = enumerated->size() * ischema.ToFlatSchema().arity();
+      }
+    }
+    if (enum_sec >= 0) {
+      std::printf("%8d %14llu %18llu %14zu %12.4f %12.6f\n", k,
+                  static_cast<unsigned long long>(worlds),
+                  static_cast<unsigned long long>(wsr_cells), wsd_cells,
+                  enum_sec, wsd_sec);
+    } else {
+      std::printf("%8d %14s %18s %14zu %12s %12.6f\n", k, ">cap", ">cap",
+                  wsd_cells, "-", wsd_sec);
+    }
+  }
+  return 0;
+}

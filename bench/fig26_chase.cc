@@ -1,0 +1,36 @@
+// Figure 26: time for chasing the 12 dependencies of Figure 25 on UWSDTs
+// of various sizes and densities.
+//
+// The paper plots chase wall-clock time (log-log) against tuple count for
+// densities 0.005%–0.1%; the expected shape is linear growth in both the
+// number of tuples and the placeholder density. Absolute numbers differ
+// from the paper (in-memory C++ vs. Java-over-PostgreSQL on 2007 hardware);
+// the scaling behaviour is the reproduced result.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace maywsd;
+  census::CensusSchema schema = census::CensusSchema::Standard();
+
+  std::printf("# Figure 26: chase times for the 12 census dependencies\n");
+  std::printf("# rows scaled 1/%.0f of the paper's 0.1M..12.5M ticks\n",
+              100.0 / bench::ScaleFactor());
+  std::printf("%10s %12s %14s %14s %16s\n", "tuples", "density",
+              "placeholders", "chase_sec", "sec_per_1k_tuples");
+  for (size_t rows : bench::SizeTicks()) {
+    for (double density : bench::Densities()) {
+      census::NoiseReport report;
+      core::Wsdt wsdt = bench::MakeCensusWsdt(schema, rows, density, &report);
+      Timer timer;
+      bench::ChaseCensus(wsdt);
+      double sec = timer.Seconds();
+      std::printf("%10zu %12s %14zu %14.4f %16.6f\n", rows,
+                  bench::DensityLabel(density), report.placeholders, sec,
+                  sec * 1000.0 / static_cast<double>(rows));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 27: UWSDT characteristics for the largest configured size —
+// number of components (#comp), components with more than one placeholder
+// (#comp>1), component-relation size |C| and template size |R|, after the
+// chase and after each of the six queries of Figure 29.
+//
+// Expected shape (paper, 12.5M tuples): #comp grows linearly with density;
+// the chase merges ~1.7% of components at 0.1%; query answers stay close to
+// one world's size and queries merge far fewer components than the chase.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace maywsd;
+  census::CensusSchema schema = census::CensusSchema::Standard();
+  size_t rows = bench::SizeTicks().back();
+
+  std::printf("# Figure 27: UWSDT characteristics for %zu tuples\n", rows);
+  std::printf("%-14s %-10s %12s %12s %12s %12s\n", "stage", "density",
+              "#comp", "#comp>1", "|C|", "|R|");
+  for (double density : bench::Densities()) {
+    census::NoiseReport report;
+    core::Wsdt wsdt = bench::MakeCensusWsdt(schema, rows, density, &report);
+    std::printf("%-14s %-10s %12zu %12s %12s %12zu\n", "Initial",
+                bench::DensityLabel(density), report.placeholders, "-", "-",
+                rows);
+    bench::ChaseCensus(wsdt);
+    core::WsdtStats stats = wsdt.ComputeStats();
+    std::printf("%-14s %-10s %12zu %12zu %12zu %12zu\n", "After chase",
+                bench::DensityLabel(density), stats.num_components,
+                stats.num_components_multi, stats.c_size,
+                stats.template_rows);
+    for (int q = 1; q <= 6; ++q) {
+      // Each query runs on a fresh copy of the chased representation so
+      // the reported characteristics are those of this answer alone.
+      core::Wsdt copy = wsdt;
+      std::string out = "Q" + std::to_string(q);
+      Status st = core::WsdtEvaluate(copy, census::CensusQuery(q, "R"), out);
+      if (!st.ok()) {
+        std::fprintf(stderr, "Q%d failed: %s\n", q, st.ToString().c_str());
+        return 1;
+      }
+      auto qs = copy.StatsForRelation(out);
+      if (!qs.ok()) return 1;
+      std::printf("%-14s %-10s %12zu %12zu %12zu %12zu\n",
+                  ("After " + out).c_str(), bench::DensityLabel(density),
+                  qs->num_components, qs->num_components_multi, qs->c_size,
+                  qs->template_rows);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 28: distribution of component sizes (placeholders per component)
+// of the chased relations, for several sizes and densities.
+//
+// Expected shape: the count drops off very quickly with size — almost all
+// fields stay independent, a small number of pairs (and very few larger
+// groups) are merged by the chase.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace maywsd;
+  census::CensusSchema schema = census::CensusSchema::Standard();
+  std::vector<size_t> ticks = bench::SizeTicks();
+  // The paper reports the 5M, 10M and 12.5M rows; use the top three ticks.
+  std::vector<size_t> sizes(ticks.end() - 3, ticks.end());
+
+  std::printf("# Figure 28: placeholders per component after the chase\n");
+  std::printf("%10s %10s %10s %10s %10s %12s\n", "tuples", "density",
+              "size 1", "size 2", "size 3", "size 4 and more");
+  for (size_t rows : sizes) {
+    for (double density : bench::Densities()) {
+      core::Wsdt wsdt = bench::MakeCensusWsdt(schema, rows, density);
+      bench::ChaseCensus(wsdt);
+      std::vector<size_t> hist = wsdt.ComponentSizeHistogram();
+      size_t s1 = hist.size() > 1 ? hist[1] : 0;
+      size_t s2 = hist.size() > 2 ? hist[2] : 0;
+      size_t s3 = hist.size() > 3 ? hist[3] : 0;
+      size_t s4 = 0;
+      for (size_t i = 4; i < hist.size(); ++i) s4 += hist[i];
+      std::printf("%10zu %10s %10zu %10zu %10zu %12zu\n", rows,
+                  bench::DensityLabel(density), s1, s2, s3, s4);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 30 (a)–(f): evaluation time for queries Q1..Q6 of Figure 29 on
+// UWSDTs of various sizes and placeholder densities, against the one-world
+// baseline (density 0%: the original query evaluated on the plain template
+// through the relational engine).
+//
+// Expected shape: per query, time grows linearly with relation size, the
+// density curves sit on top of each other and track the 0% one-world curve
+// closely (processing incomplete information costs roughly one world);
+// Q5's join is the most expensive query and grows superlinearly at the
+// largest sizes in the paper.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "rel/eval.h"
+
+int main() {
+  using namespace maywsd;
+  census::CensusSchema schema = census::CensusSchema::Standard();
+  std::vector<size_t> sizes = bench::SizeTicks();
+  std::vector<double> densities = bench::Densities();
+
+  // times[q][size][density-column]; column 0 = one-world baseline.
+  std::map<int, std::map<size_t, std::vector<double>>> times;
+  std::map<int, std::map<size_t, size_t>> result_rows;
+
+  for (size_t rows : sizes) {
+    rel::Relation base =
+        census::GenerateCensus(schema, rows, /*seed=*/0xC0FFEE ^ rows);
+    // One-world baseline.
+    rel::Database db;
+    db.PutRelation(base);
+    for (int q = 1; q <= 6; ++q) {
+      Timer t;
+      auto out = rel::Evaluate(census::CensusQuery(q, "R"), db);
+      if (!out.ok()) {
+        std::fprintf(stderr, "one-world Q%d failed\n", q);
+        return 1;
+      }
+      times[q][rows].push_back(t.Seconds());
+    }
+    // Chased UWSDT per density; queries reuse it.
+    for (double density : densities) {
+      auto wsdt_or = census::MakeNoisyWsdt(base, schema, density,
+                                           /*seed=*/0xBEEF ^ rows);
+      if (!wsdt_or.ok()) return 1;
+      core::Wsdt wsdt = std::move(wsdt_or).value();
+      bench::ChaseCensus(wsdt);
+      for (int q = 1; q <= 6; ++q) {
+        core::Wsdt copy = wsdt;
+        std::string out = "OUT";
+        Timer t;
+        Status st =
+            core::WsdtEvaluate(copy, census::CensusQuery(q, "R"), out);
+        if (!st.ok()) {
+          std::fprintf(stderr, "Q%d failed: %s\n", q, st.ToString().c_str());
+          return 1;
+        }
+        times[q][rows].push_back(t.Seconds());
+        result_rows[q][rows] = copy.Template(out).value()->NumRows();
+      }
+    }
+  }
+
+  for (int q = 1; q <= 6; ++q) {
+    std::printf("# Figure 30(%c): query Q%d time in seconds\n",
+                static_cast<char>('a' + q - 1), q);
+    std::printf("%10s %12s", "tuples", "0%");
+    for (double d : densities) std::printf(" %12s", bench::DensityLabel(d));
+    std::printf(" %12s\n", "|result|");
+    for (size_t rows : sizes) {
+      std::printf("%10zu", rows);
+      for (double t : times[q][rows]) std::printf(" %12.4f", t);
+      std::printf(" %12zu\n", result_rows[q][rows]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Microbenchmarks of the core WSD primitives (google-benchmark):
+// compose, compress, prime factorization (the DESIGN.md ablation for the
+// exact minimal-separator search), confidence computation, and the
+// per-tuple EGD chase step.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/chase.h"
+#include "core/confidence.h"
+#include "core/normalize.h"
+#include "core/orset.h"
+#include "core/wsdt_chase.h"
+
+namespace maywsd::core {
+namespace {
+
+rel::Value I(int64_t v) { return rel::Value::Int(v); }
+
+Component RandomComponent(size_t fields, size_t worlds, uint64_t seed) {
+  std::vector<FieldKey> fks;
+  for (size_t i = 0; i < fields; ++i) {
+    fks.emplace_back("R", static_cast<TupleId>(i), "A");
+  }
+  Component c(std::move(fks));
+  Rng rng(seed);
+  std::vector<rel::Value> row(fields);
+  for (size_t w = 0; w < worlds; ++w) {
+    for (size_t f = 0; f < fields; ++f) {
+      row[f] = I(static_cast<int64_t>(rng.Uniform(4)));
+    }
+    c.AddWorld(row, 1.0 / static_cast<double>(worlds));
+  }
+  return c;
+}
+
+void BM_Compose(benchmark::State& state) {
+  Component a = RandomComponent(2, static_cast<size_t>(state.range(0)), 1);
+  Component b = RandomComponent(2, static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    Component c = Component::Compose(a, b);
+    benchmark::DoNotOptimize(c.NumWorlds());
+  }
+}
+BENCHMARK(BM_Compose)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Compress(benchmark::State& state) {
+  Component a = RandomComponent(2, static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    Component copy = a;
+    copy.Compress();
+    benchmark::DoNotOptimize(copy.NumWorlds());
+  }
+}
+BENCHMARK(BM_Compress)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Factorization cost vs. arity: a fully-independent product of k binary
+/// columns (2^k rows) — the worst case where every split succeeds.
+void BM_FactorIndependent(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  std::vector<FieldKey> fks;
+  for (size_t i = 0; i < k; ++i) {
+    fks.emplace_back("R", static_cast<TupleId>(i), "A");
+  }
+  Component c(std::move(fks));
+  size_t rows = 1u << k;
+  std::vector<rel::Value> row(k);
+  for (size_t m = 0; m < rows; ++m) {
+    for (size_t i = 0; i < k; ++i) row[i] = I((m >> i) & 1);
+    c.AddWorld(row, 1.0 / static_cast<double>(rows));
+  }
+  for (auto _ : state) {
+    auto parts = FactorComponent(c);
+    benchmark::DoNotOptimize(parts.size());
+  }
+}
+BENCHMARK(BM_FactorIndependent)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+/// Factorization of a prime (diagonal) component: every separator test
+/// fails — the exponential enumeration in full.
+void BM_FactorPrime(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  std::vector<FieldKey> fks;
+  for (size_t i = 0; i < k; ++i) {
+    fks.emplace_back("R", static_cast<TupleId>(i), "A");
+  }
+  Component c(std::move(fks));
+  for (int64_t v = 0; v < 4; ++v) {
+    std::vector<rel::Value> row(k, I(v));
+    c.AddWorld(row, 0.25);
+  }
+  for (auto _ : state) {
+    auto parts = FactorComponent(c);
+    benchmark::DoNotOptimize(parts.size());
+  }
+}
+BENCHMARK(BM_FactorPrime)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_TupleConfidence(benchmark::State& state) {
+  // Or-set relation with `range` tuples, one or-set per tuple.
+  size_t n = static_cast<size_t>(state.range(0));
+  OrSetRelation orset(rel::Schema::FromNames({"A", "B"}), "R");
+  Rng rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    orset
+        .AppendRow({OrSetField({I(static_cast<int64_t>(i % 10)),
+                                I(static_cast<int64_t>((i + 1) % 10))}),
+                    OrSetField(I(static_cast<int64_t>(i % 5)))})
+        .ok();
+  }
+  Wsd wsd = orset.ToWsd().value();
+  std::vector<rel::Value> probe{I(3), I(3)};
+  for (auto _ : state) {
+    auto conf = TupleConfidence(wsd, "R", probe);
+    benchmark::DoNotOptimize(conf.value());
+  }
+}
+BENCHMARK(BM_TupleConfidence)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_WsdtChaseEgdRow(benchmark::State& state) {
+  // Chase cost per template row on an all-certain relation (the skip path
+  // that dominates at census scale).
+  size_t n = static_cast<size_t>(state.range(0));
+  Wsdt wsdt;
+  rel::Relation tmpl(rel::Schema::FromNames({"A", "B"}), "R");
+  for (size_t i = 0; i < n; ++i) {
+    tmpl.AppendRow({I(static_cast<int64_t>(i % 7)),
+                    I(static_cast<int64_t>(i % 3))});
+  }
+  wsdt.AddTemplateRelation(std::move(tmpl)).ok();
+  Egd egd;
+  egd.relation = "R";
+  egd.premises = {{"A", rel::CmpOp::kEq, I(1)}};
+  egd.conclusion = {"B", rel::CmpOp::kNe, I(9)};
+  for (auto _ : state) {
+    Wsdt copy = wsdt;
+    benchmark::DoNotOptimize(WsdtChaseEgd(copy, egd).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WsdtChaseEgdRow)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace maywsd::core
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Microbenchmarks of the relational-engine substrate (google-benchmark):
+// scan+selection, projection with dedup, hash join — the operations the
+// UWSDT rewritings bottom out in (the paper's "lion's share of the
+// processing time is taken by the templates").
+
+#include <benchmark/benchmark.h>
+
+#include "census/ipums.h"
+#include "census/queries.h"
+#include "rel/eval.h"
+#include "rel/optimizer.h"
+
+namespace maywsd::rel {
+namespace {
+
+Database MakeDb(size_t rows) {
+  Database db;
+  db.PutRelation(census::GenerateCensus(census::CensusSchema::Standard(),
+                                        rows, /*seed=*/123));
+  return db;
+}
+
+void BM_SelectScan(benchmark::State& state) {
+  Database db = MakeDb(static_cast<size_t>(state.range(0)));
+  Plan q = Plan::Select(
+      Predicate::Cmp("YEARSCH", CmpOp::kEq, Value::Int(17)), Plan::Scan("R"));
+  for (auto _ : state) {
+    auto out = Evaluate(q, db);
+    benchmark::DoNotOptimize(out->NumRows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SelectScan)->Arg(10000)->Arg(100000);
+
+void BM_ProjectDedup(benchmark::State& state) {
+  Database db = MakeDb(static_cast<size_t>(state.range(0)));
+  Plan q = Plan::Project({"POWSTATE", "POB"}, Plan::Scan("R"));
+  for (auto _ : state) {
+    auto out = Evaluate(q, db);
+    benchmark::DoNotOptimize(out->NumRows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ProjectDedup)->Arg(10000)->Arg(100000);
+
+void BM_Q5JoinPipeline(benchmark::State& state) {
+  Database db = MakeDb(static_cast<size_t>(state.range(0)));
+  Plan q = census::CensusQuery(5, "R");
+  for (auto _ : state) {
+    auto out = Evaluate(q, db);
+    benchmark::DoNotOptimize(out->NumRows());
+  }
+}
+BENCHMARK(BM_Q5JoinPipeline)->Arg(10000)->Arg(50000);
+
+void BM_OptimizerRewrite(benchmark::State& state) {
+  Database db = MakeDb(1000);
+  Plan q = census::CensusQuery(5, "R");
+  for (auto _ : state) {
+    auto opt = Optimize(q, db);
+    benchmark::DoNotOptimize(opt->NodeCount());
+  }
+}
+BENCHMARK(BM_OptimizerRewrite);
+
+}  // namespace
+}  // namespace maywsd::rel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Medical data with interdependent clusters (Section 10).
+//
+// Medications interact: some are not approved together or for certain
+// diseases. For an incompletely specified patient record, the valid
+// (diagnosis, medication) combinations form clusters of interdependent
+// values — exactly the data pattern WSDs store as multi-field components,
+// keeping independent clusters apart.
+//
+// We model one patient whose diagnosis is uncertain and whose treatment
+// must be compatible with the diagnosis, plus an independent lab result.
+// Queries: possible diagnoses, commonly prescribed medication for a set of
+// diseases, and the effect of new evidence (an EGD) on the distribution.
+
+#include <cstdio>
+
+#include "core/chase.h"
+#include "core/confidence.h"
+#include "core/wsd_algebra.h"
+
+using namespace maywsd;
+using core::Component;
+using core::FieldKey;
+using rel::Value;
+
+int main() {
+  // Patient record: DIAGNOSIS and MEDICATION are correlated (link-following
+  // wrap: one component for all interrelated values, Section 10); the lab
+  // marker is independent.
+  core::Wsd wsd;
+  (void)wsd.AddRelation(
+      "Patient", rel::Schema::FromNames({"DIAG", "MED", "MARKER"}), 1);
+  {
+    // Interaction table: flu→oseltamivir, strep→penicillin or amoxicillin,
+    // mono must NOT get amoxicillin (rash) → supportive care only.
+    Component c({FieldKey("Patient", 0, "DIAG"),
+                 FieldKey("Patient", 0, "MED")});
+    c.AddWorld({Value::String("flu"), Value::String("oseltamivir")}, 0.30);
+    c.AddWorld({Value::String("strep"), Value::String("penicillin")}, 0.25);
+    c.AddWorld({Value::String("strep"), Value::String("amoxicillin")}, 0.15);
+    c.AddWorld({Value::String("mono"), Value::String("supportive")}, 0.30);
+    (void)wsd.AddComponent(std::move(c));
+  }
+  {
+    Component c({FieldKey("Patient", 0, "MARKER")});
+    c.AddWorld({Value::String("elevated")}, 0.6);
+    c.AddWorld({Value::String("normal")}, 0.4);
+    (void)wsd.AddComponent(std::move(c));
+  }
+  std::printf("patient record as a WSD:\n%s\n", wsd.ToString().c_str());
+
+  // Possible diagnoses with confidence.
+  if (Status st = core::WsdProject(wsd, "Patient", "Diagnoses", {"DIAG"});
+      !st.ok()) {
+    return 1;
+  }
+  auto diag = core::PossibleTuplesWithConfidence(wsd, "Diagnoses").value();
+  std::printf("possible diagnoses:\n%s\n", diag.ToString().c_str());
+
+  // Commonly used medication for bacterial diagnoses (strep).
+  rel::Plan q = rel::Plan::Project(
+      {"MED"},
+      rel::Plan::Select(
+          rel::Predicate::Cmp("DIAG", rel::CmpOp::kEq,
+                              Value::String("strep")),
+          rel::Plan::Scan("Patient")));
+  if (Status st = core::WsdEvaluate(wsd, q, "StrepMeds"); !st.ok()) return 1;
+  auto meds = core::PossibleTuplesWithConfidence(wsd, "StrepMeds").value();
+  std::printf("medication given strep:\n%s\n", meds.ToString().c_str());
+
+  // New evidence: the rapid test says an elevated marker rules out flu.
+  core::Egd evidence;
+  evidence.relation = "Patient";
+  evidence.premises = {{"MARKER", rel::CmpOp::kEq,
+                        Value::String("elevated")}};
+  evidence.conclusion = {"DIAG", rel::CmpOp::kNe, Value::String("flu")};
+  if (Status st = core::ChaseEgd(wsd, evidence); !st.ok()) {
+    std::printf("chase failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("after conditioning on the marker evidence:\n");
+  // Recompute diagnosis confidences on the cleaned record.
+  if (Status st = core::WsdProject(wsd, "Patient", "Diagnoses2", {"DIAG"});
+      !st.ok()) {
+    return 1;
+  }
+  auto diag2 = core::PossibleTuplesWithConfidence(wsd, "Diagnoses2").value();
+  std::printf("%s\n", diag2.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "census/dependencies.h"
+
+namespace maywsd::census {
+
+namespace {
+
+core::Egd MakeEgd(const std::string& relation, const std::string& pre_attr,
+                  int64_t pre_val, const std::string& con_attr,
+                  rel::CmpOp con_op, int64_t con_val) {
+  core::Egd egd;
+  egd.relation = relation;
+  egd.premises = {{pre_attr, rel::CmpOp::kEq, rel::Value::Int(pre_val)}};
+  egd.conclusion = {con_attr, con_op, rel::Value::Int(con_val)};
+  return egd;
+}
+
+}  // namespace
+
+std::vector<core::Dependency> CensusDependencies(const std::string& r) {
+  using rel::CmpOp;
+  return {
+      // 1: citizens born in the USA are not immigrants.
+      MakeEgd(r, "CITIZEN", 0, "IMMIGR", CmpOp::kEq, 0),
+      // 2–5: service-period flags imply military service was done.
+      MakeEgd(r, "FEB55", 1, "MILITARY", CmpOp::kNe, 4),
+      MakeEgd(r, "KOREAN", 1, "MILITARY", CmpOp::kNe, 4),
+      MakeEgd(r, "VIETNAM", 1, "MILITARY", CmpOp::kNe, 4),
+      MakeEgd(r, "WWII", 1, "MILITARY", CmpOp::kNe, 4),
+      // 6–7: marital status constrains the spouse code.
+      MakeEgd(r, "MARITAL", 0, "RSPOUSE", CmpOp::kNe, 6),
+      MakeEgd(r, "MARITAL", 0, "RSPOUSE", CmpOp::kNe, 5),
+      // 8: language at home constrains English proficiency.
+      MakeEgd(r, "LANG1", 2, "ENGLISH", CmpOp::kNe, 4),
+      // 9: born in a US outlying area implies citizenship status ≠ 0.
+      MakeEgd(r, "RPOB", 52, "CITIZEN", CmpOp::kNe, 0),
+      // 10–12: not in school implies no service-period flags.
+      MakeEgd(r, "SCHOOL", 0, "KOREAN", CmpOp::kNe, 1),
+      MakeEgd(r, "SCHOOL", 0, "FEB55", CmpOp::kNe, 1),
+      MakeEgd(r, "SCHOOL", 0, "WWII", CmpOp::kNe, 1),
+  };
+}
+
+}  // namespace maywsd::census

@@ -1,0 +1,21 @@
+// The twelve real-life cleaning dependencies of Figure 25.
+
+#ifndef MAYWSD_CENSUS_DEPENDENCIES_H_
+#define MAYWSD_CENSUS_DEPENDENCIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/chase.h"
+
+namespace maywsd::census {
+
+/// The 12 equality-generating dependencies of Figure 25 over relation
+/// `relation` ("citizens born in the USA are not immigrants", "citizens who
+/// served in WWII have done their military service", ...).
+std::vector<core::Dependency> CensusDependencies(
+    const std::string& relation = "R");
+
+}  // namespace maywsd::census
+
+#endif  // MAYWSD_CENSUS_DEPENDENCIES_H_

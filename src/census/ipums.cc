@@ -1,0 +1,116 @@
+#include "census/ipums.h"
+
+namespace maywsd::census {
+
+CensusSchema CensusSchema::Standard() {
+  CensusSchema s;
+  // Attributes referenced by Figures 25 and 29, with IPUMS-style domains.
+  // POWSTATE/POB/RPOB use codes 0..58 so that exactly eight codes exceed 50
+  // (the paper's Q5 selects "eight 'states', e.g. Washington, Wisconsin,
+  // Abroad").
+  s.attrs_ = {
+      {"CITIZEN", 5},   {"IMMIGR", 11},  {"FEB55", 2},    {"MILITARY", 5},
+      {"KOREAN", 2},    {"VIETNAM", 2},  {"WWII", 2},     {"MARITAL", 5},
+      {"RSPOUSE", 7},   {"LANG1", 3},    {"ENGLISH", 5},  {"RPOB", 59},
+      {"SCHOOL", 3},    {"YEARSCH", 18}, {"POWSTATE", 59},{"POB", 59},
+      {"FERTIL", 14},
+      // IPUMS-named fillers to reach the 50 multiple-choice attributes.
+      {"AGE", 91},      {"SEX", 2},      {"RACE", 10},    {"HISPANIC", 4},
+      {"ANCSTRY1", 51}, {"ANCSTRY2", 51},{"AVAIL", 5},    {"CLASS", 10},
+      {"DEPART", 25},   {"DISABL1", 3},  {"DISABL2", 3},  {"HOUR89", 15},
+      {"HOURS", 15},    {"INDUSTRY", 24},{"LOOKING", 3},  {"MEANS", 13},
+      {"MIGSTATE", 59}, {"MOBILITY", 3}, {"MOBILLIM", 3}, {"OCCUP", 26},
+      {"OTHRSERV", 2},  {"PERSCARE", 3}, {"POVERTY", 12}, {"RAGECHLD", 5},
+      {"RELAT1", 13},   {"RELAT2", 8},   {"REMPLPAR", 9}, {"RIDERS", 9},
+      {"RLABOR", 7},    {"ROWNCHLD", 3}, {"RVETSERV", 8}, {"SEPT80", 2},
+      {"WORKLWK", 3},
+  };
+  return s;
+}
+
+int64_t CensusSchema::DomainOf(const std::string& name) const {
+  for (const CensusAttribute& a : attrs_) {
+    if (a.name == name) return a.domain_size;
+  }
+  return 0;
+}
+
+rel::Schema CensusSchema::ToRelSchema() const {
+  std::vector<rel::Attribute> attrs;
+  attrs.reserve(attrs_.size());
+  for (const CensusAttribute& a : attrs_) {
+    attrs.emplace_back(a.name, rel::AttrType::kInt);
+  }
+  return rel::Schema(std::move(attrs));
+}
+
+namespace {
+
+/// Repairs one generated record so it satisfies the Figure 25 dependencies
+/// (conclusions are enforced when premises hold; the fix order never
+/// re-introduces a violation).
+void EnforceDependencies(const CensusSchema& schema,
+                         std::vector<int64_t>* rec) {
+  auto idx = [&](const char* name) {
+    for (size_t i = 0; i < schema.attributes().size(); ++i) {
+      if (schema.attributes()[i].name == name) return i;
+    }
+    return size_t{0};
+  };
+  static const size_t kCitizen = 0;
+  (void)kCitizen;
+  size_t citizen = idx("CITIZEN"), immigr = idx("IMMIGR"),
+         feb55 = idx("FEB55"), military = idx("MILITARY"),
+         korean = idx("KOREAN"), vietnam = idx("VIETNAM"), wwii = idx("WWII"),
+         marital = idx("MARITAL"), rspouse = idx("RSPOUSE"),
+         lang1 = idx("LANG1"), english = idx("ENGLISH"), rpob = idx("RPOB"),
+         school = idx("SCHOOL");
+  std::vector<int64_t>& r = *rec;
+  // 9: RPOB = 52 ⇒ CITIZEN ≠ 0.
+  if (r[rpob] == 52 && r[citizen] == 0) r[citizen] = 1;
+  // 1: CITIZEN = 0 ⇒ IMMIGR = 0.
+  if (r[citizen] == 0) r[immigr] = 0;
+  // 10–12: SCHOOL = 0 ⇒ KOREAN ≠ 1, FEB55 ≠ 1, WWII ≠ 1.
+  if (r[school] == 0) {
+    if (r[korean] == 1) r[korean] = 0;
+    if (r[feb55] == 1) r[feb55] = 0;
+    if (r[wwii] == 1) r[wwii] = 0;
+  }
+  // 2–5: FEB55/KOREAN/VIETNAM/WWII = 1 ⇒ MILITARY ≠ 4.
+  if ((r[feb55] == 1 || r[korean] == 1 || r[vietnam] == 1 || r[wwii] == 1) &&
+      r[military] == 4) {
+    r[military] = 1;
+  }
+  // 6–7: MARITAL = 0 ⇒ RSPOUSE ∉ {5, 6}.
+  if (r[marital] == 0 && (r[rspouse] == 5 || r[rspouse] == 6)) {
+    r[rspouse] = 1;
+  }
+  // 8: LANG1 = 2 ⇒ ENGLISH ≠ 4.
+  if (r[lang1] == 2 && r[english] == 4) r[english] = 3;
+}
+
+}  // namespace
+
+rel::Relation GenerateCensus(const CensusSchema& schema, size_t rows,
+                             uint64_t seed, const std::string& name) {
+  rel::Relation out(schema.ToRelSchema(), name);
+  out.Reserve(rows);
+  Rng rng(seed);
+  std::vector<int64_t> rec(schema.arity());
+  std::vector<rel::Value> row(schema.arity());
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t a = 0; a < schema.arity(); ++a) {
+      rec[a] = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(
+              schema.attributes()[a].domain_size)));
+    }
+    EnforceDependencies(schema, &rec);
+    for (size_t a = 0; a < schema.arity(); ++a) {
+      row[a] = rel::Value::Int(rec[a]);
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace maywsd::census

@@ -1,0 +1,101 @@
+#include "census/noise.h"
+
+#include <algorithm>
+
+namespace maywsd::census {
+
+namespace {
+
+/// Draws the or-set for one field: the original value plus distinct random
+/// codes, sized uniform in [2, min(8, domain)].
+std::vector<rel::Value> DrawOrSet(Rng& rng, int64_t original, int64_t domain) {
+  int64_t max_size = std::min<int64_t>(8, domain);
+  int64_t size = rng.UniformInt(2, std::max<int64_t>(2, max_size));
+  std::vector<rel::Value> out{rel::Value::Int(original)};
+  // Rejection-sample distinct codes; domains are small, so this converges
+  // quickly (size ≤ 8 ≤ domain).
+  while (static_cast<int64_t>(out.size()) < size) {
+    rel::Value v = rel::Value::Int(
+        static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(domain))));
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<core::Wsdt> MakeNoisyWsdt(const rel::Relation& base,
+                                 const CensusSchema& schema, double density,
+                                 uint64_t seed, NoiseReport* report) {
+  Rng rng(seed);
+  core::Wsdt wsdt;
+  rel::Relation tmpl(base.schema(), base.name());
+  tmpl.Reserve(base.NumRows());
+  Symbol rel_sym = InternString(base.name());
+  size_t placeholders = 0;
+  size_t orset_values = 0;
+  std::vector<rel::Value> row(base.arity());
+  // Components are registered after the template, so build them on the side.
+  std::vector<core::Component> comps;
+  for (size_t r = 0; r < base.NumRows(); ++r) {
+    rel::TupleRef src = base.row(r);
+    for (size_t a = 0; a < base.arity(); ++a) {
+      int64_t domain = schema.attributes()[a].domain_size;
+      if (domain >= 2 && rng.NextDouble() < density) {
+        std::vector<rel::Value> options =
+            DrawOrSet(rng, src[a].AsInt(), domain);
+        core::Component comp({core::FieldKey(
+            rel_sym, static_cast<core::TupleId>(r),
+            base.schema().attr(a).name)});
+        double p = 1.0 / static_cast<double>(options.size());
+        for (const rel::Value& v : options) comp.AddWorld({v}, p);
+        comps.push_back(std::move(comp));
+        row[a] = rel::Value::Question();
+        ++placeholders;
+        orset_values += options.size();
+      } else {
+        row[a] = src[a];
+      }
+    }
+    tmpl.AppendRow(row);
+  }
+  MAYWSD_RETURN_IF_ERROR(wsdt.AddTemplateRelation(std::move(tmpl)));
+  for (core::Component& comp : comps) {
+    MAYWSD_RETURN_IF_ERROR(wsdt.AddComponent(std::move(comp)));
+  }
+  if (report != nullptr) {
+    report->fields_total = base.NumRows() * base.arity();
+    report->placeholders = placeholders;
+    report->avg_orset_size =
+        placeholders == 0
+            ? 0.0
+            : static_cast<double>(orset_values) /
+                  static_cast<double>(placeholders);
+  }
+  return wsdt;
+}
+
+Result<core::OrSetRelation> MakeNoisyOrSetRelation(const rel::Relation& base,
+                                                   const CensusSchema& schema,
+                                                   double density,
+                                                   uint64_t seed) {
+  Rng rng(seed);
+  core::OrSetRelation out(base.schema(), base.name());
+  for (size_t r = 0; r < base.NumRows(); ++r) {
+    rel::TupleRef src = base.row(r);
+    std::vector<core::OrSetField> row;
+    row.reserve(base.arity());
+    for (size_t a = 0; a < base.arity(); ++a) {
+      int64_t domain = schema.attributes()[a].domain_size;
+      if (domain >= 2 && rng.NextDouble() < density) {
+        row.emplace_back(DrawOrSet(rng, src[a].AsInt(), domain));
+      } else {
+        row.emplace_back(src[a]);
+      }
+    }
+    MAYWSD_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+}  // namespace maywsd::census

@@ -1,0 +1,44 @@
+// Noise injection — the paper's incompleteness model (Section 9).
+//
+// A fraction `density` of all fields (e.g. 0.001 = 0.1%) is replaced by an
+// or-set of size uniform in [2, min(8, |domain|)] that contains the
+// original value (average ≈ 3.5 values, as reported). Every or-set becomes
+// a single-placeholder component with uniform probabilities; the result is
+// a WSDT whose world count is the product of the or-set sizes.
+
+#ifndef MAYWSD_CENSUS_NOISE_H_
+#define MAYWSD_CENSUS_NOISE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/orset.h"
+#include "core/wsdt.h"
+#include "census/ipums.h"
+
+namespace maywsd::census {
+
+/// Summary of an injection run.
+struct NoiseReport {
+  size_t fields_total = 0;
+  size_t placeholders = 0;       ///< fields turned into or-sets
+  double avg_orset_size = 0.0;
+};
+
+/// Replaces a `density` fraction of fields of `base` with or-sets,
+/// returning the WSDT (template + one component per noisy field).
+/// Deterministic in `seed`.
+Result<core::Wsdt> MakeNoisyWsdt(const rel::Relation& base,
+                                 const CensusSchema& schema, double density,
+                                 uint64_t seed, NoiseReport* report = nullptr);
+
+/// Same noise process, but producing an explicit or-set relation (used by
+/// the WSD-path tests and the ablation benchmarks at small scale).
+Result<core::OrSetRelation> MakeNoisyOrSetRelation(const rel::Relation& base,
+                                                   const CensusSchema& schema,
+                                                   double density,
+                                                   uint64_t seed);
+
+}  // namespace maywsd::census
+
+#endif  // MAYWSD_CENSUS_NOISE_H_

@@ -1,0 +1,99 @@
+#include "census/queries.h"
+
+#include <cassert>
+
+namespace maywsd::census {
+
+namespace {
+
+using rel::CmpOp;
+using rel::Plan;
+using rel::Predicate;
+using rel::Value;
+
+Plan Q1(const std::string& r) {
+  return Plan::Select(
+      Predicate::And(Predicate::Cmp("YEARSCH", CmpOp::kEq, Value::Int(17)),
+                     Predicate::Cmp("CITIZEN", CmpOp::kEq, Value::Int(0))),
+      Plan::Scan(r));
+}
+
+Plan Q2(const std::string& r) {
+  return Plan::Project(
+      {"POWSTATE", "CITIZEN", "IMMIGR"},
+      Plan::Select(
+          Predicate::And(Predicate::Cmp("CITIZEN", CmpOp::kNe, Value::Int(0)),
+                         Predicate::Cmp("ENGLISH", CmpOp::kGt, Value::Int(3))),
+          Plan::Scan(r)));
+}
+
+Plan Q3(const std::string& r) {
+  return Plan::Project(
+      {"POWSTATE", "MARITAL", "FERTIL"},
+      Plan::Select(
+          Predicate::CmpAttr("POWSTATE", CmpOp::kEq, "POB"),
+          Plan::Select(
+              Predicate::And(
+                  Predicate::Cmp("FERTIL", CmpOp::kGt, Value::Int(4)),
+                  Predicate::Cmp("MARITAL", CmpOp::kEq, Value::Int(1))),
+              Plan::Scan(r))));
+}
+
+Plan Q4(const std::string& r) {
+  return Plan::Select(
+      Predicate::And(
+          Predicate::Cmp("FERTIL", CmpOp::kEq, Value::Int(1)),
+          Predicate::Or(Predicate::Cmp("RSPOUSE", CmpOp::kEq, Value::Int(1)),
+                        Predicate::Cmp("RSPOUSE", CmpOp::kEq, Value::Int(2)))),
+      Plan::Scan(r));
+}
+
+Plan Q5(const std::string& r) {
+  Plan left = Plan::Rename(
+      {{"POWSTATE", "P1"}},
+      Plan::Select(Predicate::Cmp("POWSTATE", CmpOp::kGt, Value::Int(50)),
+                   Q2(r)));
+  Plan right = Plan::Rename(
+      {{"POWSTATE", "P2"}},
+      Plan::Select(Predicate::Cmp("POWSTATE", CmpOp::kGt, Value::Int(50)),
+                   Q3(r)));
+  return Plan::Join(Predicate::CmpAttr("P1", CmpOp::kEq, "P2"),
+                    std::move(left), std::move(right));
+}
+
+Plan Q6(const std::string& r) {
+  return Plan::Project(
+      {"POWSTATE", "POB"},
+      Plan::Select(Predicate::Cmp("ENGLISH", CmpOp::kEq, Value::Int(3)),
+                   Plan::Scan(r)));
+}
+
+}  // namespace
+
+rel::Plan CensusQuery(int i, const std::string& relation) {
+  switch (i) {
+    case 1:
+      return Q1(relation);
+    case 2:
+      return Q2(relation);
+    case 3:
+      return Q3(relation);
+    case 4:
+      return Q4(relation);
+    case 5:
+      return Q5(relation);
+    case 6:
+      return Q6(relation);
+    default:
+      assert(false && "census query index must be 1..6");
+      return Q1(relation);
+  }
+}
+
+std::vector<rel::Plan> AllCensusQueries(const std::string& relation) {
+  std::vector<rel::Plan> out;
+  for (int i = 1; i <= 6; ++i) out.push_back(CensusQuery(i, relation));
+  return out;
+}
+
+}  // namespace maywsd::census

@@ -1,0 +1,27 @@
+// The six evaluation queries of Figure 29.
+
+#ifndef MAYWSD_CENSUS_QUERIES_H_
+#define MAYWSD_CENSUS_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "rel/algebra.h"
+
+namespace maywsd::census {
+
+/// Builds query Qi (1 ≤ i ≤ 6) of Figure 29 over relation `relation`:
+///   Q1 = σ_{YEARSCH=17 ∧ CITIZEN=0}(R)
+///   Q2 = π_{POWSTATE,CITIZEN,IMMIGR}(σ_{CITIZEN≠0 ∧ ENGLISH>3}(R))
+///   Q3 = π_{POWSTATE,MARITAL,FERTIL}(σ_{POWSTATE=POB}(σ_{FERTIL>4 ∧ MARITAL=1}(R)))
+///   Q4 = σ_{FERTIL=1 ∧ (RSPOUSE=1 ∨ RSPOUSE=2)}(R)
+///   Q5 = δ_{POWSTATE→P1}(σ_{POWSTATE>50}(Q2)) ⋈_{P1=P2} δ_{POWSTATE→P2}(σ_{POWSTATE>50}(Q3))
+///   Q6 = π_{POWSTATE,POB}(σ_{ENGLISH=3}(R))
+rel::Plan CensusQuery(int i, const std::string& relation = "R");
+
+/// All six queries, in order (index 0 = Q1).
+std::vector<rel::Plan> AllCensusQueries(const std::string& relation = "R");
+
+}  // namespace maywsd::census
+
+#endif  // MAYWSD_CENSUS_QUERIES_H_

@@ -1,0 +1,29 @@
+// Hash combination helpers shared by values, tuples and field identifiers.
+
+#ifndef MAYWSD_COMMON_HASH_H_
+#define MAYWSD_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace maywsd {
+
+/// Mixes `v` into the running seed (boost::hash_combine recipe, 64-bit).
+inline void HashCombine(size_t& seed, size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+}
+
+/// Hash of a contiguous range of hashable items.
+template <typename It>
+size_t HashRange(It begin, It end) {
+  size_t seed = 0xcbf29ce484222325ULL;
+  for (It it = begin; it != end; ++it) {
+    HashCombine(seed, std::hash<typename std::iterator_traits<It>::value_type>{}(*it));
+  }
+  return seed;
+}
+
+}  // namespace maywsd
+
+#endif  // MAYWSD_COMMON_HASH_H_

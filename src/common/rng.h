@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for data generators and
+// property tests. All workloads are seeded so every experiment is exactly
+// reproducible run-to-run (a requirement for regenerating the paper tables).
+
+#ifndef MAYWSD_COMMON_RNG_H_
+#define MAYWSD_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace maywsd {
+
+/// xorshift128+ generator: fast, decent quality, fully deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to avoid weak all-zero-ish states.
+    uint64_t z = seed;
+    auto split_mix = [&z]() {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    };
+    s0_ = split_mix();
+    s1_ = split_mix();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace maywsd
+
+#endif  // MAYWSD_COMMON_RNG_H_

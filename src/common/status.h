@@ -1,0 +1,139 @@
+// Status and Result<T>: RocksDB-style error propagation without exceptions.
+//
+// Core library code returns Status (or Result<T> when a value is produced).
+// Callers either handle the error or propagate it with MAYWSD_RETURN_IF_ERROR.
+
+#ifndef MAYWSD_COMMON_STATUS_H_
+#define MAYWSD_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace maywsd {
+
+/// Machine-readable error category, modeled on rocksdb::Status codes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something structurally wrong
+  kNotFound,          ///< named relation/attribute/component does not exist
+  kAlreadyExists,     ///< name collision on creation
+  kInconsistent,      ///< world-set has no world satisfying the constraints
+  kUnsupported,       ///< operation valid but not implemented for this rep
+  kResourceExhausted, ///< enumeration/composition blow-up guard tripped
+  kInternal,          ///< invariant violation; indicates a bug
+};
+
+/// Lightweight status object; cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: no such attribute".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Result<T> is a Status plus a value on success (a minimal StatusOr).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_relation;`.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  /// Implicit from error status. Must not be OK (an OK Result needs a value).
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace maywsd
+
+/// Propagates a non-OK Status from the current function.
+#define MAYWSD_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::maywsd::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+/// Evaluates a Result expression; on error returns the status, otherwise
+/// moves the value into `lhs`. (`lhs` may be a declaration.)
+#define MAYWSD_ASSIGN_OR_RETURN(lhs, expr)      \
+  MAYWSD_ASSIGN_OR_RETURN_IMPL(                 \
+      MAYWSD_STATUS_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define MAYWSD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define MAYWSD_STATUS_CONCAT_INNER(a, b) a##b
+#define MAYWSD_STATUS_CONCAT(a, b) MAYWSD_STATUS_CONCAT_INNER(a, b)
+
+#endif  // MAYWSD_COMMON_STATUS_H_

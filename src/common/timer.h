@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the figure-regeneration harnesses.
+
+#ifndef MAYWSD_COMMON_TIMER_H_
+#define MAYWSD_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace maywsd {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace maywsd
+
+#endif  // MAYWSD_COMMON_TIMER_H_

@@ -1,0 +1,81 @@
+// Chase-based data cleaning — Section 8 / Figure 24.
+//
+// Two dependency classes, per the paper:
+//   * functional dependencies  A1,…,Am → A0 over a relation;
+//   * single-tuple equality-generating dependencies (EGDs)
+//     A1θ1c1 ∧ … ∧ Amθmcm ⇒ A0θ0c0.
+//
+// Chasing removes local worlds that make a dependency fail, composing
+// components first when the dependency spans several, and renormalizing the
+// remaining probabilities (y' = y / (1 − removed mass)). One pass suffices:
+// removing worlds cannot introduce new violations (Theorem 2/3). A chase
+// that empties a component reports kInconsistent ("world-set is
+// inconsistent").
+//
+// The refinements at the end of Section 8 are implemented: components whose
+// premise column can never satisfy its condition — or whose conclusion
+// column always does — are skipped without composing.
+
+#ifndef MAYWSD_CORE_CHASE_H_
+#define MAYWSD_CORE_CHASE_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/value.h"
+#include "core/wsd.h"
+
+namespace maywsd::core {
+
+/// One comparison "A θ c" of an EGD.
+struct EgdAtom {
+  std::string attr;
+  rel::CmpOp op = rel::CmpOp::kEq;
+  rel::Value constant;
+
+  std::string ToString() const;
+};
+
+/// Single-tuple equality-generating dependency:
+/// premises₁ ∧ … ∧ premisesₘ ⇒ conclusion, per tuple of `relation`.
+struct Egd {
+  std::string relation;
+  std::vector<EgdAtom> premises;
+  EgdAtom conclusion;
+
+  std::string ToString() const;
+};
+
+/// Functional dependency lhs → rhs over `relation` (a multi-attribute
+/// right-hand side is equivalent to one FD per attribute).
+struct Fd {
+  std::string relation;
+  std::vector<std::string> lhs;
+  std::string rhs;
+
+  std::string ToString() const;
+};
+
+/// A dependency to chase.
+using Dependency = std::variant<Egd, Fd>;
+
+/// Enforces one EGD on every tuple slot of its relation.
+Status ChaseEgd(Wsd& wsd, const Egd& egd);
+
+/// Enforces one FD on every pair of tuple slots of its relation.
+Status ChaseFd(Wsd& wsd, const Fd& fd);
+
+/// Chases all dependencies in order (single pass; see Theorem 2).
+Status Chase(Wsd& wsd, const std::vector<Dependency>& dependencies);
+
+/// Brute-force reference: filters the enumerated worlds by the
+/// dependencies and renormalizes — the oracle the chase is tested against.
+Result<std::vector<PossibleWorld>> FilterWorldsByDependencies(
+    const std::vector<PossibleWorld>& worlds,
+    const std::vector<Dependency>& dependencies);
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_CHASE_H_

@@ -1,0 +1,260 @@
+#include "core/component.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+namespace maywsd::core {
+
+int Component::FindField(const FieldKey& field) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i] == field) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Component::AddWorld(std::span<const rel::Value> values, double prob) {
+  assert(values.size() == fields_.size());
+  values_.insert(values_.end(), values.begin(), values.end());
+  probs_.push_back(prob);
+}
+
+void Component::AddWorld(std::initializer_list<rel::Value> values,
+                         double prob) {
+  AddWorld(std::span<const rel::Value>(values.begin(), values.size()), prob);
+}
+
+double Component::ProbSum() const {
+  double sum = 0;
+  for (double p : probs_) sum += p;
+  return sum;
+}
+
+Status Component::NormalizeProbs() {
+  double sum = ProbSum();
+  if (sum <= 0) {
+    return Status::Inconsistent("component has zero probability mass");
+  }
+  for (double& p : probs_) p /= sum;
+  return Status::Ok();
+}
+
+void Component::ExtDuplicateColumn(size_t src_col, const FieldKey& new_field) {
+  size_t old_width = fields_.size();
+  size_t n = NumWorlds();
+  fields_.push_back(new_field);
+  std::vector<rel::Value> out;
+  out.reserve(n * (old_width + 1));
+  for (size_t w = 0; w < n; ++w) {
+    const rel::Value* row = values_.data() + w * old_width;
+    out.insert(out.end(), row, row + old_width);
+    out.push_back(row[src_col]);
+  }
+  values_ = std::move(out);
+}
+
+void Component::ExtConstantColumn(const FieldKey& new_field,
+                                  const rel::Value& value) {
+  size_t old_width = fields_.size();
+  size_t n = NumWorlds();
+  fields_.push_back(new_field);
+  std::vector<rel::Value> out;
+  out.reserve(n * (old_width + 1));
+  for (size_t w = 0; w < n; ++w) {
+    const rel::Value* row = values_.data() + w * old_width;
+    out.insert(out.end(), row, row + old_width);
+    out.push_back(value);
+  }
+  values_ = std::move(out);
+}
+
+void Component::ExtColumn(const FieldKey& new_field,
+                          std::span<const rel::Value> values) {
+  size_t old_width = fields_.size();
+  size_t n = NumWorlds();
+  assert(values.size() == n);
+  fields_.push_back(new_field);
+  std::vector<rel::Value> out;
+  out.reserve(n * (old_width + 1));
+  for (size_t w = 0; w < n; ++w) {
+    const rel::Value* row = values_.data() + w * old_width;
+    out.insert(out.end(), row, row + old_width);
+    out.push_back(values[w]);
+  }
+  values_ = std::move(out);
+}
+
+Component Component::Compose(const Component& a, const Component& b) {
+  std::vector<FieldKey> fields = a.fields_;
+  fields.insert(fields.end(), b.fields_.begin(), b.fields_.end());
+  Component out(std::move(fields));
+  size_t na = a.NumWorlds();
+  size_t nb = b.NumWorlds();
+  out.values_.reserve(na * nb * out.fields_.size());
+  out.probs_.reserve(na * nb);
+  for (size_t i = 0; i < na; ++i) {
+    const rel::Value* ra = a.values_.data() + i * a.fields_.size();
+    for (size_t j = 0; j < nb; ++j) {
+      const rel::Value* rb = b.values_.data() + j * b.fields_.size();
+      out.values_.insert(out.values_.end(), ra, ra + a.fields_.size());
+      out.values_.insert(out.values_.end(), rb, rb + b.fields_.size());
+      out.probs_.push_back(a.probs_[i] * b.probs_[j]);
+    }
+  }
+  return out;
+}
+
+void Component::DropColumns(const std::vector<size_t>& cols) {
+  if (cols.empty()) return;
+  std::vector<bool> drop(fields_.size(), false);
+  for (size_t c : cols) drop[c] = true;
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (!drop[i]) keep.push_back(i);
+  }
+  *this = ProjectColumns(keep);
+}
+
+Component Component::ProjectColumns(const std::vector<size_t>& cols) const {
+  std::vector<FieldKey> fields;
+  fields.reserve(cols.size());
+  for (size_t c : cols) fields.push_back(fields_[c]);
+  Component out(std::move(fields));
+  size_t n = NumWorlds();
+  out.values_.reserve(n * cols.size());
+  out.probs_ = probs_;
+  for (size_t w = 0; w < n; ++w) {
+    const rel::Value* row = values_.data() + w * fields_.size();
+    for (size_t c : cols) out.values_.push_back(row[c]);
+  }
+  return out;
+}
+
+void Component::RemoveWorld(size_t world) {
+  size_t n = NumWorlds();
+  size_t k = fields_.size();
+  assert(world < n);
+  if (world != n - 1) {
+    if (k > 0) {
+      std::copy(values_.begin() + (n - 1) * k, values_.begin() + n * k,
+                values_.begin() + world * k);
+    }
+    probs_[world] = probs_[n - 1];
+  }
+  values_.resize((n - 1) * k);
+  probs_.resize(n - 1);
+}
+
+void Component::Compress() {
+  size_t n = NumWorlds();
+  size_t k = fields_.size();
+  if (n <= 1) return;
+  // Hash rows; merge duplicates by summing probabilities.
+  struct RowRef {
+    const rel::Value* data;
+    size_t len;
+  };
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  std::vector<rel::Value> out_vals;
+  std::vector<double> out_probs;
+  auto row_hash = [&](size_t w) {
+    size_t seed = 0x165667b1u;
+    for (size_t c = 0; c < k; ++c) HashCombine(seed, at(w, c).Hash());
+    return seed;
+  };
+  auto rows_equal_out = [&](size_t out_row, size_t w) {
+    for (size_t c = 0; c < k; ++c) {
+      if (!(out_vals[out_row * k + c] == at(w, c))) return false;
+    }
+    return true;
+  };
+  for (size_t w = 0; w < n; ++w) {
+    size_t h = row_hash(w);
+    auto& bucket = buckets[h];
+    bool merged = false;
+    for (size_t out_row : bucket) {
+      if (rows_equal_out(out_row, w)) {
+        out_probs[out_row] += probs_[w];
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      size_t out_row = out_probs.size();
+      for (size_t c = 0; c < k; ++c) out_vals.push_back(at(w, c));
+      out_probs.push_back(probs_[w]);
+      bucket.push_back(out_row);
+    }
+  }
+  values_ = std::move(out_vals);
+  probs_ = std::move(out_probs);
+}
+
+void Component::PropagateBottom() {
+  size_t n = NumWorlds();
+  size_t k = fields_.size();
+  // Columns grouped by (relation, tuple-id): ⊥ spreads within a group.
+  for (size_t w = 0; w < n; ++w) {
+    for (size_t c = 0; c < k; ++c) {
+      if (!at(w, c).is_bottom()) continue;
+      const FieldKey& f = fields_[c];
+      for (size_t c2 = 0; c2 < k; ++c2) {
+        if (fields_[c2].rel == f.rel && fields_[c2].tuple == f.tuple) {
+          at(w, c2) = rel::Value::Bottom();
+        }
+      }
+    }
+  }
+}
+
+bool Component::ColumnAllBottom(size_t col) const {
+  size_t n = NumWorlds();
+  if (n == 0) return false;
+  for (size_t w = 0; w < n; ++w) {
+    if (!at(w, col).is_bottom()) return false;
+  }
+  return true;
+}
+
+bool Component::ColumnHasBottom(size_t col) const {
+  size_t n = NumWorlds();
+  for (size_t w = 0; w < n; ++w) {
+    if (at(w, col).is_bottom()) return true;
+  }
+  return false;
+}
+
+bool Component::ColumnConstant(size_t col) const {
+  size_t n = NumWorlds();
+  if (n == 0) return false;
+  for (size_t w = 1; w < n; ++w) {
+    if (!(at(w, col) == at(0, col))) return false;
+  }
+  return true;
+}
+
+void Component::RenameField(size_t col, const FieldKey& new_field) {
+  fields_[col] = new_field;
+}
+
+std::string Component::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t c = 0; c < fields_.size(); ++c) {
+    if (c > 0) os << " ";
+    os << fields_[c].ToString();
+  }
+  os << " | P]\n";
+  for (size_t w = 0; w < NumWorlds(); ++w) {
+    os << "  ";
+    for (size_t c = 0; c < fields_.size(); ++c) {
+      os << at(w, c) << " ";
+    }
+    os << "| " << probs_[w] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace maywsd::core

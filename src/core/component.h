@@ -1,0 +1,123 @@
+// Component: one factor of a world-set decomposition (Definition 1).
+//
+// A component is a relation over a set of fields (its columns, identified by
+// FieldKey) whose rows — the paper's *local worlds* — each carry a
+// probability. The world-set represented by a WSD is the product of its
+// components: one local world is chosen per component, independently.
+
+#ifndef MAYWSD_CORE_COMPONENT_H_
+#define MAYWSD_CORE_COMPONENT_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/value.h"
+#include "core/field.h"
+
+namespace maywsd::core {
+
+/// Probabilities within this tolerance of each other compare equal; a
+/// component's probabilities must sum to 1 within this tolerance.
+inline constexpr double kProbEpsilon = 1e-7;
+
+/// One factor of a WSD: columns are fields, rows are local worlds.
+class Component {
+ public:
+  Component() = default;
+
+  /// Creates a component with the given field columns and no rows.
+  explicit Component(std::vector<FieldKey> fields)
+      : fields_(std::move(fields)) {}
+
+  size_t NumFields() const { return fields_.size(); }
+  size_t NumWorlds() const {
+    return fields_.empty() ? probs_.size() : values_.size() / fields_.size();
+  }
+  bool empty() const { return NumWorlds() == 0; }
+
+  const std::vector<FieldKey>& fields() const { return fields_; }
+  const FieldKey& field(size_t col) const { return fields_[col]; }
+
+  /// Column index of `field`, or -1.
+  int FindField(const FieldKey& field) const;
+
+  /// Appends a local world. `values` must match the field count.
+  void AddWorld(std::span<const rel::Value> values, double prob);
+  void AddWorld(std::initializer_list<rel::Value> values, double prob);
+
+  /// Field value in local world `world`.
+  const rel::Value& at(size_t world, size_t col) const {
+    return values_[world * fields_.size() + col];
+  }
+  rel::Value& at(size_t world, size_t col) {
+    return values_[world * fields_.size() + col];
+  }
+
+  double prob(size_t world) const { return probs_[world]; }
+  void set_prob(size_t world, double p) { probs_[world] = p; }
+
+  /// Sum of local-world probabilities (should be 1 for a valid component).
+  double ProbSum() const;
+
+  /// Scales all probabilities by 1/ProbSum(); fails if the sum is 0.
+  Status NormalizeProbs();
+
+  /// Appends a column that duplicates column `src_col` under a new field
+  /// name — the paper's ext(C, A, B) primitive (Section 4).
+  void ExtDuplicateColumn(size_t src_col, const FieldKey& new_field);
+
+  /// Appends a column with the same value in every local world.
+  void ExtConstantColumn(const FieldKey& new_field, const rel::Value& value);
+
+  /// Appends a column with explicit per-local-world values (size must equal
+  /// NumWorlds()).
+  void ExtColumn(const FieldKey& new_field,
+                 std::span<const rel::Value> values);
+
+  /// The paper's compose(C1, C2): the product of the local-world sets with
+  /// multiplied probabilities (Section 4).
+  static Component Compose(const Component& a, const Component& b);
+
+  /// Removes the columns listed in `cols` (the "project away" step of the
+  /// WSD projection and normalization algorithms). Does not merge rows.
+  void DropColumns(const std::vector<size_t>& cols);
+
+  /// Keeps only the columns in `cols` (in that order).
+  Component ProjectColumns(const std::vector<size_t>& cols) const;
+
+  /// Removes local world `world` (swap-remove; order is not meaningful).
+  void RemoveWorld(size_t world);
+
+  /// Merges identical rows by summing probabilities (Figure 20, compress).
+  void Compress();
+
+  /// The paper's propagate-⊥ (Figure 12): within every local world, if any
+  /// field of tuple R.tᵢ is ⊥, all fields of R.tᵢ in this component become ⊥.
+  void PropagateBottom();
+
+  /// True if every value in column `col` is ⊥.
+  bool ColumnAllBottom(size_t col) const;
+
+  /// True if column `col` contains at least one ⊥.
+  bool ColumnHasBottom(size_t col) const;
+
+  /// True if every value in column `col` equals the value in its first row
+  /// (i.e. the field is certain). False for empty components.
+  bool ColumnConstant(size_t col) const;
+
+  /// Renames the field of a column (δ on WSDs renames component attributes).
+  void RenameField(size_t col, const FieldKey& new_field);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<FieldKey> fields_;
+  std::vector<rel::Value> values_;  // row-major: world * NumFields() + col
+  std::vector<double> probs_;
+};
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_COMPONENT_H_

@@ -1,0 +1,66 @@
+// Field identifiers: the paper addresses the A-attribute of tuple tᵢ of
+// relation R as "R.tᵢ.A" (Section 3, the FID of the uniform representation).
+// Relation and attribute names are interned symbols; tuple ids are dense
+// 0-based slot numbers within a relation's inlining.
+
+#ifndef MAYWSD_CORE_FIELD_H_
+#define MAYWSD_CORE_FIELD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/hash.h"
+#include "common/interner.h"
+
+namespace maywsd::core {
+
+/// Dense 0-based tuple slot number within a relation's inlining.
+using TupleId = int32_t;
+
+/// Identifies one field R.tᵢ.A of the world-set schema (the paper's FID).
+struct FieldKey {
+  Symbol rel = 0;
+  TupleId tuple = 0;
+  Symbol attr = 0;
+
+  FieldKey() = default;
+  FieldKey(Symbol r, TupleId t, Symbol a) : rel(r), tuple(t), attr(a) {}
+  FieldKey(std::string_view r, TupleId t, std::string_view a)
+      : rel(InternString(r)), tuple(t), attr(InternString(a)) {}
+
+  bool operator==(const FieldKey& o) const {
+    return rel == o.rel && tuple == o.tuple && attr == o.attr;
+  }
+  bool operator!=(const FieldKey& o) const { return !(*this == o); }
+  bool operator<(const FieldKey& o) const {
+    if (rel != o.rel) return SymbolName(rel) < SymbolName(o.rel);
+    if (tuple != o.tuple) return tuple < o.tuple;
+    return SymbolName(attr) < SymbolName(o.attr);
+  }
+
+  size_t Hash() const {
+    size_t seed = 0x27d4eb2fu;
+    maywsd::HashCombine(seed, rel);
+    maywsd::HashCombine(seed, static_cast<size_t>(tuple));
+    maywsd::HashCombine(seed, attr);
+    return seed;
+  }
+
+  /// "R.t3.A" rendering.
+  std::string ToString() const {
+    return std::string(SymbolName(rel)) + ".t" + std::to_string(tuple) + "." +
+           std::string(SymbolName(attr));
+  }
+};
+
+}  // namespace maywsd::core
+
+namespace std {
+template <>
+struct hash<maywsd::core::FieldKey> {
+  size_t operator()(const maywsd::core::FieldKey& f) const { return f.Hash(); }
+};
+}  // namespace std
+
+#endif  // MAYWSD_CORE_FIELD_H_

@@ -1,0 +1,55 @@
+// WSD normalization — Section 7 / Figure 20.
+//
+// Three rewrites preserve rep(W) while shrinking the representation:
+//   * remove invalid tuples — a tuple slot whose field is ⊥ in every local
+//     world exists in no world and is removed outright;
+//   * decompose — replace a component by its maximal product decomposition
+//     ("prime factorization"); the paper delegates the polynomial algorithm
+//     to its companion ICDT'07 paper, we implement an exact
+//     minimal-separator search that is exponential only in component arity
+//     (Figure 28: arity ≤ 5 in practice) with a conservative linear
+//     fallback above kMaxExactFactorColumns;
+//   * compress — merge duplicate local worlds, summing probabilities.
+
+#ifndef MAYWSD_CORE_NORMALIZE_H_
+#define MAYWSD_CORE_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/wsd.h"
+
+namespace maywsd::core {
+
+/// Above this column count the exact factorization falls back to splitting
+/// off independent single columns only (still a correct decomposition,
+/// possibly non-maximal).
+inline constexpr size_t kMaxExactFactorColumns = 16;
+
+/// Maximal product decomposition of one component. Probabilities factor
+/// into marginals; a split is taken only if both the value combinations and
+/// the probabilities factor (within kProbEpsilon). The input is compressed
+/// first. Returns {component} when prime.
+std::vector<Component> FactorComponent(const Component& component);
+
+/// Removes tuple slots that are invalid (⊥) in all worlds — Figure 20(a).
+Status RemoveInvalidTuples(Wsd& wsd);
+
+/// Splits every component into its prime factors — Figure 20(b).
+Status DecomposeComponents(Wsd& wsd);
+
+/// Merges duplicate local worlds in every component — Figure 20(c).
+Status CompressComponents(Wsd& wsd);
+
+/// Drops local worlds with probability ≤ `threshold` (e.g. mass removed by
+/// the chase) and renormalizes. Worlds of probability 0 represent nothing.
+Status DropZeroProbabilityWorlds(Wsd& wsd, double threshold = 1e-12);
+
+/// Full normalization pipeline: compress → remove invalid tuples →
+/// decompose → compact.
+Status NormalizeWsd(Wsd& wsd);
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_NORMALIZE_H_

@@ -1,0 +1,119 @@
+#include "core/orset.h"
+
+#include <cmath>
+
+namespace maywsd::core {
+
+Status OrSetRelation::AppendRow(std::vector<OrSetField> row) {
+  if (row.size() != schema_.arity()) {
+    return Status::InvalidArgument("or-set row arity mismatch in " + name_);
+  }
+  for (const OrSetField& f : row) {
+    if (f.options.empty()) {
+      return Status::InvalidArgument("empty or-set in " + name_);
+    }
+    if (!f.probs.empty()) {
+      if (f.probs.size() != f.options.size()) {
+        return Status::InvalidArgument("or-set probability arity mismatch");
+      }
+      double sum = 0;
+      for (double p : f.probs) sum += p;
+      if (std::abs(sum - 1.0) > 1e-6) {
+        return Status::InvalidArgument("or-set probabilities must sum to 1");
+      }
+    }
+  }
+  for (OrSetField& f : row) fields_.push_back(std::move(f));
+  return Status::Ok();
+}
+
+uint64_t OrSetRelation::WorldCount(uint64_t cap) const {
+  uint64_t total = 1;
+  for (const OrSetField& f : fields_) {
+    uint64_t n = f.options.size();
+    if (n == 0) return 0;
+    if (total > cap / n) return cap;
+    total *= n;
+  }
+  return total;
+}
+
+Result<Wsd> OrSetRelation::ToWsd() const {
+  Wsd wsd;
+  MAYWSD_RETURN_IF_ERROR(
+      wsd.AddRelation(name_, schema_, static_cast<TupleId>(NumRows())));
+  for (size_t r = 0; r < NumRows(); ++r) {
+    for (size_t a = 0; a < schema_.arity(); ++a) {
+      const OrSetField& f = field(r, a);
+      Component comp({FieldKey(name_, static_cast<TupleId>(r),
+                               std::string(schema_.attr(a).name_view()))});
+      for (size_t i = 0; i < f.options.size(); ++i) {
+        comp.AddWorld({f.options[i]}, f.ProbOf(i));
+      }
+      MAYWSD_RETURN_IF_ERROR(wsd.AddComponent(std::move(comp)));
+    }
+  }
+  return wsd;
+}
+
+Status TupleIndependentDb::AddRelation(const std::string& name,
+                                       rel::Schema schema) {
+  if (relations_.count(name)) return Status::AlreadyExists("relation " + name);
+  relations_[name].schema = std::move(schema);
+  return Status::Ok();
+}
+
+Status TupleIndependentDb::AddTuple(const std::string& relation,
+                                    std::vector<rel::Value> values,
+                                    double confidence) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return Status::NotFound("relation " + relation);
+  if (values.size() != it->second.schema.arity()) {
+    return Status::InvalidArgument("tuple arity mismatch in " + relation);
+  }
+  if (confidence < 0.0 || confidence > 1.0) {
+    return Status::InvalidArgument("confidence must be in [0, 1]");
+  }
+  it->second.tuples.push_back(ProbTuple{std::move(values), confidence});
+  return Status::Ok();
+}
+
+Result<Wsd> TupleIndependentDb::ToWsd() const {
+  Wsd wsd;
+  for (const auto& [name, rel] : relations_) {
+    MAYWSD_RETURN_IF_ERROR(wsd.AddRelation(
+        name, rel.schema, static_cast<TupleId>(rel.tuples.size())));
+    for (size_t t = 0; t < rel.tuples.size(); ++t) {
+      const ProbTuple& tuple = rel.tuples[t];
+      std::vector<FieldKey> fields;
+      for (size_t a = 0; a < rel.schema.arity(); ++a) {
+        fields.emplace_back(name, static_cast<TupleId>(t),
+                            std::string(rel.schema.attr(a).name_view()));
+      }
+      Component comp(std::move(fields));
+      comp.AddWorld(tuple.values, tuple.confidence);
+      if (tuple.confidence < 1.0) {
+        std::vector<rel::Value> bottoms(rel.schema.arity(),
+                                        rel::Value::Bottom());
+        comp.AddWorld(bottoms, 1.0 - tuple.confidence);
+      }
+      MAYWSD_RETURN_IF_ERROR(wsd.AddComponent(std::move(comp)));
+    }
+  }
+  return wsd;
+}
+
+uint64_t TupleIndependentDb::WorldCount(uint64_t cap) const {
+  uint64_t total = 1;
+  for (const auto& [name, rel] : relations_) {
+    for (const ProbTuple& t : rel.tuples) {
+      if (t.confidence > 0.0 && t.confidence < 1.0) {
+        if (total > cap / 2) return cap;
+        total *= 2;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace maywsd::core

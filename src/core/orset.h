@@ -1,0 +1,108 @@
+// Or-set relations [21] and tuple-independent probabilistic databases [15]:
+// the two practical input formalisms the paper subsumes (Sections 1 and 3).
+//
+// Both convert losslessly into WSDs:
+//   * an or-set field with k options becomes a k-row component over that
+//     single field (Example 1) — the WSD is linear in the or-set relation;
+//   * a tuple with confidence c becomes a two-row component: the tuple's
+//     values with probability c and an all-⊥ local world with 1−c
+//     (Example 5 / Figure 7).
+
+#ifndef MAYWSD_CORE_ORSET_H_
+#define MAYWSD_CORE_ORSET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/relation.h"
+#include "core/wsd.h"
+
+namespace maywsd::core {
+
+/// One or-set field: a set of possible values with optional probabilities
+/// (uniform when `probs` is empty; otherwise must align with `options` and
+/// sum to 1).
+struct OrSetField {
+  std::vector<rel::Value> options;
+  std::vector<double> probs;
+
+  OrSetField() = default;
+  /// Certain field.
+  OrSetField(rel::Value v) : options{v} {}
+  OrSetField(std::initializer_list<rel::Value> opts) : options(opts) {}
+  OrSetField(std::vector<rel::Value> opts, std::vector<double> ps = {})
+      : options(std::move(opts)), probs(std::move(ps)) {}
+
+  bool certain() const { return options.size() == 1; }
+  double ProbOf(size_t i) const {
+    return probs.empty() ? 1.0 / static_cast<double>(options.size())
+                         : probs[i];
+  }
+};
+
+/// A relation whose fields are or-sets; each field varies independently.
+class OrSetRelation {
+ public:
+  OrSetRelation(rel::Schema schema, std::string name)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const rel::Schema& schema() const { return schema_; }
+  size_t NumRows() const {
+    return schema_.arity() == 0 ? 0 : fields_.size() / schema_.arity();
+  }
+
+  /// Appends a row of or-set fields; must match the arity.
+  Status AppendRow(std::vector<OrSetField> row);
+
+  const OrSetField& field(size_t row, size_t attr) const {
+    return fields_[row * schema_.arity() + attr];
+  }
+
+  /// Number of represented worlds (product of option counts), saturating
+  /// at `cap`.
+  uint64_t WorldCount(uint64_t cap) const;
+
+  /// The WSD encoding: one single-field component per field.
+  Result<Wsd> ToWsd() const;
+
+ private:
+  std::string name_;
+  rel::Schema schema_;
+  std::vector<OrSetField> fields_;  // row-major
+};
+
+/// A tuple-independent probabilistic database [15]: every tuple carries a
+/// membership confidence and tuples are independent (Figure 6).
+class TupleIndependentDb {
+ public:
+  /// Declares a relation.
+  Status AddRelation(const std::string& name, rel::Schema schema);
+
+  /// Appends a tuple with confidence c ∈ [0, 1].
+  Status AddTuple(const std::string& relation,
+                  std::vector<rel::Value> values, double confidence);
+
+  /// The WSD encoding of Figure 7: a two-local-world component per tuple.
+  Result<Wsd> ToWsd() const;
+
+  /// Number of represented worlds: 2^#uncertain-tuples, saturating at cap.
+  uint64_t WorldCount(uint64_t cap) const;
+
+ private:
+  struct ProbTuple {
+    std::vector<rel::Value> values;
+    double confidence = 1.0;
+  };
+  struct ProbRelation {
+    rel::Schema schema;
+    std::vector<ProbTuple> tuples;
+  };
+  std::map<std::string, ProbRelation> relations_;
+};
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_ORSET_H_

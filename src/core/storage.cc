@@ -1,0 +1,63 @@
+#include "core/storage.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/uniform.h"
+#include "rel/csv.h"
+
+namespace maywsd::core {
+
+namespace fs = std::filesystem;
+
+Status SaveWsdt(const Wsdt& wsdt, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create directory " + directory +
+                                   ": " + ec.message());
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Database db, ExportUniform(wsdt));
+  std::ofstream manifest(directory + "/MANIFEST");
+  if (!manifest) {
+    return Status::InvalidArgument("cannot write manifest in " + directory);
+  }
+  for (const std::string& name : db.Names()) {
+    MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* rel, db.GetRelation(name));
+    MAYWSD_RETURN_IF_ERROR(
+        rel::WriteCsvFile(*rel, directory + "/" + name + ".csv"));
+    if (name != kUniformC && name != kUniformF && name != kUniformW) {
+      manifest << name << "\n";
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Wsdt> LoadWsdt(const std::string& directory) {
+  std::ifstream manifest(directory + "/MANIFEST");
+  if (!manifest) {
+    return Status::NotFound("no MANIFEST in " + directory);
+  }
+  std::vector<std::string> templates;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (!line.empty()) templates.push_back(line);
+  }
+  rel::Database db;
+  for (const std::string& name : templates) {
+    MAYWSD_ASSIGN_OR_RETURN(
+        rel::Relation rel,
+        rel::ReadCsvFile(directory + "/" + name + ".csv", name));
+    MAYWSD_RETURN_IF_ERROR(db.AddRelation(std::move(rel)));
+  }
+  for (const char* name : {kUniformC, kUniformF, kUniformW}) {
+    MAYWSD_ASSIGN_OR_RETURN(
+        rel::Relation rel,
+        rel::ReadCsvFile(directory + "/" + std::string(name) + ".csv",
+                         name));
+    MAYWSD_RETURN_IF_ERROR(db.AddRelation(std::move(rel)));
+  }
+  return ImportUniform(db, templates);
+}
+
+}  // namespace maywsd::core

@@ -1,0 +1,27 @@
+// Persistence: save/load a WSDT as a directory of CSV files in the uniform
+// encoding (Figure 8) — one file per template relation plus C.csv, F.csv
+// and W.csv. This is the on-disk layout a conventional RDBMS deployment of
+// UWSDTs would bulk-load, and it makes experiment states reproducible
+// across runs.
+
+#ifndef MAYWSD_CORE_STORAGE_H_
+#define MAYWSD_CORE_STORAGE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/wsdt.h"
+
+namespace maywsd::core {
+
+/// Writes `wsdt` into `directory` (created if missing): one
+/// `<relation>.csv` per template plus `C.csv`, `F.csv`, `W.csv` and a
+/// `MANIFEST` listing the template relations.
+Status SaveWsdt(const Wsdt& wsdt, const std::string& directory);
+
+/// Reads a WSDT back from a directory written by SaveWsdt.
+Result<Wsdt> LoadWsdt(const std::string& directory);
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_STORAGE_H_

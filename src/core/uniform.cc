@@ -1,0 +1,479 @@
+#include "core/uniform.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "rel/eval.h"
+#include "rel/index.h"
+
+namespace maywsd::core {
+
+namespace {
+
+rel::Schema CSchema() {
+  return rel::Schema({rel::Attribute("REL", rel::AttrType::kString),
+                      rel::Attribute("TID", rel::AttrType::kInt),
+                      rel::Attribute("ATTR", rel::AttrType::kString),
+                      rel::Attribute("LWID", rel::AttrType::kInt),
+                      rel::Attribute("VAL", rel::AttrType::kAny)});
+}
+
+rel::Schema FSchema() {
+  return rel::Schema({rel::Attribute("REL", rel::AttrType::kString),
+                      rel::Attribute("TID", rel::AttrType::kInt),
+                      rel::Attribute("ATTR", rel::AttrType::kString),
+                      rel::Attribute("CID", rel::AttrType::kInt)});
+}
+
+rel::Schema WSchema() {
+  return rel::Schema({rel::Attribute("CID", rel::AttrType::kInt),
+                      rel::Attribute("LWID", rel::AttrType::kInt),
+                      rel::Attribute("PR", rel::AttrType::kDouble)});
+}
+
+}  // namespace
+
+Result<rel::Database> ExportUniform(const Wsdt& wsdt) {
+  rel::Database db;
+  // Template relations with an explicit TID column.
+  for (const std::string& name : wsdt.RelationNames()) {
+    MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl, wsdt.Template(name));
+    std::vector<rel::Attribute> attrs;
+    attrs.emplace_back(kTidColumn, rel::AttrType::kInt);
+    for (const rel::Attribute& a : tmpl->schema().attrs()) attrs.push_back(a);
+    rel::Relation out{rel::Schema(std::move(attrs)), name};
+    std::vector<rel::Value> row(out.arity());
+    for (size_t r = 0; r < tmpl->NumRows(); ++r) {
+      row[0] = rel::Value::Int(static_cast<int64_t>(r));
+      for (size_t a = 0; a < tmpl->arity(); ++a) row[a + 1] = tmpl->row(r)[a];
+      out.AppendRow(row);
+    }
+    MAYWSD_RETURN_IF_ERROR(db.AddRelation(std::move(out)));
+  }
+  // System relations.
+  rel::Relation c_rel(CSchema(), kUniformC);
+  rel::Relation f_rel(FSchema(), kUniformF);
+  rel::Relation w_rel(WSchema(), kUniformW);
+  int64_t cid = 0;
+  for (size_t i : wsdt.LiveComponents()) {
+    const Component& comp = wsdt.component(i);
+    for (size_t col = 0; col < comp.NumFields(); ++col) {
+      const FieldKey& f = comp.field(col);
+      f_rel.AppendRow({rel::Value::StringSymbol(f.rel),
+                       rel::Value::Int(f.tuple),
+                       rel::Value::StringSymbol(f.attr),
+                       rel::Value::Int(cid)});
+    }
+    for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+      w_rel.AppendRow({rel::Value::Int(cid),
+                       rel::Value::Int(static_cast<int64_t>(w)),
+                       rel::Value::Double(comp.prob(w))});
+      for (size_t col = 0; col < comp.NumFields(); ++col) {
+        const rel::Value& v = comp.at(w, col);
+        if (v.is_bottom()) continue;  // absence encodes ⊥
+        const FieldKey& f = comp.field(col);
+        c_rel.AppendRow({rel::Value::StringSymbol(f.rel),
+                         rel::Value::Int(f.tuple),
+                         rel::Value::StringSymbol(f.attr),
+                         rel::Value::Int(static_cast<int64_t>(w)),
+                         v});
+      }
+    }
+    ++cid;
+  }
+  MAYWSD_RETURN_IF_ERROR(db.AddRelation(std::move(c_rel)));
+  MAYWSD_RETURN_IF_ERROR(db.AddRelation(std::move(f_rel)));
+  MAYWSD_RETURN_IF_ERROR(db.AddRelation(std::move(w_rel)));
+  return db;
+}
+
+Result<Wsdt> ImportUniform(const rel::Database& db,
+                           std::vector<std::string> templates) {
+  if (templates.empty()) {
+    for (const std::string& name : db.Names()) {
+      if (name != kUniformC && name != kUniformF && name != kUniformW) {
+        templates.push_back(name);
+      }
+    }
+  }
+  Wsdt wsdt;
+  // Template relations: strip the TID column; remember tid → row mapping.
+  std::map<std::pair<std::string, int64_t>, TupleId> tid_map;
+  for (const std::string& name : templates) {
+    MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* in, db.GetRelation(name));
+    auto tid_idx = in->schema().IndexOf(kTidColumn);
+    if (!tid_idx || *tid_idx != 0) {
+      return Status::InvalidArgument("template " + name +
+                                     " lacks a leading TID column");
+    }
+    std::vector<rel::Attribute> attrs(in->schema().attrs().begin() + 1,
+                                      in->schema().attrs().end());
+    rel::Relation tmpl{rel::Schema(std::move(attrs)), name};
+    std::vector<rel::Value> row(tmpl.arity());
+    for (size_t r = 0; r < in->NumRows(); ++r) {
+      tid_map[{name, in->row(r)[0].AsInt()}] = static_cast<TupleId>(r);
+      for (size_t a = 0; a < tmpl.arity(); ++a) row[a] = in->row(r)[a + 1];
+      tmpl.AppendRow(row);
+    }
+    MAYWSD_RETURN_IF_ERROR(wsdt.AddTemplateRelation(std::move(tmpl)));
+  }
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* f_rel,
+                          db.GetRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* c_rel,
+                          db.GetRelation(kUniformC));
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* w_rel,
+                          db.GetRelation(kUniformW));
+
+  // Group fields by CID (sorted for determinism).
+  std::map<int64_t, std::vector<FieldKey>> comp_fields;
+  std::map<int64_t, std::map<std::pair<std::string, std::string>,
+                             std::pair<int64_t, TupleId>>> unused;
+  (void)unused;
+  for (size_t r = 0; r < f_rel->NumRows(); ++r) {
+    rel::TupleRef row = f_rel->row(r);
+    std::string rel_name(row[0].AsStringView());
+    auto it = tid_map.find({rel_name, row[1].AsInt()});
+    if (it == tid_map.end()) {
+      return Status::InvalidArgument("F references unknown tuple in " +
+                                     rel_name);
+    }
+    comp_fields[row[3].AsInt()].push_back(
+        FieldKey(InternString(rel_name), it->second, row[2].AsSymbol()));
+  }
+  for (auto& [cid, fields] : comp_fields) {
+    std::sort(fields.begin(), fields.end());
+  }
+  // Local worlds per component.
+  std::map<int64_t, std::vector<std::pair<int64_t, double>>> comp_worlds;
+  for (size_t r = 0; r < w_rel->NumRows(); ++r) {
+    rel::TupleRef row = w_rel->row(r);
+    comp_worlds[row[0].AsInt()].emplace_back(row[1].AsInt(),
+                                             row[2].AsDouble());
+  }
+  for (auto& [cid, worlds] : comp_worlds) {
+    std::sort(worlds.begin(), worlds.end());
+  }
+  // Values: (rel, tid, attr, lwid) → value.
+  std::map<std::tuple<Symbol, TupleId, Symbol, int64_t>, rel::Value> values;
+  for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+    rel::TupleRef row = c_rel->row(r);
+    std::string rel_name(row[0].AsStringView());
+    auto it = tid_map.find({rel_name, row[1].AsInt()});
+    if (it == tid_map.end()) {
+      return Status::InvalidArgument("C references unknown tuple in " +
+                                     rel_name);
+    }
+    values[{InternString(rel_name), it->second, row[2].AsSymbol(),
+            row[3].AsInt()}] = row[4];
+  }
+  for (const auto& [cid, fields] : comp_fields) {
+    auto worlds_it = comp_worlds.find(cid);
+    if (worlds_it == comp_worlds.end()) {
+      return Status::InvalidArgument("component " + std::to_string(cid) +
+                                     " has no worlds in W");
+    }
+    Component comp(fields);
+    std::vector<rel::Value> row(fields.size());
+    for (const auto& [lwid, prob] : worlds_it->second) {
+      for (size_t c = 0; c < fields.size(); ++c) {
+        auto v = values.find(
+            {fields[c].rel, fields[c].tuple, fields[c].attr, lwid});
+        row[c] = (v == values.end()) ? rel::Value::Bottom() : v->second;
+      }
+      comp.AddWorld(row, prob);
+    }
+    MAYWSD_RETURN_IF_ERROR(wsdt.AddComponent(std::move(comp)));
+  }
+  return wsdt;
+}
+
+Status UniformSelectConst(rel::Database& db, const std::string& in_rel,
+                          const std::string& out_rel, const std::string& attr,
+                          rel::CmpOp op, const rel::Value& constant) {
+  using rel::Plan;
+  using rel::Predicate;
+  // Step 1: P⁰ := σ_{Aθc ∨ A=?}(R⁰).
+  Plan step1 = Plan::Select(
+      Predicate::Or(Predicate::Cmp(attr, op, constant),
+                    Predicate::Cmp(attr, rel::CmpOp::kEq,
+                                   rel::Value::Question())),
+      Plan::Scan(in_rel));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation p0, rel::Evaluate(step1, db));
+  p0.set_name(out_rel);
+
+  // Tuple ids surviving step 1.
+  std::set<int64_t> tids;
+  for (size_t r = 0; r < p0.NumRows(); ++r) {
+    tids.insert(p0.row(r)[0].AsInt());
+  }
+
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* f_rel,
+                          db.GetMutableRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* c_rel,
+                          db.GetMutableRelation(kUniformC));
+  rel::Value in_sym = rel::Value::String(in_rel);
+  rel::Value out_sym = rel::Value::String(out_rel);
+
+  // Step 2: F := F ∪ {(P.t.B, k) | (R.t.B, k) ∈ F, t ∈ P⁰}.
+  size_t f_rows = f_rel->NumRows();
+  for (size_t r = 0; r < f_rows; ++r) {
+    rel::TupleRef row = f_rel->row(r);
+    if (!(row[0] == in_sym) || !tids.count(row[1].AsInt())) continue;
+    f_rel->AppendRow({out_sym, row[1], row[2], row[3]});
+  }
+  // Step 3: C := C ∪ {(P.t.B, w, v) | (R.t.B, w, v) ∈ C, t ∈ P⁰,
+  //                     (B = A ⇒ v θ c)}.
+  rel::Value attr_sym = rel::Value::String(attr);
+  size_t c_rows = c_rel->NumRows();
+  for (size_t r = 0; r < c_rows; ++r) {
+    rel::TupleRef row = c_rel->row(r);
+    if (!(row[0] == in_sym) || !tids.count(row[1].AsInt())) continue;
+    if (row[2] == attr_sym && !row[4].Satisfies(op, constant)) continue;
+    c_rel->AppendRow({out_sym, row[1], row[2], row[3], row[4]});
+  }
+
+  // Step 4: remove incomplete world tuples — if placeholder (P,t,X) shares
+  // component k with (P,t,Y) and world w has no value for Y, drop the other
+  // placeholders' values for w too. (This is the relational propagate-⊥.)
+  // Step 5/6 bookkeeping: placeholders of A left with no values at all
+  // remove the tuple.
+  // Index the P-entries of C and F.
+  std::map<std::pair<int64_t, std::string>, int64_t> f_cid;  // (t, attr)→cid
+  std::map<int64_t, std::vector<std::pair<int64_t, std::string>>> cid_fields;
+  for (size_t r = 0; r < f_rel->NumRows(); ++r) {
+    rel::TupleRef row = f_rel->row(r);
+    if (!(row[0] == out_sym)) continue;
+    std::pair<int64_t, std::string> key{row[1].AsInt(),
+                                        std::string(row[2].AsStringView())};
+    f_cid[key] = row[3].AsInt();
+    cid_fields[row[3].AsInt()].push_back(key);
+  }
+  // Values present per (t, attr): set of worlds.
+  std::map<std::pair<int64_t, std::string>, std::set<int64_t>> have;
+  for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+    rel::TupleRef row = c_rel->row(r);
+    if (!(row[0] == out_sym)) continue;
+    have[{row[1].AsInt(), std::string(row[2].AsStringView())}].insert(
+        row[3].AsInt());
+  }
+  // Worlds to drop per (t, attr): those where a same-tuple same-component
+  // sibling lacks a value.
+  std::map<std::pair<int64_t, std::string>, std::set<int64_t>> drop;
+  for (const auto& [cid, fields] : cid_fields) {
+    for (const auto& fx : fields) {
+      for (const auto& fy : fields) {
+        if (fx == fy || fx.first != fy.first) continue;
+        // Worlds where fx has a value but fy does not.
+        const std::set<int64_t>& wx = have[fx];
+        const std::set<int64_t>& wy = have[fy];
+        for (int64_t w : wx) {
+          if (!wy.count(w)) drop[fx].insert(w);
+        }
+      }
+    }
+  }
+  if (!drop.empty()) {
+    rel::Relation next(c_rel->schema(), c_rel->name());
+    for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+      rel::TupleRef row = c_rel->row(r);
+      if (row[0] == out_sym) {
+        auto it = drop.find(
+            {row[1].AsInt(), std::string(row[2].AsStringView())});
+        if (it != drop.end() && it->second.count(row[3].AsInt())) continue;
+      }
+      next.AppendRow(row.span());
+    }
+    *c_rel = std::move(next);
+    // Recompute surviving worlds.
+    have.clear();
+    for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+      rel::TupleRef row = c_rel->row(r);
+      if (!(row[0] == out_sym)) continue;
+      have[{row[1].AsInt(), std::string(row[2].AsStringView())}].insert(
+          row[3].AsInt());
+    }
+  }
+  // Steps 5–6: tuples whose A-placeholder lost every value disappear; drop
+  // their placeholders from F and their values from C.
+  std::set<int64_t> dead_tids;
+  auto a_idx = p0.schema().IndexOf(attr);
+  if (!a_idx) return Status::NotFound("attribute " + attr);
+  for (size_t r = 0; r < p0.NumRows(); ++r) {
+    rel::TupleRef row = p0.row(r);
+    if (!row[*a_idx].is_question()) continue;
+    if (have[{row[0].AsInt(), attr}].empty()) {
+      dead_tids.insert(row[0].AsInt());
+    }
+  }
+  if (!dead_tids.empty()) {
+    rel::Relation next_c(c_rel->schema(), c_rel->name());
+    for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+      rel::TupleRef row = c_rel->row(r);
+      if (row[0] == out_sym && dead_tids.count(row[1].AsInt())) continue;
+      next_c.AppendRow(row.span());
+    }
+    *c_rel = std::move(next_c);
+    rel::Relation next_f(f_rel->schema(), f_rel->name());
+    for (size_t r = 0; r < f_rel->NumRows(); ++r) {
+      rel::TupleRef row = f_rel->row(r);
+      if (row[0] == out_sym && dead_tids.count(row[1].AsInt())) continue;
+      next_f.AppendRow(row.span());
+    }
+    *f_rel = std::move(next_f);
+    rel::Relation next_p(p0.schema(), p0.name());
+    for (size_t r = 0; r < p0.NumRows(); ++r) {
+      if (dead_tids.count(p0.row(r)[0].AsInt())) continue;
+      next_p.AppendRow(p0.row(r).span());
+    }
+    p0 = std::move(next_p);
+  }
+  return db.AddRelation(std::move(p0));
+}
+
+namespace {
+
+/// Copies the F and C entries of tuple (in_rel, old_tid) under
+/// (out_rel, new_tid), optionally renaming attributes.
+void CopyUniformEntries(
+    rel::Relation* f_rel, rel::Relation* c_rel, size_t f_rows, size_t c_rows,
+    const rel::Value& in_sym, const rel::Value& out_sym, int64_t old_tid,
+    int64_t new_tid,
+    const std::map<std::string, std::string>* attr_renames = nullptr) {
+  auto rename = [&](const rel::Value& attr) -> rel::Value {
+    if (attr_renames == nullptr) return attr;
+    auto it = attr_renames->find(std::string(attr.AsStringView()));
+    return it == attr_renames->end() ? attr
+                                     : rel::Value::String(it->second);
+  };
+  for (size_t r = 0; r < f_rows; ++r) {
+    rel::TupleRef row = f_rel->row(r);
+    if (!(row[0] == in_sym) || row[1].AsInt() != old_tid) continue;
+    f_rel->AppendRow({out_sym, rel::Value::Int(new_tid), rename(row[2]),
+                      row[3]});
+  }
+  for (size_t r = 0; r < c_rows; ++r) {
+    rel::TupleRef row = c_rel->row(r);
+    if (!(row[0] == in_sym) || row[1].AsInt() != old_tid) continue;
+    c_rel->AppendRow({out_sym, rel::Value::Int(new_tid), rename(row[2]),
+                      row[3], row[4]});
+  }
+}
+
+}  // namespace
+
+Status UniformUnion(rel::Database& db, const std::string& left,
+                    const std::string& right, const std::string& out) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* l, db.GetRelation(left));
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* r, db.GetRelation(right));
+  if (l->schema() != r->schema()) {
+    return Status::InvalidArgument("uniform union of incompatible schemas");
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* f_rel,
+                          db.GetMutableRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* c_rel,
+                          db.GetMutableRelation(kUniformC));
+  rel::Relation out_rel(l->schema(), out);
+  rel::Value l_sym = rel::Value::String(left);
+  rel::Value r_sym = rel::Value::String(right);
+  rel::Value out_sym = rel::Value::String(out);
+  size_t f_rows = f_rel->NumRows();
+  size_t c_rows = c_rel->NumRows();
+  std::vector<rel::Value> buf(out_rel.arity());
+  int64_t next = 0;
+  for (const rel::Relation* side : {l, r}) {
+    const rel::Value& sym = side == l ? l_sym : r_sym;
+    for (size_t i = 0; i < side->NumRows(); ++i) {
+      rel::TupleRef row = side->row(i);
+      buf[0] = rel::Value::Int(next);
+      for (size_t a = 1; a < buf.size(); ++a) buf[a] = row[a];
+      out_rel.AppendRow(buf);
+      CopyUniformEntries(f_rel, c_rel, f_rows, c_rows, sym, out_sym,
+                         row[0].AsInt(), next);
+      ++next;
+    }
+  }
+  return db.AddRelation(std::move(out_rel));
+}
+
+Status UniformRename(
+    rel::Database& db, const std::string& in_rel, const std::string& out_rel,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* in, db.GetRelation(in_rel));
+  rel::Schema schema = in->schema();
+  std::map<std::string, std::string> rename_map;
+  for (const auto& [from, to] : renames) {
+    MAYWSD_ASSIGN_OR_RETURN(schema, schema.Rename(from, to));
+    rename_map[from] = to;
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* f_rel,
+                          db.GetMutableRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* c_rel,
+                          db.GetMutableRelation(kUniformC));
+  rel::Relation out(schema, out_rel);
+  rel::Value in_sym = rel::Value::String(in_rel);
+  rel::Value out_sym = rel::Value::String(out_rel);
+  size_t f_rows = f_rel->NumRows();
+  size_t c_rows = c_rel->NumRows();
+  for (size_t i = 0; i < in->NumRows(); ++i) {
+    out.AppendRow(in->row(i).span());
+    CopyUniformEntries(f_rel, c_rel, f_rows, c_rows, in_sym, out_sym,
+                       in->row(i)[0].AsInt(), in->row(i)[0].AsInt(),
+                       &rename_map);
+  }
+  return db.AddRelation(std::move(out));
+}
+
+Status UniformProduct(rel::Database& db, const std::string& left,
+                      const std::string& right, const std::string& out) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* l, db.GetRelation(left));
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* r, db.GetRelation(right));
+  // Output schema: TID + left attrs + right attrs (attrs must be disjoint;
+  // both inputs carry their own TID column which is not duplicated).
+  std::vector<rel::Attribute> attrs;
+  attrs.emplace_back(kTidColumn, rel::AttrType::kInt);
+  for (size_t a = 1; a < l->schema().arity(); ++a) {
+    attrs.push_back(l->schema().attr(a));
+  }
+  for (size_t a = 1; a < r->schema().arity(); ++a) {
+    rel::Attribute attr = r->schema().attr(a);
+    for (const rel::Attribute& existing : attrs) {
+      if (existing.name == attr.name) {
+        return Status::InvalidArgument(
+            "uniform product requires disjoint attribute sets");
+      }
+    }
+    attrs.push_back(attr);
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* f_rel,
+                          db.GetMutableRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* c_rel,
+                          db.GetMutableRelation(kUniformC));
+  rel::Relation out_rel{rel::Schema(std::move(attrs)), out};
+  rel::Value l_sym = rel::Value::String(left);
+  rel::Value r_sym = rel::Value::String(right);
+  rel::Value out_sym = rel::Value::String(out);
+  size_t f_rows = f_rel->NumRows();
+  size_t c_rows = c_rel->NumRows();
+  int64_t nr = static_cast<int64_t>(r->NumRows());
+  std::vector<rel::Value> buf(out_rel.arity());
+  for (size_t i = 0; i < l->NumRows(); ++i) {
+    rel::TupleRef lr = l->row(i);
+    for (size_t j = 0; j < r->NumRows(); ++j) {
+      rel::TupleRef rr = r->row(j);
+      int64_t tij = static_cast<int64_t>(i) * nr + static_cast<int64_t>(j);
+      buf[0] = rel::Value::Int(tij);
+      size_t pos = 1;
+      for (size_t a = 1; a < lr.arity(); ++a) buf[pos++] = lr[a];
+      for (size_t a = 1; a < rr.arity(); ++a) buf[pos++] = rr[a];
+      out_rel.AppendRow(buf);
+      CopyUniformEntries(f_rel, c_rel, f_rows, c_rows, l_sym, out_sym,
+                         lr[0].AsInt(), tij);
+      CopyUniformEntries(f_rel, c_rel, f_rows, c_rows, r_sym, out_sym,
+                         rr[0].AsInt(), tij);
+    }
+  }
+  return db.AddRelation(std::move(out_rel));
+}
+
+}  // namespace maywsd::core

@@ -1,0 +1,77 @@
+// The uniform relational encoding of WSDTs — UWSDTs (Section 3, Figure 8).
+//
+// DBMSs do not support relations of data-dependent arity, so the paper
+// stores all components in three fixed-schema relations
+//
+//   C[REL, TID, ATTR, LWID, VAL]   — component values per local world
+//   F[REL, TID, ATTR, CID]         — field → component mapping
+//   W[CID, LWID, PR]               — local worlds and their probabilities
+//
+// plus one template relation R⁰ per database relation (placeholder '?' for
+// uncertain fields). A placeholder missing its value in some local world
+// (no C row for that LWID) encodes the tuple's absence in those worlds —
+// "worlds of different sizes are represented by allowing for a same
+// placeholder different amounts of values in different worlds".
+//
+// Exported template relations carry an explicit leading TID column so the
+// F/C references are expressible relationally.
+//
+// UniformSelectConst implements the select[Aθc] rewriting of Figure 16
+// literally against these relations through the rel:: engine, as the
+// PostgreSQL prototype did with SQL.
+
+#ifndef MAYWSD_CORE_UNIFORM_H_
+#define MAYWSD_CORE_UNIFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/database.h"
+#include "core/wsdt.h"
+
+namespace maywsd::core {
+
+/// Names of the three system relations in a uniform database.
+inline constexpr const char* kUniformC = "C";
+inline constexpr const char* kUniformF = "F";
+inline constexpr const char* kUniformW = "W";
+/// Name of the leading tuple-id column added to exported templates.
+inline constexpr const char* kTidColumn = "__TID";
+
+/// Exports a WSDT into the uniform encoding: template relations (with a
+/// leading TID column) under their own names plus C, F, W.
+Result<rel::Database> ExportUniform(const Wsdt& wsdt);
+
+/// Rebuilds a WSDT from a uniform database. `templates` lists the template
+/// relation names (defaults to every relation except C, F, W).
+Result<Wsdt> ImportUniform(const rel::Database& db,
+                           std::vector<std::string> templates = {});
+
+/// Figure 16: evaluates P := σ_{AθC}(R) directly on the uniform relations
+/// of `db`, adding template P and extending C and F (steps 1–6).
+Status UniformSelectConst(rel::Database& db, const std::string& in_rel,
+                          const std::string& out_rel, const std::string& attr,
+                          rel::CmpOp op, const rel::Value& constant);
+
+/// T := R ∪ S on the uniform relations: template rows are concatenated
+/// with re-numbered TIDs; F and C entries are copied under the new FIDs
+/// (Section 5's pure-SQL rewriting of the union of Figure 9).
+Status UniformUnion(rel::Database& db, const std::string& left,
+                    const std::string& right, const std::string& out);
+
+/// P := δ(R) on the uniform relations: the template's columns and the
+/// ATTR values in F and C are renamed.
+Status UniformRename(
+    rel::Database& db, const std::string& in_rel, const std::string& out_rel,
+    const std::vector<std::pair<std::string, std::string>>& renames);
+
+/// T := R × S on the uniform relations: the product of the templates with
+/// TID pairing tᵢⱼ = i·|S| + j, F/C entries duplicated per partner tuple
+/// (the paper's product of Figure 9, expressed relationally).
+Status UniformProduct(rel::Database& db, const std::string& left,
+                      const std::string& right, const std::string& out);
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_UNIFORM_H_

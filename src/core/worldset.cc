@@ -1,0 +1,179 @@
+#include "core/worldset.h"
+
+#include <algorithm>
+
+#include "rel/eval.h"
+
+namespace maywsd::core {
+
+rel::Schema InlinedSchema::ToFlatSchema() const {
+  std::vector<rel::Attribute> attrs;
+  for (const RelationEntry& r : relations) {
+    for (TupleId t = 0; t < r.max_tuples; ++t) {
+      for (size_t a = 0; a < r.schema.arity(); ++a) {
+        attrs.emplace_back(r.name + ".t" + std::to_string(t) + "." +
+                               std::string(r.schema.attr(a).name_view()),
+                           r.schema.attr(a).type);
+      }
+    }
+  }
+  return rel::Schema(std::move(attrs));
+}
+
+Result<InlinedSchema> DeriveInlinedSchema(
+    const std::vector<PossibleWorld>& worlds) {
+  InlinedSchema out;
+  std::vector<std::string> names;
+  for (const PossibleWorld& w : worlds) {
+    for (const std::string& name : w.db.Names()) {
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    InlinedSchema::RelationEntry entry;
+    entry.name = name;
+    bool have_schema = false;
+    for (const PossibleWorld& w : worlds) {
+      if (!w.db.Contains(name)) continue;
+      const rel::Relation* rel = w.db.GetRelation(name).value();
+      if (!have_schema) {
+        entry.schema = rel->schema();
+        have_schema = true;
+      } else if (entry.schema != rel->schema()) {
+        return Status::InvalidArgument("relation " + name +
+                                       " has differing schemas across worlds");
+      }
+      entry.max_tuples =
+          std::max(entry.max_tuples, static_cast<TupleId>(rel->NumRows()));
+    }
+    out.relations.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Result<rel::Relation> InlineWorlds(const std::vector<PossibleWorld>& worlds,
+                                   const InlinedSchema& schema) {
+  rel::Relation out(schema.ToFlatSchema(), "world_set_relation");
+  std::vector<rel::Value> row;
+  for (const PossibleWorld& w : worlds) {
+    row.clear();
+    for (const InlinedSchema::RelationEntry& r : schema.relations) {
+      size_t have = 0;
+      if (w.db.Contains(r.name)) {
+        const rel::Relation* rel = w.db.GetRelation(r.name).value();
+        if (rel->schema() != r.schema) {
+          return Status::InvalidArgument("schema mismatch inlining " + r.name);
+        }
+        have = rel->NumRows();
+        if (have > static_cast<size_t>(r.max_tuples)) {
+          return Status::InvalidArgument("world exceeds |R|max for " + r.name);
+        }
+        for (size_t i = 0; i < have; ++i) {
+          rel::TupleRef tr = rel->row(i);
+          for (size_t a = 0; a < tr.arity(); ++a) row.push_back(tr[a]);
+        }
+      }
+      // Pad with t⊥ tuples up to |R|max (Section 3).
+      size_t pad = (static_cast<size_t>(r.max_tuples) - have) *
+                   r.schema.arity();
+      for (size_t i = 0; i < pad; ++i) row.push_back(rel::Value::Bottom());
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Result<std::vector<PossibleWorld>> UninlineWorlds(
+    const rel::Relation& world_set_relation, const InlinedSchema& schema,
+    const std::vector<double>& probs) {
+  if (!probs.empty() && probs.size() != world_set_relation.NumRows()) {
+    return Status::InvalidArgument("probs size mismatch");
+  }
+  if (world_set_relation.arity() != schema.ToFlatSchema().arity()) {
+    return Status::InvalidArgument(
+        "world-set relation arity does not match inlining schema");
+  }
+  std::vector<PossibleWorld> out;
+  size_t n = world_set_relation.NumRows();
+  double uniform = n > 0 ? 1.0 / static_cast<double>(n) : 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    rel::TupleRef row = world_set_relation.row(i);
+    PossibleWorld world;
+    world.prob = probs.empty() ? uniform : probs[i];
+    size_t col = 0;
+    for (const InlinedSchema::RelationEntry& r : schema.relations) {
+      rel::Relation rel(r.schema, r.name);
+      for (TupleId t = 0; t < r.max_tuples; ++t) {
+        bool has_bottom = false;
+        for (size_t a = 0; a < r.schema.arity(); ++a) {
+          if (row[col + a].is_bottom()) has_bottom = true;
+        }
+        if (!has_bottom) {
+          std::vector<rel::Value> tuple;
+          for (size_t a = 0; a < r.schema.arity(); ++a) {
+            tuple.push_back(row[col + a]);
+          }
+          rel.AppendRow(tuple);
+        }
+        col += r.schema.arity();
+      }
+      rel.SortDedup();
+      world.db.PutRelation(std::move(rel));
+    }
+    out.push_back(std::move(world));
+  }
+  return out;
+}
+
+Result<Wsd> WsdFromWorlds(const std::vector<PossibleWorld>& worlds) {
+  if (worlds.empty()) {
+    return Status::InvalidArgument("cannot build a WSD of zero worlds");
+  }
+  MAYWSD_ASSIGN_OR_RETURN(InlinedSchema schema, DeriveInlinedSchema(worlds));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation wsr, InlineWorlds(worlds, schema));
+
+  Wsd wsd;
+  std::vector<FieldKey> fields;
+  for (const InlinedSchema::RelationEntry& r : schema.relations) {
+    MAYWSD_RETURN_IF_ERROR(wsd.AddRelation(r.name, r.schema, r.max_tuples));
+    for (TupleId t = 0; t < r.max_tuples; ++t) {
+      for (size_t a = 0; a < r.schema.arity(); ++a) {
+        fields.emplace_back(r.name, t,
+                            std::string(r.schema.attr(a).name_view()));
+      }
+    }
+  }
+  if (fields.empty()) {
+    // Every world is empty: the world-set is the single empty world, which
+    // zero components represent exactly.
+    return wsd;
+  }
+  Component comp(std::move(fields));
+  for (size_t i = 0; i < wsr.NumRows(); ++i) {
+    comp.AddWorld(wsr.row(i).span(), worlds[i].prob);
+  }
+  MAYWSD_RETURN_IF_ERROR(wsd.AddComponent(std::move(comp)));
+  return wsd;
+}
+
+Result<std::vector<PossibleWorld>> EvaluatePerWorld(
+    const std::vector<PossibleWorld>& worlds, const rel::Plan& plan,
+    const std::string& out_name) {
+  std::vector<PossibleWorld> out;
+  out.reserve(worlds.size());
+  for (const PossibleWorld& w : worlds) {
+    MAYWSD_ASSIGN_OR_RETURN(rel::Relation result,
+                            rel::Evaluate(plan, w.db));
+    result.set_name(out_name);
+    PossibleWorld pw;
+    pw.prob = w.prob;
+    pw.db.PutRelation(std::move(result));
+    out.push_back(std::move(pw));
+  }
+  return out;
+}
+
+}  // namespace maywsd::core

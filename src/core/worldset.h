@@ -1,0 +1,66 @@
+// Explicit world-sets: the inline/inline⁻¹ encoding and the world-set
+// relation of Section 3, plus per-world query evaluation.
+//
+// These are the paper's "strawman": exponential-size, but exact. The test
+// suite uses them as the correctness oracle for every operation on WSDs and
+// UWSDTs (Theorem 1), and the ablation benchmark contrasts their blow-up
+// with WSD sizes.
+
+#ifndef MAYWSD_CORE_WORLDSET_H_
+#define MAYWSD_CORE_WORLDSET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/algebra.h"
+#include "rel/database.h"
+#include "core/wsd.h"
+
+namespace maywsd::core {
+
+/// The inlining schema: per relation, the attribute schema and |R|max.
+struct InlinedSchema {
+  struct RelationEntry {
+    std::string name;
+    rel::Schema schema;
+    TupleId max_tuples = 0;
+  };
+  std::vector<RelationEntry> relations;
+
+  /// Flat schema of the world-set relation: columns "R.t<i>.<A>".
+  rel::Schema ToFlatSchema() const;
+};
+
+/// Derives the inlining schema from a set of worlds: per relation, the
+/// schema of its first occurrence and the maximum tuple count over worlds.
+/// Fails if a relation's schema differs across worlds.
+Result<InlinedSchema> DeriveInlinedSchema(
+    const std::vector<PossibleWorld>& worlds);
+
+/// inline(A) for every world: the world-set relation (one row per world,
+/// padded with t⊥ tuples up to |R|max). Row order follows `worlds`.
+Result<rel::Relation> InlineWorlds(const std::vector<PossibleWorld>& worlds,
+                                   const InlinedSchema& schema);
+
+/// inline⁻¹: decodes each row of a world-set relation back into a world.
+/// `probs` supplies per-row probabilities (uniform if empty).
+Result<std::vector<PossibleWorld>> UninlineWorlds(
+    const rel::Relation& world_set_relation, const InlinedSchema& schema,
+    const std::vector<double>& probs = {});
+
+/// Proposition 1: any finite world-set as a 1-WSD — one component whose
+/// columns are all fields and whose local worlds are the inlined worlds.
+/// World probabilities are used as local-world probabilities (they must sum
+/// to 1; pass normalized worlds).
+Result<Wsd> WsdFromWorlds(const std::vector<PossibleWorld>& worlds);
+
+/// Evaluates `plan` in every world; the result worlds contain only the
+/// query answer, as relation `out_name` ({Q(A) | A ∈ rep(W)}).
+Result<std::vector<PossibleWorld>> EvaluatePerWorld(
+    const std::vector<PossibleWorld>& worlds, const rel::Plan& plan,
+    const std::string& out_name);
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_WORLDSET_H_

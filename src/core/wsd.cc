@@ -1,0 +1,632 @@
+#include "core/wsd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace maywsd::core {
+
+Status Wsd::AddRelation(const std::string& name, rel::Schema schema,
+                        TupleId max_tuples) {
+  if (relation_by_name_.count(name)) {
+    return Status::AlreadyExists("relation " + name);
+  }
+  if (max_tuples < 0) {
+    return Status::InvalidArgument("negative max_tuples for " + name);
+  }
+  WsdRelation rel;
+  rel.name = name;
+  rel.name_sym = InternString(name);
+  rel.schema = std::move(schema);
+  rel.max_tuples = max_tuples;
+  relation_by_name_[name] = relations_.size();
+  relations_.push_back(std::move(rel));
+  return Status::Ok();
+}
+
+Result<const WsdRelation*> Wsd::FindRelation(const std::string& name) const {
+  auto it = relation_by_name_.find(name);
+  if (it == relation_by_name_.end()) {
+    return Status::NotFound("relation " + name + " not in world-set schema");
+  }
+  return &relations_[it->second];
+}
+
+bool Wsd::HasRelation(const std::string& name) const {
+  return relation_by_name_.count(name) > 0;
+}
+
+std::vector<std::string> Wsd::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, idx] : relation_by_name_) names.push_back(name);
+  return names;
+}
+
+Status Wsd::DropRelation(const std::string& name) {
+  auto it = relation_by_name_.find(name);
+  if (it == relation_by_name_.end()) {
+    return Status::NotFound("relation " + name);
+  }
+  Symbol sym = relations_[it->second].name_sym;
+  // Drop all fields of the relation, component by component.
+  std::vector<FieldKey> to_drop;
+  for (const auto& [field, loc] : field_index_) {
+    if (field.rel == sym) to_drop.push_back(field);
+  }
+  for (const FieldKey& f : to_drop) {
+    MAYWSD_RETURN_IF_ERROR(DropField(f));
+  }
+  // Keep the schema entry slot but remove it from the name map and the
+  // relation list by tombstoning is unnecessary: relations_ is indexed by
+  // relation_by_name_, so rebuild both.
+  size_t gone = it->second;
+  relations_.erase(relations_.begin() + static_cast<long>(gone));
+  relation_by_name_.clear();
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    relation_by_name_[relations_[i].name] = i;
+  }
+  return Status::Ok();
+}
+
+Status Wsd::CheckComponentFields(const Component& component) const {
+  for (const FieldKey& f : component.fields()) {
+    auto rel_it = relation_by_name_.find(std::string(SymbolName(f.rel)));
+    if (rel_it == relation_by_name_.end()) {
+      return Status::NotFound("component field " + f.ToString() +
+                              " refers to unknown relation");
+    }
+    const WsdRelation& rel = relations_[rel_it->second];
+    if (f.tuple < 0 || f.tuple >= rel.max_tuples) {
+      return Status::InvalidArgument("component field " + f.ToString() +
+                                     " tuple id out of range");
+    }
+    bool is_presence =
+        std::find(rel.presence_attrs.begin(), rel.presence_attrs.end(),
+                  f.attr) != rel.presence_attrs.end();
+    if (!is_presence && !rel.schema.IndexOf(f.attr)) {
+      return Status::NotFound("component field " + f.ToString() +
+                              " refers to unknown attribute");
+    }
+    if (field_index_.count(f)) {
+      return Status::AlreadyExists("field " + f.ToString() +
+                                   " already covered by a component");
+    }
+  }
+  return Status::Ok();
+}
+
+Status Wsd::AddComponent(Component component) {
+  if (component.NumFields() == 0) {
+    return Status::InvalidArgument("component must have at least one field");
+  }
+  if (component.empty()) {
+    return Status::InvalidArgument("component must have at least one world");
+  }
+  MAYWSD_RETURN_IF_ERROR(CheckComponentFields(component));
+  int32_t idx = static_cast<int32_t>(components_.size());
+  for (size_t c = 0; c < component.NumFields(); ++c) {
+    field_index_[component.field(c)] = FieldLoc{idx, static_cast<int32_t>(c)};
+  }
+  components_.push_back(std::move(component));
+  alive_.push_back(true);
+  return Status::Ok();
+}
+
+std::vector<size_t> Wsd::LiveComponents() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (alive_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+size_t Wsd::NumLiveComponents() const {
+  size_t n = 0;
+  for (bool a : alive_) n += a;
+  return n;
+}
+
+Result<FieldLoc> Wsd::Locate(const FieldKey& field) const {
+  auto it = field_index_.find(field);
+  if (it == field_index_.end()) {
+    return Status::NotFound("field " + field.ToString() + " not present");
+  }
+  return it->second;
+}
+
+bool Wsd::HasField(const FieldKey& field) const {
+  return field_index_.count(field) > 0;
+}
+
+Status Wsd::ComposeInPlace(size_t a, size_t b) {
+  if (a == b) return Status::Ok();
+  if (a >= components_.size() || b >= components_.size() || !alive_[a] ||
+      !alive_[b]) {
+    return Status::InvalidArgument("compose of dead or invalid component");
+  }
+  Component composed = Component::Compose(components_[a], components_[b]);
+  size_t offset = components_[a].NumFields();
+  components_[a] = std::move(composed);
+  alive_[b] = false;
+  // Re-point the moved fields of b (they now sit at column offset+i of a).
+  const Component& merged = components_[a];
+  for (size_t c = offset; c < merged.NumFields(); ++c) {
+    field_index_[merged.field(c)] =
+        FieldLoc{static_cast<int32_t>(a), static_cast<int32_t>(c)};
+  }
+  components_[b] = Component();
+  return Status::Ok();
+}
+
+Status Wsd::DropField(const FieldKey& field) {
+  auto it = field_index_.find(field);
+  if (it == field_index_.end()) {
+    return Status::NotFound("field " + field.ToString());
+  }
+  FieldLoc loc = it->second;
+  Component& comp = components_[loc.comp];
+  comp.DropColumns({static_cast<size_t>(loc.col)});
+  field_index_.erase(it);
+  // Columns after `col` shifted left by one.
+  for (size_t c = static_cast<size_t>(loc.col); c < comp.NumFields(); ++c) {
+    field_index_[comp.field(c)] =
+        FieldLoc{loc.comp, static_cast<int32_t>(c)};
+  }
+  if (comp.NumFields() == 0) {
+    // Zero-column component: dropping it is exact marginalization.
+    alive_[loc.comp] = false;
+    components_[loc.comp] = Component();
+  }
+  return Status::Ok();
+}
+
+Status Wsd::CopyFieldInto(const FieldKey& src, const FieldKey& dst) {
+  auto it = field_index_.find(src);
+  if (it == field_index_.end()) {
+    return Status::NotFound("source field " + src.ToString());
+  }
+  if (field_index_.count(dst)) {
+    return Status::AlreadyExists("destination field " + dst.ToString());
+  }
+  // Destination must be a declared, in-range field.
+  auto rel_it = relation_by_name_.find(std::string(SymbolName(dst.rel)));
+  if (rel_it == relation_by_name_.end()) {
+    return Status::NotFound("destination relation of " + dst.ToString());
+  }
+  const WsdRelation& rel = relations_[rel_it->second];
+  bool is_presence =
+      std::find(rel.presence_attrs.begin(), rel.presence_attrs.end(),
+                dst.attr) != rel.presence_attrs.end();
+  if (dst.tuple < 0 || dst.tuple >= rel.max_tuples ||
+      (!is_presence && !rel.schema.IndexOf(dst.attr))) {
+    return Status::InvalidArgument("destination field out of range: " +
+                                   dst.ToString());
+  }
+  FieldLoc loc = it->second;
+  Component& comp = components_[loc.comp];
+  comp.ExtDuplicateColumn(static_cast<size_t>(loc.col), dst);
+  field_index_[dst] =
+      FieldLoc{loc.comp, static_cast<int32_t>(comp.NumFields() - 1)};
+  return Status::Ok();
+}
+
+Status Wsd::AddCertainField(const FieldKey& dst, const rel::Value& value) {
+  Component comp({dst});
+  comp.AddWorld({value}, 1.0);
+  return AddComponent(std::move(comp));
+}
+
+Status Wsd::UpdateRelationSchema(const std::string& name, rel::Schema schema) {
+  auto it = relation_by_name_.find(name);
+  if (it == relation_by_name_.end()) {
+    return Status::NotFound("relation " + name);
+  }
+  WsdRelation& rel = relations_[it->second];
+  for (const auto& [field, loc] : field_index_) {
+    if (field.rel != rel.name_sym || schema.IndexOf(field.attr)) continue;
+    bool is_presence =
+        std::find(rel.presence_attrs.begin(), rel.presence_attrs.end(),
+                  field.attr) != rel.presence_attrs.end();
+    if (!is_presence) {
+      return Status::InvalidArgument(
+          "field " + field.ToString() + " not covered by new schema " +
+          schema.ToString());
+    }
+  }
+  rel.schema = std::move(schema);
+  return Status::Ok();
+}
+
+Status Wsd::ReplaceComponent(size_t index, std::vector<Component> parts) {
+  if (index >= components_.size() || !alive_[index]) {
+    return Status::InvalidArgument("replacing dead or invalid component");
+  }
+  // Verify the parts cover exactly the fields of the replaced component.
+  std::vector<FieldKey> old_fields = components_[index].fields();
+  std::vector<FieldKey> new_fields;
+  for (const Component& part : parts) {
+    for (const FieldKey& f : part.fields()) new_fields.push_back(f);
+  }
+  auto sorted = [](std::vector<FieldKey> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  if (sorted(old_fields) != sorted(new_fields)) {
+    return Status::InvalidArgument(
+        "replacement components do not cover the same fields");
+  }
+  // Remove old index entries, tombstone, then add the parts.
+  for (const FieldKey& f : old_fields) field_index_.erase(f);
+  alive_[index] = false;
+  components_[index] = Component();
+  for (Component& part : parts) {
+    int32_t idx = static_cast<int32_t>(components_.size());
+    for (size_t c = 0; c < part.NumFields(); ++c) {
+      field_index_[part.field(c)] =
+          FieldLoc{idx, static_cast<int32_t>(c)};
+    }
+    components_.push_back(std::move(part));
+    alive_.push_back(true);
+  }
+  return Status::Ok();
+}
+
+void Wsd::CompactComponents() {
+  std::vector<Component> live;
+  live.reserve(components_.size());
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (alive_[i]) live.push_back(std::move(components_[i]));
+  }
+  components_ = std::move(live);
+  alive_.assign(components_.size(), true);
+  field_index_.clear();
+  for (size_t i = 0; i < components_.size(); ++i) {
+    for (size_t c = 0; c < components_[i].NumFields(); ++c) {
+      field_index_[components_[i].field(c)] =
+          FieldLoc{static_cast<int32_t>(i), static_cast<int32_t>(c)};
+    }
+  }
+}
+
+std::vector<FieldKey> Wsd::FieldsOfTuple(const WsdRelation& rel,
+                                         TupleId tid) const {
+  std::vector<FieldKey> out;
+  for (size_t a = 0; a < rel.schema.arity(); ++a) {
+    FieldKey f(rel.name_sym, tid, rel.schema.attr(a).name);
+    if (field_index_.count(f)) out.push_back(f);
+  }
+  return out;
+}
+
+bool Wsd::SlotPresent(const WsdRelation& rel, TupleId tid) const {
+  return FieldsOfTuple(rel, tid).size() == rel.schema.arity();
+}
+
+std::vector<FieldKey> Wsd::PresenceFieldsOfTuple(const WsdRelation& rel,
+                                                 TupleId tid) const {
+  std::vector<FieldKey> out;
+  for (Symbol attr : rel.presence_attrs) {
+    FieldKey f(rel.name_sym, tid, attr);
+    if (field_index_.count(f)) out.push_back(f);
+  }
+  return out;
+}
+
+Result<FieldKey> Wsd::MakePresenceField(const std::string& relation,
+                                        TupleId tid) {
+  auto it = relation_by_name_.find(relation);
+  if (it == relation_by_name_.end()) {
+    return Status::NotFound("relation " + relation);
+  }
+  WsdRelation& rel = relations_[it->second];
+  if (tid < 0 || tid >= rel.max_tuples) {
+    return Status::InvalidArgument("presence field tuple id out of range");
+  }
+  // Reuse an existing presence attribute if its field slot is free.
+  for (Symbol existing : rel.presence_attrs) {
+    if (!field_index_.count(FieldKey(rel.name_sym, tid, existing))) {
+      return FieldKey(rel.name_sym, tid, existing);
+    }
+  }
+  Symbol attr = InternString("__exists_" +
+                             std::to_string(rel.presence_attrs.size()) +
+                             "_" + relation);
+  rel.presence_attrs.push_back(attr);
+  return FieldKey(rel.name_sym, tid, attr);
+}
+
+Status Wsd::RenameField(const FieldKey& from, const FieldKey& to) {
+  auto it = field_index_.find(from);
+  if (it == field_index_.end()) {
+    return Status::NotFound("field " + from.ToString());
+  }
+  if (field_index_.count(to)) {
+    return Status::AlreadyExists("field " + to.ToString());
+  }
+  FieldLoc loc = it->second;
+  components_[loc.comp].RenameField(static_cast<size_t>(loc.col), to);
+  field_index_.erase(it);
+  field_index_[to] = loc;
+  return Status::Ok();
+}
+
+bool Wsd::HasPresenceFields() const {
+  for (const WsdRelation& rel : relations_) {
+    for (TupleId t = 0; t < rel.max_tuples; ++t) {
+      if (!PresenceFieldsOfTuple(rel, t).empty()) return true;
+    }
+  }
+  return false;
+}
+
+Status Wsd::EliminatePresenceFields() {
+  for (WsdRelation& rel : relations_) {
+    if (rel.presence_attrs.empty()) continue;
+    for (TupleId t = 0; t < rel.max_tuples; ++t) {
+      std::vector<FieldKey> pfs = PresenceFieldsOfTuple(rel, t);
+      if (pfs.empty()) continue;
+      if (!SlotPresent(rel, t)) {
+        return Status::Internal("presence field on removed slot");
+      }
+      FieldKey anchor(rel.name_sym, t, rel.schema.attr(0).name);
+      for (const FieldKey& pf : pfs) {
+        MAYWSD_ASSIGN_OR_RETURN(FieldLoc ploc, Locate(pf));
+        MAYWSD_ASSIGN_OR_RETURN(FieldLoc aloc, Locate(anchor));
+        if (ploc.comp != aloc.comp) {
+          MAYWSD_RETURN_IF_ERROR(
+              ComposeInPlace(static_cast<size_t>(aloc.comp),
+                             static_cast<size_t>(ploc.comp)));
+        }
+        MAYWSD_ASSIGN_OR_RETURN(aloc, Locate(anchor));
+        mutable_component(static_cast<size_t>(aloc.comp)).PropagateBottom();
+        MAYWSD_RETURN_IF_ERROR(DropField(pf));
+      }
+    }
+    rel.presence_attrs.clear();
+  }
+  return Status::Ok();
+}
+
+Status Wsd::Validate() const {
+  // 1. Index consistency.
+  for (const auto& [field, loc] : field_index_) {
+    if (loc.comp < 0 || static_cast<size_t>(loc.comp) >= components_.size() ||
+        !alive_[loc.comp]) {
+      return Status::Internal("field index points to dead component for " +
+                              field.ToString());
+    }
+    const Component& comp = components_[loc.comp];
+    if (loc.col < 0 || static_cast<size_t>(loc.col) >= comp.NumFields() ||
+        comp.field(loc.col) != field) {
+      return Status::Internal("field index column mismatch for " +
+                              field.ToString());
+    }
+  }
+  // 2. Every live component's fields are in the index.
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (!alive_[i]) continue;
+    if (components_[i].empty()) {
+      return Status::Internal("live component with no local worlds");
+    }
+    for (size_t c = 0; c < components_[i].NumFields(); ++c) {
+      auto it = field_index_.find(components_[i].field(c));
+      if (it == field_index_.end() ||
+          it->second.comp != static_cast<int32_t>(i) ||
+          it->second.col != static_cast<int32_t>(c)) {
+        return Status::Internal("component field missing from index: " +
+                                components_[i].field(c).ToString());
+      }
+    }
+    double sum = components_[i].ProbSum();
+    if (std::abs(sum - 1.0) > 1e-4) {
+      return Status::Internal("component probabilities sum to " +
+                              std::to_string(sum));
+    }
+  }
+  // 3. All-or-none coverage of tuple slots; presence fields only on
+  // present slots.
+  for (const WsdRelation& rel : relations_) {
+    for (TupleId t = 0; t < rel.max_tuples; ++t) {
+      size_t have = FieldsOfTuple(rel, t).size();
+      if (have != 0 && have != rel.schema.arity()) {
+        return Status::Internal("partial tuple slot " + rel.name + ".t" +
+                                std::to_string(t));
+      }
+      if (have == 0 && !PresenceFieldsOfTuple(rel, t).empty()) {
+        return Status::Internal("presence field on removed slot " +
+                                rel.name + ".t" + std::to_string(t));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+uint64_t Wsd::WorldCombinationCount(uint64_t cap) const {
+  uint64_t total = 1;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (!alive_[i]) continue;
+    uint64_t n = components_[i].NumWorlds();
+    if (n == 0) return 0;
+    if (total > cap / n) return cap;  // saturate
+    total *= n;
+  }
+  return total;
+}
+
+Result<std::vector<PossibleWorld>> Wsd::EnumerateWorlds(
+    uint64_t max_worlds, const std::vector<std::string>& relations) const {
+  if (WorldCombinationCount(max_worlds + 1) > max_worlds) {
+    return Status::ResourceExhausted(
+        "world-set has more than " + std::to_string(max_worlds) +
+        " combinations");
+  }
+  std::vector<size_t> live = LiveComponents();
+  std::vector<size_t> choice(live.size(), 0);
+
+  // Which relations to materialize.
+  std::vector<const WsdRelation*> mats;
+  if (relations.empty()) {
+    for (const WsdRelation& r : relations_) mats.push_back(&r);
+  } else {
+    for (const std::string& name : relations) {
+      MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* r, FindRelation(name));
+      mats.push_back(r);
+    }
+  }
+
+  // Precompute field locations per (relation, slot) to avoid hash lookups
+  // in the inner loop.
+  struct SlotInfo {
+    const WsdRelation* rel;
+    std::vector<FieldLoc> locs;           // one per attribute
+    std::vector<FieldLoc> presence_locs;  // extra "exists" fields
+  };
+  std::vector<SlotInfo> slots;
+  for (const WsdRelation* r : mats) {
+    for (TupleId t = 0; t < r->max_tuples; ++t) {
+      std::vector<FieldKey> fields = FieldsOfTuple(*r, t);
+      if (fields.empty()) continue;  // slot removed by normalization
+      if (fields.size() != r->schema.arity()) {
+        return Status::Internal("partial tuple slot during enumeration");
+      }
+      SlotInfo info;
+      info.rel = r;
+      for (size_t a = 0; a < r->schema.arity(); ++a) {
+        FieldKey f(r->name_sym, t, r->schema.attr(a).name);
+        info.locs.push_back(field_index_.at(f));
+      }
+      for (const FieldKey& pf : PresenceFieldsOfTuple(*r, t)) {
+        info.presence_locs.push_back(field_index_.at(pf));
+      }
+      slots.push_back(std::move(info));
+    }
+  }
+  // Map component slot index -> position in `choice`.
+  std::vector<int> comp_pos(components_.size(), -1);
+  for (size_t i = 0; i < live.size(); ++i) {
+    comp_pos[live[i]] = static_cast<int>(i);
+  }
+
+  std::vector<PossibleWorld> out;
+  std::vector<rel::Value> row;
+  bool done = false;
+  while (!done) {
+    PossibleWorld world;
+    world.prob = 1.0;
+    for (size_t i = 0; i < live.size(); ++i) {
+      world.prob *= components_[live[i]].prob(choice[i]);
+    }
+    // Materialize relations.
+    for (const WsdRelation* r : mats) {
+      rel::Relation out_rel(r->schema, r->name);
+      world.db.PutRelation(std::move(out_rel));
+    }
+    for (const SlotInfo& slot : slots) {
+      row.clear();
+      bool has_bottom = false;
+      // A ⊥ in an "exists" field deletes the tuple just like a ⊥ in a
+      // schema field (Section 4 Discussion).
+      for (const FieldLoc& loc : slot.presence_locs) {
+        const Component& comp = components_[loc.comp];
+        if (comp.at(choice[comp_pos[loc.comp]], loc.col).is_bottom()) {
+          has_bottom = true;
+          break;
+        }
+      }
+      for (const FieldLoc& loc : slot.locs) {
+        if (has_bottom) break;
+        const Component& comp = components_[loc.comp];
+        const rel::Value& v = comp.at(choice[comp_pos[loc.comp]], loc.col);
+        if (v.is_bottom()) {
+          has_bottom = true;
+          break;
+        }
+        row.push_back(v);
+      }
+      if (has_bottom) continue;  // t⊥ padding tuple: not part of the world
+      rel::Relation* target = world.db.GetMutableRelation(slot.rel->name).value();
+      target->AppendRow(row);
+    }
+    for (const std::string& name : world.db.Names()) {
+      world.db.GetMutableRelation(name).value()->SortDedup();
+    }
+    out.push_back(std::move(world));
+    // Advance the odometer.
+    done = true;
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (++choice[i] < components_[live[i]].NumWorlds()) {
+        done = false;
+        break;
+      }
+      choice[i] = 0;
+    }
+    if (live.empty()) break;  // single empty-product world
+  }
+  return out;
+}
+
+std::string Wsd::ToString() const {
+  std::ostringstream os;
+  os << "WSD over {";
+  bool first = true;
+  for (const WsdRelation& r : relations_) {
+    if (!first) os << ", ";
+    first = false;
+    os << r.name << r.schema.ToString() << " x" << r.max_tuples;
+  }
+  os << "}\n";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (!alive_[i]) continue;
+    os << "C" << i << " " << components_[i].ToString();
+  }
+  return os.str();
+}
+
+std::string CanonicalWorldKey(const rel::Database& db) {
+  std::ostringstream os;
+  for (const std::string& name : db.Names()) {
+    const rel::Relation* rel = db.GetRelation(name).value();
+    rel::Relation copy = *rel;
+    copy.SortDedup();
+    os << name << "{";
+    for (size_t i = 0; i < copy.NumRows(); ++i) {
+      os << copy.row(i).ToString() << ";";
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+std::vector<PossibleWorld> CollapseWorlds(std::vector<PossibleWorld> worlds) {
+  std::map<std::string, PossibleWorld> merged;
+  for (PossibleWorld& w : worlds) {
+    std::string key = CanonicalWorldKey(w.db);
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(std::move(key), std::move(w));
+    } else {
+      it->second.prob += w.prob;
+    }
+  }
+  std::vector<PossibleWorld> out;
+  out.reserve(merged.size());
+  for (auto& [key, w] : merged) out.push_back(std::move(w));
+  return out;
+}
+
+bool WorldSetsEquivalent(std::vector<PossibleWorld> a,
+                         std::vector<PossibleWorld> b, double eps) {
+  std::vector<PossibleWorld> ca = CollapseWorlds(std::move(a));
+  std::vector<PossibleWorld> cb = CollapseWorlds(std::move(b));
+  if (ca.size() != cb.size()) return false;
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (CanonicalWorldKey(ca[i].db) != CanonicalWorldKey(cb[i].db)) {
+      return false;
+    }
+    if (std::abs(ca[i].prob - cb[i].prob) > eps) return false;
+  }
+  return true;
+}
+
+}  // namespace maywsd::core

@@ -1,0 +1,191 @@
+// Wsd: a (probabilistic) world-set decomposition — Definitions 1 and 2.
+//
+// A Wsd holds, per relation of the world-set schema, the schema and the
+// maximum tuple count |R|max across worlds, plus a set of components whose
+// product is the represented world-set relation. Every field R.tᵢ.A of every
+// declared relation belongs to exactly one component ("all fields covered,
+// each exactly once"); certain fields simply live in a component whose
+// column is constant. Tuple slots may be removed wholesale by normalization
+// (tuples invalid in all worlds), in which case none of their fields remain.
+//
+// rep(W) — the represented finite set of possible worlds — is computable via
+// EnumerateWorlds() (exponential; guarded by a cap) and is used as the
+// ground truth in tests and ablation benchmarks.
+
+#ifndef MAYWSD_CORE_WSD_H_
+#define MAYWSD_CORE_WSD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/database.h"
+#include "core/component.h"
+#include "core/field.h"
+
+namespace maywsd::core {
+
+/// Declared relation of the world-set schema.
+struct WsdRelation {
+  std::string name;
+  Symbol name_sym = 0;
+  rel::Schema schema;
+  TupleId max_tuples = 0;
+  /// Extra-schema "exists" attributes (Section 4 Discussion): a presence
+  /// field (R, t, e) with a ⊥ value deletes tuple t from that world just
+  /// like a ⊥ in a schema field, letting projection drop ⊥-carrying
+  /// columns without composing components.
+  std::vector<Symbol> presence_attrs;
+};
+
+/// Location of a field: component index and column within it.
+struct FieldLoc {
+  int32_t comp = -1;
+  int32_t col = -1;
+};
+
+/// One possible world with its probability.
+struct PossibleWorld {
+  rel::Database db;
+  double prob = 1.0;
+};
+
+/// A probabilistic world-set decomposition.
+class Wsd {
+ public:
+  Wsd() = default;
+
+  /// Declares a relation with |R|max tuple slots.
+  Status AddRelation(const std::string& name, rel::Schema schema,
+                     TupleId max_tuples);
+
+  /// Looks up a declared relation.
+  Result<const WsdRelation*> FindRelation(const std::string& name) const;
+  bool HasRelation(const std::string& name) const;
+  std::vector<std::string> RelationNames() const;
+
+  /// Removes a relation and all component columns referring to it.
+  Status DropRelation(const std::string& name);
+
+  /// Registers a component; all its fields must refer to declared relations
+  /// and must not yet be covered by another component.
+  Status AddComponent(Component component);
+
+  /// Number of component slots, including dead ones; iterate with
+  /// IsLiveComponent(). CompactComponents() removes tombstones.
+  size_t NumComponentSlots() const { return components_.size(); }
+  bool IsLiveComponent(size_t i) const { return alive_[i]; }
+  const Component& component(size_t i) const { return components_[i]; }
+  Component& mutable_component(size_t i) { return components_[i]; }
+
+  /// Indexes of live components.
+  std::vector<size_t> LiveComponents() const;
+  size_t NumLiveComponents() const;
+
+  /// Finds the component/column of a field. NotFound for removed slots.
+  Result<FieldLoc> Locate(const FieldKey& field) const;
+  bool HasField(const FieldKey& field) const;
+
+  /// Composes component `b` into component `a` (paper's compose); `b`
+  /// becomes a tombstone. No-op when a == b.
+  Status ComposeInPlace(size_t a, size_t b);
+
+  /// Removes one column; a component left with zero columns is dropped
+  /// (exact marginalization: its probabilities summed to 1).
+  Status DropField(const FieldKey& field);
+
+  /// The paper's ext primitive with index maintenance: appends to the
+  /// component of `src` a duplicate column registered as field `dst`.
+  /// `dst`'s relation must be declared and `dst` not yet covered.
+  Status CopyFieldInto(const FieldKey& src, const FieldKey& dst);
+
+  /// Registers `dst` as a new single-field component holding `value` with
+  /// probability 1 (used when materializing certain fields).
+  Status AddCertainField(const FieldKey& dst, const rel::Value& value);
+
+  /// Replaces the schema of a declared relation (projection shrinks it).
+  /// All remaining fields of the relation must exist in the new schema.
+  Status UpdateRelationSchema(const std::string& name, rel::Schema schema);
+
+  /// Replaces a live component with the given components covering exactly
+  /// the same fields (used by decompose-normalization).
+  Status ReplaceComponent(size_t index, std::vector<Component> parts);
+
+  /// Removes tombstoned component slots (invalidates component indexes).
+  void CompactComponents();
+
+  /// Checks structural invariants: full or empty coverage of each tuple
+  /// slot, consistent field index, probabilities summing to 1.
+  Status Validate() const;
+
+  /// The fields of tuple slot (rel, tid) that are present in the index.
+  std::vector<FieldKey> FieldsOfTuple(const WsdRelation& rel,
+                                      TupleId tid) const;
+
+  /// The presence ("exists") fields of slot (rel, tid), if any.
+  std::vector<FieldKey> PresenceFieldsOfTuple(const WsdRelation& rel,
+                                              TupleId tid) const;
+
+  /// Reserves a fresh presence attribute on `relation` and returns the
+  /// field key for slot `tid` (no column is created yet — follow with
+  /// RenameField or CopyFieldInto).
+  Result<FieldKey> MakePresenceField(const std::string& relation,
+                                     TupleId tid);
+
+  /// Re-registers the column of `from` under field `to` (same component,
+  /// same values). `to` must be unregistered and declared (schema or
+  /// presence attribute).
+  Status RenameField(const FieldKey& from, const FieldKey& to);
+
+  /// Removes all presence fields by composing each into a component of its
+  /// tuple's schema fields and propagating the ⊥s (the inverse of the
+  /// exists-column optimization; restores schema-only invariants).
+  Status EliminatePresenceFields();
+
+  /// True if any relation carries presence fields.
+  bool HasPresenceFields() const;
+
+  /// True if slot (rel, tid) has all its fields present.
+  bool SlotPresent(const WsdRelation& rel, TupleId tid) const;
+
+  /// Number of world combinations (product of live component sizes),
+  /// saturating at `cap`.
+  uint64_t WorldCombinationCount(uint64_t cap) const;
+
+  /// Enumerates rep(W): one PossibleWorld per combination of local worlds.
+  /// Worlds that coincide are NOT merged (see CollapseWorlds). If
+  /// `relations` is non-empty, only those relations are materialized.
+  /// Fails with kResourceExhausted beyond `max_worlds` combinations.
+  Result<std::vector<PossibleWorld>> EnumerateWorlds(
+      uint64_t max_worlds,
+      const std::vector<std::string>& relations = {}) const;
+
+  std::string ToString() const;
+
+ private:
+  Status CheckComponentFields(const Component& component) const;
+
+  std::vector<WsdRelation> relations_;
+  std::map<std::string, size_t> relation_by_name_;
+  std::vector<Component> components_;
+  std::vector<bool> alive_;
+  std::unordered_map<FieldKey, FieldLoc> field_index_;
+};
+
+/// Merges equal worlds, summing probabilities; worlds are compared as sets
+/// of tuples per relation. The result is sorted by canonical form.
+std::vector<PossibleWorld> CollapseWorlds(std::vector<PossibleWorld> worlds);
+
+/// True if the two world-sets are the same probability distribution over
+/// worlds (after collapsing), within probability tolerance `eps`.
+bool WorldSetsEquivalent(std::vector<PossibleWorld> a,
+                         std::vector<PossibleWorld> b, double eps = 1e-6);
+
+/// Canonical serialization of one world (sorted relations, sorted rows) —
+/// the key used by CollapseWorlds/WorldSetsEquivalent.
+std::string CanonicalWorldKey(const rel::Database& db);
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_WSD_H_

@@ -1,0 +1,458 @@
+#include "core/wsdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace maywsd::core {
+
+Status Wsdt::AddTemplateRelation(rel::Relation relation) {
+  const std::string& name = relation.name();
+  if (name.empty()) {
+    return Status::InvalidArgument("template relation must be named");
+  }
+  if (templates_.count(name)) {
+    return Status::AlreadyExists("template relation " + name);
+  }
+  templates_.emplace(name, std::move(relation));
+  return Status::Ok();
+}
+
+Result<const rel::Relation*> Wsdt::Template(const std::string& name) const {
+  auto it = templates_.find(name);
+  if (it == templates_.end()) {
+    return Status::NotFound("template relation " + name);
+  }
+  return &it->second;
+}
+
+Result<rel::Relation*> Wsdt::MutableTemplate(const std::string& name) {
+  auto it = templates_.find(name);
+  if (it == templates_.end()) {
+    return Status::NotFound("template relation " + name);
+  }
+  return &it->second;
+}
+
+bool Wsdt::HasRelation(const std::string& name) const {
+  return templates_.count(name) > 0;
+}
+
+std::vector<std::string> Wsdt::RelationNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, rel] : templates_) out.push_back(name);
+  return out;
+}
+
+Status Wsdt::DropRelation(const std::string& name) {
+  auto it = templates_.find(name);
+  if (it == templates_.end()) {
+    return Status::NotFound("template relation " + name);
+  }
+  Symbol sym = InternString(name);
+  std::vector<FieldKey> to_drop;
+  for (const auto& [field, loc] : field_index_) {
+    if (field.rel == sym) to_drop.push_back(field);
+  }
+  for (const FieldKey& f : to_drop) {
+    MAYWSD_RETURN_IF_ERROR(DropField(f));
+  }
+  templates_.erase(it);
+  return Status::Ok();
+}
+
+Status Wsdt::AddComponent(Component component) {
+  if (component.NumFields() == 0 || component.empty()) {
+    return Status::InvalidArgument("component must be non-empty");
+  }
+  for (const FieldKey& f : component.fields()) {
+    if (field_index_.count(f)) {
+      return Status::AlreadyExists("field " + f.ToString() +
+                                   " already covered");
+    }
+  }
+  int32_t idx = static_cast<int32_t>(components_.size());
+  for (size_t c = 0; c < component.NumFields(); ++c) {
+    field_index_[component.field(c)] =
+        FieldLoc{idx, static_cast<int32_t>(c)};
+  }
+  components_.push_back(std::move(component));
+  alive_.push_back(true);
+  return Status::Ok();
+}
+
+std::vector<size_t> Wsdt::LiveComponents() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (alive_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+Result<FieldLoc> Wsdt::Locate(const FieldKey& field) const {
+  auto it = field_index_.find(field);
+  if (it == field_index_.end()) {
+    return Status::NotFound("field " + field.ToString() + " not present");
+  }
+  return it->second;
+}
+
+bool Wsdt::HasField(const FieldKey& field) const {
+  return field_index_.count(field) > 0;
+}
+
+Status Wsdt::ComposeInPlace(size_t a, size_t b) {
+  if (a == b) return Status::Ok();
+  if (a >= components_.size() || b >= components_.size() || !alive_[a] ||
+      !alive_[b]) {
+    return Status::InvalidArgument("compose of dead or invalid component");
+  }
+  Component composed = Component::Compose(components_[a], components_[b]);
+  size_t offset = components_[a].NumFields();
+  components_[a] = std::move(composed);
+  alive_[b] = false;
+  const Component& merged = components_[a];
+  for (size_t c = offset; c < merged.NumFields(); ++c) {
+    field_index_[merged.field(c)] =
+        FieldLoc{static_cast<int32_t>(a), static_cast<int32_t>(c)};
+  }
+  components_[b] = Component();
+  return Status::Ok();
+}
+
+Status Wsdt::CopyFieldInto(const FieldKey& src, const FieldKey& dst) {
+  auto it = field_index_.find(src);
+  if (it == field_index_.end()) {
+    return Status::NotFound("source field " + src.ToString());
+  }
+  if (field_index_.count(dst)) {
+    return Status::AlreadyExists("destination field " + dst.ToString());
+  }
+  FieldLoc loc = it->second;
+  Component& comp = components_[loc.comp];
+  comp.ExtDuplicateColumn(static_cast<size_t>(loc.col), dst);
+  field_index_[dst] =
+      FieldLoc{loc.comp, static_cast<int32_t>(comp.NumFields() - 1)};
+  return Status::Ok();
+}
+
+Status Wsdt::AddFieldComponent(const FieldKey& dst,
+                               std::vector<rel::Value> values,
+                               std::vector<double> probs) {
+  if (values.empty() || values.size() != probs.size()) {
+    return Status::InvalidArgument("values/probs mismatch for " +
+                                   dst.ToString());
+  }
+  Component comp({dst});
+  for (size_t i = 0; i < values.size(); ++i) {
+    comp.AddWorld({values[i]}, probs[i]);
+  }
+  return AddComponent(std::move(comp));
+}
+
+Status Wsdt::AddColumnToComponent(size_t comp_index, const FieldKey& dst,
+                                  std::span<const rel::Value> values) {
+  if (comp_index >= components_.size() || !alive_[comp_index]) {
+    return Status::InvalidArgument("dead or invalid component");
+  }
+  if (field_index_.count(dst)) {
+    return Status::AlreadyExists("field " + dst.ToString());
+  }
+  Component& comp = components_[comp_index];
+  if (values.size() != comp.NumWorlds()) {
+    return Status::InvalidArgument("derived column size mismatch");
+  }
+  comp.ExtColumn(dst, values);
+  field_index_[dst] = FieldLoc{static_cast<int32_t>(comp_index),
+                               static_cast<int32_t>(comp.NumFields() - 1)};
+  return Status::Ok();
+}
+
+Status Wsdt::DropField(const FieldKey& field) {
+  auto it = field_index_.find(field);
+  if (it == field_index_.end()) {
+    return Status::NotFound("field " + field.ToString());
+  }
+  FieldLoc loc = it->second;
+  Component& comp = components_[loc.comp];
+  comp.DropColumns({static_cast<size_t>(loc.col)});
+  field_index_.erase(it);
+  for (size_t c = static_cast<size_t>(loc.col); c < comp.NumFields(); ++c) {
+    field_index_[comp.field(c)] = FieldLoc{loc.comp, static_cast<int32_t>(c)};
+  }
+  if (comp.NumFields() == 0) {
+    alive_[loc.comp] = false;
+    components_[loc.comp] = Component();
+  }
+  return Status::Ok();
+}
+
+Status Wsdt::RenameFieldKey(const FieldKey& from, const FieldKey& to) {
+  auto it = field_index_.find(from);
+  if (it == field_index_.end()) {
+    return Status::NotFound("field " + from.ToString());
+  }
+  if (field_index_.count(to)) {
+    return Status::AlreadyExists("field " + to.ToString());
+  }
+  FieldLoc loc = it->second;
+  components_[loc.comp].RenameField(static_cast<size_t>(loc.col), to);
+  field_index_.erase(it);
+  field_index_[to] = loc;
+  return Status::Ok();
+}
+
+Status Wsdt::ReplaceComponent(size_t index, std::vector<Component> parts) {
+  if (index >= components_.size() || !alive_[index]) {
+    return Status::InvalidArgument("replacing dead or invalid component");
+  }
+  std::vector<FieldKey> old_fields = components_[index].fields();
+  std::vector<FieldKey> new_fields;
+  for (const Component& part : parts) {
+    for (const FieldKey& f : part.fields()) new_fields.push_back(f);
+  }
+  auto sorted = [](std::vector<FieldKey> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  if (sorted(old_fields) != sorted(new_fields)) {
+    return Status::InvalidArgument(
+        "replacement components do not cover the same fields");
+  }
+  for (const FieldKey& f : old_fields) field_index_.erase(f);
+  alive_[index] = false;
+  components_[index] = Component();
+  for (Component& part : parts) {
+    int32_t idx = static_cast<int32_t>(components_.size());
+    for (size_t c = 0; c < part.NumFields(); ++c) {
+      field_index_[part.field(c)] = FieldLoc{idx, static_cast<int32_t>(c)};
+    }
+    components_.push_back(std::move(part));
+    alive_.push_back(true);
+  }
+  return Status::Ok();
+}
+
+void Wsdt::CompactComponents() {
+  std::vector<Component> live;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (alive_[i]) live.push_back(std::move(components_[i]));
+  }
+  components_ = std::move(live);
+  alive_.assign(components_.size(), true);
+  field_index_.clear();
+  for (size_t i = 0; i < components_.size(); ++i) {
+    for (size_t c = 0; c < components_[i].NumFields(); ++c) {
+      field_index_[components_[i].field(c)] =
+          FieldLoc{static_cast<int32_t>(i), static_cast<int32_t>(c)};
+    }
+  }
+}
+
+Status Wsdt::Validate() const {
+  // Every '?' cell covered by exactly one component column, and vice versa.
+  size_t question_cells = 0;
+  for (const auto& [name, rel] : templates_) {
+    Symbol sym = InternString(name);
+    for (size_t r = 0; r < rel.NumRows(); ++r) {
+      for (size_t a = 0; a < rel.arity(); ++a) {
+        if (rel.row(r)[a].is_question()) {
+          ++question_cells;
+          FieldKey f(sym, static_cast<TupleId>(r), rel.schema().attr(a).name);
+          if (!field_index_.count(f)) {
+            return Status::Internal("placeholder " + f.ToString() +
+                                    " has no component column");
+          }
+        }
+      }
+    }
+  }
+  if (question_cells != field_index_.size()) {
+    return Status::Internal("component columns (" +
+                            std::to_string(field_index_.size()) +
+                            ") != placeholders (" +
+                            std::to_string(question_cells) + ")");
+  }
+  for (const auto& [field, loc] : field_index_) {
+    if (loc.comp < 0 || static_cast<size_t>(loc.comp) >= components_.size() ||
+        !alive_[loc.comp]) {
+      return Status::Internal("index points at dead component: " +
+                              field.ToString());
+    }
+    const Component& comp = components_[loc.comp];
+    if (loc.col < 0 || static_cast<size_t>(loc.col) >= comp.NumFields() ||
+        comp.field(loc.col) != field) {
+      return Status::Internal("index column mismatch: " + field.ToString());
+    }
+    auto t = templates_.find(std::string(SymbolName(field.rel)));
+    if (t == templates_.end() ||
+        field.tuple >= static_cast<TupleId>(t->second.NumRows())) {
+      return Status::Internal("component field outside template: " +
+                              field.ToString());
+    }
+  }
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (!alive_[i]) continue;
+    double sum = components_[i].ProbSum();
+    if (std::abs(sum - 1.0) > 1e-4) {
+      return Status::Internal("component probabilities sum to " +
+                              std::to_string(sum));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Wsd> Wsdt::ToWsd() const {
+  Wsd wsd;
+  for (const auto& [name, rel] : templates_) {
+    MAYWSD_RETURN_IF_ERROR(wsd.AddRelation(
+        name, rel.schema(), static_cast<TupleId>(rel.NumRows())));
+  }
+  // Uncertain fields: copy components as-is.
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (!alive_[i]) continue;
+    MAYWSD_RETURN_IF_ERROR(wsd.AddComponent(components_[i]));
+  }
+  // Certain fields: singleton components.
+  for (const auto& [name, rel] : templates_) {
+    Symbol sym = InternString(name);
+    for (size_t r = 0; r < rel.NumRows(); ++r) {
+      for (size_t a = 0; a < rel.arity(); ++a) {
+        const rel::Value& v = rel.row(r)[a];
+        if (v.is_question()) continue;
+        MAYWSD_RETURN_IF_ERROR(wsd.AddCertainField(
+            FieldKey(sym, static_cast<TupleId>(r), rel.schema().attr(a).name),
+            v));
+      }
+    }
+  }
+  return wsd;
+}
+
+Result<Wsdt> Wsdt::FromWsd(const Wsd& wsd) {
+  if (wsd.HasPresenceFields()) {
+    // Templates encode conditional presence through ⊥s in value columns;
+    // fold the "exists" columns back in first.
+    Wsd copy = wsd;
+    MAYWSD_RETURN_IF_ERROR(copy.EliminatePresenceFields());
+    return FromWsd(copy);
+  }
+  Wsdt out;
+  // Tuple-slot remapping: slots invalid in every world are removed; the
+  // rest are renumbered densely as template rows.
+  std::map<std::pair<Symbol, TupleId>, TupleId> remap;
+  for (const std::string& name : wsd.RelationNames()) {
+    MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* rel, wsd.FindRelation(name));
+    rel::Relation tmpl(rel->schema, name);
+    std::vector<rel::Value> row(rel->schema.arity());
+    TupleId next = 0;
+    for (TupleId t = 0; t < rel->max_tuples; ++t) {
+      if (!wsd.SlotPresent(*rel, t)) continue;
+      bool invalid = false;
+      for (size_t a = 0; a < rel->schema.arity(); ++a) {
+        FieldKey f(rel->name_sym, t, rel->schema.attr(a).name);
+        MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsd.Locate(f));
+        const Component& comp = wsd.component(loc.comp);
+        size_t col = static_cast<size_t>(loc.col);
+        if (comp.ColumnAllBottom(col)) {
+          invalid = true;
+          break;
+        }
+        if (comp.ColumnConstant(col)) {
+          row[a] = comp.at(0, col);
+        } else {
+          row[a] = rel::Value::Question();
+        }
+      }
+      if (invalid) continue;
+      tmpl.AppendRow(row);
+      remap[{rel->name_sym, t}] = next++;
+    }
+    MAYWSD_RETURN_IF_ERROR(out.AddTemplateRelation(std::move(tmpl)));
+  }
+  // Components: keep only non-constant columns, remapping tuple ids.
+  for (size_t i : wsd.LiveComponents()) {
+    const Component& comp = wsd.component(i);
+    std::vector<size_t> keep;
+    for (size_t c = 0; c < comp.NumFields(); ++c) {
+      auto it = remap.find({comp.field(c).rel, comp.field(c).tuple});
+      if (it == remap.end()) continue;  // invalid slot dropped entirely
+      if (!comp.ColumnConstant(c)) keep.push_back(c);
+    }
+    if (keep.empty()) continue;
+    Component proj = comp.ProjectColumns(keep);
+    proj.Compress();
+    for (size_t c = 0; c < proj.NumFields(); ++c) {
+      FieldKey f = proj.field(c);
+      proj.RenameField(c, FieldKey(f.rel, remap.at({f.rel, f.tuple}), f.attr));
+    }
+    MAYWSD_RETURN_IF_ERROR(out.AddComponent(std::move(proj)));
+  }
+  return out;
+}
+
+WsdtStats Wsdt::ComputeStats() const {
+  WsdtStats stats;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (!alive_[i]) continue;
+    const Component& comp = components_[i];
+    ++stats.num_components;
+    if (comp.NumFields() > 1) ++stats.num_components_multi;
+    for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+      for (size_t c = 0; c < comp.NumFields(); ++c) {
+        if (!comp.at(w, c).is_bottom()) ++stats.c_size;
+      }
+    }
+  }
+  for (const auto& [name, rel] : templates_) {
+    stats.template_rows += rel.NumRows();
+  }
+  return stats;
+}
+
+Result<WsdtStats> Wsdt::StatsForRelation(const std::string& name) const {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl, Template(name));
+  Symbol sym = InternString(name);
+  WsdtStats stats;
+  stats.template_rows = tmpl->NumRows();
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (!alive_[i]) continue;
+    const Component& comp = components_[i];
+    size_t own_cols = 0;
+    for (size_t c = 0; c < comp.NumFields(); ++c) {
+      if (comp.field(c).rel != sym) continue;
+      ++own_cols;
+      for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+        if (!comp.at(w, c).is_bottom()) ++stats.c_size;
+      }
+    }
+    if (own_cols > 0) ++stats.num_components;
+    if (own_cols > 1) ++stats.num_components_multi;
+  }
+  return stats;
+}
+
+std::vector<size_t> Wsdt::ComponentSizeHistogram() const {
+  std::vector<size_t> hist;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (!alive_[i]) continue;
+    size_t size = components_[i].NumFields();
+    if (hist.size() <= size) hist.resize(size + 1, 0);
+    ++hist[size];
+  }
+  return hist;
+}
+
+std::string Wsdt::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, rel] : templates_) {
+    os << "Template " << rel.ToString();
+  }
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (!alive_[i]) continue;
+    os << "C" << i << " " << components_[i].ToString();
+  }
+  return os.str();
+}
+
+}  // namespace maywsd::core

@@ -1,0 +1,838 @@
+#include "core/wsdt_algebra.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/wsd.h"
+#include "core/wsd_algebra.h"
+#include "rel/optimizer.h"
+
+namespace maywsd::core {
+
+namespace {
+
+/// Distinct non-⊥ values of a component column.
+std::vector<rel::Value> PossibleColumnValues(const Wsdt& wsdt,
+                                             const FieldKey& field) {
+  std::vector<rel::Value> out;
+  auto loc_or = wsdt.Locate(field);
+  if (!loc_or.ok()) return out;
+  FieldLoc loc = loc_or.value();
+  const Component& comp = wsdt.component(loc.comp);
+  size_t col = static_cast<size_t>(loc.col);
+  for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+    const rel::Value& v = comp.at(w, col);
+    if (!v.is_bottom() &&
+        std::find(out.begin(), out.end(), v) == out.end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+/// Copies template row `r` of `src` into `out_tmpl` (appending), copying
+/// the '?' component columns under the new tuple id. Returns the new id.
+Result<TupleId> CopyRowInto(Wsdt& wsdt, const rel::Relation& src_tmpl,
+                            Symbol src_sym, size_t r,
+                            rel::Relation* out_tmpl, Symbol out_sym) {
+  TupleId n = static_cast<TupleId>(out_tmpl->NumRows());
+  rel::TupleRef row = src_tmpl.row(r);
+  out_tmpl->AppendRow(row.span());
+  for (size_t a = 0; a < src_tmpl.arity(); ++a) {
+    if (!row[a].is_question()) continue;
+    FieldKey sf(src_sym, static_cast<TupleId>(r),
+                src_tmpl.schema().attr(a).name);
+    FieldKey df(out_sym, n, src_tmpl.schema().attr(a).name);
+    MAYWSD_RETURN_IF_ERROR(wsdt.CopyFieldInto(sf, df));
+  }
+  return n;
+}
+
+/// Evaluates `pred` with a resolver that maps attribute names to concrete
+/// values (two-valued; used per local world on the unknown path).
+bool EvalResolved(const rel::Predicate& pred,
+                  const std::function<rel::Value(const std::string&)>& get) {
+  using K = rel::Predicate::Kind;
+  switch (pred.kind()) {
+    case K::kTrue:
+      return true;
+    case K::kCmpConst:
+      return get(pred.lhs_attr()).Satisfies(pred.op(), pred.constant());
+    case K::kCmpAttr:
+      return get(pred.lhs_attr()).Satisfies(pred.op(), get(pred.rhs_attr()));
+    case K::kAnd:
+      return EvalResolved(pred.left(), get) && EvalResolved(pred.right(), get);
+    case K::kOr:
+      return EvalResolved(pred.left(), get) || EvalResolved(pred.right(), get);
+    case K::kNot:
+      return !EvalResolved(pred.left(), get);
+  }
+  return false;
+}
+
+/// Serialized key of a fully-certain row (for duplicate merging).
+std::string CertainRowKey(rel::TupleRef row) {
+  std::string key;
+  for (size_t a = 0; a < row.arity(); ++a) {
+    key += row[a].ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+bool RowFullyCertain(rel::TupleRef row) {
+  for (size_t a = 0; a < row.arity(); ++a) {
+    if (row[a].is_question()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Tri> TriEvalPredicate(const rel::Predicate& pred,
+                             const rel::Schema& schema, rel::TupleRef row) {
+  using K = rel::Predicate::Kind;
+  switch (pred.kind()) {
+    case K::kTrue:
+      return Tri::kTrue;
+    case K::kCmpConst: {
+      auto idx = schema.IndexOf(pred.lhs_attr());
+      if (!idx) return Status::NotFound("attribute " + pred.lhs_attr());
+      if (row[*idx].is_question()) return Tri::kUnknown;
+      return row[*idx].Satisfies(pred.op(), pred.constant()) ? Tri::kTrue
+                                                             : Tri::kFalse;
+    }
+    case K::kCmpAttr: {
+      auto li = schema.IndexOf(pred.lhs_attr());
+      auto ri = schema.IndexOf(pred.rhs_attr());
+      if (!li || !ri) {
+        return Status::NotFound("attribute " + pred.lhs_attr() + "/" +
+                                pred.rhs_attr());
+      }
+      if (row[*li].is_question() || row[*ri].is_question()) {
+        return Tri::kUnknown;
+      }
+      return row[*li].Satisfies(pred.op(), row[*ri]) ? Tri::kTrue
+                                                     : Tri::kFalse;
+    }
+    case K::kAnd: {
+      MAYWSD_ASSIGN_OR_RETURN(Tri l,
+                              TriEvalPredicate(pred.left(), schema, row));
+      if (l == Tri::kFalse) return Tri::kFalse;
+      MAYWSD_ASSIGN_OR_RETURN(Tri r,
+                              TriEvalPredicate(pred.right(), schema, row));
+      if (r == Tri::kFalse) return Tri::kFalse;
+      if (l == Tri::kTrue && r == Tri::kTrue) return Tri::kTrue;
+      return Tri::kUnknown;
+    }
+    case K::kOr: {
+      MAYWSD_ASSIGN_OR_RETURN(Tri l,
+                              TriEvalPredicate(pred.left(), schema, row));
+      if (l == Tri::kTrue) return Tri::kTrue;
+      MAYWSD_ASSIGN_OR_RETURN(Tri r,
+                              TriEvalPredicate(pred.right(), schema, row));
+      if (r == Tri::kTrue) return Tri::kTrue;
+      if (l == Tri::kFalse && r == Tri::kFalse) return Tri::kFalse;
+      return Tri::kUnknown;
+    }
+    case K::kNot: {
+      MAYWSD_ASSIGN_OR_RETURN(Tri l,
+                              TriEvalPredicate(pred.left(), schema, row));
+      if (l == Tri::kTrue) return Tri::kFalse;
+      if (l == Tri::kFalse) return Tri::kTrue;
+      return Tri::kUnknown;
+    }
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+Status WsdtCopy(Wsdt& wsdt, const std::string& src, const std::string& out) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* src_tmpl, wsdt.Template(src));
+  if (wsdt.HasRelation(out)) {
+    return Status::AlreadyExists("relation " + out);
+  }
+  Symbol src_sym = InternString(src);
+  Symbol out_sym = InternString(out);
+  rel::Relation out_tmpl(src_tmpl->schema(), out);
+  out_tmpl.Reserve(src_tmpl->NumRows());
+  for (size_t r = 0; r < src_tmpl->NumRows(); ++r) {
+    // Normalization on the way out (Figure 20's remove-invalid-tuples):
+    // a row whose placeholder column is ⊥ in every local world exists in
+    // no world and is not copied.
+    rel::TupleRef row = src_tmpl->row(r);
+    bool invalid = false;
+    for (size_t a = 0; a < src_tmpl->arity() && !invalid; ++a) {
+      if (!row[a].is_question()) continue;
+      FieldKey f(src_sym, static_cast<TupleId>(r),
+                 src_tmpl->schema().attr(a).name);
+      MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsdt.Locate(f));
+      if (wsdt.component(loc.comp).ColumnAllBottom(
+              static_cast<size_t>(loc.col))) {
+        invalid = true;
+      }
+    }
+    if (invalid) continue;
+    MAYWSD_RETURN_IF_ERROR(
+        CopyRowInto(wsdt, *src_tmpl, src_sym, r, &out_tmpl, out_sym)
+            .status());
+  }
+  return wsdt.AddTemplateRelation(std::move(out_tmpl));
+}
+
+Status WsdtSelect(Wsdt& wsdt, const std::string& src, const std::string& out,
+                  const rel::Predicate& pred) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* src_ptr, wsdt.Template(src));
+  if (wsdt.HasRelation(out)) {
+    return Status::AlreadyExists("relation " + out);
+  }
+  const rel::Relation& src_tmpl = *src_ptr;
+  const rel::Schema schema = src_tmpl.schema();
+  Symbol src_sym = InternString(src);
+  Symbol out_sym = InternString(out);
+
+  // Attributes the predicate reads (deduplicated), resolved once.
+  std::vector<std::string> ref_attrs = pred.ReferencedAttributes();
+  std::sort(ref_attrs.begin(), ref_attrs.end());
+  ref_attrs.erase(std::unique(ref_attrs.begin(), ref_attrs.end()),
+                  ref_attrs.end());
+  for (const std::string& a : ref_attrs) {
+    if (!a.empty() && !schema.Contains(a)) {
+      return Status::NotFound("predicate attribute " + a + " not in " + src);
+    }
+  }
+
+  rel::Relation out_tmpl(schema, out);
+  for (size_t r = 0; r < src_tmpl.NumRows(); ++r) {
+    rel::TupleRef row = src_tmpl.row(r);
+    MAYWSD_ASSIGN_OR_RETURN(Tri tri, TriEvalPredicate(pred, schema, row));
+    if (tri == Tri::kFalse) continue;
+    MAYWSD_ASSIGN_OR_RETURN(
+        TupleId n, CopyRowInto(wsdt, src_tmpl, src_sym, r, &out_tmpl, out_sym));
+    if (tri == Tri::kTrue) continue;
+
+    // Unknown: compose the components of the referenced placeholders of
+    // this tuple (usually a single one) and ⊥-mark failing local worlds.
+    std::set<int32_t> comps;
+    std::vector<std::string> unknown_attrs;
+    for (const std::string& a : ref_attrs) {
+      auto idx = schema.IndexOf(a);
+      if (!idx || !row[*idx].is_question()) continue;
+      unknown_attrs.push_back(a);
+      MAYWSD_ASSIGN_OR_RETURN(
+          FieldLoc loc,
+          wsdt.Locate(FieldKey(out_sym, n, InternString(a))));
+      comps.insert(loc.comp);
+    }
+    auto it = comps.begin();
+    size_t target = static_cast<size_t>(*it);
+    for (++it; it != comps.end(); ++it) {
+      MAYWSD_RETURN_IF_ERROR(
+          wsdt.ComposeInPlace(target, static_cast<size_t>(*it)));
+    }
+    // Column positions of the unknown attributes in the composed component.
+    std::vector<std::pair<std::string, size_t>> attr_cols;
+    for (const std::string& a : unknown_attrs) {
+      MAYWSD_ASSIGN_OR_RETURN(
+          FieldLoc loc,
+          wsdt.Locate(FieldKey(out_sym, n, InternString(a))));
+      attr_cols.emplace_back(a, static_cast<size_t>(loc.col));
+    }
+    Component& comp = wsdt.mutable_component(target);
+    for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+      bool absent = false;
+      for (const auto& [a, col] : attr_cols) {
+        if (comp.at(w, col).is_bottom()) absent = true;
+      }
+      if (absent) continue;  // tuple already absent in this local world
+      auto get = [&](const std::string& name) -> rel::Value {
+        for (const auto& [a, col] : attr_cols) {
+          if (a == name) return comp.at(w, col);
+        }
+        auto idx = schema.IndexOf(name);
+        return idx ? row[*idx] : rel::Value::Bottom();
+      };
+      if (!EvalResolved(pred, get)) {
+        for (const auto& [a, col] : attr_cols) {
+          comp.at(w, col) = rel::Value::Bottom();
+        }
+      }
+    }
+    comp.PropagateBottom();
+  }
+  return wsdt.AddTemplateRelation(std::move(out_tmpl));
+}
+
+Status WsdtProject(Wsdt& wsdt, const std::string& src, const std::string& out,
+                   const std::vector<std::string>& attrs) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* src_ptr, wsdt.Template(src));
+  if (wsdt.HasRelation(out)) {
+    return Status::AlreadyExists("relation " + out);
+  }
+  const rel::Relation& src_tmpl = *src_ptr;
+  const rel::Schema schema = src_tmpl.schema();
+  MAYWSD_ASSIGN_OR_RETURN(rel::Schema out_schema, schema.Project(attrs));
+  Symbol src_sym = InternString(src);
+  Symbol out_sym = InternString(out);
+
+  std::vector<size_t> keep_cols;
+  for (const std::string& a : attrs) keep_cols.push_back(*schema.IndexOf(a));
+  std::vector<size_t> drop_cols;
+  for (size_t a = 0; a < schema.arity(); ++a) {
+    if (std::find(keep_cols.begin(), keep_cols.end(), a) == keep_cols.end()) {
+      drop_cols.push_back(a);
+    }
+  }
+
+  rel::Relation out_tmpl(out_schema, out);
+  std::unordered_set<std::string> seen_certain;
+  std::vector<rel::Value> buf(out_schema.arity());
+
+  for (size_t r = 0; r < src_tmpl.NumRows(); ++r) {
+    rel::TupleRef row = src_tmpl.row(r);
+    for (size_t i = 0; i < keep_cols.size(); ++i) buf[i] = row[keep_cols[i]];
+
+    // Dropped placeholders whose column carries a ⊥ encode conditional
+    // presence and must survive the projection.
+    std::vector<size_t> drop_bottom;
+    for (size_t a : drop_cols) {
+      if (!row[a].is_question()) continue;
+      FieldKey f(src_sym, static_cast<TupleId>(r), schema.attr(a).name);
+      MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsdt.Locate(f));
+      if (wsdt.component(loc.comp).ColumnHasBottom(
+              static_cast<size_t>(loc.col))) {
+        drop_bottom.push_back(a);
+      }
+    }
+    bool certain = drop_bottom.empty();
+    for (size_t i = 0; i < keep_cols.size() && certain; ++i) {
+      if (buf[i].is_question()) certain = false;
+    }
+    if (certain) {
+      // Fully certain result tuple: set semantics merges duplicates.
+      rel::TupleRef probe(buf.data(), buf.size());
+      std::string key = CertainRowKey(probe);
+      if (!seen_certain.insert(key).second) continue;
+      out_tmpl.AppendRow(buf);
+      continue;
+    }
+
+    TupleId n = static_cast<TupleId>(out_tmpl.NumRows());
+    out_tmpl.AppendRow(buf);
+    // Copy the kept placeholders.
+    std::vector<FieldKey> kept_fields;
+    for (size_t i = 0; i < keep_cols.size(); ++i) {
+      if (!buf[i].is_question()) continue;
+      FieldKey sf(src_sym, static_cast<TupleId>(r),
+                  schema.attr(keep_cols[i]).name);
+      FieldKey df(out_sym, n, out_schema.attr(i).name);
+      MAYWSD_RETURN_IF_ERROR(wsdt.CopyFieldInto(sf, df));
+      kept_fields.push_back(df);
+    }
+    if (drop_bottom.empty()) continue;
+
+    // Presence of this tuple depends on dropped columns: bring their ⊥
+    // patterns into the kept columns via shadow copies + composition.
+    FieldKey target_field;
+    if (!kept_fields.empty()) {
+      target_field = kept_fields[0];
+    } else {
+      // Only certain kept fields: materialize a presence helper on the
+      // first kept attribute, correlated with the first dropped column.
+      size_t d0 = drop_bottom[0];
+      FieldKey sf(src_sym, static_cast<TupleId>(r), schema.attr(d0).name);
+      FieldKey hf(out_sym, n, out_schema.attr(0).name);
+      MAYWSD_RETURN_IF_ERROR(wsdt.CopyFieldInto(sf, hf));
+      MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsdt.Locate(hf));
+      Component& comp = wsdt.mutable_component(loc.comp);
+      size_t col = static_cast<size_t>(loc.col);
+      rel::Value kept_value = buf[0];
+      for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+        if (!comp.at(w, col).is_bottom()) comp.at(w, col) = kept_value;
+      }
+      out_tmpl.SetCell(static_cast<size_t>(n), 0, rel::Value::Question());
+      target_field = hf;
+      drop_bottom.erase(drop_bottom.begin());
+    }
+    // Shadow-copy the remaining ⊥-carrying dropped columns, compose them
+    // with the target, propagate ⊥ to the whole tuple, drop the shadows.
+    MAYWSD_ASSIGN_OR_RETURN(FieldLoc tloc, wsdt.Locate(target_field));
+    for (size_t a : drop_bottom) {
+      FieldKey sf(src_sym, static_cast<TupleId>(r), schema.attr(a).name);
+      FieldKey shadow(out_sym, n,
+                      InternString("__shadow_" +
+                                   std::string(schema.attr(a).name_view())));
+      MAYWSD_RETURN_IF_ERROR(wsdt.CopyFieldInto(sf, shadow));
+      MAYWSD_ASSIGN_OR_RETURN(FieldLoc sloc, wsdt.Locate(shadow));
+      if (sloc.comp != tloc.comp) {
+        MAYWSD_RETURN_IF_ERROR(
+            wsdt.ComposeInPlace(static_cast<size_t>(tloc.comp),
+                                static_cast<size_t>(sloc.comp)));
+      }
+      MAYWSD_ASSIGN_OR_RETURN(tloc, wsdt.Locate(target_field));
+    }
+    wsdt.mutable_component(static_cast<size_t>(tloc.comp)).PropagateBottom();
+    for (size_t a : drop_bottom) {
+      FieldKey shadow(out_sym, n,
+                      InternString("__shadow_" +
+                                   std::string(schema.attr(a).name_view())));
+      MAYWSD_RETURN_IF_ERROR(wsdt.DropField(shadow));
+    }
+  }
+  return wsdt.AddTemplateRelation(std::move(out_tmpl));
+}
+
+Status WsdtUnion(Wsdt& wsdt, const std::string& left, const std::string& right,
+                 const std::string& out) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* l_ptr, wsdt.Template(left));
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* r_ptr, wsdt.Template(right));
+  if (l_ptr->schema() != r_ptr->schema()) {
+    return Status::InvalidArgument("union of incompatible schemas");
+  }
+  if (wsdt.HasRelation(out)) {
+    return Status::AlreadyExists("relation " + out);
+  }
+  Symbol out_sym = InternString(out);
+  rel::Relation out_tmpl(l_ptr->schema(), out);
+  std::unordered_set<std::string> seen_certain;
+  for (const std::string& side : {left, right}) {
+    MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* src_ptr,
+                            wsdt.Template(side));
+    const rel::Relation& src_tmpl = *src_ptr;
+    Symbol src_sym = InternString(side);
+    for (size_t r = 0; r < src_tmpl.NumRows(); ++r) {
+      rel::TupleRef row = src_tmpl.row(r);
+      if (RowFullyCertain(row) &&
+          !seen_certain.insert(CertainRowKey(row)).second) {
+        continue;
+      }
+      MAYWSD_RETURN_IF_ERROR(
+          CopyRowInto(wsdt, src_tmpl, src_sym, r, &out_tmpl, out_sym)
+              .status());
+    }
+  }
+  return wsdt.AddTemplateRelation(std::move(out_tmpl));
+}
+
+Status WsdtProduct(Wsdt& wsdt, const std::string& left,
+                   const std::string& right, const std::string& out) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* l_ptr, wsdt.Template(left));
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* r_ptr, wsdt.Template(right));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Schema out_schema,
+                          l_ptr->schema().Concat(r_ptr->schema()));
+  if (wsdt.HasRelation(out)) {
+    return Status::AlreadyExists("relation " + out);
+  }
+  const rel::Relation& l_tmpl = *l_ptr;
+  const rel::Relation& r_tmpl = *r_ptr;
+  Symbol l_sym = InternString(left);
+  Symbol r_sym = InternString(right);
+  Symbol out_sym = InternString(out);
+  rel::Relation out_tmpl(out_schema, out);
+  std::vector<rel::Value> buf(out_schema.arity());
+  for (size_t i = 0; i < l_tmpl.NumRows(); ++i) {
+    rel::TupleRef lr = l_tmpl.row(i);
+    for (size_t j = 0; j < r_tmpl.NumRows(); ++j) {
+      rel::TupleRef rr = r_tmpl.row(j);
+      std::copy(lr.data(), lr.data() + lr.arity(), buf.begin());
+      std::copy(rr.data(), rr.data() + rr.arity(),
+                buf.begin() + static_cast<long>(lr.arity()));
+      TupleId n = static_cast<TupleId>(out_tmpl.NumRows());
+      out_tmpl.AppendRow(buf);
+      for (size_t a = 0; a < l_tmpl.arity(); ++a) {
+        if (!lr[a].is_question()) continue;
+        MAYWSD_RETURN_IF_ERROR(wsdt.CopyFieldInto(
+            FieldKey(l_sym, static_cast<TupleId>(i),
+                     l_tmpl.schema().attr(a).name),
+            FieldKey(out_sym, n, out_schema.attr(a).name)));
+      }
+      for (size_t a = 0; a < r_tmpl.arity(); ++a) {
+        if (!rr[a].is_question()) continue;
+        MAYWSD_RETURN_IF_ERROR(wsdt.CopyFieldInto(
+            FieldKey(r_sym, static_cast<TupleId>(j),
+                     r_tmpl.schema().attr(a).name),
+            FieldKey(out_sym, n, out_schema.attr(l_tmpl.arity() + a).name)));
+      }
+    }
+  }
+  return wsdt.AddTemplateRelation(std::move(out_tmpl));
+}
+
+namespace {
+
+/// Enforces `out.tn.A == out.tn.B`-style equality between a possibly
+/// uncertain output field and either a certain value or another output
+/// field, ⊥-marking local worlds that violate it.
+Status EnforceFieldEquality(Wsdt& wsdt, const FieldKey& a_field,
+                            bool a_uncertain, const rel::Value& a_certain,
+                            const FieldKey& b_field, bool b_uncertain,
+                            const rel::Value& b_certain) {
+  if (!a_uncertain && !b_uncertain) {
+    return Status::Internal("certain-certain equality must be pre-filtered");
+  }
+  if (a_uncertain && b_uncertain) {
+    MAYWSD_ASSIGN_OR_RETURN(FieldLoc la, wsdt.Locate(a_field));
+    MAYWSD_ASSIGN_OR_RETURN(FieldLoc lb, wsdt.Locate(b_field));
+    if (la.comp != lb.comp) {
+      MAYWSD_RETURN_IF_ERROR(
+          wsdt.ComposeInPlace(static_cast<size_t>(la.comp),
+                              static_cast<size_t>(lb.comp)));
+      MAYWSD_ASSIGN_OR_RETURN(la, wsdt.Locate(a_field));
+      MAYWSD_ASSIGN_OR_RETURN(lb, wsdt.Locate(b_field));
+    }
+    Component& comp = wsdt.mutable_component(la.comp);
+    size_t ca = static_cast<size_t>(la.col);
+    size_t cb = static_cast<size_t>(lb.col);
+    for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+      const rel::Value& va = comp.at(w, ca);
+      const rel::Value& vb = comp.at(w, cb);
+      if (va.is_bottom() || vb.is_bottom()) {
+        // Either side absent: the pair tuple does not exist in this world;
+        // make that explicit on the a-side.
+        comp.at(w, ca) = rel::Value::Bottom();
+      } else if (!(va == vb)) {
+        comp.at(w, ca) = rel::Value::Bottom();
+      }
+    }
+    comp.PropagateBottom();
+    return Status::Ok();
+  }
+  // Exactly one side uncertain.
+  const FieldKey& field = a_uncertain ? a_field : b_field;
+  const rel::Value& constant = a_uncertain ? b_certain : a_certain;
+  MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsdt.Locate(field));
+  Component& comp = wsdt.mutable_component(loc.comp);
+  size_t col = static_cast<size_t>(loc.col);
+  for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+    const rel::Value& v = comp.at(w, col);
+    if (!v.is_bottom() && !(v == constant)) {
+      comp.at(w, col) = rel::Value::Bottom();
+    }
+  }
+  comp.PropagateBottom();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WsdtJoin(Wsdt& wsdt, const std::string& left, const std::string& right,
+                const std::string& out, const std::string& left_attr,
+                const std::string& right_attr) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* l_ptr, wsdt.Template(left));
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* r_ptr, wsdt.Template(right));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Schema out_schema,
+                          l_ptr->schema().Concat(r_ptr->schema()));
+  if (wsdt.HasRelation(out)) {
+    return Status::AlreadyExists("relation " + out);
+  }
+  const rel::Relation& l_tmpl = *l_ptr;
+  const rel::Relation& r_tmpl = *r_ptr;
+  auto lcol_or = l_tmpl.schema().IndexOf(left_attr);
+  auto rcol_or = r_tmpl.schema().IndexOf(right_attr);
+  if (!lcol_or || !rcol_or) {
+    return Status::NotFound("join attribute " + left_attr + "/" + right_attr);
+  }
+  size_t lcol = *lcol_or;
+  size_t rcol = *rcol_or;
+  Symbol l_sym = InternString(left);
+  Symbol r_sym = InternString(right);
+  Symbol out_sym = InternString(out);
+  Symbol la_sym = l_tmpl.schema().attr(lcol).name;
+  Symbol ra_sym = r_tmpl.schema().attr(rcol).name;
+
+  // Index the right side: certain rows by key value; uncertain rows by
+  // every possible value.
+  std::unordered_map<rel::Value, std::vector<size_t>> certain_r;
+  std::unordered_map<rel::Value, std::vector<size_t>> possible_r;
+  for (size_t j = 0; j < r_tmpl.NumRows(); ++j) {
+    const rel::Value& v = r_tmpl.row(j)[rcol];
+    if (v.is_question()) {
+      for (const rel::Value& pv : PossibleColumnValues(
+               wsdt, FieldKey(r_sym, static_cast<TupleId>(j), ra_sym))) {
+        possible_r[pv].push_back(j);
+      }
+    } else {
+      certain_r[v].push_back(j);
+    }
+  }
+
+  rel::Relation out_tmpl(out_schema, out);
+  std::vector<rel::Value> buf(out_schema.arity());
+
+  // Emits the pair (i, j); `cond` = the key equality is not certain.
+  auto emit = [&](size_t i, size_t j, bool cond) -> Status {
+    rel::TupleRef lr = l_tmpl.row(i);
+    rel::TupleRef rr = r_tmpl.row(j);
+    std::copy(lr.data(), lr.data() + lr.arity(), buf.begin());
+    std::copy(rr.data(), rr.data() + rr.arity(),
+              buf.begin() + static_cast<long>(lr.arity()));
+    TupleId n = static_cast<TupleId>(out_tmpl.NumRows());
+    out_tmpl.AppendRow(buf);
+    for (size_t a = 0; a < l_tmpl.arity(); ++a) {
+      if (!lr[a].is_question()) continue;
+      MAYWSD_RETURN_IF_ERROR(wsdt.CopyFieldInto(
+          FieldKey(l_sym, static_cast<TupleId>(i),
+                   l_tmpl.schema().attr(a).name),
+          FieldKey(out_sym, n, out_schema.attr(a).name)));
+    }
+    for (size_t a = 0; a < r_tmpl.arity(); ++a) {
+      if (!rr[a].is_question()) continue;
+      MAYWSD_RETURN_IF_ERROR(wsdt.CopyFieldInto(
+          FieldKey(r_sym, static_cast<TupleId>(j),
+                   r_tmpl.schema().attr(a).name),
+          FieldKey(out_sym, n, out_schema.attr(l_tmpl.arity() + a).name)));
+    }
+    if (!cond) return Status::Ok();
+    bool l_unc = lr[lcol].is_question();
+    bool r_unc = rr[rcol].is_question();
+    return EnforceFieldEquality(
+        wsdt, FieldKey(out_sym, n, out_schema.attr(lcol).name), l_unc,
+        lr[lcol],
+        FieldKey(out_sym, n, out_schema.attr(l_tmpl.arity() + rcol).name),
+        r_unc, rr[rcol]);
+  };
+
+  for (size_t i = 0; i < l_tmpl.NumRows(); ++i) {
+    const rel::Value& lv = l_tmpl.row(i)[lcol];
+    if (!lv.is_question()) {
+      auto it = certain_r.find(lv);
+      if (it != certain_r.end()) {
+        for (size_t j : it->second) {
+          MAYWSD_RETURN_IF_ERROR(emit(i, j, false));
+        }
+      }
+      auto pit = possible_r.find(lv);
+      if (pit != possible_r.end()) {
+        for (size_t j : pit->second) {
+          MAYWSD_RETURN_IF_ERROR(emit(i, j, true));
+        }
+      }
+    } else {
+      std::vector<rel::Value> pv = PossibleColumnValues(
+          wsdt, FieldKey(l_sym, static_cast<TupleId>(i), la_sym));
+      std::set<size_t> uncertain_matches;
+      for (const rel::Value& v : pv) {
+        auto it = certain_r.find(v);
+        if (it != certain_r.end()) {
+          for (size_t j : it->second) {
+            MAYWSD_RETURN_IF_ERROR(emit(i, j, true));
+          }
+        }
+        auto pit = possible_r.find(v);
+        if (pit != possible_r.end()) {
+          for (size_t j : pit->second) uncertain_matches.insert(j);
+        }
+      }
+      for (size_t j : uncertain_matches) {
+        MAYWSD_RETURN_IF_ERROR(emit(i, j, true));
+      }
+    }
+  }
+  return wsdt.AddTemplateRelation(std::move(out_tmpl));
+}
+
+Status WsdtRename(Wsdt& wsdt, const std::string& src, const std::string& out,
+                  const std::vector<std::pair<std::string, std::string>>&
+                      renames) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* src_ptr, wsdt.Template(src));
+  if (wsdt.HasRelation(out)) {
+    return Status::AlreadyExists("relation " + out);
+  }
+  const rel::Relation& src_tmpl = *src_ptr;
+  rel::Schema out_schema = src_tmpl.schema();
+  for (const auto& [from, to] : renames) {
+    MAYWSD_ASSIGN_OR_RETURN(out_schema, out_schema.Rename(from, to));
+  }
+  Symbol src_sym = InternString(src);
+  Symbol out_sym = InternString(out);
+  rel::Relation out_tmpl(out_schema, out);
+  for (size_t r = 0; r < src_tmpl.NumRows(); ++r) {
+    rel::TupleRef row = src_tmpl.row(r);
+    out_tmpl.AppendRow(row.span());
+    for (size_t a = 0; a < src_tmpl.arity(); ++a) {
+      if (!row[a].is_question()) continue;
+      MAYWSD_RETURN_IF_ERROR(wsdt.CopyFieldInto(
+          FieldKey(src_sym, static_cast<TupleId>(r),
+                   src_tmpl.schema().attr(a).name),
+          FieldKey(out_sym, static_cast<TupleId>(r),
+                   out_schema.attr(a).name)));
+    }
+  }
+  return wsdt.AddTemplateRelation(std::move(out_tmpl));
+}
+
+Status WsdtDifference(Wsdt& wsdt, const std::string& left,
+                      const std::string& right, const std::string& out) {
+  // Difference is "by far the least efficient operation" (Section 4) and is
+  // never evaluated at scale in the paper; we reuse the faithful WSD
+  // algorithm through a conversion round-trip.
+  MAYWSD_ASSIGN_OR_RETURN(Wsd wsd, wsdt.ToWsd());
+  MAYWSD_RETURN_IF_ERROR(WsdDifference(wsd, left, right, out));
+  MAYWSD_ASSIGN_OR_RETURN(Wsdt next, Wsdt::FromWsd(wsd));
+  wsdt = std::move(next);
+  return Status::Ok();
+}
+
+namespace {
+
+struct WsdtEvalContext {
+  Wsdt* wsdt;
+  int counter = 0;
+  std::vector<std::string> temps;
+
+  std::string Fresh() { return "__uw_tmp" + std::to_string(counter++); }
+};
+
+Result<std::string> WsdtEvalPlan(WsdtEvalContext& ctx, const rel::Plan& plan);
+
+/// Splits a join predicate into the first usable equality pair plus the
+/// residual conjuncts (applied as a follow-up selection).
+Status SplitJoinPred(const rel::Predicate& pred, const rel::Schema& ls,
+                     const rel::Schema& rs, bool* have_pair,
+                     std::string* la, std::string* ra,
+                     std::vector<rel::Predicate>* residual) {
+  *have_pair = false;
+  for (const rel::Predicate& conj : pred.Conjuncts()) {
+    if (!*have_pair && conj.kind() == rel::Predicate::Kind::kCmpAttr &&
+        conj.op() == rel::CmpOp::kEq) {
+      if (ls.Contains(conj.lhs_attr()) && rs.Contains(conj.rhs_attr())) {
+        *have_pair = true;
+        *la = conj.lhs_attr();
+        *ra = conj.rhs_attr();
+        continue;
+      }
+      if (rs.Contains(conj.lhs_attr()) && ls.Contains(conj.rhs_attr())) {
+        *have_pair = true;
+        *la = conj.rhs_attr();
+        *ra = conj.lhs_attr();
+        continue;
+      }
+    }
+    residual->push_back(conj);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> WsdtEvalPlan(WsdtEvalContext& ctx, const rel::Plan& plan) {
+  Wsdt& wsdt = *ctx.wsdt;
+  using K = rel::Plan::Kind;
+  switch (plan.kind()) {
+    case K::kScan:
+      if (!wsdt.HasRelation(plan.relation())) {
+        return Status::NotFound("relation " + plan.relation() +
+                                " not in WSDT");
+      }
+      return plan.relation();
+    case K::kSelect: {
+      MAYWSD_ASSIGN_OR_RETURN(std::string child,
+                              WsdtEvalPlan(ctx, plan.child()));
+      std::string out = ctx.Fresh();
+      ctx.temps.push_back(out);
+      MAYWSD_RETURN_IF_ERROR(
+          WsdtSelect(wsdt, child, out, plan.predicate()));
+      return out;
+    }
+    case K::kProject: {
+      MAYWSD_ASSIGN_OR_RETURN(std::string child,
+                              WsdtEvalPlan(ctx, plan.child()));
+      std::string out = ctx.Fresh();
+      ctx.temps.push_back(out);
+      MAYWSD_RETURN_IF_ERROR(
+          WsdtProject(wsdt, child, out, plan.attributes()));
+      return out;
+    }
+    case K::kRename: {
+      MAYWSD_ASSIGN_OR_RETURN(std::string child,
+                              WsdtEvalPlan(ctx, plan.child()));
+      std::string out = ctx.Fresh();
+      ctx.temps.push_back(out);
+      MAYWSD_RETURN_IF_ERROR(WsdtRename(wsdt, child, out, plan.renames()));
+      return out;
+    }
+    case K::kProduct: {
+      MAYWSD_ASSIGN_OR_RETURN(std::string l, WsdtEvalPlan(ctx, plan.left()));
+      MAYWSD_ASSIGN_OR_RETURN(std::string r, WsdtEvalPlan(ctx, plan.right()));
+      std::string out = ctx.Fresh();
+      ctx.temps.push_back(out);
+      MAYWSD_RETURN_IF_ERROR(WsdtProduct(wsdt, l, r, out));
+      return out;
+    }
+    case K::kUnion: {
+      MAYWSD_ASSIGN_OR_RETURN(std::string l, WsdtEvalPlan(ctx, plan.left()));
+      MAYWSD_ASSIGN_OR_RETURN(std::string r, WsdtEvalPlan(ctx, plan.right()));
+      std::string out = ctx.Fresh();
+      ctx.temps.push_back(out);
+      MAYWSD_RETURN_IF_ERROR(WsdtUnion(wsdt, l, r, out));
+      return out;
+    }
+    case K::kDifference: {
+      MAYWSD_ASSIGN_OR_RETURN(std::string l, WsdtEvalPlan(ctx, plan.left()));
+      MAYWSD_ASSIGN_OR_RETURN(std::string r, WsdtEvalPlan(ctx, plan.right()));
+      std::string out = ctx.Fresh();
+      ctx.temps.push_back(out);
+      MAYWSD_RETURN_IF_ERROR(WsdtDifference(wsdt, l, r, out));
+      return out;
+    }
+    case K::kJoin: {
+      MAYWSD_ASSIGN_OR_RETURN(std::string l, WsdtEvalPlan(ctx, plan.left()));
+      MAYWSD_ASSIGN_OR_RETURN(std::string r, WsdtEvalPlan(ctx, plan.right()));
+      MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* lt, wsdt.Template(l));
+      MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* rt, wsdt.Template(r));
+      bool have_pair = false;
+      std::string la, ra;
+      std::vector<rel::Predicate> residual;
+      MAYWSD_RETURN_IF_ERROR(SplitJoinPred(plan.predicate(), lt->schema(),
+                                           rt->schema(), &have_pair, &la,
+                                           &ra, &residual));
+      std::string joined = ctx.Fresh();
+      ctx.temps.push_back(joined);
+      if (have_pair) {
+        MAYWSD_RETURN_IF_ERROR(WsdtJoin(wsdt, l, r, joined, la, ra));
+      } else {
+        MAYWSD_RETURN_IF_ERROR(WsdtProduct(wsdt, l, r, joined));
+      }
+      if (residual.empty()) return joined;
+      std::string out = ctx.Fresh();
+      ctx.temps.push_back(out);
+      MAYWSD_RETURN_IF_ERROR(WsdtSelect(
+          wsdt, joined, out, rel::Predicate::AndAll(std::move(residual))));
+      return out;
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+}  // namespace
+
+Status WsdtEvaluate(Wsdt& wsdt, const rel::Plan& plan, const std::string& out,
+                    bool keep_temps) {
+  WsdtEvalContext ctx;
+  ctx.wsdt = &wsdt;
+  MAYWSD_ASSIGN_OR_RETURN(std::string result, WsdtEvalPlan(ctx, plan));
+  MAYWSD_RETURN_IF_ERROR(WsdtCopy(wsdt, result, out));
+  if (!keep_temps) {
+    for (const std::string& temp : ctx.temps) {
+      MAYWSD_RETURN_IF_ERROR(wsdt.DropRelation(temp));
+    }
+    wsdt.CompactComponents();
+  }
+  return Status::Ok();
+}
+
+Status WsdtEvaluateOptimized(Wsdt& wsdt, const rel::Plan& plan,
+                             const std::string& out) {
+  // The optimizer only needs schemas; expose the templates as empty
+  // relations so OutputSchema() resolves attribute scopes.
+  rel::Database schemas;
+  for (const std::string& name : wsdt.RelationNames()) {
+    MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl, wsdt.Template(name));
+    schemas.PutRelation(rel::Relation(tmpl->schema(), name));
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Plan optimized, rel::Optimize(plan, schemas));
+  return WsdtEvaluate(wsdt, optimized, out);
+}
+
+}  // namespace maywsd::core

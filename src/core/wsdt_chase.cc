@@ -1,0 +1,395 @@
+#include "core/wsdt_chase.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace maywsd::core {
+
+namespace {
+
+/// '?' columns of template row r whose component column carries a ⊥ —
+/// i.e. the fields that make the tuple's *presence* world-dependent.
+Result<std::set<int32_t>> PresenceComps(const Wsdt& wsdt, Symbol rel_sym,
+                                        const rel::Relation& tmpl, size_t r) {
+  std::set<int32_t> out;
+  rel::TupleRef row = tmpl.row(r);
+  for (size_t a = 0; a < tmpl.arity(); ++a) {
+    if (!row[a].is_question()) continue;
+    FieldKey f(rel_sym, static_cast<TupleId>(r), tmpl.schema().attr(a).name);
+    MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsdt.Locate(f));
+    if (wsdt.component(loc.comp).ColumnHasBottom(
+            static_cast<size_t>(loc.col))) {
+      out.insert(loc.comp);
+    }
+  }
+  return out;
+}
+
+Result<size_t> ComposeAll(Wsdt& wsdt, const std::set<int32_t>& comps) {
+  auto it = comps.begin();
+  size_t target = static_cast<size_t>(*it);
+  for (++it; it != comps.end(); ++it) {
+    MAYWSD_RETURN_IF_ERROR(
+        wsdt.ComposeInPlace(target, static_cast<size_t>(*it)));
+  }
+  return target;
+}
+
+/// Rebuilds component `comp_idx` without the flagged local worlds,
+/// renormalizing; kInconsistent when nothing remains.
+Status RemoveWorlds(Wsdt& wsdt, size_t comp_idx,
+                    const std::vector<bool>& remove, const std::string& what) {
+  bool any = false;
+  for (bool r : remove) any |= r;
+  if (!any) return Status::Ok();
+  Component& comp = wsdt.mutable_component(comp_idx);
+  Component next(comp.fields());
+  std::vector<rel::Value> row(comp.NumFields());
+  for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+    if (remove[w]) continue;
+    for (size_t c = 0; c < comp.NumFields(); ++c) row[c] = comp.at(w, c);
+    next.AddWorld(row, comp.prob(w));
+  }
+  if (next.empty()) {
+    return Status::Inconsistent("world-set is inconsistent: chasing " + what);
+  }
+  MAYWSD_RETURN_IF_ERROR(next.NormalizeProbs());
+  comp = std::move(next);
+  return Status::Ok();
+}
+
+/// True if, in local world `w` of `comp`, any column of tuple (rel, tid) is ⊥.
+bool TupleAbsentInWorld(const Component& comp, size_t w, Symbol rel_sym,
+                        TupleId tid) {
+  for (size_t c = 0; c < comp.NumFields(); ++c) {
+    const FieldKey& f = comp.field(c);
+    if (f.rel == rel_sym && f.tuple == tid && comp.at(w, c).is_bottom()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status WsdtChaseEgd(Wsdt& wsdt, const Egd& egd) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl_ptr,
+                          wsdt.Template(egd.relation));
+  const rel::Relation& tmpl = *tmpl_ptr;
+  const rel::Schema& schema = tmpl.schema();
+  Symbol rel_sym = InternString(egd.relation);
+
+  std::vector<size_t> premise_cols;
+  for (const EgdAtom& atom : egd.premises) {
+    auto idx = schema.IndexOf(atom.attr);
+    if (!idx) {
+      return Status::NotFound("EGD attribute " + atom.attr + " not in " +
+                              egd.relation);
+    }
+    premise_cols.push_back(*idx);
+  }
+  auto ccol_or = schema.IndexOf(egd.conclusion.attr);
+  if (!ccol_or) {
+    return Status::NotFound("EGD attribute " + egd.conclusion.attr +
+                            " not in " + egd.relation);
+  }
+  size_t ccol = *ccol_or;
+
+  for (size_t r = 0; r < tmpl.NumRows(); ++r) {
+    rel::TupleRef row = tmpl.row(r);
+
+    // Certain-field evaluation. A certainly-false premise or certainly-true
+    // conclusion settles the row without any component work.
+    bool premise_certain_false = false;
+    std::vector<size_t> uncertain_premises;
+    for (size_t p = 0; p < premise_cols.size(); ++p) {
+      const rel::Value& v = row[premise_cols[p]];
+      if (v.is_question()) {
+        uncertain_premises.push_back(p);
+      } else if (!v.Satisfies(egd.premises[p].op, egd.premises[p].constant)) {
+        premise_certain_false = true;
+        break;
+      }
+    }
+    if (premise_certain_false) continue;
+    bool conclusion_uncertain = row[ccol].is_question();
+    if (!conclusion_uncertain &&
+        row[ccol].Satisfies(egd.conclusion.op, egd.conclusion.constant)) {
+      continue;
+    }
+
+    MAYWSD_ASSIGN_OR_RETURN(std::set<int32_t> presence,
+                            PresenceComps(wsdt, rel_sym, tmpl, r));
+
+    if (uncertain_premises.empty() && !conclusion_uncertain) {
+      // The tuple certainly violates whenever present.
+      if (presence.empty()) {
+        return Status::Inconsistent(
+            "world-set is inconsistent: tuple " + std::to_string(r) + " of " +
+            egd.relation + " violates " + egd.ToString() + " in every world");
+      }
+      MAYWSD_ASSIGN_OR_RETURN(size_t target, ComposeAll(wsdt, presence));
+      const Component& comp = wsdt.component(target);
+      std::vector<bool> remove(comp.NumWorlds(), false);
+      for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+        remove[w] = !TupleAbsentInWorld(comp, w, rel_sym,
+                                        static_cast<TupleId>(r));
+      }
+      MAYWSD_RETURN_IF_ERROR(
+          RemoveWorlds(wsdt, target, remove, egd.ToString()));
+      continue;
+    }
+
+    // Compose the components of the uncertain dependency fields (plus
+    // presence components) and remove violating local worlds.
+    std::set<int32_t> needed = presence;
+    for (size_t p : uncertain_premises) {
+      FieldKey f(rel_sym, static_cast<TupleId>(r),
+                 schema.attr(premise_cols[p]).name);
+      MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsdt.Locate(f));
+      needed.insert(loc.comp);
+    }
+    if (conclusion_uncertain) {
+      FieldKey f(rel_sym, static_cast<TupleId>(r), schema.attr(ccol).name);
+      MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsdt.Locate(f));
+      needed.insert(loc.comp);
+    }
+    MAYWSD_ASSIGN_OR_RETURN(size_t target, ComposeAll(wsdt, needed));
+    const Component& comp = wsdt.component(target);
+
+    auto field_value = [&](size_t col) -> rel::Value {
+      return row[col];  // certain template value
+    };
+    std::vector<bool> remove(comp.NumWorlds(), false);
+    for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+      if (TupleAbsentInWorld(comp, w, rel_sym, static_cast<TupleId>(r))) {
+        continue;  // vacuous
+      }
+      bool premises_hold = true;
+      for (size_t p = 0; p < premise_cols.size(); ++p) {
+        rel::Value v;
+        if (row[premise_cols[p]].is_question()) {
+          int c = comp.FindField(FieldKey(rel_sym, static_cast<TupleId>(r),
+                                          schema.attr(premise_cols[p]).name));
+          if (c < 0) {
+            return Status::Internal("EGD premise column missing");
+          }
+          v = comp.at(w, static_cast<size_t>(c));
+        } else {
+          v = field_value(premise_cols[p]);
+        }
+        if (!v.Satisfies(egd.premises[p].op, egd.premises[p].constant)) {
+          premises_hold = false;
+          break;
+        }
+      }
+      if (!premises_hold) continue;
+      rel::Value cv;
+      if (conclusion_uncertain) {
+        int c = comp.FindField(FieldKey(rel_sym, static_cast<TupleId>(r),
+                                        schema.attr(ccol).name));
+        if (c < 0) return Status::Internal("EGD conclusion column missing");
+        cv = comp.at(w, static_cast<size_t>(c));
+      } else {
+        cv = field_value(ccol);
+      }
+      if (!cv.Satisfies(egd.conclusion.op, egd.conclusion.constant)) {
+        remove[w] = true;
+      }
+    }
+    MAYWSD_RETURN_IF_ERROR(RemoveWorlds(wsdt, target, remove, egd.ToString()));
+  }
+  return Status::Ok();
+}
+
+Status WsdtChaseFd(Wsdt& wsdt, const Fd& fd) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl_ptr,
+                          wsdt.Template(fd.relation));
+  const rel::Relation& tmpl = *tmpl_ptr;
+  const rel::Schema& schema = tmpl.schema();
+  Symbol rel_sym = InternString(fd.relation);
+
+  std::vector<size_t> lhs_cols;
+  for (const std::string& a : fd.lhs) {
+    auto idx = schema.IndexOf(a);
+    if (!idx) {
+      return Status::NotFound("FD attribute " + a + " not in " + fd.relation);
+    }
+    lhs_cols.push_back(*idx);
+  }
+  auto rhs_or = schema.IndexOf(fd.rhs);
+  if (!rhs_or) {
+    return Status::NotFound("FD attribute " + fd.rhs + " not in " +
+                            fd.relation);
+  }
+  size_t rhs_col = *rhs_or;
+
+  // Bucket rows by every possible LHS key (certain rows have one key).
+  auto possible_of = [&](size_t r, size_t col) -> std::vector<rel::Value> {
+    const rel::Value& v = tmpl.row(r)[col];
+    if (!v.is_question()) return {v};
+    std::vector<rel::Value> out;
+    FieldKey f(rel_sym, static_cast<TupleId>(r), schema.attr(col).name);
+    auto loc_or = wsdt.Locate(f);
+    if (!loc_or.ok()) return out;
+    const Component& comp = wsdt.component(loc_or.value().comp);
+    size_t c = static_cast<size_t>(loc_or.value().col);
+    for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+      const rel::Value& pv = comp.at(w, c);
+      if (!pv.is_bottom() &&
+          std::find(out.begin(), out.end(), pv) == out.end()) {
+        out.push_back(pv);
+      }
+    }
+    return out;
+  };
+
+  std::unordered_map<std::string, std::vector<size_t>> buckets;
+  for (size_t r = 0; r < tmpl.NumRows(); ++r) {
+    // Enumerate possible key combinations (capped).
+    std::vector<std::string> keys{""};
+    for (size_t col : lhs_cols) {
+      std::vector<rel::Value> vals = possible_of(r, col);
+      std::vector<std::string> next;
+      for (const std::string& k : keys) {
+        for (const rel::Value& v : vals) {
+          next.push_back(k + v.ToString() + '\x1f');
+          if (next.size() > kMaxFdKeyCombos) break;
+        }
+        if (next.size() > kMaxFdKeyCombos) break;
+      }
+      keys = std::move(next);
+      if (keys.size() > kMaxFdKeyCombos) break;
+    }
+    if (keys.size() > kMaxFdKeyCombos) {
+      keys.assign(1, "__any__");  // conservative catch-all bucket
+    }
+    for (const std::string& k : keys) buckets[k].push_back(r);
+  }
+  // The catch-all bucket pairs with everything.
+  std::vector<size_t> catch_all;
+  auto ca = buckets.find("__any__");
+  if (ca != buckets.end()) catch_all = ca->second;
+
+  std::set<std::pair<size_t, size_t>> done;
+  auto process_pair = [&](size_t s, size_t t) -> Status {
+    if (s > t) std::swap(s, t);
+    if (s == t || !done.insert({s, t}).second) return Status::Ok();
+    rel::TupleRef rs = tmpl.row(s);
+    rel::TupleRef rt = tmpl.row(t);
+
+    // Certain-certain mismatch on any LHS attribute: cannot violate.
+    for (size_t col : lhs_cols) {
+      if (!rs[col].is_question() && !rt[col].is_question() &&
+          !(rs[col] == rt[col])) {
+        return Status::Ok();
+      }
+    }
+    // RHS certainly equal: cannot violate.
+    if (!rs[rhs_col].is_question() && !rt[rhs_col].is_question() &&
+        rs[rhs_col] == rt[rhs_col]) {
+      return Status::Ok();
+    }
+
+    std::set<int32_t> needed;
+    auto add_field = [&](size_t r, size_t col) -> Status {
+      if (!tmpl.row(r)[col].is_question()) return Status::Ok();
+      FieldKey f(rel_sym, static_cast<TupleId>(r), schema.attr(col).name);
+      MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsdt.Locate(f));
+      needed.insert(loc.comp);
+      return Status::Ok();
+    };
+    for (size_t col : lhs_cols) {
+      MAYWSD_RETURN_IF_ERROR(add_field(s, col));
+      MAYWSD_RETURN_IF_ERROR(add_field(t, col));
+    }
+    MAYWSD_RETURN_IF_ERROR(add_field(s, rhs_col));
+    MAYWSD_RETURN_IF_ERROR(add_field(t, rhs_col));
+    MAYWSD_ASSIGN_OR_RETURN(std::set<int32_t> ps,
+                            PresenceComps(wsdt, rel_sym, tmpl, s));
+    MAYWSD_ASSIGN_OR_RETURN(std::set<int32_t> pt,
+                            PresenceComps(wsdt, rel_sym, tmpl, t));
+    needed.insert(ps.begin(), ps.end());
+    needed.insert(pt.begin(), pt.end());
+
+    if (needed.empty()) {
+      // Fully certain pair: both tuples always present, LHS equal, RHS
+      // different — the world-set is flatly inconsistent.
+      return Status::Inconsistent("world-set is inconsistent: tuples " +
+                                  std::to_string(s) + "," + std::to_string(t) +
+                                  " of " + fd.relation + " violate " +
+                                  fd.ToString());
+    }
+    MAYWSD_ASSIGN_OR_RETURN(size_t target, ComposeAll(wsdt, needed));
+    const Component& comp = wsdt.component(target);
+
+    auto value_at = [&](size_t w, size_t r, size_t col) -> rel::Value {
+      const rel::Value& v = tmpl.row(r)[col];
+      if (!v.is_question()) return v;
+      int c = comp.FindField(
+          FieldKey(rel_sym, static_cast<TupleId>(r), schema.attr(col).name));
+      // Fields not composed are certain-valued placeholders without ⊥;
+      // they cannot be decided here, so treat the comparison
+      // conservatively as "could be anything": such a field would have
+      // been composed if it were part of the dependency.
+      return c >= 0 ? comp.at(w, static_cast<size_t>(c)) : v;
+    };
+
+    std::vector<bool> remove(comp.NumWorlds(), false);
+    for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+      if (TupleAbsentInWorld(comp, w, rel_sym, static_cast<TupleId>(s)) ||
+          TupleAbsentInWorld(comp, w, rel_sym, static_cast<TupleId>(t))) {
+        continue;
+      }
+      bool lhs_equal = true;
+      for (size_t col : lhs_cols) {
+        rel::Value vs = value_at(w, s, col);
+        rel::Value vt = value_at(w, t, col);
+        if (vs.is_bottom() || vt.is_bottom() || !(vs == vt)) {
+          lhs_equal = false;
+          break;
+        }
+      }
+      if (!lhs_equal) continue;
+      rel::Value vs = value_at(w, s, rhs_col);
+      rel::Value vt = value_at(w, t, rhs_col);
+      if (!vs.is_bottom() && !vt.is_bottom() && !(vs == vt)) {
+        remove[w] = true;
+      }
+    }
+    return RemoveWorlds(wsdt, target, remove, fd.ToString());
+  };
+
+  for (const auto& [key, rows] : buckets) {
+    if (key == "__any__") continue;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t j = i + 1; j < rows.size(); ++j) {
+        MAYWSD_RETURN_IF_ERROR(process_pair(rows[i], rows[j]));
+      }
+      for (size_t c : catch_all) {
+        MAYWSD_RETURN_IF_ERROR(process_pair(rows[i], c));
+      }
+    }
+  }
+  for (size_t i = 0; i < catch_all.size(); ++i) {
+    for (size_t j = i + 1; j < catch_all.size(); ++j) {
+      MAYWSD_RETURN_IF_ERROR(process_pair(catch_all[i], catch_all[j]));
+    }
+  }
+  return Status::Ok();
+}
+
+Status WsdtChase(Wsdt& wsdt, const std::vector<Dependency>& dependencies) {
+  for (const Dependency& dep : dependencies) {
+    if (const Egd* egd = std::get_if<Egd>(&dep)) {
+      MAYWSD_RETURN_IF_ERROR(WsdtChaseEgd(wsdt, *egd));
+    } else {
+      MAYWSD_RETURN_IF_ERROR(WsdtChaseFd(wsdt, std::get<Fd>(dep)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace maywsd::core

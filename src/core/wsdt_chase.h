@@ -1,0 +1,38 @@
+// Chase on WSDTs/UWSDTs — the Section 8 cleaning procedure on the
+// template-based representation used at scale (Figure 26 runs this over the
+// census data).
+//
+// Per template row, the dependency is first evaluated on certain fields; a
+// row whose certain fields already decide the dependency is skipped without
+// touching any component (the common case: placeholder densities are
+// ≤ 0.1%). Only rows where a placeholder participates compose components
+// and remove violating local worlds, renormalizing probabilities.
+
+#ifndef MAYWSD_CORE_WSDT_CHASE_H_
+#define MAYWSD_CORE_WSDT_CHASE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/chase.h"
+#include "core/wsdt.h"
+
+namespace maywsd::core {
+
+/// Cap on enumerated possible LHS key combinations per tuple in the FD
+/// chase bucketing (beyond it the tuple is paired conservatively with all).
+inline constexpr size_t kMaxFdKeyCombos = 64;
+
+/// Enforces one single-tuple EGD on every template row of its relation.
+Status WsdtChaseEgd(Wsdt& wsdt, const Egd& egd);
+
+/// Enforces one FD on every pair of possibly-conflicting template rows
+/// (pairs are found via hash buckets over certain/possible LHS values).
+Status WsdtChaseFd(Wsdt& wsdt, const Fd& fd);
+
+/// Chases all dependencies in order (single pass, Theorem 2).
+Status WsdtChase(Wsdt& wsdt, const std::vector<Dependency>& dependencies);
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_WSDT_CHASE_H_

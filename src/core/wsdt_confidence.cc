@@ -1,0 +1,251 @@
+#include "core/wsdt_confidence.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace maywsd::core {
+
+namespace {
+
+/// Guard against tuple-level normalization blow-ups (same bound as the
+/// Wsd-level algorithms).
+constexpr uint64_t kMaxComposedWorlds = 1u << 22;
+
+/// The placeholder columns of template row r: (attr index, field location).
+Result<std::vector<std::pair<size_t, FieldLoc>>> PlaceholderCols(
+    const Wsdt& wsdt, const rel::Relation& tmpl, Symbol rel_sym, size_t r) {
+  std::vector<std::pair<size_t, FieldLoc>> out;
+  rel::TupleRef row = tmpl.row(r);
+  for (size_t a = 0; a < tmpl.arity(); ++a) {
+    if (!row[a].is_question()) continue;
+    FieldKey f(rel_sym, static_cast<TupleId>(r), tmpl.schema().attr(a).name);
+    MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsdt.Locate(f));
+    out.emplace_back(a, loc);
+  }
+  return out;
+}
+
+/// Composes the projections of the components in `comps` onto `cols`,
+/// compressing intermediates.
+Result<Component> ComposeProjected(
+    const Wsdt& wsdt, const std::vector<int32_t>& comps,
+    const std::map<int32_t, std::set<size_t>>& cols) {
+  Component acc;
+  bool first = true;
+  for (int32_t ci : comps) {
+    const Component& comp = wsdt.component(static_cast<size_t>(ci));
+    std::vector<size_t> keep(cols.at(ci).begin(), cols.at(ci).end());
+    Component proj = comp.ProjectColumns(keep);
+    proj.Compress();
+    if (first) {
+      acc = std::move(proj);
+      first = false;
+    } else {
+      if (static_cast<uint64_t>(acc.NumWorlds()) * proj.NumWorlds() >
+          kMaxComposedWorlds) {
+        return Status::ResourceExhausted(
+            "tuple-level normalization exceeds the blow-up guard");
+      }
+      acc = Component::Compose(acc, proj);
+      acc.Compress();
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<double> WsdtTupleConfidence(const Wsdt& wsdt,
+                                   const std::string& relation,
+                                   std::span<const rel::Value> tuple) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl_ptr,
+                          wsdt.Template(relation));
+  const rel::Relation& tmpl = *tmpl_ptr;
+  if (tuple.size() != tmpl.arity()) {
+    return Status::InvalidArgument("tuple arity mismatch for " + relation);
+  }
+  Symbol rel_sym = InternString(relation);
+
+  // Candidate rows: certain attributes equal; placeholder attributes have
+  // the probe value among their possible values.
+  struct Candidate {
+    size_t row;
+    std::vector<std::pair<size_t, FieldLoc>> holes;  // attr -> location
+  };
+  std::vector<Candidate> candidates;
+  for (size_t r = 0; r < tmpl.NumRows(); ++r) {
+    rel::TupleRef row = tmpl.row(r);
+    bool possible = true;
+    Candidate cand;
+    cand.row = r;
+    for (size_t a = 0; a < tmpl.arity() && possible; ++a) {
+      if (row[a].is_question()) {
+        FieldKey f(rel_sym, static_cast<TupleId>(r),
+                   tmpl.schema().attr(a).name);
+        MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsdt.Locate(f));
+        const Component& comp = wsdt.component(loc.comp);
+        size_t col = static_cast<size_t>(loc.col);
+        bool found = false;
+        for (size_t w = 0; w < comp.NumWorlds() && !found; ++w) {
+          if (comp.at(w, col) == tuple[a]) found = true;
+        }
+        possible = found;
+        cand.holes.emplace_back(a, loc);
+      } else if (!(row[a] == tuple[a])) {
+        possible = false;
+      }
+    }
+    if (!possible) continue;
+    if (cand.holes.empty()) return 1.0;  // certain tuple equal to the probe
+    candidates.push_back(std::move(cand));
+  }
+  if (candidates.empty()) return 0.0;
+
+  // Group candidates by connected components.
+  std::map<int32_t, int32_t> parent;
+  std::function<int32_t(int32_t)> find = [&](int32_t x) {
+    auto it = parent.find(x);
+    if (it == parent.end()) {
+      parent[x] = x;
+      return x;
+    }
+    int32_t root = x;
+    while (parent[root] != root) root = parent[root];
+    while (parent[x] != root) {
+      int32_t nxt = parent[x];
+      parent[x] = root;
+      x = nxt;
+    }
+    return root;
+  };
+  for (const Candidate& cand : candidates) {
+    for (size_t i = 1; i < cand.holes.size(); ++i) {
+      parent[find(cand.holes[0].second.comp)] =
+          find(cand.holes[i].second.comp);
+    }
+    find(cand.holes[0].second.comp);
+  }
+  // Merge groups that share candidates... (two candidates sharing a comp
+  // land in the same group via find()).
+  std::map<int32_t, std::vector<const Candidate*>> group_cands;
+  std::map<int32_t, std::vector<int32_t>> group_comps;
+  std::map<int32_t, std::map<int32_t, std::set<size_t>>> group_cols;
+  for (const Candidate& cand : candidates) {
+    int32_t g = find(cand.holes[0].second.comp);
+    group_cands[g].push_back(&cand);
+    for (const auto& [attr, loc] : cand.holes) {
+      auto& comps = group_comps[g];
+      if (std::find(comps.begin(), comps.end(), loc.comp) == comps.end()) {
+        comps.push_back(loc.comp);
+      }
+      group_cols[g][loc.comp].insert(static_cast<size_t>(loc.col));
+    }
+  }
+
+  double not_conf = 1.0;
+  for (const auto& [g, cands] : group_cands) {
+    MAYWSD_ASSIGN_OR_RETURN(
+        Component combined,
+        ComposeProjected(wsdt, group_comps.at(g), group_cols.at(g)));
+    double conf_c = 0.0;
+    for (size_t w = 0; w < combined.NumWorlds(); ++w) {
+      bool any = false;
+      for (const Candidate* cand : cands) {
+        bool match = true;
+        for (const auto& [attr, loc] : cand->holes) {
+          FieldKey f(rel_sym, static_cast<TupleId>(cand->row),
+                     tmpl.schema().attr(attr).name);
+          int col = combined.FindField(f);
+          if (col < 0 ||
+              !(combined.at(w, static_cast<size_t>(col)) == tuple[attr])) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          any = true;
+          break;
+        }
+      }
+      if (any) conf_c += combined.prob(w);
+    }
+    not_conf *= (1.0 - conf_c);
+  }
+  return 1.0 - not_conf;
+}
+
+Result<rel::Relation> WsdtPossibleTuples(const Wsdt& wsdt,
+                                         const std::string& relation) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl_ptr,
+                          wsdt.Template(relation));
+  const rel::Relation& tmpl = *tmpl_ptr;
+  Symbol rel_sym = InternString(relation);
+  rel::Relation out(tmpl.schema(), "possible_" + relation);
+  std::vector<rel::Value> buf(tmpl.arity());
+  for (size_t r = 0; r < tmpl.NumRows(); ++r) {
+    rel::TupleRef row = tmpl.row(r);
+    MAYWSD_ASSIGN_OR_RETURN(auto holes,
+                            PlaceholderCols(wsdt, tmpl, rel_sym, r));
+    if (holes.empty()) {
+      out.AppendRow(row.span());
+      continue;
+    }
+    std::vector<int32_t> comps;
+    std::map<int32_t, std::set<size_t>> cols;
+    for (const auto& [attr, loc] : holes) {
+      if (std::find(comps.begin(), comps.end(), loc.comp) == comps.end()) {
+        comps.push_back(loc.comp);
+      }
+      cols[loc.comp].insert(static_cast<size_t>(loc.col));
+    }
+    MAYWSD_ASSIGN_OR_RETURN(Component combined,
+                            ComposeProjected(wsdt, comps, cols));
+    // Column of each hole in the combined component.
+    std::vector<std::pair<size_t, int>> hole_cols;
+    for (const auto& [attr, loc] : holes) {
+      FieldKey f(rel_sym, static_cast<TupleId>(r),
+                 tmpl.schema().attr(attr).name);
+      hole_cols.emplace_back(attr, combined.FindField(f));
+    }
+    for (size_t a = 0; a < tmpl.arity(); ++a) buf[a] = row[a];
+    for (size_t w = 0; w < combined.NumWorlds(); ++w) {
+      if (combined.prob(w) <= 0.0) continue;
+      bool absent = false;
+      for (const auto& [attr, col] : hole_cols) {
+        const rel::Value& v = combined.at(w, static_cast<size_t>(col));
+        if (v.is_bottom()) {
+          absent = true;
+          break;
+        }
+        buf[attr] = v;
+      }
+      if (!absent) out.AppendRow(buf);
+    }
+  }
+  out.SortDedup();
+  return out;
+}
+
+Result<rel::Relation> WsdtPossibleTuplesWithConfidence(
+    const Wsdt& wsdt, const std::string& relation) {
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation possible,
+                          WsdtPossibleTuples(wsdt, relation));
+  rel::Schema out_schema = possible.schema();
+  MAYWSD_RETURN_IF_ERROR(
+      out_schema.AddAttribute(rel::Attribute("conf", rel::AttrType::kDouble)));
+  rel::Relation out(out_schema, "possible_p_" + relation);
+  std::vector<rel::Value> row(out_schema.arity());
+  for (size_t i = 0; i < possible.NumRows(); ++i) {
+    rel::TupleRef t = possible.row(i);
+    MAYWSD_ASSIGN_OR_RETURN(double conf,
+                            WsdtTupleConfidence(wsdt, relation, t.span()));
+    for (size_t a = 0; a < t.arity(); ++a) row[a] = t[a];
+    row[t.arity()] = rel::Value::Double(conf);
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace maywsd::core

@@ -1,0 +1,37 @@
+// Confidence computation and possible-tuple queries on WSDTs/UWSDTs —
+// the Section 6 operators on the template-based representation, without
+// expanding certain fields into singleton components.
+//
+// Fully-certain template rows short-circuit (confidence 1 / always
+// possible); only rows with placeholders touch components, so these run at
+// census scale where Wsd-level confidence would first materialize millions
+// of singleton components.
+
+#ifndef MAYWSD_CORE_WSDT_CONFIDENCE_H_
+#define MAYWSD_CORE_WSDT_CONFIDENCE_H_
+
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "rel/relation.h"
+#include "core/wsdt.h"
+
+namespace maywsd::core {
+
+/// conf(t) on a WSDT: probability that `tuple` ∈ `relation`.
+Result<double> WsdtTupleConfidence(const Wsdt& wsdt,
+                                   const std::string& relation,
+                                   std::span<const rel::Value> tuple);
+
+/// possible(R) on a WSDT.
+Result<rel::Relation> WsdtPossibleTuples(const Wsdt& wsdt,
+                                         const std::string& relation);
+
+/// possibleᵖ(R) on a WSDT: possible tuples with a trailing "conf" column.
+Result<rel::Relation> WsdtPossibleTuplesWithConfidence(
+    const Wsdt& wsdt, const std::string& relation);
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_WSDT_CONFIDENCE_H_

@@ -1,0 +1,133 @@
+#include "core/wsdt_normalize.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/normalize.h"
+
+namespace maywsd::core {
+
+Status WsdtCompressComponents(Wsdt& wsdt) {
+  for (size_t i : wsdt.LiveComponents()) {
+    wsdt.mutable_component(i).Compress();
+  }
+  return Status::Ok();
+}
+
+Status WsdtPromoteCertainFields(Wsdt& wsdt) {
+  // Collect constant columns first; dropping mutates column indexes.
+  std::vector<std::pair<FieldKey, rel::Value>> certain;
+  for (size_t i : wsdt.LiveComponents()) {
+    const Component& comp = wsdt.component(i);
+    for (size_t c = 0; c < comp.NumFields(); ++c) {
+      if (comp.ColumnConstant(c) && !comp.at(0, c).is_bottom()) {
+        certain.emplace_back(comp.field(c), comp.at(0, c));
+      }
+    }
+  }
+  for (const auto& [field, value] : certain) {
+    MAYWSD_ASSIGN_OR_RETURN(
+        rel::Relation * tmpl,
+        wsdt.MutableTemplate(std::string(SymbolName(field.rel))));
+    auto attr = tmpl->schema().IndexOf(field.attr);
+    if (!attr) {
+      return Status::Internal("promoted field outside template schema: " +
+                              field.ToString());
+    }
+    tmpl->SetCell(static_cast<size_t>(field.tuple), *attr, value);
+    MAYWSD_RETURN_IF_ERROR(wsdt.DropField(field));
+  }
+  return Status::Ok();
+}
+
+Status WsdtRemoveInvalidRows(Wsdt& wsdt) {
+  for (const std::string& name : wsdt.RelationNames()) {
+    MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl_ptr,
+                            wsdt.Template(name));
+    const rel::Relation& tmpl = *tmpl_ptr;
+    Symbol rel_sym = InternString(name);
+    // Identify rows invalid in every world.
+    std::vector<bool> invalid(tmpl.NumRows(), false);
+    bool any = false;
+    for (size_t r = 0; r < tmpl.NumRows(); ++r) {
+      rel::TupleRef row = tmpl.row(r);
+      for (size_t a = 0; a < tmpl.arity(); ++a) {
+        if (!row[a].is_question()) continue;
+        FieldKey f(rel_sym, static_cast<TupleId>(r),
+                   tmpl.schema().attr(a).name);
+        MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsdt.Locate(f));
+        if (wsdt.component(loc.comp).ColumnAllBottom(
+                static_cast<size_t>(loc.col))) {
+          invalid[r] = true;
+          any = true;
+          break;
+        }
+      }
+    }
+    if (!any) continue;
+    // Drop the invalid rows' fields, rebuild the template, remap tids.
+    rel::Relation next(tmpl.schema(), name);
+    std::map<TupleId, TupleId> remap;
+    TupleId next_tid = 0;
+    for (size_t r = 0; r < tmpl.NumRows(); ++r) {
+      rel::TupleRef row = tmpl.row(r);
+      if (invalid[r]) {
+        for (size_t a = 0; a < tmpl.arity(); ++a) {
+          if (!row[a].is_question()) continue;
+          MAYWSD_RETURN_IF_ERROR(wsdt.DropField(
+              FieldKey(rel_sym, static_cast<TupleId>(r),
+                       tmpl.schema().attr(a).name)));
+        }
+        continue;
+      }
+      remap[static_cast<TupleId>(r)] = next_tid++;
+      next.AppendRow(row.span());
+    }
+    // Remap surviving fields. Two passes (via fresh temporary keys) are
+    // unnecessary because tids only shrink: process in increasing order.
+    for (const auto& [old_tid, new_tid] : remap) {
+      if (old_tid == new_tid) continue;
+      rel::TupleRef row = tmpl.row(static_cast<size_t>(old_tid));
+      for (size_t a = 0; a < tmpl.arity(); ++a) {
+        if (!row[a].is_question()) continue;
+        Symbol attr = tmpl.schema().attr(a).name;
+        MAYWSD_RETURN_IF_ERROR(
+            wsdt.RenameFieldKey(FieldKey(rel_sym, old_tid, attr),
+                                FieldKey(rel_sym, new_tid, attr)));
+      }
+    }
+    MAYWSD_ASSIGN_OR_RETURN(rel::Relation * mutable_tmpl,
+                            wsdt.MutableTemplate(name));
+    *mutable_tmpl = std::move(next);
+  }
+  return Status::Ok();
+}
+
+Status WsdtDecomposeComponents(Wsdt& wsdt) {
+  std::vector<size_t> live = wsdt.LiveComponents();
+  for (size_t idx : live) {
+    if (!wsdt.IsLiveComponent(idx)) continue;
+    if (wsdt.component(idx).NumFields() <= 1) {
+      wsdt.mutable_component(idx).Compress();
+      continue;
+    }
+    std::vector<Component> parts = FactorComponent(wsdt.component(idx));
+    if (parts.size() == 1) {
+      wsdt.mutable_component(idx) = std::move(parts[0]);
+      continue;
+    }
+    MAYWSD_RETURN_IF_ERROR(wsdt.ReplaceComponent(idx, std::move(parts)));
+  }
+  return Status::Ok();
+}
+
+Status WsdtNormalize(Wsdt& wsdt) {
+  MAYWSD_RETURN_IF_ERROR(WsdtCompressComponents(wsdt));
+  MAYWSD_RETURN_IF_ERROR(WsdtPromoteCertainFields(wsdt));
+  MAYWSD_RETURN_IF_ERROR(WsdtRemoveInvalidRows(wsdt));
+  MAYWSD_RETURN_IF_ERROR(WsdtDecomposeComponents(wsdt));
+  wsdt.CompactComponents();
+  return Status::Ok();
+}
+
+}  // namespace maywsd::core

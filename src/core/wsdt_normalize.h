@@ -1,0 +1,43 @@
+// Normalization on WSDTs/UWSDTs — Section 7 applied to the practical
+// template-based representation:
+//
+//   * compress duplicate local worlds (Figure 20(c));
+//   * promote certain placeholders: a component column whose value is the
+//     same in every local world moves into the template (the inverse of
+//     noise injection; keeps |C| minimal);
+//   * remove invalid template rows: a row whose placeholder is ⊥ in every
+//     local world exists in no world (Figure 20(a)); removal renumbers
+//     tuple ids and remaps component fields;
+//   * decompose components into prime factors (Figure 20(b)).
+
+#ifndef MAYWSD_CORE_WSDT_NORMALIZE_H_
+#define MAYWSD_CORE_WSDT_NORMALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/wsdt.h"
+
+namespace maywsd::core {
+
+/// Figure 20(c): merges duplicate local worlds in every component.
+Status WsdtCompressComponents(Wsdt& wsdt);
+
+/// Moves constant component columns into the template ('?' → value).
+/// Zero-column components disappear.
+Status WsdtPromoteCertainFields(Wsdt& wsdt);
+
+/// Figure 20(a): removes template rows invalid in all worlds. Tuple ids
+/// are renumbered; component fields are remapped accordingly.
+Status WsdtRemoveInvalidRows(Wsdt& wsdt);
+
+/// Figure 20(b): replaces every component by its prime factorization.
+Status WsdtDecomposeComponents(Wsdt& wsdt);
+
+/// Full pipeline: compress → promote → remove invalid rows → decompose →
+/// compact.
+Status WsdtNormalize(Wsdt& wsdt);
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_WSDT_NORMALIZE_H_

@@ -1,0 +1,126 @@
+#include "rel/algebra.h"
+
+#include <sstream>
+
+namespace maywsd::rel {
+
+Plan Plan::Scan(std::string relation) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kScan;
+  node->relation = std::move(relation);
+  return Plan(std::move(node));
+}
+
+Plan Plan::Select(Predicate pred, Plan child) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kSelect;
+  node->pred = std::move(pred);
+  node->left = std::make_shared<Plan>(std::move(child));
+  return Plan(std::move(node));
+}
+
+Plan Plan::Project(std::vector<std::string> attrs, Plan child) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kProject;
+  node->attrs = std::move(attrs);
+  node->left = std::make_shared<Plan>(std::move(child));
+  return Plan(std::move(node));
+}
+
+Plan Plan::Product(Plan left, Plan right) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kProduct;
+  node->left = std::make_shared<Plan>(std::move(left));
+  node->right = std::make_shared<Plan>(std::move(right));
+  return Plan(std::move(node));
+}
+
+Plan Plan::Union(Plan left, Plan right) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kUnion;
+  node->left = std::make_shared<Plan>(std::move(left));
+  node->right = std::make_shared<Plan>(std::move(right));
+  return Plan(std::move(node));
+}
+
+Plan Plan::Difference(Plan left, Plan right) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kDifference;
+  node->left = std::make_shared<Plan>(std::move(left));
+  node->right = std::make_shared<Plan>(std::move(right));
+  return Plan(std::move(node));
+}
+
+Plan Plan::Rename(std::vector<std::pair<std::string, std::string>> renames,
+                  Plan child) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kRename;
+  node->renames = std::move(renames);
+  node->left = std::make_shared<Plan>(std::move(child));
+  return Plan(std::move(node));
+}
+
+Plan Plan::Join(Predicate pred, Plan left, Plan right) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kJoin;
+  node->pred = std::move(pred);
+  node->left = std::make_shared<Plan>(std::move(left));
+  node->right = std::make_shared<Plan>(std::move(right));
+  return Plan(std::move(node));
+}
+
+size_t Plan::NodeCount() const {
+  size_t n = 1;
+  if (node_->left) n += node_->left->NodeCount();
+  if (node_->right) n += node_->right->NodeCount();
+  return n;
+}
+
+std::string Plan::ToString() const {
+  std::ostringstream os;
+  switch (kind()) {
+    case Kind::kScan:
+      os << relation();
+      break;
+    case Kind::kSelect:
+      os << "select[" << predicate().ToString() << "](" << child().ToString()
+         << ")";
+      break;
+    case Kind::kProject: {
+      os << "project[";
+      for (size_t i = 0; i < attributes().size(); ++i) {
+        if (i > 0) os << ",";
+        os << attributes()[i];
+      }
+      os << "](" << child().ToString() << ")";
+      break;
+    }
+    case Kind::kProduct:
+      os << "product(" << left().ToString() << ", " << right().ToString()
+         << ")";
+      break;
+    case Kind::kUnion:
+      os << "union(" << left().ToString() << ", " << right().ToString() << ")";
+      break;
+    case Kind::kDifference:
+      os << "difference(" << left().ToString() << ", " << right().ToString()
+         << ")";
+      break;
+    case Kind::kRename: {
+      os << "rename[";
+      for (size_t i = 0; i < renames().size(); ++i) {
+        if (i > 0) os << ",";
+        os << renames()[i].first << "->" << renames()[i].second;
+      }
+      os << "](" << child().ToString() << ")";
+      break;
+    }
+    case Kind::kJoin:
+      os << "join[" << predicate().ToString() << "](" << left().ToString()
+         << ", " << right().ToString() << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace maywsd::rel

@@ -1,0 +1,87 @@
+// Relational algebra plans (the named perspective of Section 2):
+// σ selection, π projection, × product, ∪ union, − difference, δ renaming,
+// plus ⋈ join as the optimizer's fused form of σ(×).
+//
+// Plan is an immutable value type with shared subtrees.
+
+#ifndef MAYWSD_REL_ALGEBRA_H_
+#define MAYWSD_REL_ALGEBRA_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rel/predicate.h"
+
+namespace maywsd::rel {
+
+/// A relational algebra expression tree.
+class Plan {
+ public:
+  enum class Kind : uint8_t {
+    kScan,
+    kSelect,
+    kProject,
+    kProduct,
+    kUnion,
+    kDifference,
+    kRename,
+    kJoin,
+  };
+
+  /// Leaf: reads the named relation from the database.
+  static Plan Scan(std::string relation);
+  /// σ_pred(child).
+  static Plan Select(Predicate pred, Plan child);
+  /// π_attrs(child); attrs are kept in the given order.
+  static Plan Project(std::vector<std::string> attrs, Plan child);
+  /// left × right (attribute sets must be disjoint).
+  static Plan Product(Plan left, Plan right);
+  /// left ∪ right (schemas must match).
+  static Plan Union(Plan left, Plan right);
+  /// left − right (schemas must match).
+  static Plan Difference(Plan left, Plan right);
+  /// δ renaming several attributes at once: {old → new}.
+  static Plan Rename(std::vector<std::pair<std::string, std::string>> renames,
+                     Plan child);
+  /// left ⋈_pred right — equivalent to Select(pred, Product(l, r)).
+  static Plan Join(Predicate pred, Plan left, Plan right);
+
+  Kind kind() const { return node_->kind; }
+
+  const std::string& relation() const { return node_->relation; }
+  const Predicate& predicate() const { return node_->pred; }
+  const std::vector<std::string>& attributes() const { return node_->attrs; }
+  const std::vector<std::pair<std::string, std::string>>& renames() const {
+    return node_->renames;
+  }
+  const Plan& child() const { return *node_->left; }
+  const Plan& left() const { return *node_->left; }
+  const Plan& right() const { return *node_->right; }
+  bool has_right() const { return node_->right != nullptr; }
+
+  /// Number of operator nodes in the plan.
+  size_t NodeCount() const;
+
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    Kind kind = Kind::kScan;
+    std::string relation;
+    Predicate pred = Predicate::True();
+    std::vector<std::string> attrs;
+    std::vector<std::pair<std::string, std::string>> renames;
+    std::shared_ptr<const Plan> left;
+    std::shared_ptr<const Plan> right;
+  };
+
+  explicit Plan(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace maywsd::rel
+
+#endif  // MAYWSD_REL_ALGEBRA_H_

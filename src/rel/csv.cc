@@ -1,0 +1,209 @@
+#include "rel/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace maywsd::rel {
+
+namespace {
+
+std::string_view TypeToken(AttrType t) {
+  switch (t) {
+    case AttrType::kAny:
+      return "any";
+    case AttrType::kInt:
+      return "int";
+    case AttrType::kDouble:
+      return "double";
+    case AttrType::kString:
+      return "string";
+  }
+  return "any";
+}
+
+Result<AttrType> ParseType(const std::string& token) {
+  if (token == "any") return AttrType::kAny;
+  if (token == "int") return AttrType::kInt;
+  if (token == "double") return AttrType::kDouble;
+  if (token == "string") return AttrType::kString;
+  return Status::InvalidArgument("unknown attribute type " + token);
+}
+
+std::string EscapeCell(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kBottom:
+      return "\\bot";
+    case ValueKind::kQuestion:
+      return "?";
+    case ValueKind::kInt:
+      return std::to_string(v.AsInt());
+    case ValueKind::kDouble: {
+      std::ostringstream os;
+      os << v.AsDouble();
+      return os.str();
+    }
+    case ValueKind::kString: {
+      std::string s(v.AsStringView());
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"') out += "\"\"";
+        else out += c;
+      }
+      out += "\"";
+      return out;
+    }
+  }
+  return "";
+}
+
+Result<Value> ParseCell(const std::string& cell, AttrType type) {
+  if (cell == "\\bot") return Value::Bottom();
+  if (cell == "?") return Value::Question();
+  if (!cell.empty() && cell.front() == '"' && cell.back() == '"' &&
+      cell.size() >= 2) {
+    std::string s;
+    for (size_t i = 1; i + 1 < cell.size(); ++i) {
+      if (cell[i] == '"' && i + 2 < cell.size() && cell[i + 1] == '"') {
+        s += '"';
+        ++i;
+      } else {
+        s += cell[i];
+      }
+    }
+    return Value::String(s);
+  }
+  switch (type) {
+    case AttrType::kInt: {
+      try {
+        return Value::Int(std::stoll(cell));
+      } catch (...) {
+        return Status::InvalidArgument("cannot parse int cell: " + cell);
+      }
+    }
+    case AttrType::kDouble: {
+      try {
+        return Value::Double(std::stod(cell));
+      } catch (...) {
+        return Status::InvalidArgument("cannot parse double cell: " + cell);
+      }
+    }
+    case AttrType::kString:
+      return Value::String(cell);
+    case AttrType::kAny: {
+      // Best-effort: int, then double, else string.
+      try {
+        size_t pos = 0;
+        int64_t i = std::stoll(cell, &pos);
+        if (pos == cell.size()) return Value::Int(i);
+      } catch (...) {
+      }
+      try {
+        size_t pos = 0;
+        double d = std::stod(cell, &pos);
+        if (pos == cell.size()) return Value::Double(d);
+      } catch (...) {
+      }
+      return Value::String(cell);
+    }
+  }
+  return Status::InvalidArgument("unparseable cell: " + cell);
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      cur += c;
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      }
+    } else if (c == '"') {
+      cur += c;
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  cells.push_back(cur);
+  return cells;
+}
+
+}  // namespace
+
+Status WriteCsv(const Relation& relation, std::ostream& os) {
+  const Schema& schema = relation.schema();
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    if (i > 0) os << ",";
+    os << schema.attr(i).name_view() << ":" << TypeToken(schema.attr(i).type);
+  }
+  os << "\n";
+  for (size_t r = 0; r < relation.NumRows(); ++r) {
+    TupleRef row = relation.row(r);
+    for (size_t c = 0; c < row.arity(); ++c) {
+      if (c > 0) os << ",";
+      os << EscapeCell(row[c]);
+    }
+    os << "\n";
+  }
+  return Status::Ok();
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open " + path);
+  return WriteCsv(relation, f);
+}
+
+Result<Relation> ReadCsv(std::istream& is, const std::string& name) {
+  std::string header;
+  if (!std::getline(is, header)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  std::vector<Attribute> attrs;
+  for (const std::string& cell : SplitCsvLine(header)) {
+    size_t colon = cell.rfind(':');
+    if (colon == std::string::npos) {
+      attrs.emplace_back(cell);
+      continue;
+    }
+    MAYWSD_ASSIGN_OR_RETURN(AttrType type, ParseType(cell.substr(colon + 1)));
+    attrs.emplace_back(cell.substr(0, colon), type);
+  }
+  Relation rel{Schema(std::move(attrs)), name};
+  std::string line;
+  std::vector<Value> row(rel.arity());
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells = SplitCsvLine(line);
+    if (cells.size() != rel.arity()) {
+      return Status::InvalidArgument("row arity mismatch in CSV: " + line);
+    }
+    for (size_t i = 0; i < cells.size(); ++i) {
+      MAYWSD_ASSIGN_OR_RETURN(row[i],
+                              ParseCell(cells[i], rel.schema().attr(i).type));
+    }
+    rel.AppendRow(row);
+  }
+  return rel;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const std::string& name) {
+  std::ifstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open " + path);
+  return ReadCsv(f, name);
+}
+
+}  // namespace maywsd::rel

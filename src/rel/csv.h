@@ -1,0 +1,29 @@
+// CSV import/export for relations.
+//
+// Format: first line is a header of `name:type` pairs (type ∈ int, double,
+// string, any); subsequent lines are rows. The special tokens `\bot` and `?`
+// parse to ⊥ and the template placeholder. Used by the examples to persist
+// generated census extracts.
+
+#ifndef MAYWSD_REL_CSV_H_
+#define MAYWSD_REL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "rel/relation.h"
+
+namespace maywsd::rel {
+
+/// Writes `relation` as CSV.
+Status WriteCsv(const Relation& relation, std::ostream& os);
+Status WriteCsvFile(const Relation& relation, const std::string& path);
+
+/// Reads a relation from CSV; `name` names the result.
+Result<Relation> ReadCsv(std::istream& is, const std::string& name);
+Result<Relation> ReadCsvFile(const std::string& path, const std::string& name);
+
+}  // namespace maywsd::rel
+
+#endif  // MAYWSD_REL_CSV_H_

@@ -1,0 +1,65 @@
+#include "rel/database.h"
+
+#include <sstream>
+
+namespace maywsd::rel {
+
+Status Database::AddRelation(Relation relation) {
+  std::string name = relation.name();
+  if (name.empty()) {
+    return Status::InvalidArgument("relation must be named to enter a catalog");
+  }
+  auto [it, inserted] = relations_.emplace(name, std::move(relation));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("relation " + name);
+  return Status::Ok();
+}
+
+void Database::PutRelation(Relation relation) {
+  std::string name = relation.name();
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+Result<const Relation*> Database::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("relation " + name);
+  return &it->second;
+}
+
+Result<Relation*> Database::GetMutableRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("relation " + name);
+  return &it->second;
+}
+
+Status Database::DropRelation(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("relation " + name);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+bool Database::EqualsAsWorld(const Database& other) const {
+  if (relations_.size() != other.relations_.size()) return false;
+  for (const auto& [name, rel] : relations_) {
+    auto it = other.relations_.find(name);
+    if (it == other.relations_.end()) return false;
+    if (!rel.EqualsAsSet(it->second)) return false;
+  }
+  return true;
+}
+
+std::string Database::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, rel] : relations_) os << rel.ToString();
+  return os.str();
+}
+
+}  // namespace maywsd::rel

@@ -1,0 +1,55 @@
+// Database: a named catalog of relations (one possible world, or the host
+// store for UWSDT system relations).
+
+#ifndef MAYWSD_REL_DATABASE_H_
+#define MAYWSD_REL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/relation.h"
+
+namespace maywsd::rel {
+
+/// A set of named relation instances.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a relation under its name; fails on collision.
+  Status AddRelation(Relation relation);
+
+  /// Adds or replaces a relation under its name.
+  void PutRelation(Relation relation);
+
+  /// Looks up a relation by name.
+  Result<const Relation*> GetRelation(const std::string& name) const;
+  Result<Relation*> GetMutableRelation(const std::string& name);
+
+  /// Removes a relation; fails if absent.
+  Status DropRelation(const std::string& name);
+
+  bool Contains(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  /// Relation names in sorted order.
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return relations_.size(); }
+
+  /// Worlds compare equal when they contain the same relations with the
+  /// same tuple sets (the paper's notion of equal worlds).
+  bool EqualsAsWorld(const Database& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace maywsd::rel
+
+#endif  // MAYWSD_REL_DATABASE_H_

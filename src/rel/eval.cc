@@ -1,0 +1,285 @@
+#include "rel/eval.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace maywsd::rel {
+
+namespace {
+
+struct TupleRefHash {
+  size_t operator()(const TupleRef& t) const { return t.Hash(); }
+};
+struct TupleRefEq {
+  bool operator()(const TupleRef& a, const TupleRef& b) const { return a == b; }
+};
+
+Result<Relation> EvalNode(const Plan& plan, const Database& db);
+
+Result<Relation> EvalSelect(const Plan& plan, const Database& db) {
+  MAYWSD_ASSIGN_OR_RETURN(Relation in, EvalNode(plan.child(), db));
+  MAYWSD_ASSIGN_OR_RETURN(BoundPredicate pred,
+                          BoundPredicate::Bind(plan.predicate(), in.schema()));
+  Relation out(in.schema());
+  size_t n = in.NumRows();
+  for (size_t i = 0; i < n; ++i) {
+    TupleRef row = in.row(i);
+    if (pred.Eval(row)) out.AppendRow(row.span());
+  }
+  return out;
+}
+
+Result<Relation> EvalProject(const Plan& plan, const Database& db) {
+  MAYWSD_ASSIGN_OR_RETURN(Relation in, EvalNode(plan.child(), db));
+  MAYWSD_ASSIGN_OR_RETURN(Schema out_schema,
+                          in.schema().Project(plan.attributes()));
+  std::vector<size_t> cols;
+  cols.reserve(plan.attributes().size());
+  for (const auto& name : plan.attributes()) {
+    cols.push_back(*in.schema().IndexOf(name));
+  }
+  Relation out(out_schema);
+  out.Reserve(in.NumRows());
+  std::vector<Value> buf(cols.size());
+  size_t n = in.NumRows();
+  for (size_t i = 0; i < n; ++i) {
+    TupleRef row = in.row(i);
+    for (size_t c = 0; c < cols.size(); ++c) buf[c] = row[cols[c]];
+    out.AppendRow(buf);
+  }
+  out.SortDedup();
+  return out;
+}
+
+Result<Relation> EvalProduct(const Plan& plan, const Database& db) {
+  MAYWSD_ASSIGN_OR_RETURN(Relation l, EvalNode(plan.left(), db));
+  MAYWSD_ASSIGN_OR_RETURN(Relation r, EvalNode(plan.right(), db));
+  MAYWSD_ASSIGN_OR_RETURN(Schema out_schema, l.schema().Concat(r.schema()));
+  Relation out(out_schema);
+  out.Reserve(l.NumRows() * r.NumRows());
+  std::vector<Value> buf(out_schema.arity());
+  for (size_t i = 0; i < l.NumRows(); ++i) {
+    TupleRef lr = l.row(i);
+    std::copy(lr.data(), lr.data() + lr.arity(), buf.begin());
+    for (size_t j = 0; j < r.NumRows(); ++j) {
+      TupleRef rr = r.row(j);
+      std::copy(rr.data(), rr.data() + rr.arity(),
+                buf.begin() + static_cast<long>(lr.arity()));
+      out.AppendRow(buf);
+    }
+  }
+  return out;
+}
+
+Result<Relation> EvalUnion(const Plan& plan, const Database& db) {
+  MAYWSD_ASSIGN_OR_RETURN(Relation l, EvalNode(plan.left(), db));
+  MAYWSD_ASSIGN_OR_RETURN(Relation r, EvalNode(plan.right(), db));
+  if (l.schema() != r.schema()) {
+    return Status::InvalidArgument("union of incompatible schemas " +
+                                   l.schema().ToString() + " vs " +
+                                   r.schema().ToString());
+  }
+  Relation out = std::move(l);
+  for (size_t j = 0; j < r.NumRows(); ++j) out.AppendRow(r.row(j).span());
+  out.SortDedup();
+  return out;
+}
+
+Result<Relation> EvalDifference(const Plan& plan, const Database& db) {
+  MAYWSD_ASSIGN_OR_RETURN(Relation l, EvalNode(plan.left(), db));
+  MAYWSD_ASSIGN_OR_RETURN(Relation r, EvalNode(plan.right(), db));
+  if (l.schema() != r.schema()) {
+    return Status::InvalidArgument("difference of incompatible schemas " +
+                                   l.schema().ToString() + " vs " +
+                                   r.schema().ToString());
+  }
+  std::unordered_set<TupleRef, TupleRefHash, TupleRefEq> right_rows;
+  right_rows.reserve(r.NumRows());
+  for (size_t j = 0; j < r.NumRows(); ++j) right_rows.insert(r.row(j));
+  Relation out(l.schema());
+  for (size_t i = 0; i < l.NumRows(); ++i) {
+    TupleRef row = l.row(i);
+    if (!right_rows.count(row)) out.AppendRow(row.span());
+  }
+  out.SortDedup();
+  return out;
+}
+
+Result<Relation> EvalRename(const Plan& plan, const Database& db) {
+  MAYWSD_ASSIGN_OR_RETURN(Relation in, EvalNode(plan.child(), db));
+  Schema schema = in.schema();
+  for (const auto& [from, to] : plan.renames()) {
+    MAYWSD_ASSIGN_OR_RETURN(schema, schema.Rename(from, to));
+  }
+  Relation out(schema, in.name());
+  for (size_t i = 0; i < in.NumRows(); ++i) out.AppendRow(in.row(i).span());
+  return out;
+}
+
+/// Extracts cross-schema equality conjuncts usable as hash-join keys.
+void SplitJoinPredicate(const Predicate& pred, const Schema& left,
+                        const Schema& right,
+                        std::vector<std::pair<size_t, size_t>>* keys,
+                        std::vector<Predicate>* residual) {
+  for (const Predicate& conj : pred.Conjuncts()) {
+    if (conj.kind() == Predicate::Kind::kCmpAttr && conj.op() == CmpOp::kEq) {
+      auto l_in_left = left.IndexOf(conj.lhs_attr());
+      auto r_in_right = right.IndexOf(conj.rhs_attr());
+      if (l_in_left && r_in_right) {
+        keys->emplace_back(*l_in_left, *r_in_right);
+        continue;
+      }
+      auto l_in_right = right.IndexOf(conj.lhs_attr());
+      auto r_in_left = left.IndexOf(conj.rhs_attr());
+      if (r_in_left && l_in_right) {
+        keys->emplace_back(*r_in_left, *l_in_right);
+        continue;
+      }
+    }
+    residual->push_back(conj);
+  }
+}
+
+Result<Relation> EvalJoin(const Plan& plan, const Database& db) {
+  MAYWSD_ASSIGN_OR_RETURN(Relation l, EvalNode(plan.left(), db));
+  MAYWSD_ASSIGN_OR_RETURN(Relation r, EvalNode(plan.right(), db));
+  MAYWSD_ASSIGN_OR_RETURN(Schema out_schema, l.schema().Concat(r.schema()));
+
+  std::vector<std::pair<size_t, size_t>> keys;
+  std::vector<Predicate> residual;
+  SplitJoinPredicate(plan.predicate(), l.schema(), r.schema(), &keys,
+                     &residual);
+  Predicate residual_pred = Predicate::AndAll(residual);
+  MAYWSD_ASSIGN_OR_RETURN(BoundPredicate bound,
+                          BoundPredicate::Bind(residual_pred, out_schema));
+
+  Relation out(out_schema);
+  std::vector<Value> buf(out_schema.arity());
+
+  if (keys.empty()) {
+    // No usable equality key: filtered nested loop.
+    for (size_t i = 0; i < l.NumRows(); ++i) {
+      TupleRef lr = l.row(i);
+      std::copy(lr.data(), lr.data() + lr.arity(), buf.begin());
+      for (size_t j = 0; j < r.NumRows(); ++j) {
+        TupleRef rr = r.row(j);
+        std::copy(rr.data(), rr.data() + rr.arity(),
+                  buf.begin() + static_cast<long>(lr.arity()));
+        if (bound.Eval(TupleRef(buf.data(), buf.size()))) out.AppendRow(buf);
+      }
+    }
+    out.SortDedup();
+    return out;
+  }
+
+  // Hash join: build on the smaller side.
+  bool build_left = l.NumRows() <= r.NumRows();
+  const Relation& build = build_left ? l : r;
+  const Relation& probe = build_left ? r : l;
+  auto key_of = [&](TupleRef row, bool left_side) {
+    size_t seed = 0;
+    for (const auto& [lc, rc] : keys) {
+      HashCombine(seed, row[left_side ? lc : rc].Hash());
+    }
+    return seed;
+  };
+  std::unordered_multimap<size_t, size_t> table;
+  table.reserve(build.NumRows());
+  for (size_t i = 0; i < build.NumRows(); ++i) {
+    table.emplace(key_of(build.row(i), build_left), i);
+  }
+  for (size_t j = 0; j < probe.NumRows(); ++j) {
+    TupleRef pr = probe.row(j);
+    auto [lo, hi] = table.equal_range(key_of(pr, !build_left));
+    for (auto it = lo; it != hi; ++it) {
+      TupleRef br = build.row(it->second);
+      TupleRef lr = build_left ? br : pr;
+      TupleRef rr = build_left ? pr : br;
+      // Verify keys (hash collisions) then residual predicate.
+      bool match = true;
+      for (const auto& [lc, rc] : keys) {
+        if (!(lr[lc] == rr[rc])) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::copy(lr.data(), lr.data() + lr.arity(), buf.begin());
+      std::copy(rr.data(), rr.data() + rr.arity(),
+                buf.begin() + static_cast<long>(lr.arity()));
+      if (bound.Eval(TupleRef(buf.data(), buf.size()))) out.AppendRow(buf);
+    }
+  }
+  out.SortDedup();
+  return out;
+}
+
+Result<Relation> EvalNode(const Plan& plan, const Database& db) {
+  switch (plan.kind()) {
+    case Plan::Kind::kScan: {
+      MAYWSD_ASSIGN_OR_RETURN(const Relation* rel,
+                              db.GetRelation(plan.relation()));
+      return *rel;
+    }
+    case Plan::Kind::kSelect:
+      return EvalSelect(plan, db);
+    case Plan::Kind::kProject:
+      return EvalProject(plan, db);
+    case Plan::Kind::kProduct:
+      return EvalProduct(plan, db);
+    case Plan::Kind::kUnion:
+      return EvalUnion(plan, db);
+    case Plan::Kind::kDifference:
+      return EvalDifference(plan, db);
+    case Plan::Kind::kRename:
+      return EvalRename(plan, db);
+    case Plan::Kind::kJoin:
+      return EvalJoin(plan, db);
+  }
+  return Status::Internal("unknown plan node");
+}
+
+}  // namespace
+
+Result<Relation> Evaluate(const Plan& plan, const Database& db) {
+  MAYWSD_ASSIGN_OR_RETURN(Relation out, EvalNode(plan, db));
+  out.SortDedup();
+  return out;
+}
+
+Result<Schema> OutputSchema(const Plan& plan, const Database& db) {
+  switch (plan.kind()) {
+    case Plan::Kind::kScan: {
+      MAYWSD_ASSIGN_OR_RETURN(const Relation* rel,
+                              db.GetRelation(plan.relation()));
+      return rel->schema();
+    }
+    case Plan::Kind::kSelect:
+      return OutputSchema(plan.child(), db);
+    case Plan::Kind::kProject: {
+      MAYWSD_ASSIGN_OR_RETURN(Schema in, OutputSchema(plan.child(), db));
+      return in.Project(plan.attributes());
+    }
+    case Plan::Kind::kProduct:
+    case Plan::Kind::kJoin: {
+      MAYWSD_ASSIGN_OR_RETURN(Schema l, OutputSchema(plan.left(), db));
+      MAYWSD_ASSIGN_OR_RETURN(Schema r, OutputSchema(plan.right(), db));
+      return l.Concat(r);
+    }
+    case Plan::Kind::kUnion:
+    case Plan::Kind::kDifference:
+      return OutputSchema(plan.left(), db);
+    case Plan::Kind::kRename: {
+      MAYWSD_ASSIGN_OR_RETURN(Schema s, OutputSchema(plan.child(), db));
+      for (const auto& [from, to] : plan.renames()) {
+        MAYWSD_ASSIGN_OR_RETURN(s, s.Rename(from, to));
+      }
+      return s;
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+}  // namespace maywsd::rel

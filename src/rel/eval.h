@@ -1,0 +1,23 @@
+// Plan evaluator: executes a relational algebra plan against a Database,
+// producing a set-semantics Relation.
+
+#ifndef MAYWSD_REL_EVAL_H_
+#define MAYWSD_REL_EVAL_H_
+
+#include "common/status.h"
+#include "rel/algebra.h"
+#include "rel/database.h"
+
+namespace maywsd::rel {
+
+/// Evaluates `plan` on `db`. Result rows are set-normalized (sorted,
+/// duplicate-free). Joins with at least one equality conjunct use a hash
+/// join; otherwise a filtered nested loop.
+Result<Relation> Evaluate(const Plan& plan, const Database& db);
+
+/// Computes the output schema of `plan` without evaluating it.
+Result<Schema> OutputSchema(const Plan& plan, const Database& db);
+
+}  // namespace maywsd::rel
+
+#endif  // MAYWSD_REL_EVAL_H_

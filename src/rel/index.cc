@@ -1,0 +1,68 @@
+#include "rel/index.h"
+
+#include "common/hash.h"
+
+namespace maywsd::rel {
+
+Result<HashIndex> HashIndex::Build(const Relation& relation,
+                                   const std::vector<std::string>& columns) {
+  std::vector<size_t> cols;
+  cols.reserve(columns.size());
+  for (const auto& name : columns) {
+    auto idx = relation.schema().IndexOf(name);
+    if (!idx) {
+      return Status::NotFound("no column " + name + " in " +
+                              relation.schema().ToString());
+    }
+    cols.push_back(*idx);
+  }
+  HashIndex index(&relation, std::move(cols));
+  index.num_rows_ = relation.NumRows();
+  index.map_.reserve(index.num_rows_);
+  for (size_t i = 0; i < index.num_rows_; ++i) {
+    index.map_.emplace(index.KeyHashOfRow(i), i);
+  }
+  return index;
+}
+
+size_t HashIndex::KeyHashOfRow(size_t row) const {
+  TupleRef r = relation_->row(row);
+  size_t seed = 0x85ebca6bu;
+  for (size_t c : cols_) HashCombine(seed, r[c].Hash());
+  return seed;
+}
+
+size_t HashIndex::KeyHash(std::span<const Value> key) {
+  size_t seed = 0x85ebca6bu;
+  for (const Value& v : key) HashCombine(seed, v.Hash());
+  return seed;
+}
+
+bool HashIndex::RowMatches(size_t row, std::span<const Value> key) const {
+  TupleRef r = relation_->row(row);
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (!(r[cols_[i]] == key[i])) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> HashIndex::Lookup(std::span<const Value> key) const {
+  std::vector<size_t> out;
+  if (key.size() != cols_.size()) return out;
+  auto [lo, hi] = map_.equal_range(KeyHash(key));
+  for (auto it = lo; it != hi; ++it) {
+    if (RowMatches(it->second, key)) out.push_back(it->second);
+  }
+  return out;
+}
+
+bool HashIndex::Contains(std::span<const Value> key) const {
+  if (key.size() != cols_.size()) return false;
+  auto [lo, hi] = map_.equal_range(KeyHash(key));
+  for (auto it = lo; it != hi; ++it) {
+    if (RowMatches(it->second, key)) return true;
+  }
+  return false;
+}
+
+}  // namespace maywsd::rel

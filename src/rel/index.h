@@ -1,0 +1,55 @@
+// HashIndex: an unclustered multi-column hash index over a Relation.
+//
+// The paper tunes its PostgreSQL rewritings "by employing indices and
+// materializing often used temporary results" (Section 5); the UWSDT layer
+// uses these indexes to find component values by field id and local worlds
+// by component id.
+
+#ifndef MAYWSD_REL_INDEX_H_
+#define MAYWSD_REL_INDEX_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/relation.h"
+
+namespace maywsd::rel {
+
+/// A hash index over one or more columns. The index holds row numbers into
+/// the relation it was built from; it is invalidated by any mutation of the
+/// relation and must then be rebuilt.
+class HashIndex {
+ public:
+  /// Builds an index on `relation` over the named columns.
+  static Result<HashIndex> Build(const Relation& relation,
+                                 const std::vector<std::string>& columns);
+
+  /// Row numbers whose key columns equal `key` (same order as `columns`).
+  /// Collisions are verified; results are exact.
+  std::vector<size_t> Lookup(std::span<const Value> key) const;
+
+  /// True if any row matches `key`.
+  bool Contains(std::span<const Value> key) const;
+
+  /// Number of indexed rows.
+  size_t size() const { return num_rows_; }
+
+ private:
+  HashIndex(const Relation* rel, std::vector<size_t> cols)
+      : relation_(rel), cols_(std::move(cols)) {}
+
+  size_t KeyHashOfRow(size_t row) const;
+  static size_t KeyHash(std::span<const Value> key);
+  bool RowMatches(size_t row, std::span<const Value> key) const;
+
+  const Relation* relation_;
+  std::vector<size_t> cols_;
+  std::unordered_multimap<size_t, size_t> map_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace maywsd::rel
+
+#endif  // MAYWSD_REL_INDEX_H_

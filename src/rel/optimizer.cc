@@ -1,0 +1,145 @@
+#include "rel/optimizer.h"
+
+#include "rel/eval.h"
+
+namespace maywsd::rel {
+
+namespace {
+
+/// True if every attribute referenced by `pred` exists in `schema`.
+bool CoveredBy(const Predicate& pred, const Schema& schema) {
+  for (const auto& name : pred.ReferencedAttributes()) {
+    if (!schema.Contains(name)) return false;
+  }
+  return true;
+}
+
+Result<Plan> Rewrite(const Plan& plan, const Database& db, bool* changed);
+
+Result<Plan> RewriteChildren(const Plan& plan, const Database& db,
+                             bool* changed) {
+  switch (plan.kind()) {
+    case Plan::Kind::kScan:
+      return plan;
+    case Plan::Kind::kSelect: {
+      MAYWSD_ASSIGN_OR_RETURN(Plan c, Rewrite(plan.child(), db, changed));
+      return Plan::Select(plan.predicate(), std::move(c));
+    }
+    case Plan::Kind::kProject: {
+      MAYWSD_ASSIGN_OR_RETURN(Plan c, Rewrite(plan.child(), db, changed));
+      return Plan::Project(plan.attributes(), std::move(c));
+    }
+    case Plan::Kind::kRename: {
+      MAYWSD_ASSIGN_OR_RETURN(Plan c, Rewrite(plan.child(), db, changed));
+      return Plan::Rename(plan.renames(), std::move(c));
+    }
+    case Plan::Kind::kProduct: {
+      MAYWSD_ASSIGN_OR_RETURN(Plan l, Rewrite(plan.left(), db, changed));
+      MAYWSD_ASSIGN_OR_RETURN(Plan r, Rewrite(plan.right(), db, changed));
+      return Plan::Product(std::move(l), std::move(r));
+    }
+    case Plan::Kind::kUnion: {
+      MAYWSD_ASSIGN_OR_RETURN(Plan l, Rewrite(plan.left(), db, changed));
+      MAYWSD_ASSIGN_OR_RETURN(Plan r, Rewrite(plan.right(), db, changed));
+      return Plan::Union(std::move(l), std::move(r));
+    }
+    case Plan::Kind::kDifference: {
+      MAYWSD_ASSIGN_OR_RETURN(Plan l, Rewrite(plan.left(), db, changed));
+      MAYWSD_ASSIGN_OR_RETURN(Plan r, Rewrite(plan.right(), db, changed));
+      return Plan::Difference(std::move(l), std::move(r));
+    }
+    case Plan::Kind::kJoin: {
+      MAYWSD_ASSIGN_OR_RETURN(Plan l, Rewrite(plan.left(), db, changed));
+      MAYWSD_ASSIGN_OR_RETURN(Plan r, Rewrite(plan.right(), db, changed));
+      return Plan::Join(plan.predicate(), std::move(l), std::move(r));
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+Result<Plan> Rewrite(const Plan& plan, const Database& db, bool* changed) {
+  MAYWSD_ASSIGN_OR_RETURN(Plan p, RewriteChildren(plan, db, changed));
+
+  if (p.kind() != Plan::Kind::kSelect && p.kind() != Plan::Kind::kProject) {
+    return p;
+  }
+
+  // Rule 4: merge nested projections (outer list wins; it must be a subset
+  // of the inner list for the plan to be well-formed).
+  if (p.kind() == Plan::Kind::kProject &&
+      p.child().kind() == Plan::Kind::kProject) {
+    *changed = true;
+    return Plan::Project(p.attributes(), p.child().child());
+  }
+
+  if (p.kind() != Plan::Kind::kSelect) return p;
+  const Plan& child = p.child();
+
+  // Rule 1: merge stacked selections into one conjunction.
+  if (child.kind() == Plan::Kind::kSelect) {
+    *changed = true;
+    return Plan::Select(Predicate::And(p.predicate(), child.predicate()),
+                        child.child());
+  }
+
+  // Rule 3: fuse a selection into an existing join's predicate.
+  if (child.kind() == Plan::Kind::kJoin) {
+    *changed = true;
+    return Plan::Join(Predicate::And(p.predicate(), child.predicate()),
+                      child.left(), child.right());
+  }
+
+  // Rule 2: σ(×) — push branch-local conjuncts down, turn the rest into a
+  // join predicate.
+  if (child.kind() == Plan::Kind::kProduct) {
+    MAYWSD_ASSIGN_OR_RETURN(Schema ls, OutputSchema(child.left(), db));
+    MAYWSD_ASSIGN_OR_RETURN(Schema rs, OutputSchema(child.right(), db));
+    std::vector<Predicate> left_local, right_local, cross;
+    for (const Predicate& conj : p.predicate().Conjuncts()) {
+      if (CoveredBy(conj, ls)) {
+        left_local.push_back(conj);
+      } else if (CoveredBy(conj, rs)) {
+        right_local.push_back(conj);
+      } else {
+        cross.push_back(conj);
+      }
+    }
+    Plan l = child.left();
+    Plan r = child.right();
+    if (!left_local.empty()) {
+      l = Plan::Select(Predicate::AndAll(std::move(left_local)), std::move(l));
+    }
+    if (!right_local.empty()) {
+      r = Plan::Select(Predicate::AndAll(std::move(right_local)),
+                       std::move(r));
+    }
+    *changed = true;
+    return Plan::Join(Predicate::AndAll(std::move(cross)), std::move(l),
+                      std::move(r));
+  }
+
+  // Rule 5: distribute selection over union.
+  if (child.kind() == Plan::Kind::kUnion) {
+    *changed = true;
+    return Plan::Union(Plan::Select(p.predicate(), child.left()),
+                       Plan::Select(p.predicate(), child.right()));
+  }
+
+  return p;
+}
+
+}  // namespace
+
+Result<Plan> Optimize(const Plan& plan, const Database& db) {
+  Plan current = plan;
+  // Fixpoint with a generous iteration bound (each rule strictly shrinks or
+  // reshapes; the bound guards against rule-interaction cycles).
+  for (int iter = 0; iter < 64; ++iter) {
+    bool changed = false;
+    MAYWSD_ASSIGN_OR_RETURN(current, Rewrite(current, db, &changed));
+    if (!changed) break;
+  }
+  return current;
+}
+
+}  // namespace maywsd::rel

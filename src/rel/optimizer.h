@@ -1,0 +1,31 @@
+// Rule-based logical optimizer.
+//
+// Section 5 of the paper: "For the evaluation of a query involving join, we
+// merge the product and the selections with join conditions and distribute
+// projections and selections to the operands. When evaluating a query
+// involving several selections and projections on the same relation, we
+// again merge these operators." These are exactly the rewrites implemented
+// here; they are applied both to plain plans (one-world baseline) and, by
+// the UWSDT layer, before translating a plan into UWSDT operations.
+
+#ifndef MAYWSD_REL_OPTIMIZER_H_
+#define MAYWSD_REL_OPTIMIZER_H_
+
+#include "common/status.h"
+#include "rel/algebra.h"
+#include "rel/database.h"
+
+namespace maywsd::rel {
+
+/// Applies rewrite rules until fixpoint:
+///   1. Select(Select(x))        → Select(And, x)          (merge selections)
+///   2. Select(Product(l, r))    → Join / pushed selections (σ(×) fusion)
+///   3. Select(Join(l, r))       → Join with fused predicate
+///   4. Project(Project(x))      → Project(x)              (merge projections)
+///   5. Select(Union(l, r))      → Union(Select(l), Select(r))
+/// `db` supplies schemas for attribute-scoping decisions.
+Result<Plan> Optimize(const Plan& plan, const Database& db);
+
+}  // namespace maywsd::rel
+
+#endif  // MAYWSD_REL_OPTIMIZER_H_

@@ -1,0 +1,159 @@
+#include "rel/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace maywsd::rel {
+
+bool TupleRef::operator==(const TupleRef& o) const {
+  if (arity_ != o.arity_) return false;
+  for (size_t i = 0; i < arity_; ++i) {
+    if (!(data_[i] == o.data_[i])) return false;
+  }
+  return true;
+}
+
+int TupleRef::Compare(const TupleRef& o) const {
+  size_t n = std::min(arity_, o.arity_);
+  for (size_t i = 0; i < n; ++i) {
+    int c = data_[i].Compare(o.data_[i]);
+    if (c != 0) return c;
+  }
+  if (arity_ != o.arity_) return arity_ < o.arity_ ? -1 : 1;
+  return 0;
+}
+
+size_t TupleRef::Hash() const {
+  size_t seed = 0x811c9dc5u;
+  for (size_t i = 0; i < arity_; ++i) {
+    HashCombine(seed, data_[i].Hash());
+  }
+  return seed;
+}
+
+bool TupleRef::HasBottom() const {
+  for (size_t i = 0; i < arity_; ++i) {
+    if (data_[i].is_bottom()) return true;
+  }
+  return false;
+}
+
+std::string TupleRef::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < arity_; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+void Relation::AppendRow(std::span<const Value> values) {
+  assert(values.size() == arity());
+  data_.insert(data_.end(), values.begin(), values.end());
+}
+
+void Relation::AppendRow(std::initializer_list<Value> values) {
+  AppendRow(std::span<const Value>(values.begin(), values.size()));
+}
+
+Status Relation::AppendRowChecked(std::span<const Value> values) {
+  if (values.size() != arity()) {
+    return Status::InvalidArgument(
+        "arity mismatch appending to " + name_ + ": got " +
+        std::to_string(values.size()) + ", want " + std::to_string(arity()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    AttrType t = schema_.attr(i).type;
+    const Value& v = values[i];
+    bool ok = true;
+    switch (t) {
+      case AttrType::kAny:
+        break;
+      case AttrType::kInt:
+        ok = v.is_int() || v.is_bottom() || v.is_question();
+        break;
+      case AttrType::kDouble:
+        ok = v.is_numeric() || v.is_bottom() || v.is_question();
+        break;
+      case AttrType::kString:
+        ok = v.is_string() || v.is_bottom() || v.is_question();
+        break;
+    }
+    if (!ok) {
+      return Status::InvalidArgument(
+          "type mismatch in " + name_ + " attribute " +
+          std::string(schema_.attr(i).name_view()) + ": " + v.ToString());
+    }
+  }
+  AppendRow(values);
+  return Status::Ok();
+}
+
+void Relation::SortDedup() {
+  size_t n = NumRows();
+  if (n <= 1) return;
+  size_t k = arity();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const Value* base = data_.data();
+  auto cmp_idx = [&](uint32_t a, uint32_t b) {
+    return TupleRef(base + a * k, k).Compare(TupleRef(base + b * k, k)) < 0;
+  };
+  std::sort(order.begin(), order.end(), cmp_idx);
+  std::vector<Value> out;
+  out.reserve(data_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && TupleRef(base + order[i] * k, k) ==
+                     TupleRef(base + order[i - 1] * k, k)) {
+      continue;
+    }
+    const Value* src = base + order[i] * k;
+    out.insert(out.end(), src, src + k);
+  }
+  data_ = std::move(out);
+}
+
+bool Relation::IsSetNormalized() const {
+  size_t n = NumRows();
+  for (size_t i = 1; i < n; ++i) {
+    if (row(i - 1).Compare(row(i)) >= 0) return false;
+  }
+  return true;
+}
+
+bool Relation::ContainsRow(std::span<const Value> values) const {
+  if (values.size() != arity()) return false;
+  TupleRef probe(values.data(), values.size());
+  size_t n = NumRows();
+  for (size_t i = 0; i < n; ++i) {
+    if (row(i) == probe) return true;
+  }
+  return false;
+}
+
+bool Relation::EqualsAsSet(const Relation& other) const {
+  if (arity() != other.arity()) return false;
+  Relation a = *this;
+  Relation b = other;
+  a.SortDedup();
+  b.SortDedup();
+  return a.data_ == b.data_;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << (name_.empty() ? "<anon>" : name_) << schema_.ToString() << " ["
+     << NumRows() << " rows]\n";
+  size_t n = std::min(NumRows(), max_rows);
+  for (size_t i = 0; i < n; ++i) {
+    os << "  " << row(i).ToString() << "\n";
+  }
+  if (n < NumRows()) os << "  ... (" << NumRows() - n << " more)\n";
+  return os.str();
+}
+
+}  // namespace maywsd::rel

@@ -1,0 +1,88 @@
+// Relation schemas: ordered lists of named, typed attributes.
+
+#ifndef MAYWSD_REL_SCHEMA_H_
+#define MAYWSD_REL_SCHEMA_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "rel/value.h"
+
+namespace maywsd::rel {
+
+/// Declared attribute type. kAny admits every value kind; the census schema
+/// uses kInt throughout, UWSDT system relations mix types via kAny.
+enum class AttrType : uint8_t { kAny = 0, kInt, kDouble, kString };
+
+/// A named, typed attribute.
+struct Attribute {
+  Symbol name = 0;
+  AttrType type = AttrType::kAny;
+
+  Attribute() = default;
+  Attribute(std::string_view n, AttrType t = AttrType::kAny)
+      : name(InternString(n)), type(t) {}
+
+  std::string_view name_view() const { return SymbolName(name); }
+  bool operator==(const Attribute& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// Ordered attribute list. Lookup by name is linear — arities in this
+/// system are small (≤ ~60 for the census relation, ≤ 5 for UWSDT tables).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Attribute> attrs) : attrs_(attrs) {}
+  explicit Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+
+  /// Builds an all-kAny schema from attribute names.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  size_t arity() const { return attrs_.size(); }
+  const Attribute& attr(size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// Index of the attribute named `name`, or nullopt.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+  std::optional<size_t> IndexOf(Symbol name) const;
+
+  /// True if an attribute with this name exists.
+  bool Contains(std::string_view name) const {
+    return IndexOf(name).has_value();
+  }
+
+  /// Appends an attribute; fails on duplicate names.
+  Status AddAttribute(Attribute attr);
+
+  /// Schema with only the named attributes, in the given order.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// Schema with attribute `from` renamed to `to`.
+  Result<Schema> Rename(std::string_view from, std::string_view to) const;
+
+  /// Concatenation; fails if attribute names collide (paper requires
+  /// products over disjoint attribute sets).
+  Result<Schema> Concat(const Schema& other) const;
+
+  /// Same names and types in the same order.
+  bool operator==(const Schema& o) const { return attrs_ == o.attrs_; }
+  bool operator!=(const Schema& o) const { return !(*this == o); }
+
+  /// "R(A:int, B:any)"-style rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace maywsd::rel
+
+#endif  // MAYWSD_REL_SCHEMA_H_

@@ -1,0 +1,182 @@
+#include "rel/value.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace maywsd::rel {
+
+std::string_view CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) return int_ == other.int_;
+    return AsDouble() == other.AsDouble();
+  }
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ValueKind::kBottom:
+    case ValueKind::kQuestion:
+      return true;
+    case ValueKind::kString:
+      return sym_ == other.sym_;
+    default:
+      return false;  // unreachable: numerics handled above
+  }
+}
+
+namespace {
+
+/// Sort rank of a kind; numerics share a rank so they interleave by value.
+int KindRank(ValueKind k) {
+  switch (k) {
+    case ValueKind::kBottom:
+      return 0;
+    case ValueKind::kInt:
+    case ValueKind::kDouble:
+      return 1;
+    case ValueKind::kString:
+      return 2;
+    case ValueKind::kQuestion:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int lr = KindRank(kind_);
+  int rr = KindRank(other.kind_);
+  if (lr != rr) return lr < rr ? -1 : 1;
+  switch (kind_) {
+    case ValueKind::kBottom:
+    case ValueKind::kQuestion:
+      return 0;
+    case ValueKind::kInt:
+      if (other.is_int()) {
+        if (int_ != other.int_) return int_ < other.int_ ? -1 : 1;
+        return 0;
+      }
+      [[fallthrough]];
+    case ValueKind::kDouble: {
+      double a = AsDouble();
+      double b = other.AsDouble();
+      if (a != b) return a < b ? -1 : 1;
+      return 0;
+    }
+    case ValueKind::kString: {
+      std::string_view a = AsStringView();
+      std::string_view b = other.AsStringView();
+      int c = a.compare(b);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+bool Value::Satisfies(CmpOp op, const Value& other) const {
+  // ⊥ and ? are equal only to themselves and support only (in)equality.
+  bool special = is_bottom() || is_question() || other.is_bottom() ||
+                 other.is_question();
+  // Strings and numbers are incomparable except via <> (which holds).
+  bool mixed = (is_string() && other.is_numeric()) ||
+               (is_numeric() && other.is_string());
+  if (special || mixed) {
+    bool eq = (*this == other);
+    switch (op) {
+      case CmpOp::kEq:
+        return eq;
+      case CmpOp::kNe:
+        return !eq;
+      default:
+        return false;
+    }
+  }
+  int c = Compare(other);
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  size_t seed = 0;
+  switch (kind_) {
+    case ValueKind::kBottom:
+      return 0x6275a5c1u;
+    case ValueKind::kQuestion:
+      return 0x9d2e8f37u;
+    case ValueKind::kInt:
+      HashCombine(seed, std::hash<int64_t>{}(int_));
+      return seed;
+    case ValueKind::kDouble: {
+      // Keep hash consistent with int==double equality: integral doubles
+      // hash like the corresponding int.
+      double d = double_;
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        HashCombine(seed, std::hash<int64_t>{}(static_cast<int64_t>(d)));
+      } else {
+        HashCombine(seed, std::hash<double>{}(d));
+      }
+      return seed;
+    }
+    case ValueKind::kString:
+      HashCombine(seed, 0x51ed270bu);
+      HashCombine(seed, std::hash<Symbol>{}(sym_));
+      return seed;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case ValueKind::kBottom:
+      return "\xe2\x8a\xa5";  // ⊥
+    case ValueKind::kQuestion:
+      return "?";
+    case ValueKind::kInt:
+      return std::to_string(int_);
+    case ValueKind::kDouble: {
+      std::ostringstream os;
+      os << double_;
+      return os.str();
+    }
+    case ValueKind::kString:
+      return "'" + std::string(AsStringView()) + "'";
+  }
+  return "<invalid>";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace maywsd::rel

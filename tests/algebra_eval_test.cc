@@ -1,0 +1,233 @@
+#include "rel/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "rel/optimizer.h"
+#include "tests/test_util.h"
+
+namespace maywsd::rel {
+namespace {
+
+using testutil::I;
+
+Database MakeDb() {
+  Database db;
+  Relation r(Schema::FromNames({"A", "B"}), "R");
+  r.AppendRow({I(1), I(10)});
+  r.AppendRow({I(2), I(20)});
+  r.AppendRow({I(3), I(20)});
+  db.PutRelation(std::move(r));
+  Relation s(Schema::FromNames({"C", "D"}), "S");
+  s.AppendRow({I(10), I(100)});
+  s.AppendRow({I(20), I(200)});
+  db.PutRelation(std::move(s));
+  Relation r2(Schema::FromNames({"A", "B"}), "R2");
+  r2.AppendRow({I(2), I(20)});
+  r2.AppendRow({I(4), I(40)});
+  db.PutRelation(std::move(r2));
+  return db;
+}
+
+TEST(EvalTest, Scan) {
+  Database db = MakeDb();
+  auto out = Evaluate(Plan::Scan("R"), db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 3u);
+  EXPECT_EQ(Evaluate(Plan::Scan("nope"), db).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(EvalTest, SelectConst) {
+  Database db = MakeDb();
+  auto out = Evaluate(
+      Plan::Select(Predicate::Cmp("B", CmpOp::kEq, I(20)), Plan::Scan("R")),
+      db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 2u);
+}
+
+TEST(EvalTest, SelectAttrAttrAndBoolOps) {
+  Database db = MakeDb();
+  // A <> 2 AND (B = 10 OR B = 20) — everything except row A=2.
+  Predicate p = Predicate::And(
+      Predicate::Cmp("A", CmpOp::kNe, I(2)),
+      Predicate::Or(Predicate::Cmp("B", CmpOp::kEq, I(10)),
+                    Predicate::Cmp("B", CmpOp::kEq, I(20))));
+  auto out = Evaluate(Plan::Select(p, Plan::Scan("R")), db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 2u);
+  auto not_out = Evaluate(
+      Plan::Select(Predicate::Not(p), Plan::Scan("R")), db);
+  ASSERT_TRUE(not_out.ok());
+  EXPECT_EQ(not_out->NumRows(), 1u);
+}
+
+TEST(EvalTest, SelectUnknownAttributeFails) {
+  Database db = MakeDb();
+  auto out = Evaluate(
+      Plan::Select(Predicate::Cmp("Z", CmpOp::kEq, I(1)), Plan::Scan("R")),
+      db);
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EvalTest, ProjectDeduplicates) {
+  Database db = MakeDb();
+  auto out = Evaluate(Plan::Project({"B"}, Plan::Scan("R")), db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 2u);  // 10, 20
+  EXPECT_EQ(out->schema().arity(), 1u);
+}
+
+TEST(EvalTest, Product) {
+  Database db = MakeDb();
+  auto out = Evaluate(Plan::Product(Plan::Scan("R"), Plan::Scan("S")), db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 6u);
+  EXPECT_EQ(out->schema().arity(), 4u);
+}
+
+TEST(EvalTest, ProductAttributeCollisionFails) {
+  Database db = MakeDb();
+  auto out = Evaluate(Plan::Product(Plan::Scan("R"), Plan::Scan("R2")), db);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(EvalTest, UnionAndSchemaCheck) {
+  Database db = MakeDb();
+  auto out = Evaluate(Plan::Union(Plan::Scan("R"), Plan::Scan("R2")), db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 4u);  // {1,2,3,4} rows; (2,20) merged
+  EXPECT_FALSE(Evaluate(Plan::Union(Plan::Scan("R"), Plan::Scan("S")), db)
+                   .ok());
+}
+
+TEST(EvalTest, Difference) {
+  Database db = MakeDb();
+  auto out =
+      Evaluate(Plan::Difference(Plan::Scan("R"), Plan::Scan("R2")), db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 2u);  // rows A=1, A=3
+}
+
+TEST(EvalTest, Rename) {
+  Database db = MakeDb();
+  auto out = Evaluate(Plan::Rename({{"A", "X"}}, Plan::Scan("R")), db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->schema().Contains("X"));
+  EXPECT_FALSE(out->schema().Contains("A"));
+}
+
+TEST(EvalTest, HashJoinMatchesProductSelect) {
+  Database db = MakeDb();
+  Predicate join_pred = Predicate::CmpAttr("B", CmpOp::kEq, "C");
+  auto join = Evaluate(
+      Plan::Join(join_pred, Plan::Scan("R"), Plan::Scan("S")), db);
+  auto prod_sel = Evaluate(
+      Plan::Select(join_pred, Plan::Product(Plan::Scan("R"), Plan::Scan("S"))),
+      db);
+  ASSERT_TRUE(join.ok());
+  ASSERT_TRUE(prod_sel.ok());
+  EXPECT_TRUE(join->EqualsAsSet(*prod_sel));
+  EXPECT_EQ(join->NumRows(), 3u);
+}
+
+TEST(EvalTest, JoinWithResidualPredicate) {
+  Database db = MakeDb();
+  Predicate pred = Predicate::And(Predicate::CmpAttr("B", CmpOp::kEq, "C"),
+                                  Predicate::Cmp("A", CmpOp::kGt, I(1)));
+  auto out =
+      Evaluate(Plan::Join(pred, Plan::Scan("R"), Plan::Scan("S")), db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 2u);
+}
+
+TEST(EvalTest, JoinWithoutEqualityFallsBackToNestedLoop) {
+  Database db = MakeDb();
+  Predicate pred = Predicate::CmpAttr("B", CmpOp::kLt, "C");
+  auto out =
+      Evaluate(Plan::Join(pred, Plan::Scan("R"), Plan::Scan("S")), db);
+  ASSERT_TRUE(out.ok());
+  // B=10 < C=20 (1 row); B=10 < C=10 no; B=20 < 20 no.
+  EXPECT_EQ(out->NumRows(), 1u);
+}
+
+TEST(EvalTest, OutputSchema) {
+  Database db = MakeDb();
+  auto s = OutputSchema(
+      Plan::Project({"B"}, Plan::Select(Predicate::True(), Plan::Scan("R"))),
+      db);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->arity(), 1u);
+  EXPECT_EQ(s->attr(0).name_view(), "B");
+}
+
+TEST(OptimizerTest, MergesSelectsAndFormsJoin) {
+  Database db = MakeDb();
+  Plan plan = Plan::Select(
+      Predicate::CmpAttr("B", CmpOp::kEq, "C"),
+      Plan::Select(Predicate::Cmp("A", CmpOp::kGt, I(0)),
+                   Plan::Product(Plan::Scan("R"), Plan::Scan("S"))));
+  auto opt = Optimize(plan, db);
+  ASSERT_TRUE(opt.ok());
+  // Expect a join at the top after fusion.
+  EXPECT_EQ(opt->kind(), Plan::Kind::kJoin);
+  auto a = Evaluate(plan, db);
+  auto b = Evaluate(*opt, db);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->EqualsAsSet(*b));
+}
+
+TEST(OptimizerTest, PushesSelectionsIntoProductBranches) {
+  Database db = MakeDb();
+  Plan plan = Plan::Select(
+      Predicate::And(Predicate::Cmp("A", CmpOp::kGt, I(1)),
+                     Predicate::Cmp("D", CmpOp::kEq, I(200))),
+      Plan::Product(Plan::Scan("R"), Plan::Scan("S")));
+  auto opt = Optimize(plan, db);
+  ASSERT_TRUE(opt.ok());
+  auto a = Evaluate(plan, db);
+  auto b = Evaluate(*opt, db);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->EqualsAsSet(*b));
+  // Both branch selections must have been pushed below the join.
+  EXPECT_EQ(opt->kind(), Plan::Kind::kJoin);
+  EXPECT_EQ(opt->left().kind(), Plan::Kind::kSelect);
+  EXPECT_EQ(opt->right().kind(), Plan::Kind::kSelect);
+}
+
+TEST(OptimizerTest, DistributesSelectOverUnion) {
+  Database db = MakeDb();
+  Plan plan = Plan::Select(Predicate::Cmp("B", CmpOp::kEq, I(20)),
+                           Plan::Union(Plan::Scan("R"), Plan::Scan("R2")));
+  auto opt = Optimize(plan, db);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->kind(), Plan::Kind::kUnion);
+  auto a = Evaluate(plan, db);
+  auto b = Evaluate(*opt, db);
+  EXPECT_TRUE(a->EqualsAsSet(*b));
+}
+
+TEST(PredicateTest, ConjunctsFlattening) {
+  Predicate p = Predicate::And(
+      Predicate::Cmp("A", CmpOp::kEq, I(1)),
+      Predicate::And(Predicate::Cmp("B", CmpOp::kEq, I(2)),
+                     Predicate::CmpAttr("A", CmpOp::kLt, "B")));
+  EXPECT_EQ(p.Conjuncts().size(), 3u);
+  EXPECT_EQ(Predicate::True().Conjuncts().size(), 0u);
+}
+
+TEST(PredicateTest, ReferencedAttributes) {
+  Predicate p = Predicate::Or(Predicate::Cmp("A", CmpOp::kEq, I(1)),
+                              Predicate::CmpAttr("B", CmpOp::kLt, "C"));
+  auto attrs = p.ReferencedAttributes();
+  EXPECT_EQ(attrs.size(), 3u);
+}
+
+TEST(PredicateTest, AndAllEmptyIsTrue) {
+  EXPECT_TRUE(Predicate::AndAll({}).is_true());
+}
+
+}  // namespace
+}  // namespace maywsd::rel

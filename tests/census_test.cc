@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "census/dependencies.h"
+#include "census/ipums.h"
+#include "census/noise.h"
+#include "census/queries.h"
+#include "core/chase.h"
+#include "rel/eval.h"
+#include "tests/test_util.h"
+
+namespace maywsd::census {
+namespace {
+
+using testutil::I;
+
+TEST(CensusSchemaTest, HasFiftyMultipleChoiceAttributes) {
+  CensusSchema schema = CensusSchema::Standard();
+  EXPECT_EQ(schema.arity(), 50u);
+  for (const CensusAttribute& a : schema.attributes()) {
+    EXPECT_GE(a.domain_size, 2) << a.name;
+  }
+  // The attributes used by Figures 25 and 29 are present.
+  for (const char* name :
+       {"CITIZEN", "IMMIGR", "FEB55", "MILITARY", "KOREAN", "VIETNAM",
+        "WWII", "MARITAL", "RSPOUSE", "LANG1", "ENGLISH", "RPOB", "SCHOOL",
+        "YEARSCH", "POWSTATE", "POB", "FERTIL"}) {
+    EXPECT_GT(schema.DomainOf(name), 0) << name;
+  }
+  // Eight POWSTATE codes above 50 (the Q5 "eight states").
+  EXPECT_EQ(schema.DomainOf("POWSTATE") - 51, 8);
+}
+
+TEST(CensusGeneratorTest, DeterministicAndInDomain) {
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation a = GenerateCensus(schema, 100, 7);
+  rel::Relation b = GenerateCensus(schema, 100, 7);
+  EXPECT_TRUE(a.EqualsAsSet(b));
+  rel::Relation c = GenerateCensus(schema, 100, 8);
+  EXPECT_FALSE(a.EqualsAsSet(c));
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    for (size_t col = 0; col < a.arity(); ++col) {
+      int64_t v = a.row(r)[col].AsInt();
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, schema.attributes()[col].domain_size);
+    }
+  }
+}
+
+TEST(CensusGeneratorTest, BaseDataSatisfiesAllDependencies) {
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation base = GenerateCensus(schema, 2000, 42);
+  for (const core::Dependency& dep : CensusDependencies("R")) {
+    const core::Egd& egd = std::get<core::Egd>(dep);
+    auto pidx = base.schema().IndexOf(egd.premises[0].attr);
+    auto cidx = base.schema().IndexOf(egd.conclusion.attr);
+    ASSERT_TRUE(pidx && cidx);
+    for (size_t r = 0; r < base.NumRows(); ++r) {
+      if (base.row(r)[*pidx].Satisfies(egd.premises[0].op,
+                                       egd.premises[0].constant)) {
+        EXPECT_TRUE(base.row(r)[*cidx].Satisfies(egd.conclusion.op,
+                                                 egd.conclusion.constant))
+            << egd.ToString() << " violated at row " << r;
+      }
+    }
+  }
+}
+
+TEST(NoiseTest, DensityAndOrSetSizes) {
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation base = GenerateCensus(schema, 2000, 1);
+  NoiseReport report;
+  auto wsdt = MakeNoisyWsdt(base, schema, 0.001, 5, &report);
+  ASSERT_TRUE(wsdt.ok());
+  ASSERT_TRUE(wsdt->Validate().ok());
+  EXPECT_EQ(report.fields_total, 2000u * 50u);
+  // Density 0.1% of 100k fields ≈ 100 placeholders (loose 3σ bounds).
+  EXPECT_GT(report.placeholders, 60u);
+  EXPECT_LT(report.placeholders, 160u);
+  // Average or-set size ≈ 3.5 (paper's measured average).
+  EXPECT_GT(report.avg_orset_size, 2.5);
+  EXPECT_LT(report.avg_orset_size, 4.5);
+  // One single-placeholder component per noisy field.
+  core::WsdtStats stats = wsdt->ComputeStats();
+  EXPECT_EQ(stats.num_components, report.placeholders);
+  EXPECT_EQ(stats.num_components_multi, 0u);
+}
+
+TEST(NoiseTest, OrSetsContainOriginalValue) {
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation base = GenerateCensus(schema, 200, 2);
+  auto wsdt = MakeNoisyWsdt(base, schema, 0.01, 3).value();
+  const rel::Relation* tmpl = wsdt.Template("R").value();
+  for (size_t i : wsdt.LiveComponents()) {
+    const core::Component& comp = wsdt.component(i);
+    ASSERT_EQ(comp.NumFields(), 1u);
+    const core::FieldKey& f = comp.field(0);
+    rel::Value original = base.row(f.tuple)[*base.schema().IndexOf(
+        std::string(SymbolName(f.attr)))];
+    bool found = false;
+    for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+      if (comp.at(w, 0) == original) found = true;
+    }
+    EXPECT_TRUE(found) << f.ToString();
+    EXPECT_TRUE(tmpl->row(f.tuple)[*tmpl->schema().IndexOf(
+                                       std::string(SymbolName(f.attr)))]
+                    .is_question());
+  }
+}
+
+TEST(NoiseTest, OrSetRelationPathAgrees) {
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation base = GenerateCensus(schema, 20, 3);
+  auto orset = MakeNoisyOrSetRelation(base, schema, 0.02, 9);
+  ASSERT_TRUE(orset.ok());
+  auto wsd = orset->ToWsd();
+  ASSERT_TRUE(wsd.ok());
+  EXPECT_TRUE(wsd->Validate().ok());
+  // Same seed ⇒ same placeholder count as the WSDT path.
+  NoiseReport report;
+  auto wsdt = MakeNoisyWsdt(base, schema, 0.02, 9, &report);
+  ASSERT_TRUE(wsdt.ok());
+  size_t orset_uncertain = 0;
+  for (size_t r = 0; r < orset->NumRows(); ++r) {
+    for (size_t a = 0; a < schema.arity(); ++a) {
+      if (!orset->field(r, a).certain()) ++orset_uncertain;
+    }
+  }
+  EXPECT_EQ(orset_uncertain, report.placeholders);
+}
+
+TEST(CensusQueriesTest, AllSixEvaluateOnOneWorld) {
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation base = GenerateCensus(schema, 3000, 11);
+  rel::Database db;
+  db.PutRelation(base);
+  for (int i = 1; i <= 6; ++i) {
+    auto out = rel::Evaluate(CensusQuery(i, "R"), db);
+    ASSERT_TRUE(out.ok()) << "Q" << i << ": " << out.status();
+  }
+  // Selectivity sanity (paper: Q4 very unselective, Q1 selective).
+  auto q1 = rel::Evaluate(CensusQuery(1, "R"), db).value();
+  auto q4 = rel::Evaluate(CensusQuery(4, "R"), db).value();
+  EXPECT_LT(q1.NumRows(), q4.NumRows());
+  // Q5's schema is the renamed join schema.
+  auto q5 = rel::Evaluate(CensusQuery(5, "R"), db).value();
+  EXPECT_TRUE(q5.schema().Contains("P1"));
+  EXPECT_TRUE(q5.schema().Contains("P2"));
+  EXPECT_EQ(q5.schema().arity(), 6u);
+}
+
+TEST(CensusDependenciesTest, TwelveEgds) {
+  auto deps = CensusDependencies("R");
+  EXPECT_EQ(deps.size(), 12u);
+  for (const core::Dependency& dep : deps) {
+    EXPECT_TRUE(std::holds_alternative<core::Egd>(dep));
+  }
+}
+
+}  // namespace
+}  // namespace maywsd::census

@@ -1,0 +1,247 @@
+#include "core/chase.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/normalize.h"
+#include "core/orset.h"
+#include "core/worldset.h"
+#include "tests/test_util.h"
+
+namespace maywsd::core {
+namespace {
+
+using testutil::I;
+using testutil::S;
+
+/// The introduction's or-set database (32 worlds).
+Wsd IntroWsd() {
+  OrSetRelation r(rel::Schema::FromNames({"S", "N", "M"}), "R");
+  EXPECT_TRUE(r.AppendRow({{I(185), I(785)}, {S("Smith")}, {I(1), I(2)}})
+                  .ok());
+  EXPECT_TRUE(
+      r.AppendRow({{I(185), I(186)}, {S("Brown")}, {I(1), I(2), I(3), I(4)}})
+          .ok());
+  return r.ToWsd().value();
+}
+
+/// Figure 4's probabilistic WSD (see confidence_test.cc for the layout).
+Wsd Figure4() {
+  Wsd wsd;
+  EXPECT_TRUE(wsd.AddRelation("R", rel::Schema::FromNames({"S", "N", "M"}), 2)
+                  .ok());
+  Component c1({FieldKey("R", 0, "S"), FieldKey("R", 1, "S")});
+  c1.AddWorld({I(185), I(186)}, 0.2);
+  c1.AddWorld({I(785), I(185)}, 0.4);
+  c1.AddWorld({I(785), I(186)}, 0.4);
+  EXPECT_TRUE(wsd.AddComponent(std::move(c1)).ok());
+  Component c2({FieldKey("R", 0, "N")});
+  c2.AddWorld({S("Smith")}, 1.0);
+  EXPECT_TRUE(wsd.AddComponent(std::move(c2)).ok());
+  Component c3({FieldKey("R", 0, "M")});
+  c3.AddWorld({I(1)}, 0.7);
+  c3.AddWorld({I(2)}, 0.3);
+  EXPECT_TRUE(wsd.AddComponent(std::move(c3)).ok());
+  Component c4({FieldKey("R", 1, "N")});
+  c4.AddWorld({S("Brown")}, 1.0);
+  EXPECT_TRUE(wsd.AddComponent(std::move(c4)).ok());
+  Component c5({FieldKey("R", 1, "M")});
+  for (int i = 1; i <= 4; ++i) c5.AddWorld({I(i)}, 0.25);
+  EXPECT_TRUE(wsd.AddComponent(std::move(c5)).ok());
+  return wsd;
+}
+
+TEST(ChaseTest, IntroKeyConstraintLeaves24Worlds) {
+  // "Social security numbers are unique" = FD S→N (names differ, so equal
+  // SSNs are excluded): 8 of the 32 worlds die (Section 1).
+  Wsd wsd = IntroWsd();
+  Fd fd{"R", {"S"}, "N"};
+  ASSERT_TRUE(ChaseFd(wsd, fd).ok());
+  ASSERT_TRUE(wsd.Validate().ok());
+  auto worlds = CollapseWorlds(wsd.EnumerateWorlds(1000).value());
+  EXPECT_EQ(worlds.size(), 24u);
+  // The S-pair component now matches Figure 3: {(185,186),(785,185),
+  // (785,186)}.
+  FieldLoc loc = wsd.Locate(FieldKey("R", 0, "S")).value();
+  const Component& comp = wsd.component(loc.comp);
+  EXPECT_EQ(comp.NumWorlds(), 3u);
+}
+
+TEST(ChaseTest, Figure22EgdChase) {
+  // Chasing S=785 ⇒ M=1 on Figure 4 composes {t0.S,t1.S} with {t0.M} and
+  // renormalizes to the probabilities printed in Figure 22.
+  Wsd wsd = Figure4();
+  Egd egd;
+  egd.relation = "R";
+  egd.premises = {{"S", rel::CmpOp::kEq, I(785)}};
+  egd.conclusion = {"M", rel::CmpOp::kEq, I(1)};
+  ASSERT_TRUE(ChaseEgd(wsd, egd).ok());
+  ASSERT_TRUE(wsd.Validate().ok());
+  // Find the composed component holding t0.S, t1.S and t0.M.
+  FieldLoc loc = wsd.Locate(FieldKey("R", 0, "S")).value();
+  const Component& comp = wsd.component(loc.comp);
+  ASSERT_EQ(comp.NumFields(), 3u);
+  ASSERT_EQ(comp.NumWorlds(), 4u);
+  int cs0 = comp.FindField(FieldKey("R", 0, "S"));
+  int cs1 = comp.FindField(FieldKey("R", 1, "S"));
+  int cm0 = comp.FindField(FieldKey("R", 0, "M"));
+  ASSERT_GE(cs0, 0);
+  ASSERT_GE(cs1, 0);
+  ASSERT_GE(cm0, 0);
+  std::map<std::string, double> got;
+  for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+    std::string key = comp.at(w, cs0).ToString() + "," +
+                      comp.at(w, cs1).ToString() + "," +
+                      comp.at(w, cm0).ToString();
+    got[key] = comp.prob(w);
+  }
+  // Figure 22 values: 0.1842, 0.0790, 0.3684, 0.3684 (renormalized /0.76).
+  EXPECT_NEAR(got["185,186,1"], 0.2 * 0.7 / 0.76, 1e-9);
+  EXPECT_NEAR(got["185,186,2"], 0.2 * 0.3 / 0.76, 1e-9);
+  EXPECT_NEAR(got["785,185,1"], 0.4 * 0.7 / 0.76, 1e-9);
+  EXPECT_NEAR(got["785,186,1"], 0.4 * 0.7 / 0.76, 1e-9);
+}
+
+TEST(ChaseTest, Figure23OrderIndependentSemantics) {
+  // Chasing {d1 = B→C, d2 = (A=1 ⇒ B≠2)} in either order yields the same
+  // world-set; d2-first avoids all composition (Figure 23(e)).
+  auto make = []() {
+    Wsd wsd;
+    EXPECT_TRUE(
+        wsd.AddRelation("R", rel::Schema::FromNames({"A", "B", "C"}), 2)
+            .ok());
+    auto add = [&](TupleId t, const char* attr,
+                   std::vector<std::pair<int64_t, double>> vals) {
+      Component c({FieldKey("R", t, attr)});
+      for (auto [v, p] : vals) c.AddWorld({I(v)}, p);
+      EXPECT_TRUE(wsd.AddComponent(std::move(c)).ok());
+    };
+    add(0, "A", {{1, 1.0}});
+    add(0, "B", {{1, 0.5}, {2, 0.5}});
+    add(0, "C", {{5, 1.0}});
+    add(1, "A", {{2, 1.0}});
+    add(1, "B", {{2, 0.5}, {3, 0.5}});
+    add(1, "C", {{5, 0.5}, {6, 0.5}});
+    return wsd;
+  };
+  Fd d1{"R", {"B"}, "C"};
+  Egd d2;
+  d2.relation = "R";
+  d2.premises = {{"A", rel::CmpOp::kEq, I(1)}};
+  d2.conclusion = {"B", rel::CmpOp::kNe, I(2)};
+
+  Wsd w12 = make();
+  ASSERT_TRUE(Chase(w12, {d1, d2}).ok());
+  Wsd w21 = make();
+  ASSERT_TRUE(Chase(w21, {d2, d1}).ok());
+  auto r12 = w12.EnumerateWorlds(10000).value();
+  auto r21 = w21.EnumerateWorlds(10000).value();
+  EXPECT_TRUE(WorldSetsEquivalent(r12, r21));
+  // d2-first never composes: six single-field components remain.
+  EXPECT_EQ(w21.NumLiveComponents(), 6u);
+  // The oracle agrees.
+  Wsd base = make();
+  auto filtered = FilterWorldsByDependencies(
+      base.EnumerateWorlds(10000).value(), {d1, d2});
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_TRUE(WorldSetsEquivalent(*filtered, r12));
+}
+
+TEST(ChaseTest, InconsistentWorldSetReported) {
+  // A certain tuple violating an EGD kills every world.
+  Wsd wsd;
+  ASSERT_TRUE(
+      wsd.AddRelation("R", rel::Schema::FromNames({"A", "B"}), 1).ok());
+  Component c({FieldKey("R", 0, "A"), FieldKey("R", 0, "B")});
+  c.AddWorld({I(1), I(5)}, 1.0);
+  ASSERT_TRUE(wsd.AddComponent(std::move(c)).ok());
+  Egd egd;
+  egd.relation = "R";
+  egd.premises = {{"A", rel::CmpOp::kEq, I(1)}};
+  egd.conclusion = {"B", rel::CmpOp::kEq, I(0)};
+  EXPECT_EQ(ChaseEgd(wsd, egd).code(), StatusCode::kInconsistent);
+}
+
+TEST(ChaseTest, VacuousOnAbsentTuples) {
+  // A tuple that is absent in some worlds cannot violate there: chasing
+  // must keep the absent-tuple worlds alive.
+  Wsd wsd;
+  ASSERT_TRUE(
+      wsd.AddRelation("R", rel::Schema::FromNames({"A", "B"}), 1).ok());
+  Component c({FieldKey("R", 0, "A"), FieldKey("R", 0, "B")});
+  c.AddWorld({I(1), I(5)}, 0.5);  // violates A=1 ⇒ B=0
+  c.AddWorld({testutil::Bot(), testutil::Bot()}, 0.5);  // absent: vacuous
+  ASSERT_TRUE(wsd.AddComponent(std::move(c)).ok());
+  Egd egd;
+  egd.relation = "R";
+  egd.premises = {{"A", rel::CmpOp::kEq, I(1)}};
+  egd.conclusion = {"B", rel::CmpOp::kEq, I(0)};
+  ASSERT_TRUE(ChaseEgd(wsd, egd).ok());
+  auto worlds = CollapseWorlds(wsd.EnumerateWorlds(100).value());
+  ASSERT_EQ(worlds.size(), 1u);
+  EXPECT_EQ(worlds[0].db.GetRelation("R").value()->NumRows(), 0u);
+  EXPECT_NEAR(worlds[0].prob, 1.0, 1e-9);
+}
+
+TEST(ChaseTest, EgdSkipsWhenPremiseImpossible) {
+  // The Section 8 refinement: no composition when the premise can never
+  // hold — the components stay untouched.
+  Wsd wsd = Figure4();
+  size_t before = wsd.NumLiveComponents();
+  Egd egd;
+  egd.relation = "R";
+  egd.premises = {{"S", rel::CmpOp::kEq, I(999)}};
+  egd.conclusion = {"M", rel::CmpOp::kEq, I(1)};
+  ASSERT_TRUE(ChaseEgd(wsd, egd).ok());
+  EXPECT_EQ(wsd.NumLiveComponents(), before);
+}
+
+class ChaseProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaseProperty, MatchesBruteForceFiltering) {
+  Rng rng(GetParam());
+  Wsd wsd = testutil::RandomWsd(rng, {{"R", {"A", "B", "C"}, 3, 2}}, 4);
+  auto before = wsd.EnumerateWorlds(100000).value();
+
+  std::vector<Dependency> deps;
+  Egd egd;
+  egd.relation = "R";
+  egd.premises = {{"A", rel::CmpOp::kEq, I(0)}};
+  egd.conclusion = {"B", rel::CmpOp::kNe, I(1)};
+  deps.push_back(egd);
+  deps.push_back(Fd{"R", {"A"}, "B"});
+
+  auto expected = FilterWorldsByDependencies(before, deps);
+  Status st = Chase(wsd, deps);
+  if (!expected.ok()) {
+    EXPECT_EQ(st.code(), StatusCode::kInconsistent) << "seed " << GetParam();
+    return;
+  }
+  ASSERT_TRUE(st.ok()) << st;
+  ASSERT_TRUE(wsd.Validate().ok());
+  auto after = wsd.EnumerateWorlds(100000).value();
+  EXPECT_TRUE(WorldSetsEquivalent(*expected, after))
+      << "seed " << GetParam();
+}
+
+TEST_P(ChaseProperty, TwoAttributeFdMatchesBruteForce) {
+  Rng rng(GetParam() + 300);
+  Wsd wsd = testutil::RandomWsd(rng, {{"R", {"A", "B", "C"}, 3, 2}}, 3);
+  auto before = wsd.EnumerateWorlds(100000).value();
+  std::vector<Dependency> deps{Fd{"R", {"A", "B"}, "C"}};
+  auto expected = FilterWorldsByDependencies(before, deps);
+  Status st = Chase(wsd, deps);
+  if (!expected.ok()) {
+    EXPECT_EQ(st.code(), StatusCode::kInconsistent);
+    return;
+  }
+  ASSERT_TRUE(st.ok()) << st;
+  auto after = wsd.EnumerateWorlds(100000).value();
+  EXPECT_TRUE(WorldSetsEquivalent(*expected, after));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaseProperty, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace maywsd::core

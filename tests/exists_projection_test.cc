@@ -1,0 +1,252 @@
+// The "exists column" projection (Section 4 Discussion): projection
+// without component composition. Tests cover oracle equivalence, the
+// no-composition guarantee, interaction with every downstream operator,
+// confidence computation over presence fields, and the fold-back
+// conversion (EliminatePresenceFields).
+
+#include <gtest/gtest.h>
+
+#include "core/chase.h"
+#include "core/confidence.h"
+#include "core/normalize.h"
+#include "core/wsd_algebra.h"
+#include "core/wsdt.h"
+#include "core/worldset.h"
+#include "tests/test_util.h"
+
+namespace maywsd::core {
+namespace {
+
+using rel::CmpOp;
+using rel::Plan;
+using rel::Predicate;
+using testutil::I;
+
+/// Largest local-world count across live components.
+size_t MaxComponentWorlds(const Wsd& wsd) {
+  size_t m = 0;
+  for (size_t i : wsd.LiveComponents()) {
+    m = std::max(m, wsd.component(i).NumWorlds());
+  }
+  return m;
+}
+
+/// A WSD shaped to make compose-based projection expensive: the kept
+/// attribute A of all `n` tuples shares one component, while each dropped
+/// attribute B carries its own conditional-presence component. π_A with
+/// composition chains every B component into the shared one (2^n rows);
+/// the exists-column projection stays linear.
+Wsd AdversarialProjectionInput(int n) {
+  Wsd wsd;
+  EXPECT_TRUE(
+      wsd.AddRelation("R", rel::Schema::FromNames({"A", "B"}),
+                      static_cast<TupleId>(n))
+          .ok());
+  std::vector<FieldKey> a_fields;
+  for (int t = 0; t < n; ++t) a_fields.emplace_back("R", t, "A");
+  Component shared(a_fields);
+  std::vector<rel::Value> row0, row1;
+  for (int t = 0; t < n; ++t) {
+    row0.push_back(I(t));
+    row1.push_back(I(t + 100));
+  }
+  shared.AddWorld(row0, 0.5);
+  shared.AddWorld(row1, 0.5);
+  EXPECT_TRUE(wsd.AddComponent(std::move(shared)).ok());
+  for (int t = 0; t < n; ++t) {
+    Component c({FieldKey("R", t, "B")});
+    c.AddWorld({I(7)}, 0.5);
+    c.AddWorld({testutil::Bot()}, 0.5);
+    EXPECT_TRUE(wsd.AddComponent(std::move(c)).ok());
+  }
+  return wsd;
+}
+
+TEST(ExistsProjectionTest, MatchesComposeProjectionOnFigure15) {
+  // The Figure 15 scenario through the exists path.
+  Wsd wsd;
+  ASSERT_TRUE(
+      wsd.AddRelation("R", rel::Schema::FromNames({"A", "B"}), 2).ok());
+  {
+    Component c({FieldKey("R", 0, "A")});
+    c.AddWorld({testutil::S("a")}, 1.0);
+    ASSERT_TRUE(wsd.AddComponent(std::move(c)).ok());
+  }
+  {
+    Component c({FieldKey("R", 1, "A")});
+    c.AddWorld({testutil::S("b")}, 1.0);
+    ASSERT_TRUE(wsd.AddComponent(std::move(c)).ok());
+  }
+  {
+    Component c({FieldKey("R", 0, "B"), FieldKey("R", 1, "B")});
+    c.AddWorld({testutil::S("c"), testutil::Bot()}, 0.5);
+    c.AddWorld({testutil::Bot(), testutil::S("d")}, 0.5);
+    ASSERT_TRUE(wsd.AddComponent(std::move(c)).ok());
+  }
+  auto before = wsd.EnumerateWorlds(1000).value();
+  auto expected = EvaluatePerWorld(
+      before, Plan::Project({"A"}, Plan::Scan("R")), "P");
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(WsdProjectExists(wsd, "R", "P", {"A"}).ok());
+  ASSERT_TRUE(wsd.Validate().ok());
+  auto actual = wsd.EnumerateWorlds(10000, {"P"}).value();
+  EXPECT_TRUE(WorldSetsEquivalent(*expected, actual));
+}
+
+TEST(ExistsProjectionTest, NoCompositionOnAdversarialInput) {
+  constexpr int kN = 10;
+  Wsd compose_wsd = AdversarialProjectionInput(kN);
+  Wsd exists_wsd = AdversarialProjectionInput(kN);
+  ASSERT_TRUE(WsdProject(compose_wsd, "R", "P", {"A"}).ok());
+  ASSERT_TRUE(WsdProjectExists(exists_wsd, "R", "P", {"A"}).ok());
+  // Compose-based projection blows up exponentially; the exists column
+  // keeps every component at its original size.
+  EXPECT_GE(MaxComponentWorlds(compose_wsd), 1u << kN);
+  EXPECT_EQ(MaxComponentWorlds(exists_wsd), 2u);
+  // Both are correct.
+  auto a = compose_wsd.EnumerateWorlds(1u << 20, {"P"}).value();
+  auto b = exists_wsd.EnumerateWorlds(1u << 20, {"P"}).value();
+  EXPECT_TRUE(WorldSetsEquivalent(a, b));
+}
+
+TEST(ExistsProjectionTest, EliminatePresenceFieldsRoundTrip) {
+  Wsd wsd = AdversarialProjectionInput(4);
+  ASSERT_TRUE(WsdProjectExists(wsd, "R", "P", {"A"}).ok());
+  EXPECT_TRUE(wsd.HasPresenceFields());
+  auto before = wsd.EnumerateWorlds(100000).value();
+  ASSERT_TRUE(wsd.EliminatePresenceFields().ok());
+  EXPECT_FALSE(wsd.HasPresenceFields());
+  ASSERT_TRUE(wsd.Validate().ok());
+  auto after = wsd.EnumerateWorlds(100000).value();
+  EXPECT_TRUE(WorldSetsEquivalent(before, after));
+}
+
+TEST(ExistsProjectionTest, DownstreamOperatorsSeePresence) {
+  // Select, union, product and difference applied after an
+  // exists-projection must still treat conditionally-present tuples
+  // correctly (presence fields are copied along).
+  Wsd base = AdversarialProjectionInput(3);
+  ASSERT_TRUE(WsdProjectExists(base, "R", "P", {"A"}).ok());
+  auto p_worlds = base.EnumerateWorlds(100000, {"P"}).value();
+
+  {  // σ on P.
+    Wsd wsd = base;
+    auto expected = EvaluatePerWorld(
+        p_worlds, Plan::Select(Predicate::Cmp("A", CmpOp::kGe, I(100)),
+                               Plan::Scan("P")),
+        "OUT");
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(
+        WsdSelectConst(wsd, "P", "OUT", "A", CmpOp::kGe, I(100)).ok());
+    auto actual = wsd.EnumerateWorlds(1000000, {"OUT"}).value();
+    EXPECT_TRUE(WorldSetsEquivalent(*expected, actual)) << "select";
+  }
+  {  // P ∪ P (idempotent per world).
+    Wsd wsd = base;
+    auto expected =
+        EvaluatePerWorld(p_worlds, Plan::Scan("P"), "OUT");
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(WsdUnion(wsd, "P", "P", "OUT").ok());
+    auto actual = wsd.EnumerateWorlds(1000000, {"OUT"}).value();
+    EXPECT_TRUE(WorldSetsEquivalent(*expected, actual)) << "union";
+  }
+  {  // P − P is empty in every world.
+    Wsd wsd = base;
+    ASSERT_TRUE(WsdDifference(wsd, "P", "P", "OUT").ok());
+    auto actual =
+        CollapseWorlds(wsd.EnumerateWorlds(1000000, {"OUT"}).value());
+    ASSERT_EQ(actual.size(), 1u);
+    EXPECT_EQ(actual[0].db.GetRelation("OUT").value()->NumRows(), 0u);
+  }
+  {  // Another projection on top (chains presence fields).
+    Wsd wsd = base;
+    auto expected =
+        EvaluatePerWorld(p_worlds, Plan::Project({"A"}, Plan::Scan("P")),
+                         "OUT");
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(WsdProjectExists(wsd, "P", "OUT", {"A"}).ok());
+    auto actual = wsd.EnumerateWorlds(1000000, {"OUT"}).value();
+    EXPECT_TRUE(WorldSetsEquivalent(*expected, actual)) << "re-project";
+  }
+}
+
+TEST(ExistsProjectionTest, ConfidenceOverPresenceFields) {
+  Wsd wsd = AdversarialProjectionInput(3);
+  ASSERT_TRUE(WsdProjectExists(wsd, "R", "P", {"A"}).ok());
+  // Tuple (0) exists iff t0's B was present: confidence 0.5 × P(A-world 0).
+  std::vector<rel::Value> t{I(0)};
+  auto conf = TupleConfidence(wsd, "P", t);
+  ASSERT_TRUE(conf.ok());
+  EXPECT_NEAR(*conf, 0.25, 1e-9);
+  auto possible = PossibleTuples(wsd, "P").value();
+  EXPECT_EQ(possible.NumRows(), 6u);  // {0,1,2} and {100,101,102}
+}
+
+TEST(ExistsProjectionTest, ChaseOverPresenceFields) {
+  // An EGD on P must treat conditionally-present tuples vacuously.
+  Wsd wsd = AdversarialProjectionInput(2);
+  ASSERT_TRUE(WsdProjectExists(wsd, "R", "P", {"A"}).ok());
+  auto before = wsd.EnumerateWorlds(100000).value();
+  Egd egd;
+  egd.relation = "P";
+  egd.premises = {{"A", rel::CmpOp::kGe, I(0)}};
+  egd.conclusion = {"A", rel::CmpOp::kLt, I(100)};
+  std::vector<Dependency> deps{egd};
+  auto expected = FilterWorldsByDependencies(before, deps);
+  Status st = ChaseEgd(wsd, egd);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(st.ok()) << st;
+  auto after = wsd.EnumerateWorlds(100000).value();
+  // Compare only the P relation (the chase on P also constrains R via the
+  // shared components, as it must — P is a copy of R's fields).
+  auto restrict = [](std::vector<PossibleWorld> worlds) {
+    for (auto& w : worlds) {
+      rel::Relation p = *w.db.GetRelation("P").value();
+      rel::Database db;
+      db.PutRelation(std::move(p));
+      w.db = std::move(db);
+    }
+    return worlds;
+  };
+  EXPECT_TRUE(
+      WorldSetsEquivalent(restrict(*expected), restrict(after)));
+}
+
+TEST(ExistsProjectionTest, FromWsdFoldsPresenceFields) {
+  Wsd wsd = AdversarialProjectionInput(3);
+  ASSERT_TRUE(WsdProjectExists(wsd, "R", "P", {"A"}).ok());
+  auto before = wsd.EnumerateWorlds(100000).value();
+  auto wsdt = Wsdt::FromWsd(wsd);
+  ASSERT_TRUE(wsdt.ok());
+  ASSERT_TRUE(wsdt->Validate().ok());
+  auto after = wsdt->ToWsd().value().EnumerateWorlds(100000).value();
+  EXPECT_TRUE(WorldSetsEquivalent(before, after));
+}
+
+class ExistsProjectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExistsProjectionProperty, AgreesWithComposeProjection) {
+  Rng rng(GetParam());
+  Wsd a = testutil::RandomWsd(rng, {{"R", {"A", "B", "C"}, 3, 2}}, 4);
+  Wsd b = a;
+  Wsd c = a;
+  ASSERT_TRUE(WsdProject(a, "R", "P", {"A"}).ok());
+  ASSERT_TRUE(WsdProjectExists(b, "R", "P", {"A"}).ok());
+  auto wa = a.EnumerateWorlds(1000000, {"P"}).value();
+  auto wb = b.EnumerateWorlds(1000000, {"P"}).value();
+  EXPECT_TRUE(WorldSetsEquivalent(wa, wb)) << "seed " << GetParam();
+  // After a selection (introduces ⊥s), too.
+  ASSERT_TRUE(WsdSelectConst(c, "R", "S1", "B", CmpOp::kEq, I(1)).ok());
+  Wsd d = c;
+  ASSERT_TRUE(WsdProject(c, "S1", "P", {"A"}).ok());
+  ASSERT_TRUE(WsdProjectExists(d, "S1", "P", {"A"}).ok());
+  auto wc = c.EnumerateWorlds(1000000, {"P"}).value();
+  auto wd = d.EnumerateWorlds(1000000, {"P"}).value();
+  EXPECT_TRUE(WorldSetsEquivalent(wc, wd)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExistsProjectionProperty,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace maywsd::core

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rel/csv.h"
+#include "rel/index.h"
+#include "tests/test_util.h"
+
+namespace maywsd::rel {
+namespace {
+
+using testutil::I;
+using testutil::S;
+
+Relation MakeR() {
+  Relation r(Schema({Attribute("A", AttrType::kInt),
+                     Attribute("B", AttrType::kInt)}),
+             "R");
+  r.AppendRow({I(1), I(10)});
+  r.AppendRow({I(2), I(20)});
+  r.AppendRow({I(2), I(21)});
+  return r;
+}
+
+TEST(HashIndexTest, SingleColumnLookup) {
+  Relation r = MakeR();
+  auto idx = HashIndex::Build(r, {"A"});
+  ASSERT_TRUE(idx.ok());
+  std::vector<Value> key{I(2)};
+  auto rows = idx->Lookup(key);
+  EXPECT_EQ(rows.size(), 2u);
+  key[0] = I(9);
+  EXPECT_TRUE(idx->Lookup(key).empty());
+  EXPECT_FALSE(idx->Contains(key));
+}
+
+TEST(HashIndexTest, MultiColumnLookup) {
+  Relation r = MakeR();
+  auto idx = HashIndex::Build(r, {"A", "B"});
+  ASSERT_TRUE(idx.ok());
+  std::vector<Value> key{I(2), I(21)};
+  EXPECT_EQ(idx->Lookup(key).size(), 1u);
+}
+
+TEST(HashIndexTest, UnknownColumnFails) {
+  Relation r = MakeR();
+  EXPECT_EQ(HashIndex::Build(r, {"Z"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvTest, RoundTripWithTypesAndSpecials) {
+  Relation r(Schema({Attribute("A", AttrType::kInt),
+                     Attribute("B", AttrType::kString),
+                     Attribute("C", AttrType::kDouble)}),
+             "T");
+  r.AppendRow({I(1), S("hello"), Value::Double(2.5)});
+  r.AppendRow({Value::Bottom(), S("with,comma"), Value::Double(-1)});
+  r.AppendRow({I(3), Value::Question(), Value::Double(0)});
+  r.AppendRow({I(4), S("quote\"inside"), Value::Double(9)});
+
+  std::ostringstream os;
+  ASSERT_TRUE(WriteCsv(r, os).ok());
+  std::istringstream is(os.str());
+  auto back = ReadCsv(is, "T");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->NumRows(), r.NumRows());
+  for (size_t i = 0; i < r.NumRows(); ++i) {
+    EXPECT_EQ(back->row(i), r.row(i)) << "row " << i;
+  }
+}
+
+TEST(CsvTest, RejectsArityMismatch) {
+  std::istringstream is("A:int,B:int\n1,2\n3\n");
+  EXPECT_FALSE(ReadCsv(is, "T").ok());
+}
+
+TEST(CsvTest, ParsesAnyTypedCells) {
+  std::istringstream is("A:any\n42\n2.5\nfoo\n");
+  auto r = ReadCsv(is, "T");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->row(0)[0].is_int());
+  EXPECT_TRUE(r->row(1)[0].is_double());
+  EXPECT_TRUE(r->row(2)[0].is_string());
+}
+
+}  // namespace
+}  // namespace maywsd::rel

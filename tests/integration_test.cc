@@ -1,0 +1,153 @@
+// End-to-end pipeline tests: generate census data, inject or-set noise,
+// chase the Figure 25 dependencies, evaluate the Figure 29 queries, and
+// check representation invariants — the full Section 9 workflow at test
+// scale.
+
+#include <gtest/gtest.h>
+
+#include "census/dependencies.h"
+#include "census/ipums.h"
+#include "census/noise.h"
+#include "census/queries.h"
+#include "core/confidence.h"
+#include "core/uniform.h"
+#include "core/wsdt_algebra.h"
+#include "core/wsdt_chase.h"
+#include "core/worldset.h"
+#include "rel/eval.h"
+#include "rel/optimizer.h"
+#include "tests/test_util.h"
+
+namespace maywsd {
+namespace {
+
+using census::CensusDependencies;
+using census::CensusQuery;
+using census::CensusSchema;
+using census::GenerateCensus;
+using census::MakeNoisyWsdt;
+using core::Wsdt;
+using core::WsdtStats;
+
+TEST(IntegrationTest, FullPipelineSmallScale) {
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation base = GenerateCensus(schema, 400, 2026);
+  census::NoiseReport report;
+  auto wsdt_or = MakeNoisyWsdt(base, schema, 0.005, 17, &report);
+  ASSERT_TRUE(wsdt_or.ok());
+  Wsdt wsdt = std::move(wsdt_or).value();
+  EXPECT_GT(report.placeholders, 0u);
+
+  // Clean.
+  ASSERT_TRUE(core::WsdtChase(wsdt, CensusDependencies("R")).ok());
+  ASSERT_TRUE(wsdt.Validate().ok());
+  WsdtStats after_chase = wsdt.ComputeStats();
+  EXPECT_EQ(after_chase.template_rows, base.NumRows());
+  EXPECT_LE(after_chase.num_components, report.placeholders);
+
+  // Query: all six of Figure 29.
+  for (int i = 1; i <= 6; ++i) {
+    std::string out = "Q" + std::to_string(i);
+    Status st = core::WsdtEvaluate(wsdt, CensusQuery(i, "R"), out);
+    ASSERT_TRUE(st.ok()) << "Q" << i << ": " << st;
+    ASSERT_TRUE(wsdt.Validate().ok()) << "Q" << i;
+  }
+  WsdtStats final_stats = wsdt.ComputeStats();
+  EXPECT_GT(final_stats.template_rows, after_chase.template_rows);
+}
+
+TEST(IntegrationTest, ZeroDensityQueriesMatchOneWorld) {
+  // With no placeholders the WSDT path must return exactly the classical
+  // result (the paper's 0% baseline).
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation base = GenerateCensus(schema, 1500, 5);
+  rel::Database db;
+  db.PutRelation(base);
+  auto wsdt_or = MakeNoisyWsdt(base, schema, 0.0, 1);
+  ASSERT_TRUE(wsdt_or.ok());
+  Wsdt wsdt = std::move(wsdt_or).value();
+  for (int i = 1; i <= 6; ++i) {
+    std::string out = "Q" + std::to_string(i);
+    ASSERT_TRUE(core::WsdtEvaluate(wsdt, CensusQuery(i, "R"), out).ok());
+    auto expected = rel::Evaluate(CensusQuery(i, "R"), db).value();
+    rel::Relation got = *wsdt.Template(out).value();
+    got.SortDedup();
+    EXPECT_TRUE(got.EqualsAsSet(expected)) << "Q" << i;
+  }
+}
+
+TEST(IntegrationTest, NoisyQueryMatchesPerWorldOracle) {
+  // Tiny noisy instance: the WSDT query results, expanded to worlds, equal
+  // per-world evaluation (Theorem 1 across the whole pipeline).
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation base = GenerateCensus(schema, 30, 77);
+  auto wsdt_or = MakeNoisyWsdt(base, schema, 0.004, 3);
+  ASSERT_TRUE(wsdt_or.ok());
+  Wsdt wsdt = std::move(wsdt_or).value();
+  auto wsd = wsdt.ToWsd().value();
+  auto worlds_or = wsd.EnumerateWorlds(100000);
+  if (!worlds_or.ok()) GTEST_SKIP() << "too many worlds for the oracle";
+  for (int i : {1, 2, 4, 6}) {
+    auto expected =
+        core::EvaluatePerWorld(*worlds_or, CensusQuery(i, "R"), "OUT");
+    ASSERT_TRUE(expected.ok());
+    Wsdt copy = wsdt;
+    ASSERT_TRUE(core::WsdtEvaluate(copy, CensusQuery(i, "R"), "OUT").ok());
+    auto actual =
+        copy.ToWsd().value().EnumerateWorlds(1000000, {"OUT"}).value();
+    EXPECT_TRUE(core::WorldSetsEquivalent(*expected, actual)) << "Q" << i;
+  }
+}
+
+TEST(IntegrationTest, ChasePreservesOriginalWorld) {
+  // The noise-free record satisfies all dependencies, so the original
+  // world survives cleaning with positive probability.
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation base = GenerateCensus(schema, 25, 31);
+  auto wsdt_or = MakeNoisyWsdt(base, schema, 0.02, 8);
+  ASSERT_TRUE(wsdt_or.ok());
+  Wsdt wsdt = std::move(wsdt_or).value();
+  ASSERT_TRUE(core::WsdtChase(wsdt, CensusDependencies("R")).ok());
+  // Every base tuple is still possible.
+  auto wsd = wsdt.ToWsd().value();
+  for (size_t r = 0; r < base.NumRows(); ++r) {
+    auto conf = core::TupleConfidence(wsd, "R", base.row(r).span());
+    ASSERT_TRUE(conf.ok());
+    EXPECT_GT(*conf, 0.0) << "base tuple " << r << " lost";
+  }
+}
+
+TEST(IntegrationTest, UniformEncodingOfCensusData) {
+  // Export/import of a noisy census WSDT through the C/F/W encoding.
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation base = GenerateCensus(schema, 60, 13);
+  auto wsdt = MakeNoisyWsdt(base, schema, 0.01, 21).value();
+  auto db = core::ExportUniform(wsdt);
+  ASSERT_TRUE(db.ok());
+  auto back = core::ImportUniform(*db);
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(back->Validate().ok());
+  WsdtStats a = wsdt.ComputeStats();
+  WsdtStats b = back->ComputeStats();
+  EXPECT_EQ(a.num_components, b.num_components);
+  EXPECT_EQ(a.c_size, b.c_size);
+  EXPECT_EQ(a.template_rows, b.template_rows);
+}
+
+TEST(IntegrationTest, OptimizerPlansAgreeOnWsdtPath) {
+  // Evaluating the optimized plan yields the same result relation.
+  CensusSchema schema = CensusSchema::Standard();
+  rel::Relation base = GenerateCensus(schema, 500, 3);
+  rel::Database db;
+  db.PutRelation(base);
+  for (int i = 1; i <= 6; ++i) {
+    auto opt = rel::Optimize(CensusQuery(i, "R"), db);
+    ASSERT_TRUE(opt.ok()) << "Q" << i;
+    auto a = rel::Evaluate(CensusQuery(i, "R"), db).value();
+    auto b = rel::Evaluate(*opt, db).value();
+    EXPECT_TRUE(a.EqualsAsSet(b)) << "Q" << i;
+  }
+}
+
+}  // namespace
+}  // namespace maywsd

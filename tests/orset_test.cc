@@ -1,0 +1,116 @@
+#include "core/orset.h"
+
+#include <gtest/gtest.h>
+
+#include "core/confidence.h"
+#include "tests/test_util.h"
+
+namespace maywsd::core {
+namespace {
+
+using testutil::I;
+using testutil::S;
+
+TEST(OrSetTest, IntroExampleWorldCount) {
+  // The introduction's or-set relation: 2·2·2·4 = 32 worlds (names certain).
+  OrSetRelation r(rel::Schema::FromNames({"S", "N", "M"}), "R");
+  ASSERT_TRUE(r.AppendRow({{I(185), I(785)}, {S("Smith")}, {I(1), I(2)}})
+                  .ok());
+  ASSERT_TRUE(
+      r.AppendRow({{I(185), I(186)}, {S("Brown")}, {I(1), I(2), I(3), I(4)}})
+          .ok());
+  EXPECT_EQ(r.WorldCount(1000), 32u);
+  auto wsd = r.ToWsd();
+  ASSERT_TRUE(wsd.ok());
+  EXPECT_TRUE(wsd->Validate().ok());
+  // WSD size is linear in the or-set relation: one component per field.
+  EXPECT_EQ(wsd->NumLiveComponents(), 6u);
+  EXPECT_EQ(wsd->EnumerateWorlds(100)->size(), 32u);
+}
+
+TEST(OrSetTest, ExplicitProbabilities) {
+  OrSetRelation r(rel::Schema::FromNames({"A"}), "R");
+  ASSERT_TRUE(r.AppendRow({OrSetField({I(1), I(2)}, {0.7, 0.3})}).ok());
+  auto wsd = r.ToWsd().value();
+  auto worlds = CollapseWorlds(wsd.EnumerateWorlds(10).value());
+  ASSERT_EQ(worlds.size(), 2u);
+  for (const auto& w : worlds) {
+    int64_t v = w.db.GetRelation("R").value()->row(0)[0].AsInt();
+    EXPECT_NEAR(w.prob, v == 1 ? 0.7 : 0.3, 1e-9);
+  }
+}
+
+TEST(OrSetTest, RejectsBadRows) {
+  OrSetRelation r(rel::Schema::FromNames({"A", "B"}), "R");
+  EXPECT_FALSE(r.AppendRow({{I(1)}}).ok());              // arity
+  EXPECT_FALSE(r.AppendRow({{I(1)}, OrSetField{}}).ok());  // empty or-set
+  EXPECT_FALSE(
+      r.AppendRow({{I(1)}, OrSetField({I(1), I(2)}, {0.5, 0.2})}).ok());
+}
+
+/// The tuple-independent probabilistic database of Figure 6: S with s1
+/// (conf 0.8) and s2 (conf 0.5), T with t1 (conf 0.6) — eight worlds with
+/// the probabilities listed in Figure 6(b).
+TupleIndependentDb Figure6() {
+  TupleIndependentDb db;
+  EXPECT_TRUE(db.AddRelation("S", rel::Schema::FromNames({"A", "B"})).ok());
+  EXPECT_TRUE(db.AddRelation("T", rel::Schema::FromNames({"C", "D"})).ok());
+  EXPECT_TRUE(db.AddTuple("S", {S("m"), I(1)}, 0.8).ok());
+  EXPECT_TRUE(db.AddTuple("S", {S("n"), I(1)}, 0.5).ok());
+  EXPECT_TRUE(db.AddTuple("T", {I(1), S("p")}, 0.6).ok());
+  return db;
+}
+
+TEST(TupleIndependentTest, Figure6WorldProbabilities) {
+  TupleIndependentDb db = Figure6();
+  EXPECT_EQ(db.WorldCount(100), 8u);
+  auto wsd = db.ToWsd();
+  ASSERT_TRUE(wsd.ok());
+  EXPECT_TRUE(wsd->Validate().ok());
+  // One component per tuple (Figure 7).
+  EXPECT_EQ(wsd->NumLiveComponents(), 3u);
+  auto worlds = CollapseWorlds(wsd->EnumerateWorlds(100).value());
+  ASSERT_EQ(worlds.size(), 8u);
+  // Check D3 = {s2, t1} with probability (1-0.8)·0.5·0.6 = 0.06.
+  bool found = false;
+  for (const auto& w : worlds) {
+    const rel::Relation* s = w.db.GetRelation("S").value();
+    const rel::Relation* t = w.db.GetRelation("T").value();
+    if (s->NumRows() == 1 && s->row(0)[0] == S("n") && t->NumRows() == 1) {
+      EXPECT_NEAR(w.prob, 0.06, 1e-9);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TupleIndependentTest, ConfidenceRecoversInputConfidences) {
+  auto wsd = Figure6().ToWsd().value();
+  std::vector<rel::Value> s1{S("m"), I(1)};
+  std::vector<rel::Value> s2{S("n"), I(1)};
+  std::vector<rel::Value> t1{I(1), S("p")};
+  EXPECT_NEAR(TupleConfidence(wsd, "S", s1).value(), 0.8, 1e-9);
+  EXPECT_NEAR(TupleConfidence(wsd, "S", s2).value(), 0.5, 1e-9);
+  EXPECT_NEAR(TupleConfidence(wsd, "T", t1).value(), 0.6, 1e-9);
+}
+
+TEST(TupleIndependentTest, CertainTupleHasNoEmptyWorld) {
+  TupleIndependentDb db;
+  ASSERT_TRUE(db.AddRelation("S", rel::Schema::FromNames({"A"})).ok());
+  ASSERT_TRUE(db.AddTuple("S", {I(1)}, 1.0).ok());
+  auto wsd = db.ToWsd().value();
+  auto worlds = wsd.EnumerateWorlds(10).value();
+  ASSERT_EQ(worlds.size(), 1u);
+  EXPECT_EQ(worlds[0].db.GetRelation("S").value()->NumRows(), 1u);
+}
+
+TEST(TupleIndependentTest, RejectsBadInput) {
+  TupleIndependentDb db;
+  ASSERT_TRUE(db.AddRelation("S", rel::Schema::FromNames({"A"})).ok());
+  EXPECT_FALSE(db.AddTuple("Z", {I(1)}, 0.5).ok());
+  EXPECT_FALSE(db.AddTuple("S", {I(1), I(2)}, 0.5).ok());
+  EXPECT_FALSE(db.AddTuple("S", {I(1)}, 1.5).ok());
+}
+
+}  // namespace
+}  // namespace maywsd::core

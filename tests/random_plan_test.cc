@@ -1,0 +1,172 @@
+// Randomized whole-plan property tests: random relational algebra trees
+// are evaluated through (a) per-world brute force, (b) the Figure 9 WSD
+// operators, and (c) the Section 5 WSDT operators — all three must agree
+// on every seed (Theorem 1 end to end, including operator composition
+// effects like ⊥-propagation across stacked operators).
+
+#include <gtest/gtest.h>
+
+#include "rel/eval.h"
+#include "rel/optimizer.h"
+#include "core/wsd_algebra.h"
+#include "core/wsdt_algebra.h"
+#include "core/worldset.h"
+#include "tests/test_util.h"
+
+namespace maywsd::core {
+namespace {
+
+using rel::CmpOp;
+using rel::Plan;
+using rel::Predicate;
+using testutil::I;
+using testutil::RelSpec;
+
+/// Draws a random comparison predicate over attributes of `attrs`.
+Predicate RandomPredicate(Rng& rng, const std::vector<std::string>& attrs,
+                          int depth) {
+  auto random_cmp = [&]() {
+    CmpOp ops[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kGe};
+    CmpOp op = ops[rng.Uniform(4)];
+    const std::string& lhs = attrs[rng.Uniform(attrs.size())];
+    if (attrs.size() > 1 && rng.Bernoulli(0.3)) {
+      const std::string& rhs = attrs[rng.Uniform(attrs.size())];
+      return Predicate::CmpAttr(lhs, op, rhs);
+    }
+    return Predicate::Cmp(lhs, op, I(static_cast<int64_t>(rng.Uniform(3))));
+  };
+  if (depth <= 0 || rng.Bernoulli(0.5)) return random_cmp();
+  switch (rng.Uniform(3)) {
+    case 0:
+      return Predicate::And(RandomPredicate(rng, attrs, depth - 1),
+                            RandomPredicate(rng, attrs, depth - 1));
+    case 1:
+      return Predicate::Or(RandomPredicate(rng, attrs, depth - 1),
+                           RandomPredicate(rng, attrs, depth - 1));
+    default:
+      return Predicate::Not(RandomPredicate(rng, attrs, depth - 1));
+  }
+}
+
+/// Draws a random plan. Attribute bookkeeping: R and R2 have {A,B},
+/// S has {C,D}; combining operators are chosen so schemas stay valid.
+Plan RandomPlan(Rng& rng, int depth, std::vector<std::string>* out_attrs) {
+  if (depth <= 0) {
+    switch (rng.Uniform(3)) {
+      case 0:
+        *out_attrs = {"A", "B"};
+        return Plan::Scan("R");
+      case 1:
+        *out_attrs = {"A", "B"};
+        return Plan::Scan("R2");
+      default:
+        *out_attrs = {"C", "D"};
+        return Plan::Scan("S");
+    }
+  }
+  switch (rng.Uniform(5)) {
+    case 0: {  // selection
+      Plan child = RandomPlan(rng, depth - 1, out_attrs);
+      return Plan::Select(RandomPredicate(rng, *out_attrs, 1),
+                          std::move(child));
+    }
+    case 1: {  // projection to one attribute
+      Plan child = RandomPlan(rng, depth - 1, out_attrs);
+      std::string keep = (*out_attrs)[rng.Uniform(out_attrs->size())];
+      *out_attrs = {keep};
+      return Plan::Project({keep}, std::move(child));
+    }
+    case 2: {  // union of two same-leaf subplans
+      *out_attrs = {"A", "B"};
+      return Plan::Union(Plan::Scan("R"), Plan::Scan("R2"));
+    }
+    case 3: {  // difference
+      *out_attrs = {"A", "B"};
+      Plan left = Plan::Select(RandomPredicate(rng, *out_attrs, 0),
+                               Plan::Scan("R"));
+      return Plan::Difference(std::move(left), Plan::Scan("R2"));
+    }
+    default: {  // join R ⋈ S
+      *out_attrs = {"A", "B", "C", "D"};
+      return Plan::Join(Predicate::CmpAttr("A", CmpOp::kEq, "C"),
+                        Plan::Scan("R"), Plan::Scan("S"));
+    }
+  }
+}
+
+class RandomPlanProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPlanProperty, AllThreePathsAgree) {
+  Rng rng(GetParam() * 7919 + 13);
+  std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 2, 3},
+                                RelSpec{"S", {"C", "D"}, 2, 3},
+                                RelSpec{"R2", {"A", "B"}, 2, 3}};
+  for (int round = 0; round < 3; ++round) {
+    Wsd wsd = testutil::RandomWsd(rng, specs, 3);
+    std::vector<std::string> attrs;
+    Plan plan = RandomPlan(rng, 2, &attrs);
+
+    auto worlds = wsd.EnumerateWorlds(100000);
+    ASSERT_TRUE(worlds.ok());
+    auto expected = EvaluatePerWorld(*worlds, plan, "OUT");
+    ASSERT_TRUE(expected.ok()) << plan.ToString();
+
+    // Path (b): WSD operators.
+    Wsd wsd_copy = wsd;
+    Status st = WsdEvaluate(wsd_copy, plan, "OUT");
+    ASSERT_TRUE(st.ok()) << plan.ToString() << ": " << st;
+    auto wsd_out = wsd_copy.EnumerateWorlds(4000000, {"OUT"});
+    ASSERT_TRUE(wsd_out.ok()) << plan.ToString();
+    EXPECT_TRUE(WorldSetsEquivalent(*expected, *wsd_out))
+        << "WSD path disagrees on " << plan.ToString() << " seed "
+        << GetParam();
+
+    // Path (c): WSDT operators.
+    auto wsdt_or = Wsdt::FromWsd(wsd);
+    ASSERT_TRUE(wsdt_or.ok());
+    Wsdt wsdt = std::move(wsdt_or).value();
+    st = WsdtEvaluate(wsdt, plan, "OUT");
+    ASSERT_TRUE(st.ok()) << plan.ToString() << ": " << st;
+    ASSERT_TRUE(wsdt.Validate().ok()) << plan.ToString();
+    auto wsdt_out =
+        wsdt.ToWsd().value().EnumerateWorlds(4000000, {"OUT"});
+    ASSERT_TRUE(wsdt_out.ok()) << plan.ToString();
+    EXPECT_TRUE(WorldSetsEquivalent(*expected, *wsdt_out))
+        << "WSDT path disagrees on " << plan.ToString() << " seed "
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlanProperty, ::testing::Range(0, 20));
+
+class OptimizerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerProperty, OptimizedPlansAgreeOnPlainEvaluation) {
+  // The engine optimizer must preserve set-semantics results on random
+  // plans and random instances.
+  Rng rng(GetParam() * 31 + 5);
+  std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 3, 3},
+                                RelSpec{"S", {"C", "D"}, 3, 3},
+                                RelSpec{"R2", {"A", "B"}, 3, 3}};
+  for (int round = 0; round < 5; ++round) {
+    auto worlds = testutil::RandomWorlds(rng, specs, 1);
+    const rel::Database& db = worlds[0].db;
+    std::vector<std::string> attrs;
+    Plan plan = RandomPlan(rng, 2, &attrs);
+    // Wrap in one more selection so the optimizer has something to push.
+    plan = Plan::Select(RandomPredicate(rng, attrs, 1), std::move(plan));
+    auto opt = rel::Optimize(plan, db);
+    ASSERT_TRUE(opt.ok()) << plan.ToString();
+    auto a = rel::Evaluate(plan, db);
+    auto b = rel::Evaluate(*opt, db);
+    ASSERT_TRUE(a.ok()) << plan.ToString();
+    ASSERT_TRUE(b.ok()) << opt->ToString();
+    EXPECT_TRUE(a->EqualsAsSet(*b))
+        << "plan: " << plan.ToString() << "\nopt: " << opt->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerProperty, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace maywsd::core

@@ -1,0 +1,78 @@
+// Shared helpers for the MayWSD test suite: tiny-world-set generators and
+// the oracle-equivalence assertion used by the randomized property tests.
+
+#ifndef MAYWSD_TESTS_TEST_UTIL_H_
+#define MAYWSD_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/normalize.h"
+#include "core/wsd.h"
+#include "core/worldset.h"
+#include "rel/relation.h"
+
+namespace maywsd::testutil {
+
+inline rel::Value I(int64_t v) { return rel::Value::Int(v); }
+inline rel::Value S(const char* s) { return rel::Value::String(s); }
+inline rel::Value Bot() { return rel::Value::Bottom(); }
+inline rel::Value Q() { return rel::Value::Question(); }
+
+/// Spec of one relation for the random world-set generator.
+struct RelSpec {
+  std::string name;
+  std::vector<std::string> attrs;
+  size_t max_rows = 2;   ///< rows per world drawn in [0, max_rows]
+  int64_t domain = 3;    ///< values drawn in [0, domain)
+};
+
+/// Draws `num_worlds` random worlds over the given relations with random
+/// normalized probabilities. Deterministic in `rng`.
+inline std::vector<core::PossibleWorld> RandomWorlds(
+    Rng& rng, const std::vector<RelSpec>& specs, size_t num_worlds) {
+  std::vector<core::PossibleWorld> worlds;
+  double total = 0;
+  for (size_t w = 0; w < num_worlds; ++w) {
+    core::PossibleWorld world;
+    world.prob = 1.0 + static_cast<double>(rng.Uniform(8));
+    total += world.prob;
+    for (const RelSpec& spec : specs) {
+      rel::Relation r(rel::Schema::FromNames(spec.attrs), spec.name);
+      size_t rows = rng.Uniform(spec.max_rows + 1);
+      std::vector<rel::Value> row(spec.attrs.size());
+      for (size_t i = 0; i < rows; ++i) {
+        for (size_t a = 0; a < spec.attrs.size(); ++a) {
+          row[a] = rel::Value::Int(static_cast<int64_t>(
+              rng.Uniform(static_cast<uint64_t>(spec.domain))));
+        }
+        r.AppendRow(row);
+      }
+      r.SortDedup();
+      world.db.PutRelation(std::move(r));
+    }
+    worlds.push_back(std::move(world));
+  }
+  for (core::PossibleWorld& w : worlds) w.prob /= total;
+  return worlds;
+}
+
+/// Builds a WSD from random worlds and (optionally) decomposes it so the
+/// tests exercise genuinely multi-component decompositions.
+inline core::Wsd RandomWsd(Rng& rng, const std::vector<RelSpec>& specs,
+                           size_t num_worlds, bool decompose = true) {
+  std::vector<core::PossibleWorld> worlds =
+      RandomWorlds(rng, specs, num_worlds);
+  auto wsd_or = core::WsdFromWorlds(worlds);
+  core::Wsd wsd = std::move(wsd_or).value();
+  if (decompose) {
+    Status st = core::NormalizeWsd(wsd);
+    (void)st;
+  }
+  return wsd;
+}
+
+}  // namespace maywsd::testutil
+
+#endif  // MAYWSD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,131 @@
+#include "core/worldset.h"
+
+#include <gtest/gtest.h>
+
+#include "rel/eval.h"
+#include "tests/test_util.h"
+
+namespace maywsd::core {
+namespace {
+
+using testutil::I;
+using testutil::RandomWorlds;
+using testutil::RelSpec;
+
+std::vector<PossibleWorld> TwoWorlds() {
+  // World 1: R = {(1,2)}, world 2: R = {(1,2),(3,4)}.
+  std::vector<PossibleWorld> worlds(2);
+  rel::Relation r1(rel::Schema::FromNames({"A", "B"}), "R");
+  r1.AppendRow({I(1), I(2)});
+  worlds[0].db.PutRelation(r1);
+  worlds[0].prob = 0.25;
+  rel::Relation r2(rel::Schema::FromNames({"A", "B"}), "R");
+  r2.AppendRow({I(1), I(2)});
+  r2.AppendRow({I(3), I(4)});
+  worlds[1].db.PutRelation(r2);
+  worlds[1].prob = 0.75;
+  return worlds;
+}
+
+TEST(WorldSetTest, DeriveInlinedSchema) {
+  auto schema = DeriveInlinedSchema(TwoWorlds());
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema->relations.size(), 1u);
+  EXPECT_EQ(schema->relations[0].max_tuples, 2);
+  // Flat schema has |R|max × arity columns.
+  EXPECT_EQ(schema->ToFlatSchema().arity(), 4u);
+}
+
+TEST(WorldSetTest, InlineUsesBottomPadding) {
+  auto worlds = TwoWorlds();
+  auto schema = DeriveInlinedSchema(worlds).value();
+  auto wsr = InlineWorlds(worlds, schema);
+  ASSERT_TRUE(wsr.ok());
+  ASSERT_EQ(wsr->NumRows(), 2u);
+  // World 1 is padded with a t⊥ tuple.
+  EXPECT_TRUE(wsr->row(0).HasBottom());
+  EXPECT_FALSE(wsr->row(1).HasBottom());
+}
+
+TEST(WorldSetTest, InlineUninlineRoundTrip) {
+  auto worlds = TwoWorlds();
+  auto schema = DeriveInlinedSchema(worlds).value();
+  auto wsr = InlineWorlds(worlds, schema).value();
+  std::vector<double> probs{0.25, 0.75};
+  auto back = UninlineWorlds(wsr, schema, probs);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(WorldSetsEquivalent(worlds, *back));
+}
+
+TEST(WorldSetTest, WsdFromWorldsIsOneComponent) {
+  auto wsd = WsdFromWorlds(TwoWorlds());
+  ASSERT_TRUE(wsd.ok());
+  EXPECT_EQ(wsd->NumLiveComponents(), 1u);
+  EXPECT_TRUE(wsd->Validate().ok());
+  auto rep = wsd->EnumerateWorlds(100);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_TRUE(WorldSetsEquivalent(TwoWorlds(), *rep));
+}
+
+TEST(WorldSetTest, WsdFromWorldsEmptyFails) {
+  EXPECT_FALSE(WsdFromWorlds({}).ok());
+}
+
+TEST(WorldSetTest, CollapseWorldsMergesDuplicates) {
+  auto worlds = TwoWorlds();
+  auto more = TwoWorlds();
+  worlds.insert(worlds.end(), more.begin(), more.end());
+  auto collapsed = CollapseWorlds(worlds);
+  EXPECT_EQ(collapsed.size(), 2u);
+  double total = 0;
+  for (const auto& w : collapsed) total += w.prob;
+  EXPECT_NEAR(total, 2.0, 1e-9);
+}
+
+TEST(WorldSetTest, EvaluatePerWorld) {
+  auto worlds = TwoWorlds();
+  rel::Plan q = rel::Plan::Select(
+      rel::Predicate::Cmp("A", rel::CmpOp::kGt, I(1)), rel::Plan::Scan("R"));
+  auto out = EvaluatePerWorld(worlds, q, "OUT");
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ((*out)[0].db.GetRelation("OUT").value()->NumRows(), 0u);
+  EXPECT_EQ((*out)[1].db.GetRelation("OUT").value()->NumRows(), 1u);
+}
+
+TEST(WorldSetTest, RandomRoundTripThroughWsd) {
+  Rng rng(77);
+  for (int iter = 0; iter < 20; ++iter) {
+    auto worlds = RandomWorlds(
+        rng, {RelSpec{"R", {"A", "B"}, 2, 3}, RelSpec{"S", {"C"}, 2, 2}}, 4);
+    auto wsd = WsdFromWorlds(worlds);
+    ASSERT_TRUE(wsd.ok());
+    ASSERT_TRUE(wsd->Validate().ok());
+    auto rep = wsd->EnumerateWorlds(1000);
+    ASSERT_TRUE(rep.ok());
+    EXPECT_TRUE(WorldSetsEquivalent(worlds, *rep)) << "iter " << iter;
+  }
+}
+
+TEST(WorldSetTest, EnumerationCapTrips) {
+  Rng rng(5);
+  // 2^20 worlds exceeds a cap of 1000.
+  std::vector<PossibleWorld> worlds =
+      RandomWorlds(rng, {RelSpec{"R", {"A"}, 1, 2}}, 2);
+  auto wsd = WsdFromWorlds(worlds).value();
+  // Duplicate the lone component 20 times over distinct relations.
+  for (int i = 0; i < 20; ++i) {
+    std::string name = "R" + std::to_string(i);
+    ASSERT_TRUE(
+        wsd.AddRelation(name, rel::Schema::FromNames({"A"}), 1).ok());
+    Component comp({FieldKey(name, 0, "A")});
+    comp.AddWorld({I(0)}, 0.5);
+    comp.AddWorld({I(1)}, 0.5);
+    ASSERT_TRUE(wsd.AddComponent(std::move(comp)).ok());
+  }
+  auto rep = wsd.EnumerateWorlds(1000);
+  EXPECT_EQ(rep.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace maywsd::core

@@ -1,0 +1,165 @@
+#include "core/wsdt_normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "census/dependencies.h"
+#include "census/ipums.h"
+#include "census/noise.h"
+#include "core/storage.h"
+#include "core/wsdt_algebra.h"
+#include "core/wsdt_chase.h"
+#include "core/worldset.h"
+#include "tests/test_util.h"
+
+namespace maywsd::core {
+namespace {
+
+using testutil::I;
+using testutil::Q;
+
+TEST(WsdtNormalizeTest, PromoteCertainFields) {
+  // A placeholder whose component column became constant (e.g. after a
+  // chase removed the alternatives) moves back into the template.
+  Wsdt wsdt;
+  rel::Relation tmpl(rel::Schema::FromNames({"A", "B"}), "R");
+  tmpl.AppendRow({Q(), Q()});
+  ASSERT_TRUE(wsdt.AddTemplateRelation(std::move(tmpl)).ok());
+  Component c1({FieldKey("R", 0, "A")});
+  c1.AddWorld({I(7)}, 1.0);  // constant: promotable
+  ASSERT_TRUE(wsdt.AddComponent(std::move(c1)).ok());
+  Component c2({FieldKey("R", 0, "B")});
+  c2.AddWorld({I(1)}, 0.5);
+  c2.AddWorld({I(2)}, 0.5);
+  ASSERT_TRUE(wsdt.AddComponent(std::move(c2)).ok());
+
+  ASSERT_TRUE(WsdtPromoteCertainFields(wsdt).ok());
+  ASSERT_TRUE(wsdt.Validate().ok());
+  const rel::Relation* t = wsdt.Template("R").value();
+  EXPECT_EQ(t->row(0)[0], I(7));
+  EXPECT_TRUE(t->row(0)[1].is_question());
+  EXPECT_EQ(wsdt.ComputeStats().num_components, 1u);
+}
+
+TEST(WsdtNormalizeTest, CompressAfterDuplicateWorlds) {
+  Wsdt wsdt;
+  rel::Relation tmpl(rel::Schema::FromNames({"A"}), "R");
+  tmpl.AppendRow({Q()});
+  ASSERT_TRUE(wsdt.AddTemplateRelation(std::move(tmpl)).ok());
+  Component c({FieldKey("R", 0, "A")});
+  c.AddWorld({I(1)}, 0.25);
+  c.AddWorld({I(1)}, 0.25);
+  c.AddWorld({I(2)}, 0.5);
+  ASSERT_TRUE(wsdt.AddComponent(std::move(c)).ok());
+  ASSERT_TRUE(WsdtCompressComponents(wsdt).ok());
+  const Component& comp = wsdt.component(wsdt.LiveComponents()[0]);
+  EXPECT_EQ(comp.NumWorlds(), 2u);
+  EXPECT_NEAR(comp.ProbSum(), 1.0, 1e-9);
+}
+
+TEST(WsdtNormalizeTest, RemoveInvalidRowsRenumbersFields) {
+  Wsdt wsdt;
+  rel::Relation tmpl(rel::Schema::FromNames({"A"}), "R");
+  tmpl.AppendRow({I(0)});   // row 0: certain, stays
+  tmpl.AppendRow({Q()});    // row 1: always ⊥ — invalid
+  tmpl.AppendRow({Q()});    // row 2: conditional, must become row 1
+  ASSERT_TRUE(wsdt.AddTemplateRelation(std::move(tmpl)).ok());
+  Component dead({FieldKey("R", 1, "A")});
+  dead.AddWorld({testutil::Bot()}, 1.0);
+  ASSERT_TRUE(wsdt.AddComponent(std::move(dead)).ok());
+  Component live({FieldKey("R", 2, "A")});
+  live.AddWorld({I(9)}, 0.5);
+  live.AddWorld({testutil::Bot()}, 0.5);
+  ASSERT_TRUE(wsdt.AddComponent(std::move(live)).ok());
+
+  auto before =
+      CollapseWorlds(wsdt.ToWsd().value().EnumerateWorlds(100).value());
+  ASSERT_TRUE(WsdtRemoveInvalidRows(wsdt).ok());
+  ASSERT_TRUE(wsdt.Validate().ok());
+  EXPECT_EQ(wsdt.Template("R").value()->NumRows(), 2u);
+  EXPECT_TRUE(wsdt.HasField(FieldKey("R", 1, "A")));
+  EXPECT_FALSE(wsdt.HasField(FieldKey("R", 2, "A")));
+  auto after =
+      CollapseWorlds(wsdt.ToWsd().value().EnumerateWorlds(100).value());
+  EXPECT_TRUE(WorldSetsEquivalent(before, after));
+}
+
+TEST(WsdtNormalizeTest, DecomposeSplitsProducts) {
+  Wsdt wsdt;
+  rel::Relation tmpl(rel::Schema::FromNames({"A", "B"}), "R");
+  tmpl.AppendRow({Q(), Q()});
+  ASSERT_TRUE(wsdt.AddTemplateRelation(std::move(tmpl)).ok());
+  Component c({FieldKey("R", 0, "A"), FieldKey("R", 0, "B")});
+  // Independent product: splits into two singleton components.
+  c.AddWorld({I(0), I(0)}, 0.25);
+  c.AddWorld({I(0), I(1)}, 0.25);
+  c.AddWorld({I(1), I(0)}, 0.25);
+  c.AddWorld({I(1), I(1)}, 0.25);
+  ASSERT_TRUE(wsdt.AddComponent(std::move(c)).ok());
+  ASSERT_TRUE(WsdtDecomposeComponents(wsdt).ok());
+  ASSERT_TRUE(wsdt.Validate().ok());
+  EXPECT_EQ(wsdt.ComputeStats().num_components, 2u);
+}
+
+class WsdtNormalizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WsdtNormalizeProperty, PipelinePreservesWorlds) {
+  Rng rng(GetParam());
+  Wsd wsd = testutil::RandomWsd(rng, {{"R", {"A", "B"}, 3, 2}}, 4,
+                                /*decompose=*/false);
+  auto wsdt = Wsdt::FromWsd(wsd).value();
+  auto before = wsdt.ToWsd().value().EnumerateWorlds(100000).value();
+  ASSERT_TRUE(WsdtNormalize(wsdt).ok());
+  ASSERT_TRUE(wsdt.Validate().ok());
+  auto after = wsdt.ToWsd().value().EnumerateWorlds(100000).value();
+  EXPECT_TRUE(WorldSetsEquivalent(before, after)) << "seed " << GetParam();
+}
+
+TEST_P(WsdtNormalizeProperty, NormalizeAfterQueryShrinksRepresentation) {
+  Rng rng(GetParam() + 50);
+  Wsd wsd = testutil::RandomWsd(rng, {{"R", {"A", "B"}, 3, 2}}, 4);
+  auto wsdt = Wsdt::FromWsd(wsd).value();
+  rel::Plan q = rel::Plan::Select(
+      rel::Predicate::Cmp("A", rel::CmpOp::kEq, I(1)), rel::Plan::Scan("R"));
+  ASSERT_TRUE(WsdtEvaluate(wsdt, q, "OUT").ok());
+  auto before = wsdt.ToWsd().value().EnumerateWorlds(100000).value();
+  WsdtStats pre = wsdt.ComputeStats();
+  ASSERT_TRUE(WsdtNormalize(wsdt).ok());
+  WsdtStats post = wsdt.ComputeStats();
+  EXPECT_LE(post.c_size, pre.c_size);
+  EXPECT_LE(post.template_rows, pre.template_rows);
+  auto after = wsdt.ToWsd().value().EnumerateWorlds(100000).value();
+  EXPECT_TRUE(WorldSetsEquivalent(before, after)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WsdtNormalizeProperty,
+                         ::testing::Range(0, 12));
+
+TEST(StorageTest, SaveLoadRoundTrip) {
+  census::CensusSchema schema = census::CensusSchema::Standard();
+  rel::Relation base = census::GenerateCensus(schema, 200, 9);
+  auto wsdt = census::MakeNoisyWsdt(base, schema, 0.01, 4).value();
+  ASSERT_TRUE(WsdtChase(wsdt, census::CensusDependencies("R")).ok());
+
+  std::string dir = ::testing::TempDir() + "/maywsd_storage_test";
+  ASSERT_TRUE(SaveWsdt(wsdt, dir).ok());
+  auto back = LoadWsdt(dir);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_TRUE(back->Validate().ok());
+  WsdtStats a = wsdt.ComputeStats();
+  WsdtStats b = back->ComputeStats();
+  EXPECT_EQ(a.num_components, b.num_components);
+  EXPECT_EQ(a.num_components_multi, b.num_components_multi);
+  EXPECT_EQ(a.c_size, b.c_size);
+  EXPECT_EQ(a.template_rows, b.template_rows);
+  // Template content identical.
+  EXPECT_TRUE(back->Template("R").value()->EqualsAsSet(
+      *wsdt.Template("R").value()));
+}
+
+TEST(StorageTest, LoadMissingDirectoryFails) {
+  EXPECT_EQ(LoadWsdt("/nonexistent/maywsd").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace maywsd::core

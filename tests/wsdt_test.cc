@@ -1,0 +1,160 @@
+#include "core/wsdt.h"
+
+#include <gtest/gtest.h>
+
+#include "core/worldset.h"
+#include "tests/test_util.h"
+
+namespace maywsd::core {
+namespace {
+
+using testutil::I;
+using testutil::Q;
+using testutil::S;
+
+/// The WSDT of Figure 5: template with '?' for t0.S, t0.M, t1.S, t1.M and
+/// the probabilistic components of Figure 4.
+Wsdt Figure5() {
+  Wsdt wsdt;
+  rel::Relation tmpl(rel::Schema::FromNames({"S", "N", "M"}), "R");
+  tmpl.AppendRow({Q(), S("Smith"), Q()});
+  tmpl.AppendRow({Q(), S("Brown"), Q()});
+  EXPECT_TRUE(wsdt.AddTemplateRelation(std::move(tmpl)).ok());
+  Component c1({FieldKey("R", 0, "S"), FieldKey("R", 1, "S")});
+  c1.AddWorld({I(185), I(186)}, 0.2);
+  c1.AddWorld({I(785), I(185)}, 0.4);
+  c1.AddWorld({I(785), I(186)}, 0.4);
+  EXPECT_TRUE(wsdt.AddComponent(std::move(c1)).ok());
+  Component c2({FieldKey("R", 0, "M")});
+  c2.AddWorld({I(1)}, 0.7);
+  c2.AddWorld({I(2)}, 0.3);
+  EXPECT_TRUE(wsdt.AddComponent(std::move(c2)).ok());
+  Component c3({FieldKey("R", 1, "M")});
+  for (int i = 1; i <= 4; ++i) c3.AddWorld({I(i)}, 0.25);
+  EXPECT_TRUE(wsdt.AddComponent(std::move(c3)).ok());
+  return wsdt;
+}
+
+TEST(WsdtTest, Figure5ValidatesAndCounts) {
+  Wsdt wsdt = Figure5();
+  EXPECT_TRUE(wsdt.Validate().ok());
+  WsdtStats stats = wsdt.ComputeStats();
+  EXPECT_EQ(stats.num_components, 3u);
+  EXPECT_EQ(stats.num_components_multi, 1u);
+  EXPECT_EQ(stats.template_rows, 2u);
+  // |C| = (2 fields × 3 worlds) + 2 + 4 = 12 value entries.
+  EXPECT_EQ(stats.c_size, 12u);
+  auto hist = wsdt.ComponentSizeHistogram();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(WsdtTest, ValidateCatchesUncoveredPlaceholder) {
+  Wsdt wsdt;
+  rel::Relation tmpl(rel::Schema::FromNames({"A"}), "R");
+  tmpl.AppendRow({Q()});
+  ASSERT_TRUE(wsdt.AddTemplateRelation(std::move(tmpl)).ok());
+  EXPECT_EQ(wsdt.Validate().code(), StatusCode::kInternal);
+}
+
+TEST(WsdtTest, ValidateCatchesDanglingComponent) {
+  Wsdt wsdt;
+  rel::Relation tmpl(rel::Schema::FromNames({"A"}), "R");
+  tmpl.AppendRow({I(1)});  // certain cell, yet a component points at it
+  ASSERT_TRUE(wsdt.AddTemplateRelation(std::move(tmpl)).ok());
+  Component c({FieldKey("R", 0, "A")});
+  c.AddWorld({I(1)}, 1.0);
+  ASSERT_TRUE(wsdt.AddComponent(std::move(c)).ok());
+  EXPECT_EQ(wsdt.Validate().code(), StatusCode::kInternal);
+}
+
+TEST(WsdtTest, ToWsdRoundTripPreservesWorlds) {
+  Wsdt wsdt = Figure5();
+  auto wsd = wsdt.ToWsd();
+  ASSERT_TRUE(wsd.ok());
+  ASSERT_TRUE(wsd->Validate().ok());
+  auto worlds = CollapseWorlds(wsd->EnumerateWorlds(1000).value());
+  EXPECT_EQ(worlds.size(), 24u);  // the cleaned census example
+  // Back to a WSDT: certain fields return to the template.
+  auto back = Wsdt::FromWsd(*wsd);
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(back->Validate().ok());
+  auto worlds2 =
+      CollapseWorlds(back->ToWsd().value().EnumerateWorlds(1000).value());
+  EXPECT_TRUE(WorldSetsEquivalent(worlds, worlds2));
+  WsdtStats stats = back->ComputeStats();
+  EXPECT_EQ(stats.num_components, 3u);
+  EXPECT_EQ(stats.template_rows, 2u);
+}
+
+TEST(WsdtTest, FromWsdPullsCertainFieldsIntoTemplate) {
+  Rng rng(11);
+  for (int iter = 0; iter < 15; ++iter) {
+    Wsd wsd = testutil::RandomWsd(rng, {{"R", {"A", "B"}, 2, 3}}, 3);
+    auto before = wsd.EnumerateWorlds(100000).value();
+    auto wsdt = Wsdt::FromWsd(wsd);
+    ASSERT_TRUE(wsdt.ok());
+    ASSERT_TRUE(wsdt->Validate().ok());
+    auto after = wsdt->ToWsd().value().EnumerateWorlds(100000).value();
+    EXPECT_TRUE(WorldSetsEquivalent(before, after)) << "iter " << iter;
+  }
+}
+
+TEST(WsdtTest, FromWsdDropsAlwaysInvalidSlots) {
+  Wsd wsd;
+  ASSERT_TRUE(wsd.AddRelation("R", rel::Schema::FromNames({"A"}), 2).ok());
+  Component c0({FieldKey("R", 0, "A")});
+  c0.AddWorld({I(1)}, 1.0);
+  ASSERT_TRUE(wsd.AddComponent(std::move(c0)).ok());
+  Component c1({FieldKey("R", 1, "A")});
+  c1.AddWorld({testutil::Bot()}, 1.0);  // invalid in all worlds
+  ASSERT_TRUE(wsd.AddComponent(std::move(c1)).ok());
+  auto wsdt = Wsdt::FromWsd(wsd);
+  ASSERT_TRUE(wsdt.ok());
+  EXPECT_EQ(wsdt->Template("R").value()->NumRows(), 1u);
+}
+
+TEST(WsdtTest, ConditionalPresenceSurvivesRoundTrip) {
+  // A placeholder with ⊥ in some local worlds: tuple exists in half the
+  // worlds. FromWsd must keep it as a placeholder.
+  Wsd wsd;
+  ASSERT_TRUE(
+      wsd.AddRelation("R", rel::Schema::FromNames({"A", "B"}), 1).ok());
+  Component c({FieldKey("R", 0, "A"), FieldKey("R", 0, "B")});
+  c.AddWorld({I(1), I(2)}, 0.5);
+  c.AddWorld({testutil::Bot(), testutil::Bot()}, 0.5);
+  ASSERT_TRUE(wsd.AddComponent(std::move(c)).ok());
+  auto wsdt = Wsdt::FromWsd(wsd);
+  ASSERT_TRUE(wsdt.ok());
+  EXPECT_EQ(wsdt->Template("R").value()->NumRows(), 1u);
+  EXPECT_TRUE(wsdt->Template("R").value()->row(0)[0].is_question());
+  auto worlds =
+      CollapseWorlds(wsdt->ToWsd().value().EnumerateWorlds(100).value());
+  ASSERT_EQ(worlds.size(), 2u);
+}
+
+TEST(WsdtTest, ComposeInPlaceUpdatesIndex) {
+  Wsdt wsdt = Figure5();
+  FieldLoc a = wsdt.Locate(FieldKey("R", 0, "S")).value();
+  FieldLoc b = wsdt.Locate(FieldKey("R", 0, "M")).value();
+  ASSERT_NE(a.comp, b.comp);
+  auto before =
+      CollapseWorlds(wsdt.ToWsd().value().EnumerateWorlds(1000).value());
+  ASSERT_TRUE(wsdt.ComposeInPlace(a.comp, b.comp).ok());
+  ASSERT_TRUE(wsdt.Validate().ok());
+  auto after =
+      CollapseWorlds(wsdt.ToWsd().value().EnumerateWorlds(1000).value());
+  EXPECT_TRUE(WorldSetsEquivalent(before, after));
+  EXPECT_EQ(wsdt.ComputeStats().num_components, 2u);
+}
+
+TEST(WsdtTest, DropRelationRemovesComponents) {
+  Wsdt wsdt = Figure5();
+  ASSERT_TRUE(wsdt.DropRelation("R").ok());
+  EXPECT_FALSE(wsdt.HasRelation("R"));
+  EXPECT_EQ(wsdt.ComputeStats().num_components, 0u);
+}
+
+}  // namespace
+}  // namespace maywsd::core
