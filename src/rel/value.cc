@@ -169,8 +169,17 @@ std::string Value::ToString() const {
       os << double_;
       return os.str();
     }
-    case ValueKind::kString:
-      return "'" + std::string(AsStringView()) + "'";
+    case ValueKind::kString: {
+      // Built char-by-part: `"'" + std::string(...) + "'"` trips GCC 12's
+      // -Wrestrict false positive (PR105651) under -O3.
+      std::string out;
+      std::string_view sv = AsStringView();
+      out.reserve(sv.size() + 2);
+      out += '\'';
+      out += sv;
+      out += '\'';
+      return out;
+    }
   }
   return "<invalid>";
 }

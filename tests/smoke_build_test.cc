@@ -1,0 +1,40 @@
+// Link-layer smoke test: instantiates one object from each of the four
+// libraries (ws_common -> ws_rel -> ws_core -> ws_census) so that a broken
+// library boundary or missing TU fails here first, before the deeper suites.
+
+#include <gtest/gtest.h>
+
+#include "census/ipums.h"
+#include "common/interner.h"
+#include "common/status.h"
+#include "core/wsdt.h"
+#include "rel/relation.h"
+
+namespace maywsd {
+namespace {
+
+TEST(SmokeBuildTest, CommonLinks) {
+  Status s = Status::NotFound("smoke");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(InternString("smoke"), InternString("other"));
+}
+
+TEST(SmokeBuildTest, RelLinks) {
+  rel::Relation r(rel::Schema::FromNames({"A", "B"}), "R");
+  r.AppendRow({rel::Value::Int(1), rel::Value::String("x")});
+  EXPECT_EQ(r.NumRows(), 1u);
+}
+
+TEST(SmokeBuildTest, CoreLinks) {
+  core::Wsdt wsdt;
+  EXPECT_TRUE(wsdt.Validate().ok());
+}
+
+TEST(SmokeBuildTest, CensusLinks) {
+  census::CensusSchema schema = census::CensusSchema::Standard();
+  rel::Relation base = census::GenerateCensus(schema, 8, 42);
+  EXPECT_EQ(base.NumRows(), 8u);
+}
+
+}  // namespace
+}  // namespace maywsd
