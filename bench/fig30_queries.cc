@@ -3,23 +3,81 @@
 // baseline (density 0%: the original query evaluated on the plain template
 // through the relational engine).
 //
+// Every world-set evaluation goes through the shared engine driver
+// (core/engine/plan_driver.h): identical plans, one lowering, two
+// backends. Besides the paper's WSDT curves, a cross-backend section runs
+// the same queries over the Section 4 WSD representation of the same
+// world set at small sizes (the WSD operators materialize |R|max-sized
+// intermediates, so they only scale to small instances — which is the
+// paper's point), tracking the WSD-vs-WSDT trajectory.
+//
 // Expected shape: per query, time grows linearly with relation size, the
 // density curves sit on top of each other and track the 0% one-world curve
 // closely (processing incomplete information costs roughly one world);
 // Q5's join is the most expensive query and grows superlinearly at the
 // largest sizes in the paper.
+//
+// Usage: fig30_queries [--json PATH] — also writes the measurements as a
+// flat JSON document (consumed by CI as BENCH_fig30_queries.json).
 
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "core/engine/plan_driver.h"
+#include "core/engine/wsd_backend.h"
+#include "core/engine/wsdt_backend.h"
 #include "rel/eval.h"
 
-int main() {
+namespace {
+
+struct Sample {
+  int query = 0;
+  size_t rows = 0;
+  double density = 0.0;  // 0.0 = one-world baseline
+  const char* backend = "wsdt";
+  double seconds = 0.0;
+  size_t result_rows = 0;
+};
+
+void WriteJson(const char* path, const std::vector<Sample>& samples) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"figure\": \"fig30_queries\",\n  \"samples\": [\n");
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"query\": %d, \"rows\": %zu, \"density\": %g, "
+                 "\"backend\": \"%s\", \"seconds\": %.6f, "
+                 "\"result_rows\": %zu}%s\n",
+                 s.query, s.rows, s.density, s.backend, s.seconds,
+                 s.result_rows, i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace maywsd;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   census::CensusSchema schema = census::CensusSchema::Standard();
   std::vector<size_t> sizes = bench::SizeTicks();
   std::vector<double> densities = bench::Densities();
+  std::vector<Sample> samples;
 
   // times[q][size][density-column]; column 0 = one-world baseline.
   std::map<int, std::map<size_t, std::vector<double>>> times;
@@ -38,9 +96,12 @@ int main() {
         std::fprintf(stderr, "one-world Q%d failed\n", q);
         return 1;
       }
-      times[q][rows].push_back(t.Seconds());
+      double secs = t.Seconds();
+      times[q][rows].push_back(secs);
+      samples.push_back({q, rows, 0.0, "one-world", secs, out->NumRows()});
     }
-    // Chased UWSDT per density; queries reuse it.
+    // Chased UWSDT per density; queries reuse it and run through the
+    // shared engine driver over the WSDT backend.
     for (double density : densities) {
       auto wsdt_or = census::MakeNoisyWsdt(base, schema, density,
                                            /*seed=*/0xBEEF ^ rows);
@@ -49,16 +110,19 @@ int main() {
       bench::ChaseCensus(wsdt);
       for (int q = 1; q <= 6; ++q) {
         core::Wsdt copy = wsdt;
-        std::string out = "OUT";
+        core::engine::WsdtBackend backend(copy);
         Timer t;
-        Status st =
-            core::WsdtEvaluate(copy, census::CensusQuery(q, "R"), out);
+        Status st = core::engine::Evaluate(backend, census::CensusQuery(q, "R"),
+                                           "OUT");
         if (!st.ok()) {
           std::fprintf(stderr, "Q%d failed: %s\n", q, st.ToString().c_str());
           return 1;
         }
-        times[q][rows].push_back(t.Seconds());
-        result_rows[q][rows] = copy.Template(out).value()->NumRows();
+        double secs = t.Seconds();
+        size_t n = copy.Template("OUT").value()->NumRows();
+        times[q][rows].push_back(secs);
+        result_rows[q][rows] = n;
+        samples.push_back({q, rows, density, "wsdt", secs, n});
       }
     }
   }
@@ -76,5 +140,59 @@ int main() {
     }
     std::printf("\n");
   }
+
+  // Cross-backend trajectory: identical plans over WSD and WSDT through
+  // the one engine code path. WSD intermediates are |R|max-sized and Q5's
+  // product composes components quadratically (~14 s at 32 rows), so this
+  // section stays at small fixed sizes regardless of MAYWSD_SCALE — which
+  // is the paper's point: the template refinement is what scales.
+  const double kXDensity = 0.001;
+  std::printf("# Cross-backend: engine driver, WSD vs WSDT (density %s)\n",
+              bench::DensityLabel(kXDensity));
+  std::printf("%10s %6s %12s %12s\n", "tuples", "query", "wsd", "wsdt");
+  for (size_t rows : {size_t{16}, size_t{32}}) {
+    rel::Relation base =
+        census::GenerateCensus(schema, rows, /*seed=*/0xC0FFEE ^ rows);
+    auto wsdt_or = census::MakeNoisyWsdt(base, schema, kXDensity,
+                                         /*seed=*/0xBEEF ^ rows);
+    if (!wsdt_or.ok()) return 1;
+    core::Wsdt wsdt = std::move(wsdt_or).value();
+    bench::ChaseCensus(wsdt);
+    auto wsd_or = wsdt.ToWsd();
+    if (!wsd_or.ok()) return 1;
+    for (int q = 1; q <= 6; ++q) {
+      core::Wsd wsd_copy = wsd_or.value();
+      core::engine::WsdBackend wsd_backend(wsd_copy);
+      Timer tw;
+      Status st = core::engine::Evaluate(wsd_backend,
+                                         census::CensusQuery(q, "R"), "OUT");
+      if (!st.ok()) {
+        std::fprintf(stderr, "WSD Q%d failed: %s\n", q,
+                     st.ToString().c_str());
+        return 1;
+      }
+      double wsd_secs = tw.Seconds();
+      samples.push_back({q, rows, kXDensity, "wsd", wsd_secs, 0});
+
+      core::Wsdt wsdt_copy = wsdt;
+      core::engine::WsdtBackend wsdt_backend(wsdt_copy);
+      Timer tt;
+      st = core::engine::Evaluate(wsdt_backend, census::CensusQuery(q, "R"),
+                                  "OUT");
+      if (!st.ok()) {
+        std::fprintf(stderr, "WSDT Q%d failed: %s\n", q,
+                     st.ToString().c_str());
+        return 1;
+      }
+      double wsdt_secs = tt.Seconds();
+      size_t n = wsdt_copy.Template("OUT").value()->NumRows();
+      samples.back().result_rows = n;  // same world set, same result size
+      samples.push_back({q, rows, kXDensity, "wsdt", wsdt_secs, n});
+      std::printf("%10zu %6d %12.4f %12.4f\n", rows, q, wsd_secs, wsdt_secs);
+    }
+  }
+  std::printf("\n");
+
+  if (json_path != nullptr) WriteJson(json_path, samples);
   return 0;
 }

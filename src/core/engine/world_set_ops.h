@@ -1,0 +1,125 @@
+// WorldSetOps: the backend contract of the world-set engine.
+//
+// The paper evaluates one relational algebra (Figure 9) over two
+// representations — WSDs (Section 4) and their template-relation
+// refinement, WSDTs/UWSDTs (Section 5). Both expose the same operator
+// set; only the data structures behind the operators differ. This
+// interface captures that operator set so a single plan driver
+// (engine/plan_driver.h) can lower rel::Plan trees once and run them over
+// any representation.
+//
+// Contract (mirrors Figure 9): every operator *extends* the world set with
+// a new result relation named `out`; inputs are preserved so subquery
+// results stay correlated with their inputs. `out` must not exist yet.
+// Deleted tuples are represented with ⊥ inside the backend; schemas are
+// the certain part the driver reasons about.
+//
+// The mandatory operators are the Figure 9 core. Backends may additionally
+// advertise capabilities (an arbitrary-predicate selection evaluated in one
+// pass, a fused σ(×) hash join — the Section 5 optimizations); the driver
+// uses them when present and otherwise falls back to the generic lowering.
+
+#ifndef MAYWSD_CORE_ENGINE_WORLD_SET_OPS_H_
+#define MAYWSD_CORE_ENGINE_WORLD_SET_OPS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/predicate.h"
+#include "rel/schema.h"
+
+namespace maywsd::core::engine {
+
+/// Backend-agnostic operator set over a world-set representation.
+class WorldSetOps {
+ public:
+  virtual ~WorldSetOps() = default;
+
+  /// Human-readable backend tag ("wsd", "wsdt"); used in error messages.
+  virtual std::string_view BackendName() const = 0;
+
+  // -- Catalog --------------------------------------------------------------
+
+  virtual bool HasRelation(const std::string& name) const = 0;
+  virtual std::vector<std::string> RelationNames() const = 0;
+  /// Schema of a relation; NotFound when absent.
+  virtual Result<rel::Schema> RelationSchema(const std::string& name) const = 0;
+
+  // -- Figure 9 operator core ----------------------------------------------
+
+  /// out := src (fresh relation equal to src in every world).
+  virtual Status Copy(const std::string& src, const std::string& out) = 0;
+
+  /// out := σ_{attr θ constant}(src).
+  virtual Status SelectConst(const std::string& src, const std::string& out,
+                             const std::string& attr, rel::CmpOp op,
+                             const rel::Value& constant) = 0;
+
+  /// out := σ_{attr_a θ attr_b}(src).
+  virtual Status SelectAttrAttr(const std::string& src, const std::string& out,
+                                const std::string& attr_a, rel::CmpOp op,
+                                const std::string& attr_b) = 0;
+
+  /// out := left × right (attribute sets must be disjoint).
+  virtual Status Product(const std::string& left, const std::string& right,
+                         const std::string& out) = 0;
+
+  /// out := left ∪ right (schemas must match).
+  virtual Status Union(const std::string& left, const std::string& right,
+                       const std::string& out) = 0;
+
+  /// out := π_attrs(src).
+  virtual Status Project(const std::string& src, const std::string& out,
+                         const std::vector<std::string>& attrs) = 0;
+
+  /// out := δ_{from→to}(src) for every pair in `renames`.
+  virtual Status Rename(
+      const std::string& src, const std::string& out,
+      const std::vector<std::pair<std::string, std::string>>& renames) = 0;
+
+  /// out := left − right (schemas must match).
+  virtual Status Difference(const std::string& left, const std::string& right,
+                            const std::string& out) = 0;
+
+  /// Removes a relation (used for the driver's scratch relations).
+  virtual Status Drop(const std::string& name) = 0;
+
+  /// Housekeeping after dropping scratch relations (e.g. component
+  /// compaction); default no-op.
+  virtual void Compact() {}
+
+  // -- Optional capabilities (Section 5 optimizations) ----------------------
+
+  /// True when SelectPredicate() evaluates an arbitrary predicate tree in
+  /// one pass; the driver then skips the generic ∧/∨/¬ lowering.
+  virtual bool SupportsPredicateSelect() const { return false; }
+
+  /// out := σ_pred(src) for an arbitrary predicate tree.
+  virtual Status SelectPredicate(const std::string& /*src*/,
+                                 const std::string& /*out*/,
+                                 const rel::Predicate& /*pred*/) {
+    return Status::Unsupported(std::string(BackendName()) +
+                               " backend has no native predicate selection");
+  }
+
+  /// True when HashJoin() implements the fused σ(×) equi-join; the driver
+  /// then splits join predicates into an equality pair plus residual.
+  virtual bool SupportsHashJoin() const { return false; }
+
+  /// out := left ⋈_{left_attr = right_attr} right.
+  virtual Status HashJoin(const std::string& /*left*/,
+                          const std::string& /*right*/,
+                          const std::string& /*out*/,
+                          const std::string& /*left_attr*/,
+                          const std::string& /*right_attr*/) {
+    return Status::Unsupported(std::string(BackendName()) +
+                               " backend has no native hash join");
+  }
+};
+
+}  // namespace maywsd::core::engine
+
+#endif  // MAYWSD_CORE_ENGINE_WORLD_SET_OPS_H_

@@ -1,0 +1,70 @@
+#include "core/engine/wsd_backend.h"
+
+#include "core/wsd_algebra.h"
+
+namespace maywsd::core::engine {
+
+bool WsdBackend::HasRelation(const std::string& name) const {
+  return wsd_->HasRelation(name);
+}
+
+std::vector<std::string> WsdBackend::RelationNames() const {
+  return wsd_->RelationNames();
+}
+
+Result<rel::Schema> WsdBackend::RelationSchema(const std::string& name) const {
+  MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* r, wsd_->FindRelation(name));
+  return r->schema;
+}
+
+Status WsdBackend::Copy(const std::string& src, const std::string& out) {
+  return WsdCopy(*wsd_, src, out);
+}
+
+Status WsdBackend::SelectConst(const std::string& src, const std::string& out,
+                               const std::string& attr, rel::CmpOp op,
+                               const rel::Value& constant) {
+  return WsdSelectConst(*wsd_, src, out, attr, op, constant);
+}
+
+Status WsdBackend::SelectAttrAttr(const std::string& src,
+                                  const std::string& out,
+                                  const std::string& attr_a, rel::CmpOp op,
+                                  const std::string& attr_b) {
+  return WsdSelectAttrAttr(*wsd_, src, out, attr_a, op, attr_b);
+}
+
+Status WsdBackend::Product(const std::string& left, const std::string& right,
+                           const std::string& out) {
+  return WsdProduct(*wsd_, left, right, out);
+}
+
+Status WsdBackend::Union(const std::string& left, const std::string& right,
+                         const std::string& out) {
+  return WsdUnion(*wsd_, left, right, out);
+}
+
+Status WsdBackend::Project(const std::string& src, const std::string& out,
+                           const std::vector<std::string>& attrs) {
+  return WsdProject(*wsd_, src, out, attrs);
+}
+
+Status WsdBackend::Rename(
+    const std::string& src, const std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  return WsdRename(*wsd_, src, out, renames);
+}
+
+Status WsdBackend::Difference(const std::string& left,
+                              const std::string& right,
+                              const std::string& out) {
+  return WsdDifference(*wsd_, left, right, out);
+}
+
+Status WsdBackend::Drop(const std::string& name) {
+  return wsd_->DropRelation(name);
+}
+
+void WsdBackend::Compact() { wsd_->CompactComponents(); }
+
+}  // namespace maywsd::core::engine

@@ -1,0 +1,60 @@
+// WsdBackend: WorldSetOps over the Figure 9 WSD operators (Section 4).
+//
+// A thin adapter — the operator implementations stay in core/wsd_algebra;
+// this class only maps the engine contract onto them. The WSD path has no
+// native predicate selection or hash join, so the driver applies the full
+// generic lowering (chains, unions of selections, negation pushdown,
+// product-plus-selections for joins).
+
+#ifndef MAYWSD_CORE_ENGINE_WSD_BACKEND_H_
+#define MAYWSD_CORE_ENGINE_WSD_BACKEND_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine/world_set_ops.h"
+#include "core/wsd.h"
+
+namespace maywsd::core::engine {
+
+/// Adapts a Wsd to the engine contract. Non-owning; the Wsd must outlive
+/// the backend.
+class WsdBackend : public WorldSetOps {
+ public:
+  explicit WsdBackend(Wsd& wsd) : wsd_(&wsd) {}
+
+  std::string_view BackendName() const override { return "wsd"; }
+
+  bool HasRelation(const std::string& name) const override;
+  std::vector<std::string> RelationNames() const override;
+  Result<rel::Schema> RelationSchema(const std::string& name) const override;
+
+  Status Copy(const std::string& src, const std::string& out) override;
+  Status SelectConst(const std::string& src, const std::string& out,
+                     const std::string& attr, rel::CmpOp op,
+                     const rel::Value& constant) override;
+  Status SelectAttrAttr(const std::string& src, const std::string& out,
+                        const std::string& attr_a, rel::CmpOp op,
+                        const std::string& attr_b) override;
+  Status Product(const std::string& left, const std::string& right,
+                 const std::string& out) override;
+  Status Union(const std::string& left, const std::string& right,
+               const std::string& out) override;
+  Status Project(const std::string& src, const std::string& out,
+                 const std::vector<std::string>& attrs) override;
+  Status Rename(const std::string& src, const std::string& out,
+                const std::vector<std::pair<std::string, std::string>>&
+                    renames) override;
+  Status Difference(const std::string& left, const std::string& right,
+                    const std::string& out) override;
+  Status Drop(const std::string& name) override;
+  void Compact() override;
+
+ private:
+  Wsd* wsd_;
+};
+
+}  // namespace maywsd::core::engine
+
+#endif  // MAYWSD_CORE_ENGINE_WSD_BACKEND_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "core/engine/plan_driver.h"
+#include "core/engine/wsd_backend.h"
+
 namespace maywsd::core {
 
 namespace {
@@ -440,196 +443,10 @@ Status WsdDifference(Wsd& wsd, const std::string& left,
   return Status::Ok();
 }
 
-rel::Predicate NegatePredicate(const rel::Predicate& pred) {
-  using K = rel::Predicate::Kind;
-  auto flip = [](rel::CmpOp op) {
-    switch (op) {
-      case rel::CmpOp::kEq:
-        return rel::CmpOp::kNe;
-      case rel::CmpOp::kNe:
-        return rel::CmpOp::kEq;
-      case rel::CmpOp::kLt:
-        return rel::CmpOp::kGe;
-      case rel::CmpOp::kLe:
-        return rel::CmpOp::kGt;
-      case rel::CmpOp::kGt:
-        return rel::CmpOp::kLe;
-      case rel::CmpOp::kGe:
-        return rel::CmpOp::kLt;
-    }
-    return rel::CmpOp::kNe;
-  };
-  switch (pred.kind()) {
-    case K::kTrue:
-      // ¬true: an unsatisfiable comparison. '?' never occurs as a component
-      // value, so A = '?' selects nothing. The attribute is resolved by the
-      // driver (it substitutes a real attribute before use).
-      return rel::Predicate::Cmp("", rel::CmpOp::kEq, rel::Value::Question());
-    case K::kCmpConst:
-      return rel::Predicate::Cmp(pred.lhs_attr(), flip(pred.op()),
-                                 pred.constant());
-    case K::kCmpAttr:
-      return rel::Predicate::CmpAttr(pred.lhs_attr(), flip(pred.op()),
-                                     pred.rhs_attr());
-    case K::kAnd:
-      return rel::Predicate::Or(NegatePredicate(pred.left()),
-                                NegatePredicate(pred.right()));
-    case K::kOr:
-      return rel::Predicate::And(NegatePredicate(pred.left()),
-                                 NegatePredicate(pred.right()));
-    case K::kNot:
-      return pred.left();
-  }
-  return rel::Predicate::True();
-}
-
-namespace {
-
-/// Driver state: fresh temporary names plus cleanup list.
-struct EvalContext {
-  Wsd* wsd;
-  int counter = 0;
-  std::vector<std::string> temps;
-
-  std::string Fresh() {
-    return "__wsd_tmp" + std::to_string(counter++);
-  }
-};
-
-Result<std::string> EvalPlan(EvalContext& ctx, const rel::Plan& plan);
-
-/// Applies an arbitrary predicate as a selection src → out.
-Status ApplySelect(EvalContext& ctx, const std::string& src,
-                   const std::string& out, const rel::Predicate& pred) {
-  using K = rel::Predicate::Kind;
-  Wsd& wsd = *ctx.wsd;
-  switch (pred.kind()) {
-    case K::kTrue:
-      return WsdCopy(wsd, src, out);
-    case K::kCmpConst: {
-      std::string attr = pred.lhs_attr();
-      if (attr.empty()) {
-        // Unsatisfiable marker produced by NegatePredicate(true): select on
-        // the first schema attribute against '?' (never matches).
-        MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* r, wsd.FindRelation(src));
-        attr = std::string(r->schema.attr(0).name_view());
-      }
-      return WsdSelectConst(wsd, src, out, attr, pred.op(), pred.constant());
-    }
-    case K::kCmpAttr:
-      return WsdSelectAttrAttr(wsd, src, out, pred.lhs_attr(), pred.op(),
-                               pred.rhs_attr());
-    case K::kAnd: {
-      std::string mid = ctx.Fresh();
-      ctx.temps.push_back(mid);
-      MAYWSD_RETURN_IF_ERROR(ApplySelect(ctx, src, mid, pred.left()));
-      return ApplySelect(ctx, mid, out, pred.right());
-    }
-    case K::kOr: {
-      std::string a = ctx.Fresh();
-      std::string b = ctx.Fresh();
-      ctx.temps.push_back(a);
-      ctx.temps.push_back(b);
-      MAYWSD_RETURN_IF_ERROR(ApplySelect(ctx, src, a, pred.left()));
-      MAYWSD_RETURN_IF_ERROR(ApplySelect(ctx, src, b, pred.right()));
-      return WsdUnion(wsd, a, b, out);
-    }
-    case K::kNot:
-      return ApplySelect(ctx, src, out, NegatePredicate(pred.left()));
-  }
-  return Status::Internal("unknown predicate kind");
-}
-
-Result<std::string> EvalPlan(EvalContext& ctx, const rel::Plan& plan) {
-  Wsd& wsd = *ctx.wsd;
-  using K = rel::Plan::Kind;
-  switch (plan.kind()) {
-    case K::kScan: {
-      if (!wsd.HasRelation(plan.relation())) {
-        return Status::NotFound("relation " + plan.relation() +
-                                " not in WSD");
-      }
-      return plan.relation();
-    }
-    case K::kSelect: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string child, EvalPlan(ctx, plan.child()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(
-          ApplySelect(ctx, child, out, plan.predicate()));
-      return out;
-    }
-    case K::kProject: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string child, EvalPlan(ctx, plan.child()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(WsdProject(wsd, child, out, plan.attributes()));
-      return out;
-    }
-    case K::kRename: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string child, EvalPlan(ctx, plan.child()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(WsdRename(wsd, child, out, plan.renames()));
-      return out;
-    }
-    case K::kProduct: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, EvalPlan(ctx, plan.left()));
-      MAYWSD_ASSIGN_OR_RETURN(std::string r, EvalPlan(ctx, plan.right()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(WsdProduct(wsd, l, r, out));
-      return out;
-    }
-    case K::kUnion: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, EvalPlan(ctx, plan.left()));
-      MAYWSD_ASSIGN_OR_RETURN(std::string r, EvalPlan(ctx, plan.right()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(WsdUnion(wsd, l, r, out));
-      return out;
-    }
-    case K::kDifference: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, EvalPlan(ctx, plan.left()));
-      MAYWSD_ASSIGN_OR_RETURN(std::string r, EvalPlan(ctx, plan.right()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(WsdDifference(wsd, l, r, out));
-      return out;
-    }
-    case K::kJoin: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, EvalPlan(ctx, plan.left()));
-      MAYWSD_ASSIGN_OR_RETURN(std::string r, EvalPlan(ctx, plan.right()));
-      std::string prod = ctx.Fresh();
-      ctx.temps.push_back(prod);
-      MAYWSD_RETURN_IF_ERROR(WsdProduct(wsd, l, r, prod));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(
-          ApplySelect(ctx, prod, out, plan.predicate()));
-      return out;
-    }
-  }
-  return Status::Internal("unknown plan kind");
-}
-
-}  // namespace
-
 Status WsdEvaluate(Wsd& wsd, const rel::Plan& plan, const std::string& out,
                    bool keep_temps) {
-  EvalContext ctx;
-  ctx.wsd = &wsd;
-  MAYWSD_ASSIGN_OR_RETURN(std::string result, EvalPlan(ctx, plan));
-  // Materialize the final result under `out` (a copy keeps the result
-  // valid even when `result` is an input relation or a dropped temp).
-  MAYWSD_RETURN_IF_ERROR(WsdCopy(wsd, result, out));
-  if (!keep_temps) {
-    for (const std::string& temp : ctx.temps) {
-      MAYWSD_RETURN_IF_ERROR(wsd.DropRelation(temp));
-    }
-    wsd.CompactComponents();
-  }
-  return Status::Ok();
+  engine::WsdBackend backend(wsd);
+  return engine::Evaluate(backend, plan, out, keep_temps);
 }
 
 }  // namespace maywsd::core

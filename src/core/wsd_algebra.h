@@ -7,10 +7,11 @@
 // components (Figure 12); projection and attribute-attribute selection may
 // compose components.
 //
-// WsdEvaluate() drives a full rel::Plan through these operators:
-// conjunctive selections become operator chains, disjunctions become unions
-// of selections, negations are pushed to the leaves, and joins are lowered
-// to product followed by selections.
+// WsdEvaluate() drives a full rel::Plan through these operators via the
+// shared engine driver (core/engine/plan_driver.h): conjunctive selections
+// become operator chains, disjunctions become unions of selections,
+// negations are pushed to the leaves, and joins are lowered to product
+// followed by selections.
 
 #ifndef MAYWSD_CORE_WSD_ALGEBRA_H_
 #define MAYWSD_CORE_WSD_ALGEBRA_H_
@@ -70,15 +71,13 @@ Status WsdRename(Wsd& wsd, const std::string& src, const std::string& out,
 Status WsdDifference(Wsd& wsd, const std::string& left,
                      const std::string& right, const std::string& out);
 
-/// Evaluates an arbitrary relational algebra plan over the WSD, adding the
-/// result under `out`. Leaf scans refer to relations already in the WSD.
-/// Intermediate temporaries are dropped unless `keep_temps`.
+/// Evaluates an arbitrary relational algebra plan over the WSD through the
+/// shared engine driver, adding the result under `out`. Leaf scans refer
+/// to relations already in the WSD. Intermediate temporaries are dropped
+/// unless `keep_temps`. (The plan lowering itself — including
+/// NegatePredicate — lives in core/engine/plan_driver.h.)
 Status WsdEvaluate(Wsd& wsd, const rel::Plan& plan, const std::string& out,
                    bool keep_temps = false);
-
-/// Rewrites ¬p by pushing the negation to comparison leaves (¬(A<c) ≡ A≥c,
-/// De Morgan on ∧/∨). Needed because WSD selections have no native negation.
-rel::Predicate NegatePredicate(const rel::Predicate& pred);
 
 }  // namespace maywsd::core
 

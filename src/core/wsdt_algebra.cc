@@ -2,20 +2,20 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/engine/plan_driver.h"
+#include "core/engine/wsdt_backend.h"
 #include "core/wsd.h"
 #include "core/wsd_algebra.h"
-#include "rel/optimizer.h"
 
 namespace maywsd::core {
 
 namespace {
 
-/// Distinct non-⊥ values of a component column.
+/// Distinct non-⊥ values of a component column, in first-seen order.
 std::vector<rel::Value> PossibleColumnValues(const Wsdt& wsdt,
                                              const FieldKey& field) {
   std::vector<rel::Value> out;
@@ -24,12 +24,10 @@ std::vector<rel::Value> PossibleColumnValues(const Wsdt& wsdt,
   FieldLoc loc = loc_or.value();
   const Component& comp = wsdt.component(loc.comp);
   size_t col = static_cast<size_t>(loc.col);
+  std::unordered_set<rel::Value> seen;
   for (size_t w = 0; w < comp.NumWorlds(); ++w) {
     const rel::Value& v = comp.at(w, col);
-    if (!v.is_bottom() &&
-        std::find(out.begin(), out.end(), v) == out.end()) {
-      out.push_back(v);
-    }
+    if (!v.is_bottom() && seen.insert(v).second) out.push_back(v);
   }
   return out;
 }
@@ -676,163 +674,16 @@ Status WsdtDifference(Wsdt& wsdt, const std::string& left,
   return Status::Ok();
 }
 
-namespace {
-
-struct WsdtEvalContext {
-  Wsdt* wsdt;
-  int counter = 0;
-  std::vector<std::string> temps;
-
-  std::string Fresh() { return "__uw_tmp" + std::to_string(counter++); }
-};
-
-Result<std::string> WsdtEvalPlan(WsdtEvalContext& ctx, const rel::Plan& plan);
-
-/// Splits a join predicate into the first usable equality pair plus the
-/// residual conjuncts (applied as a follow-up selection).
-Status SplitJoinPred(const rel::Predicate& pred, const rel::Schema& ls,
-                     const rel::Schema& rs, bool* have_pair,
-                     std::string* la, std::string* ra,
-                     std::vector<rel::Predicate>* residual) {
-  *have_pair = false;
-  for (const rel::Predicate& conj : pred.Conjuncts()) {
-    if (!*have_pair && conj.kind() == rel::Predicate::Kind::kCmpAttr &&
-        conj.op() == rel::CmpOp::kEq) {
-      if (ls.Contains(conj.lhs_attr()) && rs.Contains(conj.rhs_attr())) {
-        *have_pair = true;
-        *la = conj.lhs_attr();
-        *ra = conj.rhs_attr();
-        continue;
-      }
-      if (rs.Contains(conj.lhs_attr()) && ls.Contains(conj.rhs_attr())) {
-        *have_pair = true;
-        *la = conj.rhs_attr();
-        *ra = conj.lhs_attr();
-        continue;
-      }
-    }
-    residual->push_back(conj);
-  }
-  return Status::Ok();
-}
-
-Result<std::string> WsdtEvalPlan(WsdtEvalContext& ctx, const rel::Plan& plan) {
-  Wsdt& wsdt = *ctx.wsdt;
-  using K = rel::Plan::Kind;
-  switch (plan.kind()) {
-    case K::kScan:
-      if (!wsdt.HasRelation(plan.relation())) {
-        return Status::NotFound("relation " + plan.relation() +
-                                " not in WSDT");
-      }
-      return plan.relation();
-    case K::kSelect: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string child,
-                              WsdtEvalPlan(ctx, plan.child()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(
-          WsdtSelect(wsdt, child, out, plan.predicate()));
-      return out;
-    }
-    case K::kProject: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string child,
-                              WsdtEvalPlan(ctx, plan.child()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(
-          WsdtProject(wsdt, child, out, plan.attributes()));
-      return out;
-    }
-    case K::kRename: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string child,
-                              WsdtEvalPlan(ctx, plan.child()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(WsdtRename(wsdt, child, out, plan.renames()));
-      return out;
-    }
-    case K::kProduct: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, WsdtEvalPlan(ctx, plan.left()));
-      MAYWSD_ASSIGN_OR_RETURN(std::string r, WsdtEvalPlan(ctx, plan.right()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(WsdtProduct(wsdt, l, r, out));
-      return out;
-    }
-    case K::kUnion: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, WsdtEvalPlan(ctx, plan.left()));
-      MAYWSD_ASSIGN_OR_RETURN(std::string r, WsdtEvalPlan(ctx, plan.right()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(WsdtUnion(wsdt, l, r, out));
-      return out;
-    }
-    case K::kDifference: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, WsdtEvalPlan(ctx, plan.left()));
-      MAYWSD_ASSIGN_OR_RETURN(std::string r, WsdtEvalPlan(ctx, plan.right()));
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(WsdtDifference(wsdt, l, r, out));
-      return out;
-    }
-    case K::kJoin: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, WsdtEvalPlan(ctx, plan.left()));
-      MAYWSD_ASSIGN_OR_RETURN(std::string r, WsdtEvalPlan(ctx, plan.right()));
-      MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* lt, wsdt.Template(l));
-      MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* rt, wsdt.Template(r));
-      bool have_pair = false;
-      std::string la, ra;
-      std::vector<rel::Predicate> residual;
-      MAYWSD_RETURN_IF_ERROR(SplitJoinPred(plan.predicate(), lt->schema(),
-                                           rt->schema(), &have_pair, &la,
-                                           &ra, &residual));
-      std::string joined = ctx.Fresh();
-      ctx.temps.push_back(joined);
-      if (have_pair) {
-        MAYWSD_RETURN_IF_ERROR(WsdtJoin(wsdt, l, r, joined, la, ra));
-      } else {
-        MAYWSD_RETURN_IF_ERROR(WsdtProduct(wsdt, l, r, joined));
-      }
-      if (residual.empty()) return joined;
-      std::string out = ctx.Fresh();
-      ctx.temps.push_back(out);
-      MAYWSD_RETURN_IF_ERROR(WsdtSelect(
-          wsdt, joined, out, rel::Predicate::AndAll(std::move(residual))));
-      return out;
-    }
-  }
-  return Status::Internal("unknown plan kind");
-}
-
-}  // namespace
-
 Status WsdtEvaluate(Wsdt& wsdt, const rel::Plan& plan, const std::string& out,
                     bool keep_temps) {
-  WsdtEvalContext ctx;
-  ctx.wsdt = &wsdt;
-  MAYWSD_ASSIGN_OR_RETURN(std::string result, WsdtEvalPlan(ctx, plan));
-  MAYWSD_RETURN_IF_ERROR(WsdtCopy(wsdt, result, out));
-  if (!keep_temps) {
-    for (const std::string& temp : ctx.temps) {
-      MAYWSD_RETURN_IF_ERROR(wsdt.DropRelation(temp));
-    }
-    wsdt.CompactComponents();
-  }
-  return Status::Ok();
+  engine::WsdtBackend backend(wsdt);
+  return engine::Evaluate(backend, plan, out, keep_temps);
 }
 
 Status WsdtEvaluateOptimized(Wsdt& wsdt, const rel::Plan& plan,
                              const std::string& out) {
-  // The optimizer only needs schemas; expose the templates as empty
-  // relations so OutputSchema() resolves attribute scopes.
-  rel::Database schemas;
-  for (const std::string& name : wsdt.RelationNames()) {
-    MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl, wsdt.Template(name));
-    schemas.PutRelation(rel::Relation(tmpl->schema(), name));
-  }
-  MAYWSD_ASSIGN_OR_RETURN(rel::Plan optimized, rel::Optimize(plan, schemas));
-  return WsdtEvaluate(wsdt, optimized, out);
+  engine::WsdtBackend backend(wsdt);
+  return engine::EvaluateOptimized(backend, plan, out);
 }
 
 }  // namespace maywsd::core

@@ -76,8 +76,11 @@ Status WsdtRename(Wsdt& wsdt, const std::string& src, const std::string& out,
 Status WsdtDifference(Wsdt& wsdt, const std::string& left,
                       const std::string& right, const std::string& out);
 
-/// Evaluates a full rel::Plan over the WSDT, adding the result under `out`.
-/// Temporaries are dropped unless `keep_temps`.
+/// Evaluates a full rel::Plan over the WSDT through the shared engine
+/// driver (core/engine/plan_driver.h); the WSDT backend advertises native
+/// predicate selection and the fused σ(×) hash join, so the driver uses
+/// them instead of the generic lowering. The result is added under `out`;
+/// temporaries are dropped unless `keep_temps`.
 Status WsdtEvaluate(Wsdt& wsdt, const rel::Plan& plan, const std::string& out,
                     bool keep_temps = false);
 

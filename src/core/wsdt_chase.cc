@@ -1,9 +1,11 @@
 #include "core/wsdt_chase.h"
 
-#include <algorithm>
-#include <map>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/hash.h"
 
 namespace maywsd::core {
 
@@ -60,17 +62,35 @@ Status RemoveWorlds(Wsdt& wsdt, size_t comp_idx,
   return Status::Ok();
 }
 
-/// True if, in local world `w` of `comp`, any column of tuple (rel, tid) is ⊥.
-bool TupleAbsentInWorld(const Component& comp, size_t w, Symbol rel_sym,
-                        TupleId tid) {
-  for (size_t c = 0; c < comp.NumFields(); ++c) {
-    const FieldKey& f = comp.field(c);
-    if (f.rel == rel_sym && f.tuple == tid && comp.at(w, c).is_bottom()) {
-      return true;
+/// Per-component absence index: the ⊥-carrying columns of each (relation,
+/// tuple) slot, computed in ONE scan over the component's columns so the
+/// per-world absence test only probes the handful of columns that can
+/// actually make a tuple absent (columns without any ⊥ never can).
+class AbsenceIndex {
+ public:
+  AbsenceIndex(const Component& comp, Symbol rel_sym) : comp_(&comp) {
+    for (size_t c = 0; c < comp.NumFields(); ++c) {
+      const FieldKey& f = comp.field(c);
+      if (f.rel == rel_sym && comp.ColumnHasBottom(c)) {
+        bottom_cols_[f.tuple].push_back(c);
+      }
     }
   }
-  return false;
-}
+
+  /// True if, in local world `w`, any column of tuple `tid` is ⊥.
+  bool TupleAbsentInWorld(size_t w, TupleId tid) const {
+    auto it = bottom_cols_.find(tid);
+    if (it == bottom_cols_.end()) return false;
+    for (size_t c : it->second) {
+      if (comp_->at(w, c).is_bottom()) return true;
+    }
+    return false;
+  }
+
+ private:
+  const Component* comp_;
+  std::unordered_map<TupleId, std::vector<size_t>> bottom_cols_;
+};
 
 }  // namespace
 
@@ -132,10 +152,10 @@ Status WsdtChaseEgd(Wsdt& wsdt, const Egd& egd) {
       }
       MAYWSD_ASSIGN_OR_RETURN(size_t target, ComposeAll(wsdt, presence));
       const Component& comp = wsdt.component(target);
+      AbsenceIndex absent(comp, rel_sym);
       std::vector<bool> remove(comp.NumWorlds(), false);
       for (size_t w = 0; w < comp.NumWorlds(); ++w) {
-        remove[w] = !TupleAbsentInWorld(comp, w, rel_sym,
-                                        static_cast<TupleId>(r));
+        remove[w] = !absent.TupleAbsentInWorld(w, static_cast<TupleId>(r));
       }
       MAYWSD_RETURN_IF_ERROR(
           RemoveWorlds(wsdt, target, remove, egd.ToString()));
@@ -162,9 +182,10 @@ Status WsdtChaseEgd(Wsdt& wsdt, const Egd& egd) {
     auto field_value = [&](size_t col) -> rel::Value {
       return row[col];  // certain template value
     };
+    AbsenceIndex absent(comp, rel_sym);
     std::vector<bool> remove(comp.NumWorlds(), false);
     for (size_t w = 0; w < comp.NumWorlds(); ++w) {
-      if (TupleAbsentInWorld(comp, w, rel_sym, static_cast<TupleId>(r))) {
+      if (absent.TupleAbsentInWorld(w, static_cast<TupleId>(r))) {
         continue;  // vacuous
       }
       bool premises_hold = true;
@@ -236,26 +257,30 @@ Status WsdtChaseFd(Wsdt& wsdt, const Fd& fd) {
     if (!loc_or.ok()) return out;
     const Component& comp = wsdt.component(loc_or.value().comp);
     size_t c = static_cast<size_t>(loc_or.value().col);
+    std::unordered_set<rel::Value> seen;
     for (size_t w = 0; w < comp.NumWorlds(); ++w) {
       const rel::Value& pv = comp.at(w, c);
-      if (!pv.is_bottom() &&
-          std::find(out.begin(), out.end(), pv) == out.end()) {
-        out.push_back(pv);
-      }
+      if (!pv.is_bottom() && seen.insert(pv).second) out.push_back(pv);
     }
     return out;
   };
 
-  std::unordered_map<std::string, std::vector<size_t>> buckets;
+  // Keys are Value::Hash combinations instead of serialized strings; a
+  // hash collision only merges two buckets, which is harmless — bucketing
+  // is a candidate filter, and process_pair() re-checks every pair.
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  std::vector<size_t> catch_all;  // rows whose key set overflowed the cap
   for (size_t r = 0; r < tmpl.NumRows(); ++r) {
     // Enumerate possible key combinations (capped).
-    std::vector<std::string> keys{""};
+    std::vector<size_t> keys{0xcbf29ce484222325ULL};
     for (size_t col : lhs_cols) {
       std::vector<rel::Value> vals = possible_of(r, col);
-      std::vector<std::string> next;
-      for (const std::string& k : keys) {
+      std::vector<size_t> next;
+      for (size_t k : keys) {
         for (const rel::Value& v : vals) {
-          next.push_back(k + v.ToString() + '\x1f');
+          size_t h = k;
+          HashCombine(h, v.Hash());
+          next.push_back(h);
           if (next.size() > kMaxFdKeyCombos) break;
         }
         if (next.size() > kMaxFdKeyCombos) break;
@@ -264,14 +289,12 @@ Status WsdtChaseFd(Wsdt& wsdt, const Fd& fd) {
       if (keys.size() > kMaxFdKeyCombos) break;
     }
     if (keys.size() > kMaxFdKeyCombos) {
-      keys.assign(1, "__any__");  // conservative catch-all bucket
+      catch_all.push_back(r);  // conservative: pairs with everything
+      continue;
     }
-    for (const std::string& k : keys) buckets[k].push_back(r);
+    std::unordered_set<size_t> dedup(keys.begin(), keys.end());
+    for (size_t k : dedup) buckets[k].push_back(r);
   }
-  // The catch-all bucket pairs with everything.
-  std::vector<size_t> catch_all;
-  auto ca = buckets.find("__any__");
-  if (ca != buckets.end()) catch_all = ca->second;
 
   std::set<std::pair<size_t, size_t>> done;
   auto process_pair = [&](size_t s, size_t t) -> Status {
@@ -337,10 +360,11 @@ Status WsdtChaseFd(Wsdt& wsdt, const Fd& fd) {
       return c >= 0 ? comp.at(w, static_cast<size_t>(c)) : v;
     };
 
+    AbsenceIndex absent(comp, rel_sym);
     std::vector<bool> remove(comp.NumWorlds(), false);
     for (size_t w = 0; w < comp.NumWorlds(); ++w) {
-      if (TupleAbsentInWorld(comp, w, rel_sym, static_cast<TupleId>(s)) ||
-          TupleAbsentInWorld(comp, w, rel_sym, static_cast<TupleId>(t))) {
+      if (absent.TupleAbsentInWorld(w, static_cast<TupleId>(s)) ||
+          absent.TupleAbsentInWorld(w, static_cast<TupleId>(t))) {
         continue;
       }
       bool lhs_equal = true;
@@ -363,7 +387,6 @@ Status WsdtChaseFd(Wsdt& wsdt, const Fd& fd) {
   };
 
   for (const auto& [key, rows] : buckets) {
-    if (key == "__any__") continue;
     for (size_t i = 0; i < rows.size(); ++i) {
       for (size_t j = i + 1; j < rows.size(); ++j) {
         MAYWSD_RETURN_IF_ERROR(process_pair(rows[i], rows[j]));

@@ -130,6 +130,18 @@ Result<Plan> Rewrite(const Plan& plan, const Database& db, bool* changed) {
 
 }  // namespace
 
+Result<Plan> Optimize(
+    const Plan& plan,
+    const std::vector<std::pair<std::string, Schema>>& schemas) {
+  // Expose the catalog as empty relations; the rewrite rules only ever
+  // look at schemas (OutputSchema), never at tuples.
+  Database db;
+  for (const auto& [name, schema] : schemas) {
+    db.PutRelation(Relation(schema, name));
+  }
+  return Optimize(plan, db);
+}
+
 Result<Plan> Optimize(const Plan& plan, const Database& db) {
   Plan current = plan;
   // Fixpoint with a generous iteration bound (each rule strictly shrinks or

@@ -11,6 +11,10 @@
 #ifndef MAYWSD_REL_OPTIMIZER_H_
 #define MAYWSD_REL_OPTIMIZER_H_
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/status.h"
 #include "rel/algebra.h"
 #include "rel/database.h"
@@ -25,6 +29,13 @@ namespace maywsd::rel {
 ///   5. Select(Union(l, r))      → Union(Select(l), Select(r))
 /// `db` supplies schemas for attribute-scoping decisions.
 Result<Plan> Optimize(const Plan& plan, const Database& db);
+
+/// Same rewrites, but driven from a bare (name, schema) catalog — the form
+/// the core engine's world-set backends provide (their relations are not
+/// rel::Relations). Only schemas are consulted, never tuples.
+Result<Plan> Optimize(
+    const Plan& plan,
+    const std::vector<std::pair<std::string, Schema>>& schemas);
 
 }  // namespace maywsd::rel
 

@@ -8,6 +8,9 @@
 
 #include "rel/eval.h"
 #include "rel/optimizer.h"
+#include "core/engine/plan_driver.h"
+#include "core/engine/wsd_backend.h"
+#include "core/engine/wsdt_backend.h"
 #include "core/wsd_algebra.h"
 #include "core/wsdt_algebra.h"
 #include "core/worldset.h"
@@ -138,6 +141,65 @@ TEST_P(RandomPlanProperty, AllThreePathsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlanProperty, ::testing::Range(0, 20));
+
+// Cross-backend equivalence oracle: the SAME engine driver
+// (core/engine/plan_driver.h) runs the SAME random plan over a Wsd and
+// over the equivalent Wsdt; the two backends must produce identical
+// world-sets, both on the plain plan and after the Section 5 logical
+// optimizations (which reshape the plan into joins the WSDT backend
+// executes natively and the WSD backend lowers to product + selections).
+class CrossBackendProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossBackendProperty, UnifiedDriverAgreesOnBothBackends) {
+  Rng rng(GetParam() * 104729 + 71);
+  std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 2, 3},
+                                RelSpec{"S", {"C", "D"}, 2, 3},
+                                RelSpec{"R2", {"A", "B"}, 2, 3}};
+  for (int round = 0; round < 3; ++round) {
+    Wsd wsd = testutil::RandomWsd(rng, specs, 3);
+    std::vector<std::string> attrs;
+    Plan plan = RandomPlan(rng, 2, &attrs);
+
+    for (bool optimized : {false, true}) {
+      Wsd wsd_copy = wsd;
+      engine::WsdBackend wsd_backend(wsd_copy);
+      Status st = optimized
+                      ? engine::EvaluateOptimized(wsd_backend, plan, "OUT")
+                      : engine::Evaluate(wsd_backend, plan, "OUT");
+      ASSERT_TRUE(st.ok()) << plan.ToString() << ": " << st;
+      auto wsd_out = wsd_copy.EnumerateWorlds(4000000, {"OUT"});
+      ASSERT_TRUE(wsd_out.ok()) << plan.ToString();
+
+      auto wsdt_or = Wsdt::FromWsd(wsd);
+      ASSERT_TRUE(wsdt_or.ok());
+      Wsdt wsdt = std::move(wsdt_or).value();
+      engine::WsdtBackend wsdt_backend(wsdt);
+      st = optimized ? engine::EvaluateOptimized(wsdt_backend, plan, "OUT")
+                     : engine::Evaluate(wsdt_backend, plan, "OUT");
+      ASSERT_TRUE(st.ok()) << plan.ToString() << ": " << st;
+      ASSERT_TRUE(wsdt.Validate().ok()) << plan.ToString();
+      auto wsdt_out = wsdt.ToWsd().value().EnumerateWorlds(4000000, {"OUT"});
+      ASSERT_TRUE(wsdt_out.ok()) << plan.ToString();
+
+      EXPECT_TRUE(WorldSetsEquivalent(*wsd_out, *wsdt_out))
+          << "backends disagree on " << plan.ToString() << " seed "
+          << GetParam() << (optimized ? " (optimized)" : " (plain)");
+
+      // The scratch-relation lifecycle must not leak intermediates into
+      // either decomposition.
+      for (const std::string& name : wsd_copy.RelationNames()) {
+        EXPECT_NE(name.rfind("__eng_tmp", 0), 0u)
+            << "leaked scratch relation " << name;
+      }
+      for (const std::string& name : wsdt.RelationNames()) {
+        EXPECT_NE(name.rfind("__eng_tmp", 0), 0u)
+            << "leaked scratch relation " << name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossBackendProperty, ::testing::Range(0, 15));
 
 class OptimizerProperty : public ::testing::TestWithParam<int> {};
 

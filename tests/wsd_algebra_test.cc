@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "core/engine/plan_driver.h"
 #include "core/normalize.h"
 #include "core/worldset.h"
 #include "tests/test_util.h"
@@ -259,10 +260,11 @@ TEST(WsdAlgebraGolden, OrAndNotPredicates) {
 }
 
 TEST(WsdAlgebraGolden, NegatePredicateFlipsOperators) {
+  // The negation pushdown lives in the shared engine driver now.
   Predicate p = Predicate::Cmp("A", CmpOp::kLt, I(3));
-  Predicate n = NegatePredicate(p);
+  Predicate n = engine::NegatePredicate(p);
   EXPECT_EQ(n.op(), CmpOp::kGe);
-  Predicate dn = NegatePredicate(Predicate::Not(p));
+  Predicate dn = engine::NegatePredicate(Predicate::Not(p));
   EXPECT_EQ(dn.op(), CmpOp::kLt);
 }
 
