@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "bench/bench_util.h"
 
 int main() {
@@ -32,16 +33,17 @@ int main() {
                 stats.num_components_multi, stats.c_size,
                 stats.template_rows);
     for (int q = 1; q <= 6; ++q) {
-      // Each query runs on a fresh copy of the chased representation so
-      // the reported characteristics are those of this answer alone.
-      core::Wsdt copy = wsdt;
+      // Each query runs on a session over a fresh copy of the chased
+      // representation so the reported characteristics are those of this
+      // answer alone.
+      api::Session session = api::Session::OverWsdt(wsdt);
       std::string out = "Q" + std::to_string(q);
-      Status st = core::WsdtEvaluate(copy, census::CensusQuery(q, "R"), out);
+      Status st = session.Run(census::CensusQuery(q, "R"), out);
       if (!st.ok()) {
         std::fprintf(stderr, "Q%d failed: %s\n", q, st.ToString().c_str());
         return 1;
       }
-      auto qs = copy.StatsForRelation(out);
+      auto qs = session.wsdt()->StatsForRelation(out);
       if (!qs.ok()) return 1;
       std::printf("%-14s %-10s %12zu %12zu %12zu %12zu\n",
                   ("After " + out).c_str(), bench::DensityLabel(density),

@@ -3,13 +3,15 @@
 // baseline (density 0%: the original query evaluated on the plain template
 // through the relational engine).
 //
-// Every world-set evaluation goes through the shared engine driver
-// (core/engine/plan_driver.h): identical plans, one lowering, two
-// backends. Besides the paper's WSDT curves, a cross-backend section runs
-// the same queries over the Section 4 WSD representation of the same
-// world set at small sizes (the WSD operators materialize |R|max-sized
-// intermediates, so they only scale to small instances — which is the
-// paper's point), tracking the WSD-vs-WSDT trajectory.
+// Every world-set evaluation goes through api::Session — one facade, one
+// engine lowering, interchangeable backends. Besides the paper's WSDT
+// curves, a cross-backend section runs the same queries over the
+// Section 4 WSD representation and the Section 3 C/F/W uniform store of
+// the same world set at small sizes (the WSD operators materialize
+// |R|max-sized intermediates and the uniform store pays template-
+// semantics round trips for the non-relational operators, so this section
+// stays small — which is the paper's point: the template refinement is
+// what scales), tracking the WSD-vs-WSDT-vs-uniform trajectory.
 //
 // Expected shape: per query, time grows linearly with relation size, the
 // density curves sit on top of each other and track the 0% one-world curve
@@ -26,10 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "api/session.h"
 #include "bench/bench_util.h"
-#include "core/engine/plan_driver.h"
-#include "core/engine/wsd_backend.h"
-#include "core/engine/wsdt_backend.h"
 #include "rel/eval.h"
 
 namespace {
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
       samples.push_back({q, rows, 0.0, "one-world", secs, out->NumRows()});
     }
     // Chased UWSDT per density; queries reuse it and run through the
-    // shared engine driver over the WSDT backend.
+    // Session facade over the WSDT backend.
     for (double density : densities) {
       auto wsdt_or = census::MakeNoisyWsdt(base, schema, density,
                                            /*seed=*/0xBEEF ^ rows);
@@ -109,17 +109,15 @@ int main(int argc, char** argv) {
       core::Wsdt wsdt = std::move(wsdt_or).value();
       bench::ChaseCensus(wsdt);
       for (int q = 1; q <= 6; ++q) {
-        core::Wsdt copy = wsdt;
-        core::engine::WsdtBackend backend(copy);
+        api::Session session = api::Session::OverWsdt(wsdt);
         Timer t;
-        Status st = core::engine::Evaluate(backend, census::CensusQuery(q, "R"),
-                                           "OUT");
+        Status st = session.Run(census::CensusQuery(q, "R"), "OUT");
         if (!st.ok()) {
           std::fprintf(stderr, "Q%d failed: %s\n", q, st.ToString().c_str());
           return 1;
         }
         double secs = t.Seconds();
-        size_t n = copy.Template("OUT").value()->NumRows();
+        size_t n = session.wsdt()->Template("OUT").value()->NumRows();
         times[q][rows].push_back(secs);
         result_rows[q][rows] = n;
         samples.push_back({q, rows, density, "wsdt", secs, n});
@@ -141,15 +139,20 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  // Cross-backend trajectory: identical plans over WSD and WSDT through
-  // the one engine code path. WSD intermediates are |R|max-sized and Q5's
-  // product composes components quadratically (~14 s at 32 rows), so this
-  // section stays at small fixed sizes regardless of MAYWSD_SCALE — which
-  // is the paper's point: the template refinement is what scales.
+  // Cross-backend trajectory: identical plans over WSD, WSDT and the
+  // uniform C/F/W store through the one Session facade. WSD intermediates
+  // are |R|max-sized, Q5's product composes components quadratically
+  // (~14 s at 32 rows), and the uniform store pays whole-store template-
+  // semantics round trips for non-relational operators, so this section
+  // stays at small fixed sizes regardless of MAYWSD_SCALE — which is the
+  // paper's point: the template refinement is what scales.
   const double kXDensity = 0.001;
-  std::printf("# Cross-backend: engine driver, WSD vs WSDT (density %s)\n",
-              bench::DensityLabel(kXDensity));
-  std::printf("%10s %6s %12s %12s\n", "tuples", "query", "wsd", "wsdt");
+  std::printf(
+      "# Cross-backend: Session facade, WSD vs WSDT vs uniform "
+      "(density %s)\n",
+      bench::DensityLabel(kXDensity));
+  std::printf("%10s %6s %12s %12s %12s\n", "tuples", "query", "wsd", "wsdt",
+              "uniform");
   for (size_t rows : {size_t{16}, size_t{32}}) {
     rel::Relation base =
         census::GenerateCensus(schema, rows, /*seed=*/0xC0FFEE ^ rows);
@@ -161,11 +164,9 @@ int main(int argc, char** argv) {
     auto wsd_or = wsdt.ToWsd();
     if (!wsd_or.ok()) return 1;
     for (int q = 1; q <= 6; ++q) {
-      core::Wsd wsd_copy = wsd_or.value();
-      core::engine::WsdBackend wsd_backend(wsd_copy);
+      api::Session wsd_session = api::Session::OverWsd(wsd_or.value());
       Timer tw;
-      Status st = core::engine::Evaluate(wsd_backend,
-                                         census::CensusQuery(q, "R"), "OUT");
+      Status st = wsd_session.Run(census::CensusQuery(q, "R"), "OUT");
       if (!st.ok()) {
         std::fprintf(stderr, "WSD Q%d failed: %s\n", q,
                      st.ToString().c_str());
@@ -174,21 +175,33 @@ int main(int argc, char** argv) {
       double wsd_secs = tw.Seconds();
       samples.push_back({q, rows, kXDensity, "wsd", wsd_secs, 0});
 
-      core::Wsdt wsdt_copy = wsdt;
-      core::engine::WsdtBackend wsdt_backend(wsdt_copy);
+      api::Session wsdt_session = api::Session::OverWsdt(wsdt);
       Timer tt;
-      st = core::engine::Evaluate(wsdt_backend, census::CensusQuery(q, "R"),
-                                  "OUT");
+      st = wsdt_session.Run(census::CensusQuery(q, "R"), "OUT");
       if (!st.ok()) {
         std::fprintf(stderr, "WSDT Q%d failed: %s\n", q,
                      st.ToString().c_str());
         return 1;
       }
       double wsdt_secs = tt.Seconds();
-      size_t n = wsdt_copy.Template("OUT").value()->NumRows();
+      size_t n = wsdt_session.wsdt()->Template("OUT").value()->NumRows();
       samples.back().result_rows = n;  // same world set, same result size
       samples.push_back({q, rows, kXDensity, "wsdt", wsdt_secs, n});
-      std::printf("%10zu %6d %12.4f %12.4f\n", rows, q, wsd_secs, wsdt_secs);
+
+      auto uniform_or = api::Session::OverUniform(wsdt);
+      if (!uniform_or.ok()) return 1;
+      api::Session uniform_session = std::move(uniform_or).value();
+      Timer tu;
+      st = uniform_session.Run(census::CensusQuery(q, "R"), "OUT");
+      if (!st.ok()) {
+        std::fprintf(stderr, "uniform Q%d failed: %s\n", q,
+                     st.ToString().c_str());
+        return 1;
+      }
+      double uniform_secs = tu.Seconds();
+      samples.push_back({q, rows, kXDensity, "uniform", uniform_secs, n});
+      std::printf("%10zu %6d %12.4f %12.4f %12.4f\n", rows, q, wsd_secs,
+                  wsdt_secs, uniform_secs);
     }
   }
   std::printf("\n");

@@ -1,11 +1,16 @@
 // Census cleaning end to end (the Section 9 workflow at example scale):
 // generate an IPUMS-like extract, inject or-set noise, clean it with the
-// twelve Figure 25 dependencies, evaluate the six Figure 29 queries, and
-// report UWSDT characteristics and timings. Also demonstrates the uniform
-// C/F/W relational encoding and CSV export of a query answer's template.
+// twelve Figure 25 dependencies, evaluate the six Figure 29 queries
+// through the api::Session facade, and report UWSDT characteristics and
+// timings. Also demonstrates the uniform C/F/W relational encoding and
+// CSV export of a query answer's template.
+//
+// Usage: census_cleaning [rows] — default 20000.
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "api/session.h"
 #include "census/dependencies.h"
 #include "census/ipums.h"
 #include "census/noise.h"
@@ -13,22 +18,24 @@
 #include "common/timer.h"
 #include "core/storage.h"
 #include "core/uniform.h"
-#include "core/wsdt_algebra.h"
 #include "core/wsdt_chase.h"
-#include "core/wsdt_confidence.h"
 #include "core/wsdt_normalize.h"
 #include "rel/csv.h"
 
 using namespace maywsd;
 
-int main() {
-  constexpr size_t kRows = 20000;
+int main(int argc, char** argv) {
+  size_t rows = 20000;
+  if (argc > 1) {
+    rows = static_cast<size_t>(std::strtoull(argv[1], nullptr, 10));
+    if (rows == 0) rows = 20000;
+  }
   constexpr double kDensity = 0.001;  // 0.1%: one field in 1000 is noisy
 
   census::CensusSchema schema = census::CensusSchema::Standard();
-  std::printf("generating %zu census records (%zu attributes)...\n", kRows,
+  std::printf("generating %zu census records (%zu attributes)...\n", rows,
               schema.arity());
-  rel::Relation base = census::GenerateCensus(schema, kRows, /*seed=*/2007);
+  rel::Relation base = census::GenerateCensus(schema, rows, /*seed=*/2007);
 
   census::NoiseReport report;
   auto wsdt_or = census::MakeNoisyWsdt(base, schema, kDensity, 42, &report);
@@ -53,15 +60,17 @@ int main() {
       chase_timer.Seconds(), stats.num_components,
       stats.num_components_multi, stats.c_size, stats.template_rows);
 
+  // The cleaned decomposition becomes a query session; the six Figure 29
+  // queries run through the one facade.
+  api::Session session = api::Session::OverWsdt(std::move(wsdt));
   for (int q = 1; q <= 6; ++q) {
     std::string out = "Q" + std::to_string(q);
     Timer t;
-    if (Status st = core::WsdtEvaluate(wsdt, census::CensusQuery(q, "R"), out);
-        !st.ok()) {
+    if (Status st = session.Run(census::CensusQuery(q, "R"), out); !st.ok()) {
       std::printf("%s failed: %s\n", out.c_str(), st.ToString().c_str());
       return 1;
     }
-    auto qs = wsdt.StatsForRelation(out).value();
+    auto qs = session.wsdt()->StatsForRelation(out).value();
     std::printf("%s: %.4f s   |R|=%zu rows, #comp=%zu, |C|=%zu\n",
                 out.c_str(), t.Seconds(), qs.template_rows,
                 qs.num_components, qs.c_size);
@@ -69,23 +78,25 @@ int main() {
 
   // Normalize the queried representation (Section 7): the chase and the
   // queries can leave constant or duplicate local worlds behind.
-  core::WsdtStats pre = wsdt.ComputeStats();
-  if (Status st = core::WsdtNormalize(wsdt); !st.ok()) return 1;
-  core::WsdtStats post = wsdt.ComputeStats();
+  // Normalization is representation-level tooling below the facade.
+  core::WsdtStats pre = session.wsdt()->ComputeStats();
+  if (Status st = core::WsdtNormalize(*session.wsdt()); !st.ok()) return 1;
+  core::WsdtStats post = session.wsdt()->ComputeStats();
   std::printf("\nnormalization: |C| %zu -> %zu, #comp %zu -> %zu\n",
               pre.c_size, post.c_size, pre.num_components,
               post.num_components);
 
   // Close the possible-worlds semantics on one answer: Q3's possible
-  // tuples ranked by confidence (Section 6).
-  auto q3_answers = core::WsdtPossibleTuplesWithConfidence(wsdt, "Q3");
+  // tuples ranked by confidence (Section 6), asked through the session.
+  auto q3_answers = session.PossibleTuplesWithConfidence("Q3");
   if (q3_answers.ok()) {
     std::printf("\nfirst possible Q3 answers with confidence:\n%s\n",
                 q3_answers->ToString(8).c_str());
   }
 
-  // The uniform (fixed-arity) encoding a conventional RDBMS would store.
-  auto uniform = core::ExportUniform(wsdt);
+  // The uniform (fixed-arity) encoding a conventional RDBMS would store —
+  // the same data api::Session::OverUniform would query in place.
+  auto uniform = core::ExportUniform(*session.wsdt());
   if (!uniform.ok()) return 1;
   std::printf(
       "uniform encoding: C has %zu rows, F has %zu rows, W has %zu rows\n",
@@ -94,10 +105,10 @@ int main() {
       uniform->GetRelation(core::kUniformW).value()->NumRows());
 
   // Persist the whole cleaned-and-queried WSDT and one answer's template.
-  if (core::SaveWsdt(wsdt, "/tmp/maywsd_census").ok()) {
+  if (core::SaveWsdt(*session.wsdt(), "/tmp/maywsd_census").ok()) {
     std::printf("saved the UWSDT to /tmp/maywsd_census/ (CSV bundle)\n");
   }
-  const rel::Relation* q6 = wsdt.Template("Q6").value();
+  const rel::Relation* q6 = session.wsdt()->Template("Q6").value();
   if (rel::WriteCsvFile(*q6, "/tmp/maywsd_q6.csv").ok()) {
     std::printf("wrote %zu Q6 rows to /tmp/maywsd_q6.csv\n", q6->NumRows());
   }

@@ -1,18 +1,17 @@
-// One query, one driver, two representations.
+// One query, one front door, three representations.
 //
-// The world-set engine (core/engine/) lowers a rel::Plan exactly once; the
-// WorldSetOps backends decide how each Figure 9 operator touches the data.
-// This example builds the incomplete relation of the paper's running
-// example, evaluates the same plan over (a) the WSD representation and
-// (b) the WSDT template refinement through engine::Evaluate, and shows
-// that both world sets agree tuple for tuple.
+// api::Session is the representation-agnostic facade over the world-set
+// engine: the same rel::Plan runs over (a) the Section 4 WSD, (b) the
+// Section 5 WSDT template refinement, and (c) the C/F/W uniform relational
+// encoding of Section 3 — and the same answer-side questions (possible
+// tuples with confidence) are asked through the same interface. The
+// world sets agree tuple for tuple across all three backends.
 
 #include <cstdio>
 
-#include "core/engine/plan_driver.h"
-#include "core/engine/wsd_backend.h"
-#include "core/engine/wsdt_backend.h"
+#include "api/session.h"
 #include "core/orset.h"
+#include "core/uniform.h"
 #include "core/wsdt.h"
 
 using namespace maywsd;
@@ -37,42 +36,70 @@ int main() {
     return 1;
   }
   core::Wsd wsd = forms.ToWsd().value();
+  core::Wsdt wsdt = core::Wsdt::FromWsd(wsd).value();
 
   // Married or widowed people: σ_{M≤2}(π_{S,M}(R)).
   Plan plan = Plan::Select(Predicate::Cmp("M", CmpOp::kLe, Value::Int(2)),
                            Plan::Project({"S", "M"}, Plan::Scan("R")));
 
-  // (a) WSD backend: generic lowering (chains, unions, ⊥-marking).
-  core::engine::WsdBackend wsd_backend(wsd);
-  if (Status st = core::engine::Evaluate(wsd_backend, plan, "OUT"); !st.ok()) {
-    std::printf("wsd evaluation failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
+  // The same session calls against all three representations.
+  auto uniform_or = api::Session::OverUniform(wsdt);
+  if (!uniform_or.ok()) return 1;
+  api::Session sessions[] = {api::Session::OverWsd(std::move(wsd)),
+                             api::Session::OverWsdt(std::move(wsdt)),
+                             std::move(uniform_or).value()};
 
-  // (b) WSDT backend: same driver, native one-pass predicate selection.
-  core::Wsdt wsdt = core::Wsdt::FromWsd(forms.ToWsd().value()).value();
-  core::engine::WsdtBackend wsdt_backend(wsdt);
-  if (Status st = core::engine::Evaluate(wsdt_backend, plan, "OUT");
-      !st.ok()) {
-    std::printf("wsdt evaluation failed: %s\n", st.ToString().c_str());
-    return 1;
+  rel::Relation reference;
+  for (api::Session& session : sessions) {
+    if (Status st = session.Run(plan, "OUT"); !st.ok()) {
+      std::printf("%s evaluation failed: %s\n",
+                  std::string(session.BackendName()).c_str(),
+                  st.ToString().c_str());
+      return 1;
+    }
+    auto answers = session.PossibleTuplesWithConfidence("OUT");
+    if (!answers.ok()) {
+      std::printf("%s answers failed: %s\n",
+                  std::string(session.BackendName()).c_str(),
+                  answers.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s backend — possible OUT tuples with confidence:\n%s\n",
+                std::string(session.BackendName()).c_str(),
+                answers->ToString().c_str());
+    // Compare the tuples exactly and the confidences with a tolerance
+    // (the backends associate the probability products differently).
+    auto possible = session.PossibleTuples("OUT").value();
+    if (reference.NumRows() == 0 && reference.arity() == 0) {
+      reference = std::move(possible);
+    } else if (!reference.EqualsAsSet(possible)) {
+      std::printf("ERROR: %s disagrees with the first backend!\n",
+                  std::string(session.BackendName()).c_str());
+      return 1;
+    }
   }
+  for (size_t i = 0; i < reference.NumRows(); ++i) {
+    double base =
+        sessions[0].TupleConfidence("OUT", reference.row(i).span()).value();
+    for (size_t s = 1; s < 3; ++s) {
+      double conf =
+          sessions[s].TupleConfidence("OUT", reference.row(i).span()).value();
+      if (conf > base + 1e-9 || conf < base - 1e-9) {
+        std::printf("ERROR: confidence mismatch on tuple %zu\n", i);
+        return 1;
+      }
+    }
+  }
+  std::printf("all three backends agree through one Session API\n");
 
-  auto wsd_worlds = wsd.EnumerateWorlds(1000, {"OUT"}).value();
-  auto wsdt_worlds =
-      wsdt.ToWsd().value().EnumerateWorlds(1000, {"OUT"}).value();
-  std::printf("WSD backend:  %zu worlds of OUT\n", wsd_worlds.size());
-  std::printf("WSDT backend: %zu worlds of OUT\n", wsdt_worlds.size());
-  if (!core::WorldSetsEquivalent(wsd_worlds, wsdt_worlds)) {
-    std::printf("ERROR: the two backends disagree!\n");
-    return 1;
-  }
-  std::printf("world sets are identical across backends\n");
-  for (size_t i = 0; i < wsd_worlds.size() && i < 3; ++i) {
-    std::printf("\nworld %zu (p=%.3f) via WSD backend:\n%s", i,
-                wsd_worlds[i].prob,
-                wsd_worlds[i].db.GetRelation("OUT").value()->ToString()
-                    .c_str());
-  }
+  // The uniform session really runs inside an RDBMS-style store: the
+  // result template and the C/F/W system relations are plain relations.
+  const rel::Database* store = sessions[2].uniform();
+  std::printf("\nuniform store after the query: OUT template %zu rows, "
+              "C %zu rows, F %zu rows, W %zu rows\n",
+              store->GetRelation("OUT").value()->NumRows(),
+              store->GetRelation(core::kUniformC).value()->NumRows(),
+              store->GetRelation(core::kUniformF).value()->NumRows(),
+              store->GetRelation(core::kUniformW).value()->NumRows());
   return 0;
 }

@@ -12,10 +12,8 @@
 
 #include <cstdio>
 
-#include "core/confidence.h"
+#include "api/session.h"
 #include "core/normalize.h"
-#include "core/wsd_algebra.h"
-#include "core/wsdt.h"
 #include "core/worldset.h"
 
 using namespace maywsd;
@@ -85,7 +83,8 @@ int main() {
       "conflict)\n\n",
       stats.template_rows, stats.num_components);
 
-  // Query: engineers earning at least 90000.
+  // Query: engineers earning at least 90000 — through the Session facade.
+  api::Session session = api::Session::OverWsd(std::move(wsd));
   rel::Plan q = rel::Plan::Project(
       {"EMP"},
       rel::Plan::Select(
@@ -95,20 +94,18 @@ int main() {
               rel::Predicate::Cmp("SALARY", rel::CmpOp::kGe,
                                   Value::Int(90000))),
           rel::Plan::Scan("Employees")));
-  if (Status st = core::WsdEvaluate(wsd, q, "HighPaidEng"); !st.ok()) {
+  if (Status st = session.Run(q, "HighPaidEng"); !st.ok()) {
     std::printf("query failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  auto answers = core::PossibleTuplesWithConfidence(wsd, "HighPaidEng");
+  auto answers = session.PossibleTuplesWithConfidence("HighPaidEng");
   if (!answers.ok()) return 1;
   std::printf("possible answers with confidence:\n%s\n",
               answers->ToString().c_str());
-  std::printf("consistent (certain) answers — confidence 1:\n");
-  for (size_t i = 0; i < answers->NumRows(); ++i) {
-    if (answers->row(i)[1].AsDouble() >= 1.0 - 1e-9) {
-      std::printf("  %s\n", answers->row(i)[0].ToString().c_str());
-    }
-  }
+  auto certain = session.CertainTuples("HighPaidEng");
+  if (!certain.ok()) return 1;
+  std::printf("consistent (certain) answers — confidence 1:\n%s\n",
+              certain->ToString().c_str());
   std::printf(
       "\nconsistent query answering would return only the certain rows;\n"
       "the WSD additionally ranks Dave by the fraction of repairs that\n"

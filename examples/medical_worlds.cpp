@@ -8,14 +8,15 @@
 //
 // We model one patient whose diagnosis is uncertain and whose treatment
 // must be compatible with the diagnosis, plus an independent lab result.
-// Queries: possible diagnoses, commonly prescribed medication for a set of
-// diseases, and the effect of new evidence (an EGD) on the distribution.
+// Queries run through the api::Session facade: possible diagnoses,
+// commonly prescribed medication for a set of diseases, and the effect of
+// new evidence (an EGD) on the distribution. The chase is
+// representation-level tooling and conditions the session's WSD in place.
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "core/chase.h"
-#include "core/confidence.h"
-#include "core/wsd_algebra.h"
 
 using namespace maywsd;
 using core::Component;
@@ -48,12 +49,16 @@ int main() {
   }
   std::printf("patient record as a WSD:\n%s\n", wsd.ToString().c_str());
 
+  api::Session session = api::Session::OverWsd(std::move(wsd));
+
   // Possible diagnoses with confidence.
-  if (Status st = core::WsdProject(wsd, "Patient", "Diagnoses", {"DIAG"});
+  if (Status st = session.Run(
+          rel::Plan::Project({"DIAG"}, rel::Plan::Scan("Patient")),
+          "Diagnoses");
       !st.ok()) {
     return 1;
   }
-  auto diag = core::PossibleTuplesWithConfidence(wsd, "Diagnoses").value();
+  auto diag = session.PossibleTuplesWithConfidence("Diagnoses").value();
   std::printf("possible diagnoses:\n%s\n", diag.ToString().c_str());
 
   // Commonly used medication for bacterial diagnoses (strep).
@@ -63,8 +68,8 @@ int main() {
           rel::Predicate::Cmp("DIAG", rel::CmpOp::kEq,
                               Value::String("strep")),
           rel::Plan::Scan("Patient")));
-  if (Status st = core::WsdEvaluate(wsd, q, "StrepMeds"); !st.ok()) return 1;
-  auto meds = core::PossibleTuplesWithConfidence(wsd, "StrepMeds").value();
+  if (Status st = session.Run(q, "StrepMeds"); !st.ok()) return 1;
+  auto meds = session.PossibleTuplesWithConfidence("StrepMeds").value();
   std::printf("medication given strep:\n%s\n", meds.ToString().c_str());
 
   // New evidence: the rapid test says an elevated marker rules out flu.
@@ -73,17 +78,19 @@ int main() {
   evidence.premises = {{"MARKER", rel::CmpOp::kEq,
                         Value::String("elevated")}};
   evidence.conclusion = {"DIAG", rel::CmpOp::kNe, Value::String("flu")};
-  if (Status st = core::ChaseEgd(wsd, evidence); !st.ok()) {
+  if (Status st = core::ChaseEgd(*session.wsd(), evidence); !st.ok()) {
     std::printf("chase failed: %s\n", st.ToString().c_str());
     return 1;
   }
   std::printf("after conditioning on the marker evidence:\n");
   // Recompute diagnosis confidences on the cleaned record.
-  if (Status st = core::WsdProject(wsd, "Patient", "Diagnoses2", {"DIAG"});
+  if (Status st = session.Run(
+          rel::Plan::Project({"DIAG"}, rel::Plan::Scan("Patient")),
+          "Diagnoses2");
       !st.ok()) {
     return 1;
   }
-  auto diag2 = core::PossibleTuplesWithConfidence(wsd, "Diagnoses2").value();
+  auto diag2 = session.PossibleTuplesWithConfidence("Diagnoses2").value();
   std::printf("%s\n", diag2.ToString().c_str());
   return 0;
 }

@@ -6,15 +6,15 @@
 //    but decomposes into the WSD of Figure 3.
 // 3. The probabilistic WSD of Figure 4 attaches weights; chasing the
 //    reliable fact "the person with SSN 785 is married" yields Figure 22.
-// 4. Query π_S(R) and confidence computation reproduce Example 11.
+// 4. Query π_S(R) and confidence computation reproduce Example 11,
+//    through the api::Session facade.
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "core/chase.h"
-#include "core/confidence.h"
 #include "core/normalize.h"
 #include "core/orset.h"
-#include "core/wsd_algebra.h"
 #include "core/wsdt.h"
 
 using namespace maywsd;
@@ -108,12 +108,15 @@ int main() {
   std::printf("after chasing S=785 => M=1 (Figure 22):\n%s\n",
               prob.ToString().c_str());
 
-  // -- Step 4: query and confidence (Example 11). -------------------------
-  if (Status st = core::WsdProject(prob, "R", "Q", {"S"}); !st.ok()) {
+  // -- Step 4: query and confidence (Example 11), via the Session API. ----
+  api::Session session = api::Session::OverWsd(std::move(prob));
+  if (Status st = session.Run(rel::Plan::Project({"S"}, rel::Plan::Scan("R")),
+                              "Q");
+      !st.ok()) {
     std::printf("projection failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  auto answers = core::PossibleTuplesWithConfidence(prob, "Q").value();
+  auto answers = session.PossibleTuplesWithConfidence("Q").value();
   std::printf("possible answers to Q = pi_S(R) with confidence:\n%s\n",
               answers.ToString().c_str());
   return 0;

@@ -1,0 +1,156 @@
+#include "api/session.h"
+
+#include <utility>
+#include <variant>
+
+#include "core/engine/plan_driver.h"
+#include "core/engine/uniform_backend.h"
+#include "core/engine/wsd_backend.h"
+#include "core/engine/wsdt_backend.h"
+#include "core/uniform.h"
+
+namespace maywsd::api {
+
+std::string_view BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kWsd:
+      return "wsd";
+    case BackendKind::kWsdt:
+      return "wsdt";
+    case BackendKind::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+/// The owned representation plus its engine adapter. The variant lives in
+/// a heap-allocated Rep so the adapter's pointer into it stays stable
+/// across Session moves.
+struct Session::Rep {
+  BackendKind kind;
+  std::variant<core::Wsd, core::Wsdt, rel::Database> data;
+  std::unique_ptr<core::engine::WorldSetOps> backend;
+};
+
+Session::Session(std::unique_ptr<Rep> rep) : rep_(std::move(rep)) {}
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+Session Session::OverWsd(core::Wsd wsd) {
+  auto rep = std::make_unique<Rep>();
+  rep->kind = BackendKind::kWsd;
+  rep->data = std::move(wsd);
+  rep->backend = std::make_unique<core::engine::WsdBackend>(
+      std::get<core::Wsd>(rep->data));
+  return Session(std::move(rep));
+}
+
+Session Session::OverWsdt(core::Wsdt wsdt) {
+  auto rep = std::make_unique<Rep>();
+  rep->kind = BackendKind::kWsdt;
+  rep->data = std::move(wsdt);
+  rep->backend = std::make_unique<core::engine::WsdtBackend>(
+      std::get<core::Wsdt>(rep->data));
+  return Session(std::move(rep));
+}
+
+Session Session::OverUniformDatabase(rel::Database db) {
+  auto rep = std::make_unique<Rep>();
+  rep->kind = BackendKind::kUniform;
+  rep->data = std::move(db);
+  rep->backend = std::make_unique<core::engine::UniformBackend>(
+      std::get<rel::Database>(rep->data));
+  return Session(std::move(rep));
+}
+
+Session Session::OverUniform() {
+  // The export of an empty WSDT is a store with empty C, F, W.
+  return OverUniformDatabase(core::ExportUniform(core::Wsdt()).value());
+}
+
+Result<Session> Session::OverUniform(const core::Wsdt& wsdt) {
+  MAYWSD_ASSIGN_OR_RETURN(rel::Database db, core::ExportUniform(wsdt));
+  return OverUniformDatabase(std::move(db));
+}
+
+BackendKind Session::kind() const { return rep_->kind; }
+
+std::string_view Session::BackendName() const {
+  return rep_->backend->BackendName();
+}
+
+bool Session::HasRelation(const std::string& name) const {
+  return rep_->backend->HasRelation(name);
+}
+
+std::vector<std::string> Session::RelationNames() const {
+  return rep_->backend->RelationNames();
+}
+
+Result<rel::Schema> Session::RelationSchema(const std::string& name) const {
+  return rep_->backend->RelationSchema(name);
+}
+
+Status Session::Register(const rel::Relation& relation) {
+  return rep_->backend->AddCertainRelation(relation);
+}
+
+Status Session::Drop(const std::string& name) {
+  return rep_->backend->Drop(name);
+}
+
+Status Session::Run(const rel::Plan& plan, const std::string& out) {
+  return core::engine::Evaluate(*rep_->backend, plan, out);
+}
+
+Status Session::RunOptimized(const rel::Plan& plan, const std::string& out) {
+  return core::engine::EvaluateOptimized(*rep_->backend, plan, out);
+}
+
+Result<rel::Relation> Session::PossibleTuples(
+    const std::string& relation) const {
+  return rep_->backend->PossibleTuples(relation);
+}
+
+Result<rel::Relation> Session::PossibleTuplesWithConfidence(
+    const std::string& relation) const {
+  return rep_->backend->PossibleTuplesWithConfidence(relation);
+}
+
+Result<rel::Relation> Session::CertainTuples(
+    const std::string& relation) const {
+  return rep_->backend->CertainTuples(relation);
+}
+
+Result<double> Session::TupleConfidence(
+    const std::string& relation, std::span<const rel::Value> tuple) const {
+  return rep_->backend->TupleConfidence(relation, tuple);
+}
+
+Result<bool> Session::TupleCertain(const std::string& relation,
+                                   std::span<const rel::Value> tuple) const {
+  return rep_->backend->TupleCertain(relation, tuple);
+}
+
+core::engine::WorldSetOps& Session::ops() { return *rep_->backend; }
+const core::engine::WorldSetOps& Session::ops() const {
+  return *rep_->backend;
+}
+
+core::Wsd* Session::wsd() { return std::get_if<core::Wsd>(&rep_->data); }
+const core::Wsd* Session::wsd() const {
+  return std::get_if<core::Wsd>(&rep_->data);
+}
+core::Wsdt* Session::wsdt() { return std::get_if<core::Wsdt>(&rep_->data); }
+const core::Wsdt* Session::wsdt() const {
+  return std::get_if<core::Wsdt>(&rep_->data);
+}
+rel::Database* Session::uniform() {
+  return std::get_if<rel::Database>(&rep_->data);
+}
+const rel::Database* Session::uniform() const {
+  return std::get_if<rel::Database>(&rep_->data);
+}
+
+}  // namespace maywsd::api

@@ -1,0 +1,142 @@
+// Session: the one front door of the query engine.
+//
+// The paper's central claim is that one relational algebra (Figure 9) runs
+// over interchangeable representations of incomplete information — WSDs
+// (Section 4), WSDTs/UWSDTs (Section 5), and the C/F/W uniform relational
+// encoding the PostgreSQL prototype stored (Section 3, Figure 8). A
+// Session makes that claim an API: open it over any representation
+// (OverWsd / OverWsdt / OverUniform), register base relations, run
+// rel::Plans through the shared engine driver (scratch lifecycle managed),
+// and ask the Section 6 answer-side questions — PossibleTuples,
+// CertainTuples, TupleConfidence — through one interface regardless of
+// which backend holds the data.
+//
+// Representation-level tooling (chase, normalization, statistics, or-set
+// noise) stays below the facade; wsd()/wsdt()/uniform() expose the owned
+// representation for it. The historical per-representation entry points
+// (WsdEvaluate, WsdtEvaluate*, confidence.h, wsdt_confidence.h) remain as
+// thin compatibility shims over the same engine code.
+
+#ifndef MAYWSD_API_SESSION_H_
+#define MAYWSD_API_SESSION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine/world_set_ops.h"
+#include "core/wsd.h"
+#include "core/wsdt.h"
+#include "rel/algebra.h"
+#include "rel/database.h"
+#include "rel/relation.h"
+
+namespace maywsd::api {
+
+/// The representation a Session runs over.
+enum class BackendKind { kWsd, kWsdt, kUniform };
+
+/// "wsd" / "wsdt" / "uniform".
+std::string_view BackendKindName(BackendKind kind);
+
+/// A query session over one world-set representation.
+class Session {
+ public:
+  // -- Opening a session ----------------------------------------------------
+
+  /// Over a (possibly empty) Section 4 world-set decomposition.
+  static Session OverWsd(core::Wsd wsd = {});
+
+  /// Over a (possibly empty) Section 5 template decomposition.
+  static Session OverWsdt(core::Wsdt wsdt = {});
+
+  /// Over an empty C/F/W uniform store (Section 3, Figure 8).
+  static Session OverUniform();
+
+  /// Over the uniform encoding of an existing WSDT (ExportUniform).
+  static Result<Session> OverUniform(const core::Wsdt& wsdt);
+
+  /// Over an existing uniform store (templates with a leading __TID column
+  /// plus the C, F, W system relations).
+  static Session OverUniformDatabase(rel::Database db);
+
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  BackendKind kind() const;
+  /// Backend tag as reported by the engine ("wsd", "wsdt", "uniform").
+  std::string_view BackendName() const;
+
+  // -- Catalog --------------------------------------------------------------
+
+  bool HasRelation(const std::string& name) const;
+  std::vector<std::string> RelationNames() const;
+  Result<rel::Schema> RelationSchema(const std::string& name) const;
+
+  /// Registers a fully certain base relation under its name (equal in
+  /// every world). Uncertainty is introduced below the facade — or-sets,
+  /// noise injection, chase — against the owned representation.
+  Status Register(const rel::Relation& relation);
+
+  Status Drop(const std::string& name);
+
+  // -- Query evaluation -----------------------------------------------------
+
+  /// Evaluates `plan` through the shared engine driver, adding the result
+  /// under `out`. Scratch relations are dropped on every path.
+  Status Run(const rel::Plan& plan, const std::string& out);
+
+  /// Runs the Section 5 logical optimizations against the session catalog
+  /// first, then evaluates the rewritten plan.
+  Status RunOptimized(const rel::Plan& plan, const std::string& out);
+
+  // -- Answers (Section 6) --------------------------------------------------
+
+  /// possible(R): tuples appearing in at least one world.
+  Result<rel::Relation> PossibleTuples(const std::string& relation) const;
+
+  /// possibleᵖ(R): possible tuples with a trailing "conf" column.
+  Result<rel::Relation> PossibleTuplesWithConfidence(
+      const std::string& relation) const;
+
+  /// certain(R): tuples occurring in every world.
+  Result<rel::Relation> CertainTuples(const std::string& relation) const;
+
+  /// conf(t): probability that `tuple` ∈ R in a random world.
+  Result<double> TupleConfidence(const std::string& relation,
+                                 std::span<const rel::Value> tuple) const;
+
+  /// certain(t): true iff conf(t) = 1.
+  Result<bool> TupleCertain(const std::string& relation,
+                            std::span<const rel::Value> tuple) const;
+
+  // -- Representation access ------------------------------------------------
+
+  /// The engine backend (for code driving WorldSetOps directly).
+  core::engine::WorldSetOps& ops();
+  const core::engine::WorldSetOps& ops() const;
+
+  /// The owned representation; non-null only for the matching kind().
+  core::Wsd* wsd();
+  const core::Wsd* wsd() const;
+  core::Wsdt* wsdt();
+  const core::Wsdt* wsdt() const;
+  rel::Database* uniform();
+  const rel::Database* uniform() const;
+
+ private:
+  struct Rep;
+  explicit Session(std::unique_ptr<Rep> rep);
+
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace maywsd::api
+
+#endif  // MAYWSD_API_SESSION_H_

@@ -8,6 +8,10 @@
 // exponential step; deciding certainty is NP-hard [9]), sums local-world
 // probabilities per component group, and combines the independent groups as
 // c = 1 − Π(1 − conf_C).
+//
+// These free functions are the WSD implementation behind the engine's
+// answer surface (WorldSetOps::PossibleTuples/CertainTuples/…); callers
+// that do not already hold a bare Wsd should go through api::Session.
 
 #ifndef MAYWSD_CORE_CONFIDENCE_H_
 #define MAYWSD_CORE_CONFIDENCE_H_

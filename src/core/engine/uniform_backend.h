@@ -1,30 +1,40 @@
-// WsdBackend: WorldSetOps over the Figure 9 WSD operators (Section 4).
+// UniformBackend: WorldSetOps over the C/F/W uniform relational encoding
+// (Section 3, Figure 8) — the representation the paper's PostgreSQL
+// prototype stored, processed with the Figure 16 SQL-style rewritings.
 //
-// A thin adapter — the operator implementations stay in core/wsd_algebra;
-// this class only maps the engine contract onto them. The WSD path has no
-// native predicate selection or hash join, so the driver applies the full
-// generic lowering (chains, unions of selections, negation pushdown,
-// product-plus-selections for joins).
+// The backend owns no data; it operates on a rel::Database holding the
+// template relations (leading __TID column) plus the three system
+// relations C, F and W (see core/uniform.h). The Figure 9 operators that
+// are pure row rewritings — copy, select[Aθc], product, union, rename,
+// projection of ⊥-free columns, drop — run directly against those
+// relations through core/uniform. The operators that need component
+// composition (select[AθB], difference, ⊥-carrying projection) fall back
+// to the template semantics: the store is imported as a WSDT, the
+// operator runs there, and the result is re-exported — exactly the escape
+// hatch the prototype used for the operations outside the purely
+// relational fragment. System relations are hidden from the catalog.
 
-#ifndef MAYWSD_CORE_ENGINE_WSD_BACKEND_H_
-#define MAYWSD_CORE_ENGINE_WSD_BACKEND_H_
+#ifndef MAYWSD_CORE_ENGINE_UNIFORM_BACKEND_H_
+#define MAYWSD_CORE_ENGINE_UNIFORM_BACKEND_H_
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/engine/world_set_ops.h"
-#include "core/wsd.h"
+#include "core/wsdt.h"
+#include "rel/database.h"
 
 namespace maywsd::core::engine {
 
-/// Adapts a Wsd to the engine contract. Non-owning; the Wsd must outlive
-/// the backend.
-class WsdBackend : public WorldSetOps {
+/// Adapts a uniform C/F/W database to the engine contract. Non-owning;
+/// the database must outlive the backend.
+class UniformBackend : public WorldSetOps {
  public:
-  explicit WsdBackend(Wsd& wsd) : wsd_(&wsd) {}
+  explicit UniformBackend(rel::Database& db) : db_(&db) {}
 
-  std::string_view BackendName() const override { return "wsd"; }
+  std::string_view BackendName() const override { return "uniform"; }
 
   bool HasRelation(const std::string& name) const override;
   std::vector<std::string> RelationNames() const override;
@@ -65,9 +75,16 @@ class WsdBackend : public WorldSetOps {
                             std::span<const rel::Value> tuple) const override;
 
  private:
-  Wsd* wsd_;
+  /// Imports the whole store as a WSDT (templates stripped of __TID).
+  Result<Wsdt> Import() const;
+
+  /// Runs `op` on the imported WSDT and re-exports the store — the
+  /// template-semantics fallback for non-relational operators.
+  Status Fallback(const std::function<Status(Wsdt&)>& op);
+
+  rel::Database* db_;
 };
 
 }  // namespace maywsd::core::engine
 
-#endif  // MAYWSD_CORE_ENGINE_WSD_BACKEND_H_
+#endif  // MAYWSD_CORE_ENGINE_UNIFORM_BACKEND_H_

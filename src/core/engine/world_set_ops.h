@@ -14,14 +14,17 @@
 // Deleted tuples are represented with ⊥ inside the backend; schemas are
 // the certain part the driver reasons about.
 //
-// The mandatory operators are the Figure 9 core. Backends may additionally
-// advertise capabilities (an arbitrary-predicate selection evaluated in one
-// pass, a fused σ(×) hash join — the Section 5 optimizations); the driver
-// uses them when present and otherwise falls back to the generic lowering.
+// The mandatory operators are the Figure 9 core plus the Section 6 answer
+// surface (possible/certain tuples, tuple confidence) that api::Session
+// exposes. Backends may additionally advertise capabilities (an
+// arbitrary-predicate selection evaluated in one pass, a fused σ(×) hash
+// join — the Section 5 optimizations); the driver uses them when present
+// and otherwise falls back to the generic lowering.
 
 #ifndef MAYWSD_CORE_ENGINE_WORLD_SET_OPS_H_
 #define MAYWSD_CORE_ENGINE_WORLD_SET_OPS_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -29,9 +32,29 @@
 
 #include "common/status.h"
 #include "rel/predicate.h"
+#include "rel/relation.h"
 #include "rel/schema.h"
 
 namespace maywsd::core::engine {
+
+/// Shared guard for AddCertainRelation implementations: a fully certain
+/// instance may contain neither ⊥ (deleted-tuple marker) nor '?'
+/// (template placeholder) cells.
+inline Status CheckCertainRelation(const rel::Relation& relation) {
+  for (size_t r = 0; r < relation.NumRows(); ++r) {
+    for (size_t a = 0; a < relation.arity(); ++a) {
+      if (relation.row(r)[a].is_bottom()) {
+        return Status::InvalidArgument("certain relation " + relation.name() +
+                                       " contains ⊥");
+      }
+      if (relation.row(r)[a].is_question()) {
+        return Status::InvalidArgument("certain relation " + relation.name() +
+                                       " contains a '?' placeholder");
+      }
+    }
+  }
+  return Status::Ok();
+}
 
 /// Backend-agnostic operator set over a world-set representation.
 class WorldSetOps {
@@ -47,6 +70,12 @@ class WorldSetOps {
   virtual std::vector<std::string> RelationNames() const = 0;
   /// Schema of a relation; NotFound when absent.
   virtual Result<rel::Schema> RelationSchema(const std::string& name) const = 0;
+
+  /// Registers `relation` (a one-world, fully certain instance) under its
+  /// name as a relation that is equal in every world. This is how base data
+  /// enters a world set through the engine contract; uncertainty is then
+  /// introduced by representation-level tooling (or-sets, noise, chase).
+  virtual Status AddCertainRelation(const rel::Relation& relation) = 0;
 
   // -- Figure 9 operator core ----------------------------------------------
 
@@ -90,6 +119,38 @@ class WorldSetOps {
   /// Housekeeping after dropping scratch relations (e.g. component
   /// compaction); default no-op.
   virtual void Compact() {}
+
+  // -- Answer extraction (Section 6) ----------------------------------------
+  //
+  // The questions a caller asks about a result relation once a plan has
+  // run: which tuples are possible, which are certain, and with what
+  // confidence. Every backend must answer them — this is what makes a
+  // representation-agnostic facade (api::Session) honest instead of a
+  // switch over concrete types.
+
+  /// possible(R): tuples appearing in at least one world (Figure 18).
+  virtual Result<rel::Relation> PossibleTuples(
+      const std::string& relation) const = 0;
+
+  /// possibleᵖ(R): possible tuples with a trailing "conf" column
+  /// (Figure 19).
+  virtual Result<rel::Relation> PossibleTuplesWithConfidence(
+      const std::string& relation) const = 0;
+
+  /// certain(R): tuples occurring in every world — the consistent answers
+  /// of Section 10.
+  virtual Result<rel::Relation> CertainTuples(
+      const std::string& relation) const = 0;
+
+  /// conf(t): probability that `tuple` ∈ R in a random world (Figure 17).
+  virtual Result<double> TupleConfidence(
+      const std::string& relation,
+      std::span<const rel::Value> tuple) const = 0;
+
+  /// certain(t): true iff conf(t) = 1.
+  virtual Result<bool> TupleCertain(
+      const std::string& relation,
+      std::span<const rel::Value> tuple) const = 0;
 
   // -- Optional capabilities (Section 5 optimizations) ----------------------
 

@@ -1,5 +1,6 @@
 #include "core/engine/wsd_backend.h"
 
+#include "core/confidence.h"
 #include "core/wsd_algebra.h"
 
 namespace maywsd::core::engine {
@@ -15,6 +16,23 @@ std::vector<std::string> WsdBackend::RelationNames() const {
 Result<rel::Schema> WsdBackend::RelationSchema(const std::string& name) const {
   MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* r, wsd_->FindRelation(name));
   return r->schema;
+}
+
+Status WsdBackend::AddCertainRelation(const rel::Relation& relation) {
+  MAYWSD_RETURN_IF_ERROR(CheckCertainRelation(relation));
+  MAYWSD_RETURN_IF_ERROR(
+      wsd_->AddRelation(relation.name(), relation.schema(),
+                        static_cast<TupleId>(relation.NumRows())));
+  Symbol rel_sym = InternString(relation.name());
+  for (size_t r = 0; r < relation.NumRows(); ++r) {
+    for (size_t a = 0; a < relation.arity(); ++a) {
+      MAYWSD_RETURN_IF_ERROR(wsd_->AddCertainField(
+          FieldKey(rel_sym, static_cast<TupleId>(r),
+                   relation.schema().attr(a).name),
+          relation.row(r)[a]));
+    }
+  }
+  return Status::Ok();
 }
 
 Status WsdBackend::Copy(const std::string& src, const std::string& out) {
@@ -66,5 +84,30 @@ Status WsdBackend::Drop(const std::string& name) {
 }
 
 void WsdBackend::Compact() { wsd_->CompactComponents(); }
+
+Result<rel::Relation> WsdBackend::PossibleTuples(
+    const std::string& relation) const {
+  return core::PossibleTuples(*wsd_, relation);
+}
+
+Result<rel::Relation> WsdBackend::PossibleTuplesWithConfidence(
+    const std::string& relation) const {
+  return core::PossibleTuplesWithConfidence(*wsd_, relation);
+}
+
+Result<rel::Relation> WsdBackend::CertainTuples(
+    const std::string& relation) const {
+  return core::CertainTuples(*wsd_, relation);
+}
+
+Result<double> WsdBackend::TupleConfidence(
+    const std::string& relation, std::span<const rel::Value> tuple) const {
+  return core::TupleConfidence(*wsd_, relation, tuple);
+}
+
+Result<bool> WsdBackend::TupleCertain(
+    const std::string& relation, std::span<const rel::Value> tuple) const {
+  return core::TupleCertain(*wsd_, relation, tuple);
+}
 
 }  // namespace maywsd::core::engine

@@ -1,6 +1,7 @@
 #include "core/engine/wsdt_backend.h"
 
 #include "core/wsdt_algebra.h"
+#include "core/wsdt_confidence.h"
 
 namespace maywsd::core::engine {
 
@@ -15,6 +16,12 @@ std::vector<std::string> WsdtBackend::RelationNames() const {
 Result<rel::Schema> WsdtBackend::RelationSchema(const std::string& name) const {
   MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl, wsdt_->Template(name));
   return tmpl->schema();
+}
+
+Status WsdtBackend::AddCertainRelation(const rel::Relation& relation) {
+  MAYWSD_RETURN_IF_ERROR(CheckCertainRelation(relation));
+  // A fully certain instance is a template with no placeholders.
+  return wsdt_->AddTemplateRelation(relation);
 }
 
 Status WsdtBackend::Copy(const std::string& src, const std::string& out) {
@@ -67,6 +74,31 @@ Status WsdtBackend::Drop(const std::string& name) {
 }
 
 void WsdtBackend::Compact() { wsdt_->CompactComponents(); }
+
+Result<rel::Relation> WsdtBackend::PossibleTuples(
+    const std::string& relation) const {
+  return WsdtPossibleTuples(*wsdt_, relation);
+}
+
+Result<rel::Relation> WsdtBackend::PossibleTuplesWithConfidence(
+    const std::string& relation) const {
+  return WsdtPossibleTuplesWithConfidence(*wsdt_, relation);
+}
+
+Result<rel::Relation> WsdtBackend::CertainTuples(
+    const std::string& relation) const {
+  return WsdtCertainTuples(*wsdt_, relation);
+}
+
+Result<double> WsdtBackend::TupleConfidence(
+    const std::string& relation, std::span<const rel::Value> tuple) const {
+  return WsdtTupleConfidence(*wsdt_, relation, tuple);
+}
+
+Result<bool> WsdtBackend::TupleCertain(
+    const std::string& relation, std::span<const rel::Value> tuple) const {
+  return WsdtTupleCertain(*wsdt_, relation, tuple);
+}
 
 Status WsdtBackend::SelectPredicate(const std::string& src,
                                     const std::string& out,

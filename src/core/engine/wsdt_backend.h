@@ -31,6 +31,7 @@ class WsdtBackend : public WorldSetOps {
   bool HasRelation(const std::string& name) const override;
   std::vector<std::string> RelationNames() const override;
   Result<rel::Schema> RelationSchema(const std::string& name) const override;
+  Status AddCertainRelation(const rel::Relation& relation) override;
 
   Status Copy(const std::string& src, const std::string& out) override;
   Status SelectConst(const std::string& src, const std::string& out,
@@ -52,6 +53,18 @@ class WsdtBackend : public WorldSetOps {
                     const std::string& out) override;
   Status Drop(const std::string& name) override;
   void Compact() override;
+
+  Result<rel::Relation> PossibleTuples(
+      const std::string& relation) const override;
+  Result<rel::Relation> PossibleTuplesWithConfidence(
+      const std::string& relation) const override;
+  Result<rel::Relation> CertainTuples(
+      const std::string& relation) const override;
+  Result<double> TupleConfidence(
+      const std::string& relation,
+      std::span<const rel::Value> tuple) const override;
+  Result<bool> TupleCertain(const std::string& relation,
+                            std::span<const rel::Value> tuple) const override;
 
   bool SupportsPredicateSelect() const override { return true; }
   Status SelectPredicate(const std::string& src, const std::string& out,

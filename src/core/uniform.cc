@@ -1,6 +1,7 @@
 #include "core/uniform.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -474,6 +475,309 @@ Status UniformProduct(rel::Database& db, const std::string& left,
     }
   }
   return db.AddRelation(std::move(out_rel));
+}
+
+Status UniformCopy(rel::Database& db, const std::string& in_rel,
+                   const std::string& out_rel) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* in, db.GetRelation(in_rel));
+  if (db.Contains(out_rel)) {
+    return Status::AlreadyExists("relation " + out_rel);
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* f_rel,
+                          db.GetMutableRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* c_rel,
+                          db.GetMutableRelation(kUniformC));
+  rel::Relation out(in->schema(), out_rel);
+  for (size_t i = 0; i < in->NumRows(); ++i) {
+    out.AppendRow(in->row(i).span());
+  }
+  // TIDs are unchanged, so one filtered pass re-registers every F/C entry
+  // of the source under the copy's name (the driver's materializing Copy
+  // runs once per evaluation — keep it linear in |F|+|C|).
+  rel::Value in_sym = rel::Value::String(in_rel);
+  rel::Value out_sym = rel::Value::String(out_rel);
+  size_t f_rows = f_rel->NumRows();
+  size_t c_rows = c_rel->NumRows();
+  for (size_t r = 0; r < f_rows; ++r) {
+    rel::TupleRef row = f_rel->row(r);
+    if (!(row[0] == in_sym)) continue;
+    f_rel->AppendRow({out_sym, row[1], row[2], row[3]});
+  }
+  for (size_t r = 0; r < c_rows; ++r) {
+    rel::TupleRef row = c_rel->row(r);
+    if (!(row[0] == in_sym)) continue;
+    c_rel->AppendRow({out_sym, row[1], row[2], row[3], row[4]});
+  }
+  return db.AddRelation(std::move(out));
+}
+
+Status UniformProject(rel::Database& db, const std::string& in_rel,
+                      const std::string& out_rel,
+                      const std::vector<std::string>& attrs) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* in, db.GetRelation(in_rel));
+  if (db.Contains(out_rel)) {
+    return Status::AlreadyExists("relation " + out_rel);
+  }
+  auto tid_idx = in->schema().IndexOf(kTidColumn);
+  if (!tid_idx || *tid_idx != 0) {
+    return Status::InvalidArgument("template " + in_rel +
+                                   " lacks a leading TID column");
+  }
+  rel::Schema logical(std::vector<rel::Attribute>(
+      in->schema().attrs().begin() + 1, in->schema().attrs().end()));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Schema kept, logical.Project(attrs));
+  std::set<std::string> kept_set(attrs.begin(), attrs.end());
+
+  // A dropped placeholder with a ⊥ (a local world of its component with no
+  // C row) encodes conditional tuple presence; projecting it away needs
+  // component composition, which is not a pure row rewriting.
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* f_ro, db.GetRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* c_ro, db.GetRelation(kUniformC));
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* w_ro, db.GetRelation(kUniformW));
+  rel::Value in_sym = rel::Value::String(in_rel);
+  std::map<int64_t, size_t> w_counts;
+  for (size_t r = 0; r < w_ro->NumRows(); ++r) {
+    ++w_counts[w_ro->row(r)[0].AsInt()];
+  }
+  std::map<std::pair<int64_t, std::string>, int64_t> dropped_holes;
+  for (size_t r = 0; r < f_ro->NumRows(); ++r) {
+    rel::TupleRef row = f_ro->row(r);
+    std::string attr(row[2].AsStringView());
+    if (!(row[0] == in_sym) || kept_set.count(attr)) continue;
+    dropped_holes[{row[1].AsInt(), attr}] = row[3].AsInt();
+  }
+  std::map<std::pair<int64_t, std::string>, size_t> have;
+  for (size_t r = 0; r < c_ro->NumRows(); ++r) {
+    rel::TupleRef row = c_ro->row(r);
+    std::string attr(row[2].AsStringView());
+    if (!(row[0] == in_sym) || kept_set.count(attr)) continue;
+    ++have[{row[1].AsInt(), attr}];
+  }
+  for (const auto& [key, cid] : dropped_holes) {
+    auto it = have.find(key);
+    size_t values = it == have.end() ? 0 : it->second;
+    if (values < w_counts[cid]) {
+      return Status::Unsupported(
+          "uniform projection drops the ⊥-carrying placeholder " + in_rel +
+          ".t" + std::to_string(key.first) + "." + key.second);
+    }
+  }
+
+  // Template: TID + kept attributes, in the requested order.
+  std::vector<rel::Attribute> out_attrs;
+  out_attrs.emplace_back(kTidColumn, rel::AttrType::kInt);
+  for (const rel::Attribute& a : kept.attrs()) out_attrs.push_back(a);
+  rel::Relation out{rel::Schema(std::move(out_attrs)), out_rel};
+  std::vector<size_t> cols;
+  for (const std::string& a : attrs) cols.push_back(1 + *logical.IndexOf(a));
+  std::vector<rel::Value> buf(out.arity());
+  for (size_t r = 0; r < in->NumRows(); ++r) {
+    rel::TupleRef row = in->row(r);
+    buf[0] = row[0];
+    for (size_t i = 0; i < cols.size(); ++i) buf[i + 1] = row[cols[i]];
+    out.AppendRow(buf);
+  }
+  // F/C entries of the kept attributes only — dropping the other columns
+  // from their components is exact marginalization.
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* f_rel,
+                          db.GetMutableRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* c_rel,
+                          db.GetMutableRelation(kUniformC));
+  rel::Value out_sym = rel::Value::String(out_rel);
+  size_t f_rows = f_rel->NumRows();
+  size_t c_rows = c_rel->NumRows();
+  for (size_t r = 0; r < f_rows; ++r) {
+    rel::TupleRef row = f_rel->row(r);
+    if (!(row[0] == in_sym) ||
+        !kept_set.count(std::string(row[2].AsStringView()))) {
+      continue;
+    }
+    f_rel->AppendRow({out_sym, row[1], row[2], row[3]});
+  }
+  for (size_t r = 0; r < c_rows; ++r) {
+    rel::TupleRef row = c_rel->row(r);
+    if (!(row[0] == in_sym) ||
+        !kept_set.count(std::string(row[2].AsStringView()))) {
+      continue;
+    }
+    c_rel->AppendRow({out_sym, row[1], row[2], row[3], row[4]});
+  }
+  return db.AddRelation(std::move(out));
+}
+
+Status UniformDrop(rel::Database& db, const std::string& name) {
+  if (name == kUniformC || name == kUniformF || name == kUniformW) {
+    return Status::InvalidArgument("cannot drop system relation " + name);
+  }
+  MAYWSD_RETURN_IF_ERROR(db.DropRelation(name));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* f_rel,
+                          db.GetMutableRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* c_rel,
+                          db.GetMutableRelation(kUniformC));
+  rel::Value sym = rel::Value::String(name);
+  for (rel::Relation* sys : {f_rel, c_rel}) {
+    rel::Relation next(sys->schema(), sys->name());
+    for (size_t r = 0; r < sys->NumRows(); ++r) {
+      if (sys->row(r)[0] == sym) continue;
+      next.AppendRow(sys->row(r).span());
+    }
+    *sys = std::move(next);
+  }
+  return Status::Ok();
+}
+
+Status UniformCompact(rel::Database& db) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* f_rel,
+                          db.GetRelation(kUniformF));
+  std::set<int64_t> live;
+  for (size_t r = 0; r < f_rel->NumRows(); ++r) {
+    live.insert(f_rel->row(r)[3].AsInt());
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* w_rel,
+                          db.GetMutableRelation(kUniformW));
+  rel::Relation next(w_rel->schema(), w_rel->name());
+  for (size_t r = 0; r < w_rel->NumRows(); ++r) {
+    if (!live.count(w_rel->row(r)[0].AsInt())) continue;
+    next.AppendRow(w_rel->row(r).span());
+  }
+  *w_rel = std::move(next);
+  return Status::Ok();
+}
+
+Status ValidateUniform(const rel::Database& db) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* f_rel,
+                          db.GetRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* c_rel,
+                          db.GetRelation(kUniformC));
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* w_rel,
+                          db.GetRelation(kUniformW));
+
+  // Templates: leading unique TIDs; remember '?' cells awaiting coverage.
+  std::set<std::pair<std::string, int64_t>> tuples;
+  std::set<std::tuple<std::string, int64_t, std::string>> holes;
+  for (const std::string& name : db.Names()) {
+    if (name == kUniformC || name == kUniformF || name == kUniformW) continue;
+    MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl, db.GetRelation(name));
+    auto tid_idx = tmpl->schema().IndexOf(kTidColumn);
+    if (!tid_idx || *tid_idx != 0) {
+      return Status::InvalidArgument("template " + name +
+                                     " lacks a leading TID column");
+    }
+    for (size_t r = 0; r < tmpl->NumRows(); ++r) {
+      rel::TupleRef row = tmpl->row(r);
+      if (!tuples.insert({name, row[0].AsInt()}).second) {
+        return Status::InvalidArgument("template " + name + " repeats TID " +
+                                       std::to_string(row[0].AsInt()));
+      }
+      for (size_t a = 1; a < row.arity(); ++a) {
+        if (row[a].is_question()) {
+          holes.insert({name, row[0].AsInt(),
+                        std::string(tmpl->schema().attr(a).name_view())});
+        } else if (row[a].is_bottom()) {
+          return Status::InvalidArgument("template " + name +
+                                         " stores a ⊥ cell");
+        }
+      }
+    }
+  }
+
+  // W: local worlds and probability mass per component.
+  std::map<int64_t, std::set<int64_t>> w_lwids;
+  std::map<int64_t, double> w_mass;
+  for (size_t r = 0; r < w_rel->NumRows(); ++r) {
+    rel::TupleRef row = w_rel->row(r);
+    if (!w_lwids[row[0].AsInt()].insert(row[1].AsInt()).second) {
+      return Status::InvalidArgument(
+          "W repeats (CID,LWID) = (" + std::to_string(row[0].AsInt()) + "," +
+          std::to_string(row[1].AsInt()) + ")");
+    }
+    w_mass[row[0].AsInt()] += row[2].AsDouble();
+  }
+  for (const auto& [cid, mass] : w_mass) {
+    if (std::abs(mass - 1.0) > 1e-6) {
+      return Status::InvalidArgument("component " + std::to_string(cid) +
+                                     " has probability mass " +
+                                     std::to_string(mass));
+    }
+  }
+
+  // F: every row covers an existing '?' cell exactly once and names a
+  // component that W declares.
+  std::map<std::tuple<std::string, int64_t, std::string>, int64_t> f_cid;
+  std::set<int64_t> f_cids;
+  for (size_t r = 0; r < f_rel->NumRows(); ++r) {
+    rel::TupleRef row = f_rel->row(r);
+    std::tuple<std::string, int64_t, std::string> key{
+        std::string(row[0].AsStringView()), row[1].AsInt(),
+        std::string(row[2].AsStringView())};
+    if (!holes.count(key)) {
+      return Status::InvalidArgument(
+          "F row " + std::get<0>(key) + ".t" +
+          std::to_string(std::get<1>(key)) + "." + std::get<2>(key) +
+          " does not point at a '?' cell");
+    }
+    if (!f_cid.emplace(key, row[3].AsInt()).second) {
+      return Status::InvalidArgument(
+          "F covers " + std::get<0>(key) + ".t" +
+          std::to_string(std::get<1>(key)) + "." + std::get<2>(key) +
+          " twice");
+    }
+    if (!w_lwids.count(row[3].AsInt())) {
+      return Status::InvalidArgument("F references CID " +
+                                     std::to_string(row[3].AsInt()) +
+                                     " absent from W");
+    }
+    f_cids.insert(row[3].AsInt());
+  }
+  for (const auto& hole : holes) {
+    if (!f_cid.count(hole)) {
+      return Status::InvalidArgument(
+          "placeholder " + std::get<0>(hole) + ".t" +
+          std::to_string(std::get<1>(hole)) + "." + std::get<2>(hole) +
+          " has no F row");
+    }
+  }
+
+  // C: values belong to a declared placeholder and local world.
+  std::set<std::tuple<std::string, int64_t, std::string, int64_t>> c_seen;
+  for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+    rel::TupleRef row = c_rel->row(r);
+    std::tuple<std::string, int64_t, std::string> key{
+        std::string(row[0].AsStringView()), row[1].AsInt(),
+        std::string(row[2].AsStringView())};
+    auto it = f_cid.find(key);
+    if (it == f_cid.end()) {
+      return Status::InvalidArgument(
+          "orphaned C row for " + std::get<0>(key) + ".t" +
+          std::to_string(std::get<1>(key)) + "." + std::get<2>(key));
+    }
+    if (!w_lwids[it->second].count(row[3].AsInt())) {
+      return Status::InvalidArgument(
+          "C row for " + std::get<0>(key) + ".t" +
+          std::to_string(std::get<1>(key)) + "." + std::get<2>(key) +
+          " names LWID " + std::to_string(row[3].AsInt()) +
+          " absent from its component");
+    }
+    if (row[4].is_bottom() || row[4].is_question()) {
+      return Status::InvalidArgument("C stores a ⊥/'?' value");
+    }
+    if (!c_seen.insert({std::get<0>(key), std::get<1>(key), std::get<2>(key),
+                        row[3].AsInt()})
+             .second) {
+      return Status::InvalidArgument(
+          "C repeats a (field, LWID) value for " + std::get<0>(key) + ".t" +
+          std::to_string(std::get<1>(key)) + "." + std::get<2>(key));
+    }
+  }
+
+  // W: no orphaned local worlds.
+  for (const auto& [cid, lwids] : w_lwids) {
+    if (!f_cids.count(cid)) {
+      return Status::InvalidArgument("W declares CID " + std::to_string(cid) +
+                                     " that no F row references");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace maywsd::core

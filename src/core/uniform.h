@@ -72,6 +72,39 @@ Status UniformRename(
 Status UniformProduct(rel::Database& db, const std::string& left,
                       const std::string& right, const std::string& out);
 
+/// P := R on the uniform relations: the template is duplicated (same TIDs)
+/// and the F/C entries are copied under the new name, sharing CIDs so the
+/// copy stays correlated with its source.
+Status UniformCopy(rel::Database& db, const std::string& in_rel,
+                   const std::string& out_rel);
+
+/// P := π_attrs(R) on the uniform relations: the template's columns are
+/// projected (TID kept) and only the kept attributes' F/C entries are
+/// copied — exact marginalization of the dropped component columns.
+/// Returns Unsupported when a dropped placeholder encodes conditional
+/// tuple presence (a ⊥, i.e. a local world with no C row): that projection
+/// needs component composition, which is not expressible as a pure row
+/// rewriting — callers fall back to the template semantics.
+Status UniformProject(rel::Database& db, const std::string& in_rel,
+                      const std::string& out_rel,
+                      const std::vector<std::string>& attrs);
+
+/// Removes a template relation and its F/C rows. Local worlds whose
+/// component no longer has any field are garbage-collected by
+/// UniformCompact, not here.
+Status UniformDrop(rel::Database& db, const std::string& name);
+
+/// Garbage-collects W rows whose CID no longer appears in F (components
+/// fully dropped with their last relation).
+Status UniformCompact(rel::Database& db);
+
+/// Referential-integrity check of a uniform database: templates carry a
+/// leading unique TID column; every F row points at an existing '?' cell
+/// and a CID present in W; every '?' cell is covered by exactly one F row;
+/// every C row has a matching F row and an LWID declared in W; every W row's
+/// CID appears in F (no orphans); per-CID probabilities sum to 1.
+Status ValidateUniform(const rel::Database& db);
+
 }  // namespace maywsd::core
 
 #endif  // MAYWSD_CORE_UNIFORM_H_

@@ -248,4 +248,25 @@ Result<rel::Relation> WsdtPossibleTuplesWithConfidence(
   return out;
 }
 
+Result<bool> WsdtTupleCertain(const Wsdt& wsdt, const std::string& relation,
+                              std::span<const rel::Value> tuple) {
+  MAYWSD_ASSIGN_OR_RETURN(double conf,
+                          WsdtTupleConfidence(wsdt, relation, tuple));
+  return conf >= 1.0 - 1e-9;
+}
+
+Result<rel::Relation> WsdtCertainTuples(const Wsdt& wsdt,
+                                        const std::string& relation) {
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation possible,
+                          WsdtPossibleTuples(wsdt, relation));
+  rel::Relation out(possible.schema(), "certain_" + relation);
+  for (size_t i = 0; i < possible.NumRows(); ++i) {
+    MAYWSD_ASSIGN_OR_RETURN(
+        bool certain,
+        WsdtTupleCertain(wsdt, relation, possible.row(i).span()));
+    if (certain) out.AppendRow(possible.row(i).span());
+  }
+  return out;
+}
+
 }  // namespace maywsd::core

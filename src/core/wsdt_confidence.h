@@ -6,6 +6,11 @@
 // possible); only rows with placeholders touch components, so these run at
 // census scale where Wsd-level confidence would first materialize millions
 // of singleton components.
+//
+// These free functions are the WSDT implementation behind the engine's
+// answer surface (WorldSetOps::PossibleTuples/CertainTuples/…) — the
+// uniform backend delegates here too after importing its store; callers
+// that do not already hold a bare Wsdt should go through api::Session.
 
 #ifndef MAYWSD_CORE_WSDT_CONFIDENCE_H_
 #define MAYWSD_CORE_WSDT_CONFIDENCE_H_
@@ -31,6 +36,15 @@ Result<rel::Relation> WsdtPossibleTuples(const Wsdt& wsdt,
 /// possibleᵖ(R) on a WSDT: possible tuples with a trailing "conf" column.
 Result<rel::Relation> WsdtPossibleTuplesWithConfidence(
     const Wsdt& wsdt, const std::string& relation);
+
+/// certain(t) on a WSDT: true iff conf(t) = 1 (t occurs in every world).
+Result<bool> WsdtTupleCertain(const Wsdt& wsdt, const std::string& relation,
+                              std::span<const rel::Value> tuple);
+
+/// certain(R) on a WSDT: the tuples occurring in every world — the
+/// consistent answers of Section 10, without expanding certain fields.
+Result<rel::Relation> WsdtCertainTuples(const Wsdt& wsdt,
+                                        const std::string& relation);
 
 }  // namespace maywsd::core
 

@@ -9,8 +9,10 @@
 #include "rel/eval.h"
 #include "rel/optimizer.h"
 #include "core/engine/plan_driver.h"
+#include "core/engine/uniform_backend.h"
 #include "core/engine/wsd_backend.h"
 #include "core/engine/wsdt_backend.h"
+#include "core/uniform.h"
 #include "core/wsd_algebra.h"
 #include "core/wsdt_algebra.h"
 #include "core/worldset.h"
@@ -143,14 +145,15 @@ TEST_P(RandomPlanProperty, AllThreePathsAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlanProperty, ::testing::Range(0, 20));
 
 // Cross-backend equivalence oracle: the SAME engine driver
-// (core/engine/plan_driver.h) runs the SAME random plan over a Wsd and
-// over the equivalent Wsdt; the two backends must produce identical
-// world-sets, both on the plain plan and after the Section 5 logical
-// optimizations (which reshape the plan into joins the WSDT backend
-// executes natively and the WSD backend lowers to product + selections).
+// (core/engine/plan_driver.h) runs the SAME random plan over a Wsd, over
+// the equivalent Wsdt, and over the C/F/W uniform store of that Wsdt; all
+// three backends must produce identical world-sets, both on the plain
+// plan and after the Section 5 logical optimizations (which reshape the
+// plan into joins the WSDT backend executes natively and the other two
+// lower to product + selections).
 class CrossBackendProperty : public ::testing::TestWithParam<int> {};
 
-TEST_P(CrossBackendProperty, UnifiedDriverAgreesOnBothBackends) {
+TEST_P(CrossBackendProperty, UnifiedDriverAgreesOnAllThreeBackends) {
   Rng rng(GetParam() * 104729 + 71);
   std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 2, 3},
                                 RelSpec{"S", {"C", "D"}, 2, 3},
@@ -182,16 +185,40 @@ TEST_P(CrossBackendProperty, UnifiedDriverAgreesOnBothBackends) {
       ASSERT_TRUE(wsdt_out.ok()) << plan.ToString();
 
       EXPECT_TRUE(WorldSetsEquivalent(*wsd_out, *wsdt_out))
-          << "backends disagree on " << plan.ToString() << " seed "
+          << "wsd/wsdt backends disagree on " << plan.ToString() << " seed "
           << GetParam() << (optimized ? " (optimized)" : " (plain)");
 
+      // Third backend: the same plan inside the C/F/W store.
+      auto udb_or = ExportUniform(Wsdt::FromWsd(wsd).value());
+      ASSERT_TRUE(udb_or.ok());
+      rel::Database udb = std::move(udb_or).value();
+      engine::UniformBackend uniform_backend(udb);
+      st = optimized ? engine::EvaluateOptimized(uniform_backend, plan, "OUT")
+                     : engine::Evaluate(uniform_backend, plan, "OUT");
+      ASSERT_TRUE(st.ok()) << plan.ToString() << ": " << st;
+      ASSERT_TRUE(ValidateUniform(udb).ok())
+          << plan.ToString() << ": " << ValidateUniform(udb);
+      auto back = ImportUniform(udb);
+      ASSERT_TRUE(back.ok()) << plan.ToString() << ": " << back.status();
+      auto uniform_out =
+          back->ToWsd().value().EnumerateWorlds(4000000, {"OUT"});
+      ASSERT_TRUE(uniform_out.ok()) << plan.ToString();
+      EXPECT_TRUE(WorldSetsEquivalent(*wsd_out, *uniform_out))
+          << "wsd/uniform backends disagree on " << plan.ToString()
+          << " seed " << GetParam()
+          << (optimized ? " (optimized)" : " (plain)");
+
       // The scratch-relation lifecycle must not leak intermediates into
-      // either decomposition.
+      // any decomposition.
       for (const std::string& name : wsd_copy.RelationNames()) {
         EXPECT_NE(name.rfind("__eng_tmp", 0), 0u)
             << "leaked scratch relation " << name;
       }
       for (const std::string& name : wsdt.RelationNames()) {
+        EXPECT_NE(name.rfind("__eng_tmp", 0), 0u)
+            << "leaked scratch relation " << name;
+      }
+      for (const std::string& name : uniform_backend.RelationNames()) {
         EXPECT_NE(name.rfind("__eng_tmp", 0), 0u)
             << "leaked scratch relation " << name;
       }

@@ -1,0 +1,210 @@
+// api::Session: the representation-agnostic facade must behave
+// identically over all three backends — same catalog semantics, same
+// query results, same Section 6 answers — and manage the scratch
+// lifecycle so no engine temporaries leak into any representation.
+
+#include "api/session.h"
+
+#include <gtest/gtest.h>
+
+#include "core/uniform.h"
+#include "core/wsdt.h"
+#include "tests/test_util.h"
+
+namespace maywsd::api {
+namespace {
+
+using core::Wsd;
+using core::Wsdt;
+using rel::CmpOp;
+using rel::Plan;
+using rel::Predicate;
+using testutil::I;
+
+/// The three sessions over one random world set.
+std::vector<Session> SessionsOver(const Wsd& wsd) {
+  Wsdt wsdt = Wsdt::FromWsd(wsd).value();
+  auto uniform = Session::OverUniform(wsdt);
+  EXPECT_TRUE(uniform.ok());
+  std::vector<Session> sessions;
+  sessions.push_back(Session::OverWsd(wsd));
+  sessions.push_back(Session::OverWsdt(std::move(wsdt)));
+  sessions.push_back(std::move(uniform).value());
+  return sessions;
+}
+
+TEST(SessionTest, KindAndRepresentationAccess) {
+  std::vector<Session> sessions = SessionsOver(Wsd());
+  EXPECT_EQ(sessions[0].kind(), BackendKind::kWsd);
+  EXPECT_EQ(sessions[1].kind(), BackendKind::kWsdt);
+  EXPECT_EQ(sessions[2].kind(), BackendKind::kUniform);
+  for (const Session& s : sessions) {
+    EXPECT_EQ(s.BackendName(), BackendKindName(s.kind()));
+  }
+  EXPECT_NE(sessions[0].wsd(), nullptr);
+  EXPECT_EQ(sessions[0].wsdt(), nullptr);
+  EXPECT_EQ(sessions[0].uniform(), nullptr);
+  EXPECT_NE(sessions[1].wsdt(), nullptr);
+  EXPECT_NE(sessions[2].uniform(), nullptr);
+  EXPECT_EQ(sessions[2].wsd(), nullptr);
+}
+
+TEST(SessionTest, RegisterRunAnswerOnEveryBackend) {
+  rel::Relation base(rel::Schema::FromNames({"A", "B"}), "R");
+  base.AppendRow({I(1), I(10)});
+  base.AppendRow({I(2), I(20)});
+  base.AppendRow({I(3), I(30)});
+
+  std::vector<Session> sessions;
+  sessions.push_back(Session::OverWsd());
+  sessions.push_back(Session::OverWsdt());
+  sessions.push_back(Session::OverUniform());
+  for (Session& session : sessions) {
+    SCOPED_TRACE(std::string(session.BackendName()));
+    ASSERT_TRUE(session.Register(base).ok());
+    EXPECT_FALSE(session.Register(base).ok());  // name collision
+    EXPECT_TRUE(session.HasRelation("R"));
+    auto schema = session.RelationSchema("R");
+    ASSERT_TRUE(schema.ok());
+    EXPECT_EQ(*schema, base.schema());  // uniform hides its TID column
+    EXPECT_EQ(session.RelationNames(), std::vector<std::string>{"R"});
+
+    Plan plan = Plan::Project(
+        {"A"}, Plan::Select(Predicate::Cmp("B", CmpOp::kGe, I(20)),
+                            Plan::Scan("R")));
+    ASSERT_TRUE(session.Run(plan, "OUT").ok());
+
+    auto possible = session.PossibleTuples("OUT");
+    ASSERT_TRUE(possible.ok());
+    rel::Relation expected(rel::Schema::FromNames({"A"}), "expected");
+    expected.AppendRow({I(2)});
+    expected.AppendRow({I(3)});
+    EXPECT_TRUE(possible->EqualsAsSet(expected));
+
+    // Certain data: certain answers coincide with possible ones, and every
+    // tuple has confidence 1.
+    auto certain = session.CertainTuples("OUT");
+    ASSERT_TRUE(certain.ok());
+    EXPECT_TRUE(certain->EqualsAsSet(expected));
+    for (size_t i = 0; i < expected.NumRows(); ++i) {
+      auto conf = session.TupleConfidence("OUT", expected.row(i).span());
+      ASSERT_TRUE(conf.ok());
+      EXPECT_NEAR(*conf, 1.0, 1e-12);
+      EXPECT_TRUE(session.TupleCertain("OUT", expected.row(i).span()).value());
+    }
+
+    // No engine scratch relations leaked into the catalog.
+    for (const std::string& name : session.RelationNames()) {
+      EXPECT_NE(name.rfind("__eng_tmp", 0), 0u) << name;
+    }
+
+    // Drop removes the result from the catalog.
+    ASSERT_TRUE(session.Drop("OUT").ok());
+    EXPECT_FALSE(session.HasRelation("OUT"));
+  }
+}
+
+TEST(SessionTest, RegisterRejectsPlaceholdersAndBottom) {
+  rel::Relation bad(rel::Schema::FromNames({"A"}), "R");
+  bad.AppendRow({rel::Value::Question()});
+  rel::Relation bot(rel::Schema::FromNames({"A"}), "R");
+  bot.AppendRow({rel::Value::Bottom()});
+  std::vector<Session> sessions;
+  sessions.push_back(Session::OverWsd());
+  sessions.push_back(Session::OverWsdt());
+  sessions.push_back(Session::OverUniform());
+  for (Session& session : sessions) {
+    SCOPED_TRACE(std::string(session.BackendName()));
+    EXPECT_FALSE(session.Register(bad).ok());
+    EXPECT_FALSE(session.Register(bot).ok());
+  }
+}
+
+TEST(SessionTest, AnswersAgreeAcrossBackendsOnUncertainData) {
+  Rng rng(977);
+  std::vector<testutil::RelSpec> specs = {{"R", {"A", "B"}, 2, 3},
+                                          {"S", {"C", "D"}, 2, 3}};
+  for (int round = 0; round < 5; ++round) {
+    Wsd wsd = testutil::RandomWsd(rng, specs, 3);
+    std::vector<Session> sessions = SessionsOver(wsd);
+
+    Plan plan = Plan::Project(
+        {"A"}, Plan::Select(Predicate::Cmp("B", CmpOp::kLt, I(2)),
+                            Plan::Scan("R")));
+    for (Session& session : sessions) {
+      ASSERT_TRUE(session.Run(plan, "OUT").ok())
+          << session.BackendName();
+    }
+
+    auto reference = sessions[0].PossibleTuples("OUT");
+    ASSERT_TRUE(reference.ok());
+    auto reference_certain = sessions[0].CertainTuples("OUT");
+    ASSERT_TRUE(reference_certain.ok());
+    for (size_t s = 1; s < sessions.size(); ++s) {
+      SCOPED_TRACE(std::string(sessions[s].BackendName()));
+      auto possible = sessions[s].PossibleTuples("OUT");
+      ASSERT_TRUE(possible.ok());
+      EXPECT_TRUE(possible->EqualsAsSet(*reference));
+      auto certain = sessions[s].CertainTuples("OUT");
+      ASSERT_TRUE(certain.ok());
+      EXPECT_TRUE(certain->EqualsAsSet(*reference_certain));
+      for (size_t i = 0; i < reference->NumRows(); ++i) {
+        auto a = sessions[0].TupleConfidence("OUT", reference->row(i).span());
+        auto b = sessions[s].TupleConfidence("OUT", reference->row(i).span());
+        ASSERT_TRUE(a.ok());
+        ASSERT_TRUE(b.ok());
+        EXPECT_NEAR(*a, *b, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(SessionTest, RunOptimizedMatchesRun) {
+  Rng rng(31337);
+  std::vector<testutil::RelSpec> specs = {{"R", {"A", "B"}, 2, 3},
+                                          {"S", {"C", "D"}, 2, 3}};
+  Wsd wsd = testutil::RandomWsd(rng, specs, 3);
+  // σ(×) — the optimizer fuses this into a join on every backend.
+  Plan plan = Plan::Select(Predicate::CmpAttr("A", CmpOp::kEq, "C"),
+                           Plan::Product(Plan::Scan("R"), Plan::Scan("S")));
+  for (Session& session : SessionsOver(wsd)) {
+    SCOPED_TRACE(std::string(session.BackendName()));
+    ASSERT_TRUE(session.Run(plan, "PLAIN").ok());
+    ASSERT_TRUE(session.RunOptimized(plan, "OPT").ok());
+    auto plain = session.PossibleTuples("PLAIN");
+    auto opt = session.PossibleTuples("OPT");
+    ASSERT_TRUE(plain.ok());
+    ASSERT_TRUE(opt.ok());
+    EXPECT_TRUE(plain->EqualsAsSet(*opt));
+    // Confidences are compared with a tolerance: the two plans associate
+    // the 1−Π(1−c) combination differently.
+    for (size_t i = 0; i < plain->NumRows(); ++i) {
+      auto a = session.TupleConfidence("PLAIN", plain->row(i).span());
+      auto b = session.TupleConfidence("OPT", plain->row(i).span());
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_NEAR(*a, *b, 1e-9);
+    }
+  }
+}
+
+TEST(SessionTest, UniformSessionKeepsStoreImportable) {
+  Rng rng(555);
+  std::vector<testutil::RelSpec> specs = {{"R", {"A", "B"}, 2, 3},
+                                          {"R2", {"A", "B"}, 2, 3}};
+  Wsd wsd = testutil::RandomWsd(rng, specs, 2);
+  auto session_or = Session::OverUniform(Wsdt::FromWsd(wsd).value());
+  ASSERT_TRUE(session_or.ok());
+  Session session = std::move(session_or).value();
+  Plan plan = Plan::Difference(Plan::Scan("R"), Plan::Scan("R2"));
+  ASSERT_TRUE(session.Run(plan, "OUT").ok());
+  // The store still satisfies the C/F/W referential invariants and
+  // re-imports as a valid WSDT.
+  ASSERT_TRUE(core::ValidateUniform(*session.uniform()).ok());
+  auto back = core::ImportUniform(*session.uniform());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->Validate().ok());
+}
+
+}  // namespace
+}  // namespace maywsd::api

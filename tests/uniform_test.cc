@@ -4,6 +4,8 @@
 
 #include "census/ipums.h"
 #include "census/noise.h"
+#include "core/engine/plan_driver.h"
+#include "core/engine/uniform_backend.h"
 #include "core/wsdt_algebra.h"
 #include "core/worldset.h"
 #include "tests/test_util.h"
@@ -241,6 +243,106 @@ TEST(UniformTest, ImportRejectsDanglingReferences) {
   f->AppendRow({S("R"), I(99), S("S"), I(0)});
   EXPECT_FALSE(ImportUniform(db).ok());
 }
+
+TEST(UniformTest, ValidateUniformAcceptsExportsAndCatchesCorruption) {
+  Wsdt wsdt = Figure8Wsdt();
+  ASSERT_TRUE(ValidateUniform(ExportUniform(wsdt).value()).ok());
+
+  // An orphaned W row (component no relation references) is caught …
+  rel::Database db = ExportUniform(wsdt).value();
+  db.GetMutableRelation(kUniformW).value()->AppendRow(
+      {I(99), I(0), rel::Value::Double(1.0)});
+  EXPECT_FALSE(ValidateUniform(db).ok());
+  // … and UniformCompact garbage-collects it.
+  ASSERT_TRUE(UniformCompact(db).ok());
+  EXPECT_TRUE(ValidateUniform(db).ok());
+
+  // An orphaned C row (value without a placeholder) is caught.
+  db = ExportUniform(wsdt).value();
+  db.GetMutableRelation(kUniformC).value()->AppendRow(
+      {S("R"), I(1), S("N"), I(0), S("X")});
+  EXPECT_FALSE(ValidateUniform(db).ok());
+
+  // A duplicate F coverage of one placeholder is caught.
+  db = ExportUniform(wsdt).value();
+  rel::TupleRef first = db.GetRelation(kUniformF).value()->row(0);
+  db.GetMutableRelation(kUniformF).value()->AppendRow(first.span());
+  EXPECT_FALSE(ValidateUniform(db).ok());
+}
+
+/// Satellite property: Export → (engine ops) → Import must round-trip.
+/// Random plans run against the uniform store through the engine driver;
+/// afterwards the store must still satisfy the C/F/W referential
+/// invariants (no orphaned rows left behind by the Figure 16 rewritings or
+/// the scratch-relation lifecycle) and import to the same world set that
+/// the WSDT path computes natively.
+class UniformEngineRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(UniformEngineRoundTrip, EngineOpsPreserveStoreIntegrity) {
+  Rng rng(GetParam() * 60013 + 29);
+  for (int round = 0; round < 3; ++round) {
+    Wsdt wsdt = RandomSmallWsdt(rng.Uniform(1u << 20));
+    auto db_or = ExportUniform(wsdt);
+    ASSERT_TRUE(db_or.ok());
+    rel::Database db = std::move(db_or).value();
+
+    // A random operator chain through the driver: σ, π, ∪, −, ×/⋈ mixes.
+    rel::Plan plan = [&] {
+      switch (rng.Uniform(4)) {
+        case 0:
+          return rel::Plan::Project(
+              {"A"}, rel::Plan::Select(
+                         rel::Predicate::Cmp("B", rel::CmpOp::kLt,
+                                             I(static_cast<int64_t>(
+                                                 rng.Uniform(3)))),
+                         rel::Plan::Scan("R")));
+        case 1:
+          return rel::Plan::Difference(
+              rel::Plan::Union(rel::Plan::Scan("R"), rel::Plan::Scan("R2")),
+              rel::Plan::Scan("R2"));
+        case 2:
+          return rel::Plan::Join(
+              rel::Predicate::CmpAttr("A", rel::CmpOp::kEq, "C"),
+              rel::Plan::Scan("R"), rel::Plan::Scan("S"));
+        default:
+          return rel::Plan::Select(
+              rel::Predicate::CmpAttr("X", rel::CmpOp::kGe, "B"),
+              rel::Plan::Rename({{"A", "X"}}, rel::Plan::Scan("R")));
+      }
+    }();
+
+    engine::UniformBackend backend(db);
+    Status st = engine::Evaluate(backend, plan, "OUT");
+    ASSERT_TRUE(st.ok()) << plan.ToString() << ": " << st;
+
+    // No scratch leaks, no orphaned C/F/W rows.
+    for (const std::string& name : db.Names()) {
+      EXPECT_NE(name.rfind("__eng_tmp", 0), 0u)
+          << "leaked scratch relation " << name;
+    }
+    Status integrity = ValidateUniform(db);
+    EXPECT_TRUE(integrity.ok()) << plan.ToString() << ": " << integrity;
+
+    // Import round-trips to the world set the WSDT path computes.
+    auto back = ImportUniform(db);
+    ASSERT_TRUE(back.ok()) << back.status();
+    ASSERT_TRUE(back->Validate().ok());
+    auto uniform_worlds =
+        back->ToWsd().value().EnumerateWorlds(4000000, {"OUT"});
+    ASSERT_TRUE(uniform_worlds.ok());
+
+    Wsdt native = wsdt;
+    ASSERT_TRUE(WsdtEvaluate(native, plan, "OUT").ok()) << plan.ToString();
+    auto native_worlds =
+        native.ToWsd().value().EnumerateWorlds(4000000, {"OUT"});
+    ASSERT_TRUE(native_worlds.ok());
+    EXPECT_TRUE(WorldSetsEquivalent(*uniform_worlds, *native_worlds))
+        << plan.ToString() << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniformEngineRoundTrip,
+                         ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace maywsd::core
