@@ -22,6 +22,7 @@
 // Usage: fig30_queries [--json PATH] — also writes the measurements as a
 // flat JSON document (consumed by CI as BENCH_fig30_queries.json).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -41,6 +42,7 @@ struct Sample {
   const char* backend = "wsdt";
   double seconds = 0.0;
   size_t result_rows = 0;
+  int threads = 1;  // Session fan-out width (1 = sequential)
 };
 
 void WriteJson(const char* path, const std::vector<Sample>& samples) {
@@ -55,9 +57,10 @@ void WriteJson(const char* path, const std::vector<Sample>& samples) {
     std::fprintf(f,
                  "    {\"query\": %d, \"rows\": %zu, \"density\": %g, "
                  "\"backend\": \"%s\", \"seconds\": %.6f, "
-                 "\"result_rows\": %zu}%s\n",
+                 "\"result_rows\": %zu, \"threads\": %d}%s\n",
                  s.query, s.rows, s.density, s.backend, s.seconds,
-                 s.result_rows, i + 1 < samples.size() ? "," : "");
+                 s.result_rows, s.threads,
+                 i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -205,6 +208,78 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n");
+
+  // Parallel fan-out: the same queries through Session with a sharded
+  // worker pool (threads ∈ {1, 2, 4}). The WSDT column measures the raw
+  // data-parallel fan-out (template rows partition into independent
+  // component groups at census densities, so Q1–Q4/Q6 shard; Q5 scans R
+  // twice and falls back). The uniform column additionally profits
+  // single-threaded: a sharded run pays ONE import/export round trip for
+  // the whole plan instead of one per non-relational operator.
+  {
+    const double kPDensity = 0.001;
+    std::printf(
+        "# Parallel fan-out: Session threads dimension (density %s)\n",
+        bench::DensityLabel(kPDensity));
+    std::printf("%10s %8s %6s %12s %12s %12s %10s\n", "tuples", "backend",
+                "query", "t=1", "t=2", "t=4", "x(t=4)");
+    struct Cell {
+      const char* backend;
+      size_t rows;
+    };
+    size_t wsdt_rows = sizes.back();
+    size_t uniform_rows = std::min<size_t>(sizes.back(), 8000);
+    for (Cell cell : {Cell{"wsdt", wsdt_rows}, Cell{"uniform", uniform_rows}}) {
+      rel::Relation base = census::GenerateCensus(
+          schema, cell.rows, /*seed=*/0xC0FFEE ^ cell.rows);
+      auto wsdt_or = census::MakeNoisyWsdt(base, schema, kPDensity,
+                                           /*seed=*/0xBEEF ^ cell.rows);
+      if (!wsdt_or.ok()) return 1;
+      core::Wsdt wsdt = std::move(wsdt_or).value();
+      bench::ChaseCensus(wsdt);
+      for (int q = 1; q <= 6; ++q) {
+        std::map<int, double> per_thread;
+        for (int t : {1, 2, 4}) {
+          api::SessionOptions options;
+          options.threads = t;
+          Status st;
+          size_t n = 0;
+          Timer timer;
+          if (std::strcmp(cell.backend, "wsdt") == 0) {
+            api::Session session = api::Session::OverWsdt(wsdt, options);
+            timer = Timer();
+            st = session.Run(census::CensusQuery(q, "R"), "OUT");
+            if (st.ok()) {
+              n = session.wsdt()->Template("OUT").value()->NumRows();
+            }
+          } else {
+            auto session_or = api::Session::OverUniform(wsdt, options);
+            if (!session_or.ok()) return 1;
+            api::Session session = std::move(session_or).value();
+            timer = Timer();  // export/import cost excluded from both columns
+            st = session.Run(census::CensusQuery(q, "R"), "OUT");
+            if (st.ok()) {
+              n = session.uniform()->GetRelation("OUT").value()->NumRows();
+            }
+          }
+          if (!st.ok()) {
+            std::fprintf(stderr, "parallel %s Q%d (t=%d) failed: %s\n",
+                         cell.backend, q, t, st.ToString().c_str());
+            return 1;
+          }
+          double secs = timer.Seconds();
+          per_thread[t] = secs;
+          samples.push_back(
+              {q, cell.rows, kPDensity, cell.backend, secs, n, t});
+        }
+        std::printf("%10zu %8s %6d %12.4f %12.4f %12.4f %9.2fx\n", cell.rows,
+                    cell.backend, q, per_thread[1], per_thread[2],
+                    per_thread[4],
+                    per_thread[4] > 0 ? per_thread[1] / per_thread[4] : 0.0);
+      }
+    }
+    std::printf("\n");
+  }
 
   if (json_path != nullptr) WriteJson(json_path, samples);
   return 0;

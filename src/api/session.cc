@@ -1,8 +1,10 @@
 #include "api/session.h"
 
+#include <thread>
 #include <utility>
 #include <variant>
 
+#include "core/engine/parallel.h"
 #include "core/engine/plan_driver.h"
 #include "core/engine/uniform_backend.h"
 #include "core/engine/wsd_backend.h"
@@ -30,37 +32,56 @@ struct Session::Rep {
   BackendKind kind;
   std::variant<core::Wsd, core::Wsdt, rel::Database> data;
   std::unique_ptr<core::engine::WorldSetOps> backend;
+  SessionOptions options;
+  SessionStats stats;
 };
+
+namespace {
+
+/// Resolves the option value to a worker count (0 = hardware concurrency).
+size_t ResolveThreads(int threads) {
+  if (threads > 1) return static_cast<size_t>(threads);
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  return 1;
+}
+
+}  // namespace
 
 Session::Session(std::unique_ptr<Rep> rep) : rep_(std::move(rep)) {}
 Session::~Session() = default;
 Session::Session(Session&&) noexcept = default;
 Session& Session::operator=(Session&&) noexcept = default;
 
-Session Session::OverWsd(core::Wsd wsd) {
+Session Session::OverWsd(core::Wsd wsd, SessionOptions options) {
   auto rep = std::make_unique<Rep>();
   rep->kind = BackendKind::kWsd;
   rep->data = std::move(wsd);
   rep->backend = std::make_unique<core::engine::WsdBackend>(
       std::get<core::Wsd>(rep->data));
+  rep->options = options;
   return Session(std::move(rep));
 }
 
-Session Session::OverWsdt(core::Wsdt wsdt) {
+Session Session::OverWsdt(core::Wsdt wsdt, SessionOptions options) {
   auto rep = std::make_unique<Rep>();
   rep->kind = BackendKind::kWsdt;
   rep->data = std::move(wsdt);
   rep->backend = std::make_unique<core::engine::WsdtBackend>(
       std::get<core::Wsdt>(rep->data));
+  rep->options = options;
   return Session(std::move(rep));
 }
 
-Session Session::OverUniformDatabase(rel::Database db) {
+Session Session::OverUniformDatabase(rel::Database db, SessionOptions options) {
   auto rep = std::make_unique<Rep>();
   rep->kind = BackendKind::kUniform;
   rep->data = std::move(db);
   rep->backend = std::make_unique<core::engine::UniformBackend>(
       std::get<rel::Database>(rep->data));
+  rep->options = options;
   return Session(std::move(rep));
 }
 
@@ -69,9 +90,10 @@ Session Session::OverUniform() {
   return OverUniformDatabase(core::ExportUniform(core::Wsdt()).value());
 }
 
-Result<Session> Session::OverUniform(const core::Wsdt& wsdt) {
+Result<Session> Session::OverUniform(const core::Wsdt& wsdt,
+                                     SessionOptions options) {
   MAYWSD_ASSIGN_OR_RETURN(rel::Database db, core::ExportUniform(wsdt));
-  return OverUniformDatabase(std::move(db));
+  return OverUniformDatabase(std::move(db), options);
 }
 
 BackendKind Session::kind() const { return rep_->kind; }
@@ -100,12 +122,43 @@ Status Session::Drop(const std::string& name) {
   return rep_->backend->Drop(name);
 }
 
+const SessionOptions& Session::options() const { return rep_->options; }
+void Session::set_options(const SessionOptions& options) {
+  rep_->options = options;
+}
+
+const SessionStats& Session::Stats() const { return rep_->stats; }
+
 Status Session::Run(const rel::Plan& plan, const std::string& out) {
-  return core::engine::Evaluate(*rep_->backend, plan, out);
+  rep_->stats.runs++;
+  core::engine::ParallelStats ps;
+  Status st = core::engine::EvaluateParallel(
+      *rep_->backend, plan, out, ResolveThreads(rep_->options.threads), &ps);
+  if (ps.sharded) {
+    rep_->stats.sharded_runs++;
+    rep_->stats.shards_executed += ps.shards;
+  } else if (ResolveThreads(rep_->options.threads) > 1) {
+    rep_->stats.fallback_runs++;
+  }
+  return st;
 }
 
 Status Session::RunOptimized(const rel::Plan& plan, const std::string& out) {
-  return core::engine::EvaluateOptimized(*rep_->backend, plan, out);
+  MAYWSD_ASSIGN_OR_RETURN(rel::Plan optimized,
+                          core::engine::OptimizeForBackend(*rep_->backend,
+                                                           plan));
+  return Run(optimized, out);
+}
+
+Status Session::RunAll(std::span<const rel::Plan> plans,
+                       std::span<const std::string> outs) {
+  rep_->stats.batches++;
+  core::engine::BatchStats bs;
+  Status st = core::engine::EvaluateBatch(*rep_->backend, plans, outs,
+                                          rep_->options.cache, &bs);
+  rep_->stats.cache_hits += bs.cache_hits;
+  rep_->stats.cache_misses += bs.cache_misses;
+  return st;
 }
 
 Result<rel::Relation> Session::PossibleTuples(

@@ -42,26 +42,50 @@ enum class BackendKind { kWsd, kWsdt, kUniform };
 /// "wsd" / "wsdt" / "uniform".
 std::string_view BackendKindName(BackendKind kind);
 
+/// Execution policy of a Session.
+struct SessionOptions {
+  /// Worker threads for the Run fan-out: 1 evaluates sequentially (the
+  /// default), N > 1 shards the plan's partitionable input relation across
+  /// at most N workers, 0 uses the hardware concurrency. Plans or backends
+  /// that cannot shard fall back to sequential execution automatically.
+  int threads = 1;
+  /// Common-subplan caching across a RunAll workload.
+  bool cache = true;
+};
+
+/// Cumulative execution counters of a Session (see Stats()).
+struct SessionStats {
+  uint64_t runs = 0;           ///< Run/RunOptimized calls
+  uint64_t sharded_runs = 0;   ///< runs that fanned out across workers
+  uint64_t shards_executed = 0;  ///< total shards across sharded runs
+  uint64_t fallback_runs = 0;  ///< runs that fell back to a single shard
+  uint64_t batches = 0;        ///< RunAll calls
+  uint64_t cache_hits = 0;     ///< RunAll subplan-cache hits
+  uint64_t cache_misses = 0;   ///< RunAll subplan-cache misses
+};
+
 /// A query session over one world-set representation.
 class Session {
  public:
   // -- Opening a session ----------------------------------------------------
 
   /// Over a (possibly empty) Section 4 world-set decomposition.
-  static Session OverWsd(core::Wsd wsd = {});
+  static Session OverWsd(core::Wsd wsd = {}, SessionOptions options = {});
 
   /// Over a (possibly empty) Section 5 template decomposition.
-  static Session OverWsdt(core::Wsdt wsdt = {});
+  static Session OverWsdt(core::Wsdt wsdt = {}, SessionOptions options = {});
 
   /// Over an empty C/F/W uniform store (Section 3, Figure 8).
   static Session OverUniform();
 
   /// Over the uniform encoding of an existing WSDT (ExportUniform).
-  static Result<Session> OverUniform(const core::Wsdt& wsdt);
+  static Result<Session> OverUniform(const core::Wsdt& wsdt,
+                                     SessionOptions options = {});
 
   /// Over an existing uniform store (templates with a leading __TID column
   /// plus the C, F, W system relations).
-  static Session OverUniformDatabase(rel::Database db);
+  static Session OverUniformDatabase(rel::Database db,
+                                     SessionOptions options = {});
 
   ~Session();
   Session(Session&&) noexcept;
@@ -72,6 +96,14 @@ class Session {
   BackendKind kind() const;
   /// Backend tag as reported by the engine ("wsd", "wsdt", "uniform").
   std::string_view BackendName() const;
+
+  // -- Execution policy ------------------------------------------------------
+
+  const SessionOptions& options() const;
+  void set_options(const SessionOptions& options);
+
+  /// Cumulative execution counters (runs, shard fan-outs, cache hits).
+  const SessionStats& Stats() const;
 
   // -- Catalog --------------------------------------------------------------
 
@@ -89,12 +121,25 @@ class Session {
   // -- Query evaluation -----------------------------------------------------
 
   /// Evaluates `plan` through the shared engine driver, adding the result
-  /// under `out`. Scratch relations are dropped on every path.
+  /// under `out`. Scratch relations are dropped on every path. With
+  /// options().threads > 1, plans whose partitionable input relation
+  /// splits into independent tuple groups fan out across a worker pool;
+  /// the result relation's world-set is identical to the sequential one
+  /// (its correlation to the input relations is weakened — shard results
+  /// attach to slice copies of the input components).
   Status Run(const rel::Plan& plan, const std::string& out);
 
   /// Runs the Section 5 logical optimizations against the session catalog
-  /// first, then evaluates the rewritten plan.
+  /// first, then evaluates the rewritten plan (same fan-out policy).
   Status RunOptimized(const rel::Plan& plan, const std::string& out);
+
+  /// Evaluates a workload of plans in order, `plans[i]` materializing
+  /// under `outs[i]`, sharing one scratch lifecycle; common subplans
+  /// across the workload are evaluated once (options().cache). Later
+  /// plans may scan earlier outputs. On error, outputs already
+  /// materialized remain.
+  Status RunAll(std::span<const rel::Plan> plans,
+                std::span<const std::string> outs);
 
   // -- Answers (Section 6) --------------------------------------------------
 

@@ -1,0 +1,269 @@
+#include "core/engine/parallel.h"
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "core/engine/plan_driver.h"
+
+namespace maywsd::core::engine {
+
+// -- ThreadPool ---------------------------------------------------------
+
+namespace {
+
+/// Set while a pool worker is executing tasks, so nested RunAll calls run
+/// inline instead of deadlocking on a saturated queue.
+thread_local bool t_on_pool_worker = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::deque<std::function<void()>> queue;
+  bool shutting_down = false;
+  std::vector<std::thread> workers;
+
+  void WorkerLoop() {
+    t_on_pool_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [this] { return shutting_down || !queue.empty(); });
+        if (queue.empty()) return;  // shutting down
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : impl_(new Impl), num_threads_(num_threads == 0 ? 1 : num_threads) {
+  impl_->workers.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutting_down = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+std::vector<Status> ThreadPool::RunAll(
+    std::vector<std::function<Status()>> tasks) {
+  std::vector<Status> results(tasks.size(), Status::Ok());
+  if (tasks.empty()) return results;
+  if (t_on_pool_worker) {
+    // Nested use from a worker: run inline to avoid queue deadlock.
+    for (size_t i = 0; i < tasks.size(); ++i) results[i] = tasks[i]();
+    return results;
+  }
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t pending;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->pending = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      impl_->queue.push_back(
+          [task = std::move(tasks[i]), result = &results[i], batch] {
+            *result = task();
+            std::lock_guard<std::mutex> lock(batch->mu);
+            if (--batch->pending == 0) batch->done_cv.notify_all();
+          });
+    }
+  }
+  impl_->work_cv.notify_all();
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&batch] { return batch->pending == 0; });
+  return results;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(std::thread::hardware_concurrency() == 0
+                             ? 4
+                             : std::thread::hardware_concurrency());
+  return pool;
+}
+
+// -- Shard candidate analysis -------------------------------------------
+
+namespace {
+
+struct LeafInfo {
+  size_t occurrences = 0;
+  /// True when at least one occurrence sits on a distributive root path.
+  bool distributive = false;
+};
+
+/// Walks the plan, collecting per-leaf occurrence counts and whether each
+/// leaf is reachable from the root through operators that distribute over
+/// a union of slices of that leaf: σ/π/δ (unary), × and ⋈ (either side),
+/// − (left side only). Union does not distribute slice-wise (the other
+/// branch would be replicated per slice), nor does the right side of a
+/// difference. Also records whether every operator kind in the plan is
+/// declared shardable by the backend.
+void AnalyzePlan(const WorldSetOps& ops, const rel::Plan& plan,
+                 bool distributive,
+                 std::unordered_map<std::string, LeafInfo>* leaves,
+                 std::vector<std::string>* leaf_order, bool* ops_shardable) {
+  using K = rel::Plan::Kind;
+  if (plan.kind() == K::kScan) {
+    auto [it, fresh] = leaves->try_emplace(plan.relation());
+    if (fresh) leaf_order->push_back(plan.relation());
+    it->second.occurrences++;
+    it->second.distributive |= distributive;
+    return;
+  }
+  if (!ops.ShardableOperator(plan.kind())) *ops_shardable = false;
+  switch (plan.kind()) {
+    case K::kSelect:
+    case K::kProject:
+    case K::kRename:
+      AnalyzePlan(ops, plan.child(), distributive, leaves, leaf_order,
+                  ops_shardable);
+      return;
+    case K::kProduct:
+    case K::kJoin:
+      AnalyzePlan(ops, plan.left(), distributive, leaves, leaf_order,
+                  ops_shardable);
+      AnalyzePlan(ops, plan.right(), distributive, leaves, leaf_order,
+                  ops_shardable);
+      return;
+    case K::kDifference:
+      AnalyzePlan(ops, plan.left(), distributive, leaves, leaf_order,
+                  ops_shardable);
+      AnalyzePlan(ops, plan.right(), false, leaves, leaf_order,
+                  ops_shardable);
+      return;
+    case K::kUnion:
+      AnalyzePlan(ops, plan.left(), false, leaves, leaf_order, ops_shardable);
+      AnalyzePlan(ops, plan.right(), false, leaves, leaf_order, ops_shardable);
+      return;
+    case K::kScan:
+      return;
+  }
+}
+
+/// Picks the relation to partition: the first leaf (in scan preorder) that
+/// occurs exactly once on a distributive path while every other scanned
+/// relation is certain. Returns an empty optional-like request when no
+/// leaf qualifies.
+Result<std::unique_ptr<ShardRequest>> FindShardCandidate(
+    const WorldSetOps& ops, const rel::Plan& plan, size_t max_shards) {
+  std::unordered_map<std::string, LeafInfo> leaves;
+  std::vector<std::string> leaf_order;
+  bool ops_shardable = true;
+  AnalyzePlan(ops, plan, /*distributive=*/true, &leaves, &leaf_order,
+              &ops_shardable);
+  if (!ops_shardable || leaf_order.empty()) {
+    return std::unique_ptr<ShardRequest>();
+  }
+  // Certainty per distinct leaf, computed once.
+  std::unordered_map<std::string, bool> certain;
+  for (const std::string& name : leaf_order) {
+    if (!ops.HasRelation(name)) return std::unique_ptr<ShardRequest>();
+    MAYWSD_ASSIGN_OR_RETURN(bool c, ops.RelationCertain(name));
+    certain[name] = c;
+  }
+  for (const std::string& name : leaf_order) {
+    const LeafInfo& info = leaves.at(name);
+    if (info.occurrences != 1 || !info.distributive) continue;
+    bool others_certain = true;
+    for (const std::string& other : leaf_order) {
+      if (other != name && !certain.at(other)) {
+        others_certain = false;
+        break;
+      }
+    }
+    if (!others_certain) continue;
+    auto req = std::make_unique<ShardRequest>();
+    req->relation = name;
+    for (const std::string& other : leaf_order) {
+      if (other != name) req->aux_relations.push_back(other);
+    }
+    req->max_shards = max_shards;
+    return req;
+  }
+  return std::unique_ptr<ShardRequest>();
+}
+
+/// Name of the per-shard result relation (each shard backend is its own
+/// namespace, so a fixed name cannot collide).
+constexpr const char* kShardOut = "__eng_shard_out";
+
+}  // namespace
+
+// -- EvaluateParallel ---------------------------------------------------
+
+Status EvaluateParallel(WorldSetOps& ops, const rel::Plan& plan,
+                        const std::string& out, size_t threads,
+                        ParallelStats* stats) {
+  if (stats != nullptr) *stats = ParallelStats{};
+  if (threads <= 1) return Evaluate(ops, plan, out);
+  if (ops.HasRelation(out)) {
+    return Status::AlreadyExists("relation " + out);
+  }
+  MAYWSD_ASSIGN_OR_RETURN(std::unique_ptr<ShardRequest> req,
+                          FindShardCandidate(ops, plan, threads));
+  if (req == nullptr) return Evaluate(ops, plan, out);
+  MAYWSD_ASSIGN_OR_RETURN(std::unique_ptr<ShardPlan> shard_plan,
+                          ops.PlanShards(*req));
+  if (shard_plan == nullptr) return Evaluate(ops, plan, out);
+
+  size_t num_shards = shard_plan->NumShards();
+  std::vector<std::unique_ptr<WorldSetOps>> shards(num_shards);
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(num_shards);
+  const ShardPlan* plan_view = shard_plan.get();
+  for (size_t i = 0; i < num_shards; ++i) {
+    tasks.push_back([plan_view, &plan, &shards, i]() -> Status {
+      MAYWSD_ASSIGN_OR_RETURN(shards[i], plan_view->BuildShard(i));
+      return Evaluate(*shards[i], plan, kShardOut);
+    });
+  }
+  std::vector<Status> results = ThreadPool::Shared().RunAll(std::move(tasks));
+  for (const Status& st : results) {
+    MAYWSD_RETURN_IF_ERROR(st);
+  }
+  // Deterministic merge: shard-index order, on this thread, after every
+  // worker finished. On a mid-merge failure, drop the partially-built
+  // result so callers never observe a truncated `out` (the uniform plan
+  // only publishes on Finish, so its parent store needs no cleanup — the
+  // drop is a no-op there).
+  auto merge = [&]() -> Status {
+    for (size_t i = 0; i < num_shards; ++i) {
+      MAYWSD_RETURN_IF_ERROR(
+          shard_plan->Absorb(i, *shards[i], kShardOut, out));
+    }
+    return shard_plan->Finish();
+  };
+  if (Status st = merge(); !st.ok()) {
+    if (ops.HasRelation(out)) (void)ops.Drop(out);
+    return st;
+  }
+  if (stats != nullptr) {
+    stats->sharded = true;
+    stats->shards = num_shards;
+  }
+  return Status::Ok();
+}
+
+}  // namespace maywsd::core::engine

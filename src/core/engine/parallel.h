@@ -1,0 +1,73 @@
+// Parallel plan evaluation: shard fan-out over a bounded worker pool.
+//
+// The facade-level entry point is EvaluateParallel: it decides whether a
+// plan can run sharded on the backend (one scan of the partitioned
+// relation, reached through operators that distribute over a union of
+// tuple slices; every other scanned relation certain; every operator kind
+// declared shardable by the backend), asks the backend for a ShardPlan,
+// evaluates the whole plan once per independent slice on the worker pool,
+// and merges the shard results in shard-index order — deterministic
+// regardless of completion order. Anything that does not fit falls back to
+// the sequential Evaluate with identical semantics.
+//
+// Sharded evaluation preserves the result relation's world-set exactly
+// (the test suite holds threads=1 and threads=N to identical world sets);
+// the correlation between the result and the input relations is weakened,
+// since shard results attach to slice copies of the input components.
+
+#ifndef MAYWSD_CORE_ENGINE_PARALLEL_H_
+#define MAYWSD_CORE_ENGINE_PARALLEL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine/world_set_ops.h"
+#include "rel/algebra.h"
+
+namespace maywsd::core::engine {
+
+/// A bounded pool of worker threads with a run-and-wait batch interface.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs every task on the pool and waits for all of them; statuses come
+  /// back in task order. Calls from inside a pool worker run the tasks
+  /// inline (no nested scheduling, no deadlock).
+  std::vector<Status> RunAll(std::vector<std::function<Status()>> tasks);
+
+  /// Process-wide pool sized to the hardware concurrency. Workers are
+  /// started on first use and joined at process exit.
+  static ThreadPool& Shared();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  size_t num_threads_;
+};
+
+/// Per-run telemetry of EvaluateParallel.
+struct ParallelStats {
+  bool sharded = false;   ///< true when the run fanned out
+  size_t shards = 0;      ///< number of shards executed
+};
+
+/// Evaluates `plan` into `out`, fanning out across at most `threads`
+/// workers when the plan and backend allow it; otherwise equivalent to
+/// Evaluate(ops, plan, out). threads <= 1 always runs sequentially.
+Status EvaluateParallel(WorldSetOps& ops, const rel::Plan& plan,
+                        const std::string& out, size_t threads,
+                        ParallelStats* stats = nullptr);
+
+}  // namespace maywsd::core::engine
+
+#endif  // MAYWSD_CORE_ENGINE_PARALLEL_H_

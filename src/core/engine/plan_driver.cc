@@ -162,20 +162,19 @@ Status ApplySelect(WorldSetOps& ops, ScratchScope& scope,
   return LowerSelect(ops, scope, src, out, pred);
 }
 
-Result<std::string> EvalPlan(WorldSetOps& ops, ScratchScope& scope,
-                             const rel::Plan& plan) {
+namespace {
+
+/// EvalPlan body for operator nodes; results are memoized by the caller.
+Result<std::string> EvalPlanUncached(WorldSetOps& ops, ScratchScope& scope,
+                                     const rel::Plan& plan,
+                                     SubplanCache* cache) {
   using K = rel::Plan::Kind;
   switch (plan.kind()) {
-    case K::kScan: {
-      if (!ops.HasRelation(plan.relation())) {
-        return Status::NotFound("relation " + plan.relation() + " not in " +
-                                std::string(ops.BackendName()) + " world set");
-      }
-      return plan.relation();
-    }
+    case K::kScan:
+      return Status::Internal("scan nodes are handled by EvalPlan");
     case K::kSelect: {
       MAYWSD_ASSIGN_OR_RETURN(std::string child,
-                              EvalPlan(ops, scope, plan.child()));
+                              EvalPlan(ops, scope, plan.child(), cache));
       std::string out = scope.Fresh();
       MAYWSD_RETURN_IF_ERROR(
           ApplySelect(ops, scope, child, out, plan.predicate()));
@@ -183,46 +182,50 @@ Result<std::string> EvalPlan(WorldSetOps& ops, ScratchScope& scope,
     }
     case K::kProject: {
       MAYWSD_ASSIGN_OR_RETURN(std::string child,
-                              EvalPlan(ops, scope, plan.child()));
+                              EvalPlan(ops, scope, plan.child(), cache));
       std::string out = scope.Fresh();
       MAYWSD_RETURN_IF_ERROR(ops.Project(child, out, plan.attributes()));
       return out;
     }
     case K::kRename: {
       MAYWSD_ASSIGN_OR_RETURN(std::string child,
-                              EvalPlan(ops, scope, plan.child()));
+                              EvalPlan(ops, scope, plan.child(), cache));
       std::string out = scope.Fresh();
       MAYWSD_RETURN_IF_ERROR(ops.Rename(child, out, plan.renames()));
       return out;
     }
     case K::kProduct: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, EvalPlan(ops, scope, plan.left()));
+      MAYWSD_ASSIGN_OR_RETURN(std::string l,
+                              EvalPlan(ops, scope, plan.left(), cache));
       MAYWSD_ASSIGN_OR_RETURN(std::string r,
-                              EvalPlan(ops, scope, plan.right()));
+                              EvalPlan(ops, scope, plan.right(), cache));
       std::string out = scope.Fresh();
       MAYWSD_RETURN_IF_ERROR(ops.Product(l, r, out));
       return out;
     }
     case K::kUnion: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, EvalPlan(ops, scope, plan.left()));
+      MAYWSD_ASSIGN_OR_RETURN(std::string l,
+                              EvalPlan(ops, scope, plan.left(), cache));
       MAYWSD_ASSIGN_OR_RETURN(std::string r,
-                              EvalPlan(ops, scope, plan.right()));
+                              EvalPlan(ops, scope, plan.right(), cache));
       std::string out = scope.Fresh();
       MAYWSD_RETURN_IF_ERROR(ops.Union(l, r, out));
       return out;
     }
     case K::kDifference: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, EvalPlan(ops, scope, plan.left()));
+      MAYWSD_ASSIGN_OR_RETURN(std::string l,
+                              EvalPlan(ops, scope, plan.left(), cache));
       MAYWSD_ASSIGN_OR_RETURN(std::string r,
-                              EvalPlan(ops, scope, plan.right()));
+                              EvalPlan(ops, scope, plan.right(), cache));
       std::string out = scope.Fresh();
       MAYWSD_RETURN_IF_ERROR(ops.Difference(l, r, out));
       return out;
     }
     case K::kJoin: {
-      MAYWSD_ASSIGN_OR_RETURN(std::string l, EvalPlan(ops, scope, plan.left()));
+      MAYWSD_ASSIGN_OR_RETURN(std::string l,
+                              EvalPlan(ops, scope, plan.left(), cache));
       MAYWSD_ASSIGN_OR_RETURN(std::string r,
-                              EvalPlan(ops, scope, plan.right()));
+                              EvalPlan(ops, scope, plan.right(), cache));
       if (ops.SupportsHashJoin()) {
         MAYWSD_ASSIGN_OR_RETURN(rel::Schema ls, ops.RelationSchema(l));
         MAYWSD_ASSIGN_OR_RETURN(rel::Schema rs, ops.RelationSchema(r));
@@ -254,6 +257,33 @@ Result<std::string> EvalPlan(WorldSetOps& ops, ScratchScope& scope,
   return Status::Internal("unknown plan kind");
 }
 
+}  // namespace
+
+Result<std::string> EvalPlan(WorldSetOps& ops, ScratchScope& scope,
+                             const rel::Plan& plan, SubplanCache* cache) {
+  if (plan.kind() == rel::Plan::Kind::kScan) {
+    if (!ops.HasRelation(plan.relation())) {
+      return Status::NotFound("relation " + plan.relation() + " not in " +
+                              std::string(ops.BackendName()) + " world set");
+    }
+    return plan.relation();
+  }
+  if (cache != nullptr) {
+    auto it = cache->memo.find(plan);
+    if (it != cache->memo.end()) {
+      ++cache->hits;
+      return it->second;
+    }
+  }
+  MAYWSD_ASSIGN_OR_RETURN(std::string out,
+                          EvalPlanUncached(ops, scope, plan, cache));
+  if (cache != nullptr) {
+    ++cache->misses;
+    cache->memo.emplace(plan, out);
+  }
+  return out;
+}
+
 Status Evaluate(WorldSetOps& ops, const rel::Plan& plan,
                 const std::string& out, bool keep_temps) {
   ScratchScope scope(ops);
@@ -270,6 +300,11 @@ Status Evaluate(WorldSetOps& ops, const rel::Plan& plan,
 
 Status EvaluateOptimized(WorldSetOps& ops, const rel::Plan& plan,
                          const std::string& out) {
+  MAYWSD_ASSIGN_OR_RETURN(rel::Plan optimized, OptimizeForBackend(ops, plan));
+  return Evaluate(ops, optimized, out);
+}
+
+Result<rel::Plan> OptimizeForBackend(WorldSetOps& ops, const rel::Plan& plan) {
   // The optimizer only needs schemas for attribute-scoping decisions; the
   // backend catalog supplies them.
   std::vector<std::pair<std::string, rel::Schema>> schemas;
@@ -277,8 +312,36 @@ Status EvaluateOptimized(WorldSetOps& ops, const rel::Plan& plan,
     MAYWSD_ASSIGN_OR_RETURN(rel::Schema schema, ops.RelationSchema(name));
     schemas.emplace_back(name, std::move(schema));
   }
-  MAYWSD_ASSIGN_OR_RETURN(rel::Plan optimized, rel::Optimize(plan, schemas));
-  return Evaluate(ops, optimized, out);
+  return rel::Optimize(plan, schemas);
+}
+
+Status EvaluateBatch(WorldSetOps& ops, std::span<const rel::Plan> plans,
+                     std::span<const std::string> outs, bool cache_subplans,
+                     BatchStats* stats) {
+  if (plans.size() != outs.size()) {
+    return Status::InvalidArgument(
+        "EvaluateBatch: " + std::to_string(plans.size()) + " plans vs " +
+        std::to_string(outs.size()) + " outputs");
+  }
+  ScratchScope scope(ops);
+  SubplanCache cache;
+  SubplanCache* cache_ptr = cache_subplans ? &cache : nullptr;
+  Status first = Status::Ok();
+  for (size_t i = 0; i < plans.size(); ++i) {
+    auto result = EvalPlan(ops, scope, plans[i], cache_ptr);
+    if (result.ok()) {
+      first = ops.Copy(*result, outs[i]);
+    } else {
+      first = result.status();
+    }
+    if (!first.ok()) break;
+  }
+  if (stats != nullptr) {
+    stats->cache_hits = cache.hits;
+    stats->cache_misses = cache.misses;
+  }
+  Status drop = scope.DropAll();
+  return first.ok() ? drop : first;
 }
 
 }  // namespace maywsd::core::engine

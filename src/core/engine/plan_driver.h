@@ -18,11 +18,14 @@
 #ifndef MAYWSD_CORE_ENGINE_PLAN_DRIVER_H_
 #define MAYWSD_CORE_ENGINE_PLAN_DRIVER_H_
 
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "rel/algebra.h"
+#include "rel/plan_hash.h"
 #include "core/engine/world_set_ops.h"
 
 namespace maywsd::core::engine {
@@ -67,11 +70,26 @@ Status ApplySelect(WorldSetOps& ops, ScratchScope& scope,
                    const std::string& src, const std::string& out,
                    const rel::Predicate& pred);
 
+/// Memo of already-materialized subplans, keyed structurally
+/// (rel::PlanHash/PlanEqual): a batched workload evaluates each distinct
+/// subtree once and reuses its scratch relation for every later
+/// occurrence. Valid for the lifetime of one ScratchScope — operators only
+/// extend the world set, so a materialized subtree stays correct for the
+/// whole batch.
+struct SubplanCache {
+  std::unordered_map<rel::Plan, std::string, rel::PlanHasher, rel::PlanEq>
+      memo;
+  size_t hits = 0;
+  size_t misses = 0;
+};
+
 /// Evaluates `plan` bottom-up over the backend and returns the name of the
 /// relation holding the result (an input relation for bare scans, else a
-/// scratch relation tracked by `scope`).
+/// scratch relation tracked by `scope`). With `cache`, operator subtrees
+/// are memoized and reused (bare scans are never counted or cached).
 Result<std::string> EvalPlan(WorldSetOps& ops, ScratchScope& scope,
-                             const rel::Plan& plan);
+                             const rel::Plan& plan,
+                             SubplanCache* cache = nullptr);
 
 /// Evaluates an arbitrary relational algebra plan over the backend, adding
 /// the result under `out`. Leaf scans refer to relations already in the
@@ -84,6 +102,26 @@ Status Evaluate(WorldSetOps& ops, const rel::Plan& plan,
 /// the backend's schemas, then evaluates the rewritten plan.
 Status EvaluateOptimized(WorldSetOps& ops, const rel::Plan& plan,
                          const std::string& out);
+
+/// Rewrites `plan` with the Section 5 logical optimizations against the
+/// backend's catalog (the optimizer only needs schemas).
+Result<rel::Plan> OptimizeForBackend(WorldSetOps& ops, const rel::Plan& plan);
+
+/// Per-batch telemetry of EvaluateBatch.
+struct BatchStats {
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+};
+
+/// Evaluates a workload of plans sharing one scratch lifecycle: plans run
+/// in order, `plans[i]` materializing under `outs[i]`, with common
+/// subplans evaluated once across the whole batch (disable with
+/// `cache_subplans = false`). Later plans may scan earlier outputs. On
+/// error, outputs already materialized remain; scratch relations are
+/// dropped on every path.
+Status EvaluateBatch(WorldSetOps& ops, std::span<const rel::Plan> plans,
+                     std::span<const std::string> outs,
+                     bool cache_subplans = true, BatchStats* stats = nullptr);
 
 }  // namespace maywsd::core::engine
 

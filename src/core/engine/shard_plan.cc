@@ -1,0 +1,433 @@
+#include "core/engine/shard_plan.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+
+#include "core/engine/wsd_backend.h"
+#include "core/engine/wsdt_backend.h"
+#include "core/uniform.h"
+
+namespace maywsd::core::engine {
+
+namespace {
+
+/// Plain union-find over dense tuple ids.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+/// Ascending, duplicate-free tuple ids of `relation`'s columns in `comp`.
+std::vector<TupleId> OwnTuples(const Component& comp, Symbol relation) {
+  std::vector<TupleId> tids;
+  for (const FieldKey& f : comp.fields()) {
+    if (f.rel == relation) tids.push_back(f.tuple);
+  }
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  return tids;
+}
+
+/// Projects `comp` to the columns of `relation` whose tuple id passes
+/// `in_slice`, renaming each kept column via `remap`. Returns a component
+/// with zero fields when nothing is kept. Dropping the other columns is
+/// exact marginalization: each local-world row keeps the joint
+/// distribution of the remaining columns.
+template <typename InSlice, typename Remap>
+Component SliceComponent(const Component& comp, Symbol relation,
+                         Symbol out_relation, const InSlice& in_slice,
+                         const Remap& remap) {
+  std::vector<size_t> keep;
+  for (size_t c = 0; c < comp.NumFields(); ++c) {
+    const FieldKey& f = comp.field(c);
+    if (f.rel == relation && in_slice(f.tuple)) keep.push_back(c);
+  }
+  if (keep.empty()) return Component();
+  Component proj = comp.ProjectColumns(keep);
+  proj.Compress();
+  for (size_t c = 0; c < proj.NumFields(); ++c) {
+    const FieldKey& f = proj.field(c);
+    proj.RenameField(c, FieldKey(out_relation, remap(f.tuple), f.attr));
+  }
+  return proj;
+}
+
+/// Appends relation `src` of `from` to `into`'s relation `dst`: template
+/// rows are concatenated (slot offset = current row count of `dst`) and
+/// the components covering `src` columns are copied, projected to those
+/// columns and re-keyed. Creates `dst` on first use.
+Status AppendWsdtRelation(Wsdt& into, const Wsdt& from, const std::string& src,
+                          const std::string& dst) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* stmpl, from.Template(src));
+  if (!into.HasRelation(dst)) {
+    MAYWSD_RETURN_IF_ERROR(
+        into.AddTemplateRelation(rel::Relation(stmpl->schema(), dst)));
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation * dtmpl, into.MutableTemplate(dst));
+  if (dtmpl->schema() != stmpl->schema()) {
+    return Status::Internal("shard result schema mismatch for " + dst + ": " +
+                            dtmpl->schema().ToString() + " vs " +
+                            stmpl->schema().ToString());
+  }
+  TupleId offset = static_cast<TupleId>(dtmpl->NumRows());
+  dtmpl->Reserve(dtmpl->NumRows() + stmpl->NumRows());
+  for (size_t r = 0; r < stmpl->NumRows(); ++r) {
+    dtmpl->AppendRow(stmpl->row(r).span());
+  }
+  Symbol src_sym = InternString(src);
+  Symbol dst_sym = InternString(dst);
+  for (size_t i : from.LiveComponents()) {
+    Component proj = SliceComponent(
+        from.component(i), src_sym, dst_sym, [](TupleId) { return true; },
+        [offset](TupleId t) { return t + offset; });
+    if (proj.NumFields() == 0) continue;
+    MAYWSD_RETURN_IF_ERROR(into.AddComponent(std::move(proj)));
+  }
+  return Status::Ok();
+}
+
+// -- WSDT ---------------------------------------------------------------
+
+class WsdtShardPlan final : public ShardPlan {
+ public:
+  WsdtShardPlan(const Wsdt* parent, Wsdt* absorb_into, std::string relation,
+                std::vector<std::string> aux,
+                std::vector<std::vector<TupleId>> shards)
+      : parent_(parent),
+        absorb_into_(absorb_into),
+        relation_(std::move(relation)),
+        aux_(std::move(aux)),
+        shards_(std::move(shards)) {}
+
+  size_t NumShards() const override { return shards_.size(); }
+
+  Result<std::unique_ptr<WorldSetOps>> BuildShard(size_t i) const override {
+    const std::vector<TupleId>& tids = shards_[i];
+    MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl,
+                            parent_->Template(relation_));
+    Symbol sym = InternString(relation_);
+
+    Wsdt slice;
+    rel::Relation part(tmpl->schema(), relation_);
+    part.Reserve(tids.size());
+    std::unordered_map<TupleId, TupleId> remap;
+    remap.reserve(tids.size());
+    for (TupleId t : tids) {
+      remap[t] = static_cast<TupleId>(part.NumRows());
+      part.AppendRow(tmpl->row(static_cast<size_t>(t)).span());
+    }
+    MAYWSD_RETURN_IF_ERROR(slice.AddTemplateRelation(std::move(part)));
+
+    for (size_t c : parent_->LiveComponents()) {
+      Component proj = SliceComponent(
+          parent_->component(c), sym, sym,
+          [&remap](TupleId t) { return remap.count(t) > 0; },
+          [&remap](TupleId t) { return remap.at(t); });
+      if (proj.NumFields() == 0) continue;
+      MAYWSD_RETURN_IF_ERROR(slice.AddComponent(std::move(proj)));
+    }
+
+    for (const std::string& name : aux_) {
+      MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* aux_tmpl,
+                              parent_->Template(name));
+      if (!TemplateIsCertain(*aux_tmpl)) {
+        return Status::Internal("shard auxiliary " + name + " is not certain");
+      }
+      MAYWSD_RETURN_IF_ERROR(slice.AddTemplateRelation(*aux_tmpl));
+    }
+    return std::unique_ptr<WorldSetOps>(
+        std::make_unique<WsdtBackend>(std::move(slice)));
+  }
+
+  Status Absorb(size_t /*i*/, WorldSetOps& shard, const std::string& src,
+                const std::string& dst) override {
+    auto& backend = static_cast<WsdtBackend&>(shard);
+    return AppendWsdtRelation(*absorb_into_, backend.wsdt(), src, dst);
+  }
+
+ private:
+  const Wsdt* parent_;
+  Wsdt* absorb_into_;
+  std::string relation_;
+  std::vector<std::string> aux_;
+  std::vector<std::vector<TupleId>> shards_;
+};
+
+// -- WSD ----------------------------------------------------------------
+
+class WsdShardPlan final : public ShardPlan {
+ public:
+  WsdShardPlan(Wsd* parent, std::string relation, std::vector<std::string> aux,
+               std::vector<std::vector<TupleId>> shards)
+      : parent_(parent),
+        relation_(std::move(relation)),
+        aux_(std::move(aux)),
+        shards_(std::move(shards)) {}
+
+  size_t NumShards() const override { return shards_.size(); }
+
+  Result<std::unique_ptr<WorldSetOps>> BuildShard(size_t i) const override {
+    const std::vector<TupleId>& tids = shards_[i];
+    MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* rel,
+                            parent_->FindRelation(relation_));
+
+    Wsd slice;
+    MAYWSD_RETURN_IF_ERROR(slice.AddRelation(
+        relation_, rel->schema, static_cast<TupleId>(tids.size())));
+    std::unordered_map<TupleId, TupleId> remap;
+    remap.reserve(tids.size());
+    for (size_t j = 0; j < tids.size(); ++j) {
+      remap[tids[j]] = static_cast<TupleId>(j);
+    }
+    for (size_t c : parent_->LiveComponents()) {
+      Component proj = SliceComponent(
+          parent_->component(c), rel->name_sym, rel->name_sym,
+          [&remap](TupleId t) { return remap.count(t) > 0; },
+          [&remap](TupleId t) { return remap.at(t); });
+      if (proj.NumFields() == 0) continue;
+      MAYWSD_RETURN_IF_ERROR(slice.AddComponent(std::move(proj)));
+    }
+
+    for (const std::string& name : aux_) {
+      MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* aux_rel,
+                              parent_->FindRelation(name));
+      MAYWSD_RETURN_IF_ERROR(
+          slice.AddRelation(name, aux_rel->schema, aux_rel->max_tuples));
+      for (TupleId t = 0; t < aux_rel->max_tuples; ++t) {
+        // A slot with no fields is absent in every world; leave it empty.
+        for (const FieldKey& f : parent_->FieldsOfTuple(*aux_rel, t)) {
+          MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, parent_->Locate(f));
+          const Component& comp = parent_->component(loc.comp);
+          size_t col = static_cast<size_t>(loc.col);
+          if (!comp.ColumnConstant(col)) {
+            return Status::Internal("shard auxiliary " + name +
+                                    " is not certain");
+          }
+          MAYWSD_RETURN_IF_ERROR(slice.AddCertainField(f, comp.at(0, col)));
+        }
+      }
+    }
+    return std::unique_ptr<WorldSetOps>(
+        std::make_unique<WsdBackend>(std::move(slice)));
+  }
+
+  Status Absorb(size_t /*i*/, WorldSetOps& shard, const std::string& src,
+                const std::string& dst) override {
+    auto& backend = static_cast<WsdBackend&>(shard);
+    Wsd& sw = backend.wsd();
+    // Presence fields do not survive a merge across slices; fold them back
+    // into value columns first (the inverse of the exists-column
+    // optimization).
+    if (sw.HasPresenceFields()) {
+      MAYWSD_RETURN_IF_ERROR(sw.EliminatePresenceFields());
+    }
+    MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* srel, sw.FindRelation(src));
+    if (!parent_->HasRelation(dst)) {
+      MAYWSD_RETURN_IF_ERROR(parent_->AddRelation(dst, srel->schema, 0));
+    }
+    MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* drel,
+                            parent_->FindRelation(dst));
+    if (drel->schema != srel->schema) {
+      return Status::Internal("shard result schema mismatch for " + dst);
+    }
+    TupleId offset = drel->max_tuples;
+    MAYWSD_RETURN_IF_ERROR(parent_->GrowRelation(dst, srel->max_tuples));
+    Symbol dst_sym = InternString(dst);
+    for (size_t c : sw.LiveComponents()) {
+      Component proj = SliceComponent(
+          sw.component(c), srel->name_sym, dst_sym,
+          [](TupleId) { return true; },
+          [offset](TupleId t) { return t + offset; });
+      if (proj.NumFields() == 0) continue;
+      MAYWSD_RETURN_IF_ERROR(parent_->AddComponent(std::move(proj)));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Wsd* parent_;
+  std::string relation_;
+  std::vector<std::string> aux_;
+  std::vector<std::vector<TupleId>> shards_;
+};
+
+// -- Uniform ------------------------------------------------------------
+
+class UniformShardPlan final : public ShardPlan {
+ public:
+  UniformShardPlan(Wsdt imported, rel::Database* db)
+      : imported_(std::make_unique<Wsdt>(std::move(imported))), db_(db) {}
+
+  void set_inner(std::unique_ptr<ShardPlan> inner) {
+    inner_ = std::move(inner);
+  }
+  Wsdt* imported() { return imported_.get(); }
+
+  size_t NumShards() const override { return inner_->NumShards(); }
+
+  Result<std::unique_ptr<WorldSetOps>> BuildShard(size_t i) const override {
+    return inner_->BuildShard(i);
+  }
+
+  Status Absorb(size_t i, WorldSetOps& shard, const std::string& src,
+                const std::string& dst) override {
+    return inner_->Absorb(i, shard, src, dst);
+  }
+
+  Status Finish() override {
+    MAYWSD_ASSIGN_OR_RETURN(rel::Database out, ExportUniform(*imported_));
+    *db_ = std::move(out);
+    return Status::Ok();
+  }
+
+ private:
+  std::unique_ptr<Wsdt> imported_;  // stable address for the inner plan
+  rel::Database* db_;
+  std::unique_ptr<ShardPlan> inner_;
+};
+
+/// Shared planning core: group `relation`'s slots by component links and
+/// cut balanced shards. `num_slots` is the slot count of the relation.
+template <typename ComponentRange, typename GetComponent>
+std::vector<std::vector<TupleId>> PlanSlices(TupleId num_slots,
+                                             Symbol relation,
+                                             const ComponentRange& live,
+                                             const GetComponent& component,
+                                             size_t max_shards) {
+  std::vector<std::pair<TupleId, TupleId>> links;
+  for (size_t i : live) {
+    std::vector<TupleId> tids = OwnTuples(component(i), relation);
+    for (size_t j = 1; j < tids.size(); ++j) {
+      links.emplace_back(tids[0], tids[j]);
+    }
+  }
+  return PartitionSlots(num_slots, links, max_shards);
+}
+
+}  // namespace
+
+bool TemplateIsCertain(const rel::Relation& tmpl) {
+  for (size_t r = 0; r < tmpl.NumRows(); ++r) {
+    for (size_t a = 0; a < tmpl.arity(); ++a) {
+      if (tmpl.row(r)[a].is_question()) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<TupleId>> PartitionSlots(
+    TupleId num_slots, const std::vector<std::pair<TupleId, TupleId>>& links,
+    size_t max_shards) {
+  if (num_slots < 2 || max_shards < 2) return {};
+  size_t n = static_cast<size_t>(num_slots);
+  UnionFind uf(n);
+  for (const auto& [a, b] : links) {
+    uf.Union(static_cast<size_t>(a), static_cast<size_t>(b));
+  }
+  // Groups keyed by root, ordered by minimum member id (roots are group
+  // minima by construction of UnionFind::Union).
+  std::vector<std::vector<TupleId>> groups;
+  std::unordered_map<size_t, size_t> group_of_root;
+  for (size_t t = 0; t < n; ++t) {
+    size_t root = uf.Find(t);
+    auto [it, fresh] = group_of_root.try_emplace(root, groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(static_cast<TupleId>(t));
+  }
+  if (groups.size() < 2) return {};
+
+  // Pack whole groups into contiguous shards, balancing slot counts.
+  size_t num_shards = std::min(max_shards, groups.size());
+  std::vector<std::vector<TupleId>> shards;
+  shards.reserve(num_shards);
+  size_t remaining_slots = n;
+  size_t remaining_shards = num_shards;
+  std::vector<TupleId> current;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    size_t target = (remaining_slots + remaining_shards - 1) / remaining_shards;
+    current.insert(current.end(), groups[g].begin(), groups[g].end());
+    // Close the shard once it reached its share, keeping one group per
+    // remaining shard available.
+    size_t groups_left = groups.size() - g - 1;
+    if ((current.size() >= target || groups_left < remaining_shards) &&
+        remaining_shards > 1) {
+      remaining_slots -= current.size();
+      --remaining_shards;
+      shards.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) shards.push_back(std::move(current));
+  if (shards.size() < 2) return {};
+  for (std::vector<TupleId>& shard : shards) {
+    std::sort(shard.begin(), shard.end());
+  }
+  return shards;
+}
+
+Result<std::unique_ptr<ShardPlan>> MakeWsdtShardPlan(const Wsdt& parent,
+                                                     Wsdt* absorb_into,
+                                                     const ShardRequest& req) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl,
+                          parent.Template(req.relation));
+  Symbol sym = InternString(req.relation);
+  std::vector<std::vector<TupleId>> shards = PlanSlices(
+      static_cast<TupleId>(tmpl->NumRows()), sym, parent.LiveComponents(),
+      [&parent](size_t i) -> const Component& { return parent.component(i); },
+      req.max_shards);
+  if (shards.empty()) return std::unique_ptr<ShardPlan>();
+  return std::unique_ptr<ShardPlan>(
+      std::make_unique<WsdtShardPlan>(&parent, absorb_into, req.relation,
+                                      req.aux_relations, std::move(shards)));
+}
+
+Result<std::unique_ptr<ShardPlan>> MakeWsdShardPlan(Wsd& parent,
+                                                    const ShardRequest& req) {
+  MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* rel,
+                          parent.FindRelation(req.relation));
+  // Presence ("exists") fields make slot membership two-layered; decline
+  // and let the driver fall back to single-shard execution.
+  if (!rel->presence_attrs.empty()) return std::unique_ptr<ShardPlan>();
+  std::vector<std::vector<TupleId>> shards = PlanSlices(
+      rel->max_tuples, rel->name_sym, parent.LiveComponents(),
+      [&parent](size_t i) -> const Component& { return parent.component(i); },
+      req.max_shards);
+  if (shards.empty()) return std::unique_ptr<ShardPlan>();
+  return std::unique_ptr<ShardPlan>(std::make_unique<WsdShardPlan>(
+      &parent, req.relation, req.aux_relations, std::move(shards)));
+}
+
+Result<std::unique_ptr<ShardPlan>> MakeUniformShardPlan(
+    rel::Database& db, const ShardRequest& req) {
+  MAYWSD_ASSIGN_OR_RETURN(Wsdt imported, ImportUniform(db));
+  auto plan = std::make_unique<UniformShardPlan>(std::move(imported), &db);
+  MAYWSD_ASSIGN_OR_RETURN(
+      std::unique_ptr<ShardPlan> inner,
+      MakeWsdtShardPlan(*plan->imported(), plan->imported(), req));
+  if (inner == nullptr) return std::unique_ptr<ShardPlan>();
+  plan->set_inner(std::move(inner));
+  return std::unique_ptr<ShardPlan>(std::move(plan));
+}
+
+}  // namespace maywsd::core::engine

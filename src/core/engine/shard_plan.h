@@ -1,0 +1,72 @@
+// Shard planners: partitioning a backend's state by component/tuple ranges.
+//
+// A world-set relation partitions into independent tuple-slot groups when
+// no component links slots across group boundaries (components are the
+// only carriers of correlation — Definition 1). PartitionSlots computes
+// those groups with a union-find over component links and packs whole
+// groups into size-balanced shards, keeping group order by minimum slot id
+// so concatenating shard results reproduces the sequential slot order.
+//
+// The three factories build a ShardPlan (see world_set_ops.h for the
+// lifecycle) over each representation:
+//  - WSDT: template-row slices; components projected to the sliced
+//    relation's columns (exact marginalization — a component row keeps the
+//    joint distribution of its remaining columns).
+//  - WSD: tuple-slot slices of the component set, same projection rule.
+//  - uniform: the C/F/W store is imported once, sharded as a WSDT, and
+//    re-exported on Finish() — the same template-semantics round trip the
+//    prototype used for non-relational operators.
+
+#ifndef MAYWSD_CORE_ENGINE_SHARD_PLAN_H_
+#define MAYWSD_CORE_ENGINE_SHARD_PLAN_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine/world_set_ops.h"
+#include "core/field.h"
+#include "core/wsd.h"
+#include "core/wsdt.h"
+#include "rel/database.h"
+
+namespace maywsd::core::engine {
+
+/// Groups tuple ids [0, num_slots) transitively by `links` (each entry
+/// couples two ids that must share a shard), then packs whole groups —
+/// ordered by minimum id — into at most `max_shards` size-balanced shards
+/// of ascending ids. When groups interleave (a component linking
+/// non-adjacent slots), shard id ranges overlap and concatenating shard
+/// results permutes the sequential slot order — only world-set equality
+/// is guaranteed, not row order. Returns an empty vector when fewer than
+/// two shards result (nothing to parallelize).
+std::vector<std::vector<TupleId>> PartitionSlots(
+    TupleId num_slots, const std::vector<std::pair<TupleId, TupleId>>& links,
+    size_t max_shards);
+
+/// True when a WSDT/uniform template is certain, i.e. carries no '?'
+/// placeholder ('?' is the only uncertainty carrier in a template —
+/// conditional presence needs a '?' column). Shared by the backends'
+/// RelationCertain and the shard builders' auxiliary re-verification.
+bool TemplateIsCertain(const rel::Relation& tmpl);
+
+/// Shard plan over a WSDT. `parent` is sliced (read-only during
+/// BuildShard); shard results merge into `absorb_into` (usually the same
+/// object; the uniform plan points both at its imported store).
+Result<std::unique_ptr<ShardPlan>> MakeWsdtShardPlan(const Wsdt& parent,
+                                                     Wsdt* absorb_into,
+                                                     const ShardRequest& req);
+
+/// Shard plan over a WSD (relations with presence fields are declined).
+Result<std::unique_ptr<ShardPlan>> MakeWsdShardPlan(Wsd& parent,
+                                                    const ShardRequest& req);
+
+/// Shard plan over a uniform C/F/W store: imports the store as a WSDT,
+/// shards that, and re-exports the merged store on Finish().
+Result<std::unique_ptr<ShardPlan>> MakeUniformShardPlan(
+    rel::Database& db, const ShardRequest& req);
+
+}  // namespace maywsd::core::engine
+
+#endif  // MAYWSD_CORE_ENGINE_SHARD_PLAN_H_

@@ -1,5 +1,6 @@
 #include "core/engine/uniform_backend.h"
 
+#include "core/engine/shard_plan.h"
 #include "core/uniform.h"
 #include "core/wsdt_algebra.h"
 #include "core/wsdt_confidence.h"
@@ -157,6 +158,17 @@ Result<bool> UniformBackend::TupleCertain(
     const std::string& relation, std::span<const rel::Value> tuple) const {
   MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, Import());
   return WsdtTupleCertain(wsdt, relation, tuple);
+}
+
+Result<bool> UniformBackend::RelationCertain(const std::string& name) const {
+  if (IsSystemRelation(name)) return false;
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* tmpl, db_->GetRelation(name));
+  return TemplateIsCertain(*tmpl);
+}
+
+Result<std::unique_ptr<ShardPlan>> UniformBackend::PlanShards(
+    const ShardRequest& req) {
+  return MakeUniformShardPlan(*db_, req);
 }
 
 Result<Wsdt> UniformBackend::Import() const { return ImportUniform(*db_); }

@@ -74,6 +74,16 @@ class UniformBackend : public WorldSetOps {
   Result<bool> TupleCertain(const std::string& relation,
                             std::span<const rel::Value> tuple) const override;
 
+  /// Shards run under the template semantics (the store is imported as a
+  /// WSDT and re-exported on Finish), where every operator kind slices.
+  bool ShardableOperator(rel::Plan::Kind kind) const override {
+    (void)kind;
+    return true;
+  }
+  Result<bool> RelationCertain(const std::string& name) const override;
+  Result<std::unique_ptr<ShardPlan>> PlanShards(
+      const ShardRequest& req) override;
+
  private:
   /// Imports the whole store as a WSDT (templates stripped of __TID).
   Result<Wsdt> Import() const;

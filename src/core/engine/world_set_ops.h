@@ -24,6 +24,7 @@
 #ifndef MAYWSD_CORE_ENGINE_WORLD_SET_OPS_H_
 #define MAYWSD_CORE_ENGINE_WORLD_SET_OPS_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -31,11 +32,64 @@
 #include <vector>
 
 #include "common/status.h"
+#include "rel/algebra.h"
 #include "rel/predicate.h"
 #include "rel/relation.h"
 #include "rel/schema.h"
 
 namespace maywsd::core::engine {
+
+class WorldSetOps;
+
+/// What the parallel driver asks a backend to partition: the state of one
+/// relation, split by tuple ranges into independent slices, with a set of
+/// fully certain auxiliary relations replicated into every slice.
+struct ShardRequest {
+  /// The relation whose tuple slots are partitioned across shards.
+  std::string relation;
+  /// Other relations the plan references; each must be certain (equal in
+  /// every world) so replicating it into a slice cannot lose correlations.
+  std::vector<std::string> aux_relations;
+  /// Upper bound on the number of shards (the worker-pool width).
+  size_t max_shards = 1;
+};
+
+/// A backend's partitioning of one relation into independent slices.
+///
+/// Lifecycle, driven by EvaluateParallel (engine/parallel.h):
+///   1. BuildShard(i) — called concurrently from worker threads; must only
+///      READ the parent representation. Returns a self-contained backend
+///      whose `relation` holds slice i and whose aux relations are full
+///      certain copies. The slice world-sets are mutually independent and
+///      their union is the marginal world-set of the parent relation.
+///   2. Absorb(i, ...) — called on the coordinating thread, in shard-index
+///      order, only after every worker finished (this is what makes the
+///      merged result deterministic regardless of completion order). Merges
+///      shard i's relation `src` into the parent's `dst`, creating `dst` on
+///      the first call.
+///   3. Finish() — once, after all absorbs (the uniform backend re-exports
+///      its store here). Default no-op.
+///
+/// Sharded evaluation preserves the result relation's world-set exactly;
+/// cross-relation correlation between the result and its input relations
+/// (which sequential evaluation keeps) is intentionally weakened — shard
+/// results attach to copies of the input components, not to the originals.
+class ShardPlan {
+ public:
+  virtual ~ShardPlan() = default;
+
+  virtual size_t NumShards() const = 0;
+
+  /// Builds the self-contained world set of shard `i`. Thread-safe.
+  virtual Result<std::unique_ptr<WorldSetOps>> BuildShard(size_t i) const = 0;
+
+  /// Merges shard `i`'s relation `src` into the parent's `dst`.
+  virtual Status Absorb(size_t i, WorldSetOps& shard, const std::string& src,
+                        const std::string& dst) = 0;
+
+  /// Publishes the merged result into the parent representation.
+  virtual Status Finish() { return Status::Ok(); }
+};
 
 /// Shared guard for AddCertainRelation implementations: a fully certain
 /// instance may contain neither ⊥ (deleted-tuple marker) nor '?'
@@ -178,6 +232,38 @@ class WorldSetOps {
                           const std::string& /*right_attr*/) {
     return Status::Unsupported(std::string(BackendName()) +
                                " backend has no native hash join");
+  }
+
+  // -- Sharding capability (parallel Session::Run fan-out) -------------------
+  //
+  // The Figure 9 operators are per-relation and largely per-tuple-slot
+  // independent, so a backend whose state partitions into tuple ranges
+  // that share no components can evaluate a plan slice-by-slice in
+  // parallel. A backend opts in per operator kind; the driver falls back
+  // to single-shard execution when any operator in the plan is not
+  // declared shardable (e.g. the component-composing WSD Product and
+  // Difference).
+
+  /// True when plans containing this operator kind may run sharded on this
+  /// backend. Conservative default: nothing is shardable.
+  virtual bool ShardableOperator(rel::Plan::Kind /*kind*/) const {
+    return false;
+  }
+
+  /// True iff `name` is identical in every world. Shard auxiliaries must
+  /// be certain so replicating them per shard cannot lose correlations.
+  /// Conservative default: unknown relations count as uncertain.
+  virtual Result<bool> RelationCertain(const std::string& /*name*/) const {
+    return false;
+  }
+
+  /// Partitions `req.relation` by tuple ranges into at most req.max_shards
+  /// independent slices. Returns a null plan when the relation cannot be
+  /// partitioned (fewer than two independent tuple groups, presence
+  /// fields, or no backend support); errors only signal real failures.
+  virtual Result<std::unique_ptr<ShardPlan>> PlanShards(
+      const ShardRequest& /*req*/) {
+    return std::unique_ptr<ShardPlan>();
   }
 };
 

@@ -1,6 +1,7 @@
 #include "core/engine/wsd_backend.h"
 
 #include "core/confidence.h"
+#include "core/engine/shard_plan.h"
 #include "core/wsd_algebra.h"
 
 namespace maywsd::core::engine {
@@ -108,6 +109,30 @@ Result<double> WsdBackend::TupleConfidence(
 Result<bool> WsdBackend::TupleCertain(
     const std::string& relation, std::span<const rel::Value> tuple) const {
   return core::TupleCertain(*wsd_, relation, tuple);
+}
+
+Result<bool> WsdBackend::RelationCertain(const std::string& name) const {
+  // Certain ⇔ every slot is either empty (absent in all worlds) or covered
+  // by columns that are constant across their components' local worlds —
+  // then every world materializes the same instance. Presence fields are
+  // conservatively treated as uncertainty.
+  MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* rel, wsd_->FindRelation(name));
+  if (!rel->presence_attrs.empty()) return false;
+  for (TupleId t = 0; t < rel->max_tuples; ++t) {
+    for (const FieldKey& f : wsd_->FieldsOfTuple(*rel, t)) {
+      MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsd_->Locate(f));
+      if (!wsd_->component(loc.comp).ColumnConstant(
+              static_cast<size_t>(loc.col))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<std::unique_ptr<ShardPlan>> WsdBackend::PlanShards(
+    const ShardRequest& req) {
+  return MakeWsdShardPlan(*wsd_, req);
 }
 
 }  // namespace maywsd::core::engine

@@ -9,6 +9,7 @@
 #ifndef MAYWSD_CORE_ENGINE_WSD_BACKEND_H_
 #define MAYWSD_CORE_ENGINE_WSD_BACKEND_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,11 +19,18 @@
 
 namespace maywsd::core::engine {
 
-/// Adapts a Wsd to the engine contract. Non-owning; the Wsd must outlive
-/// the backend.
+/// Adapts a Wsd to the engine contract. Non-owning by default; the Wsd
+/// must outlive the backend. The rvalue overload takes ownership (shard
+/// slices are self-contained backends).
 class WsdBackend : public WorldSetOps {
  public:
   explicit WsdBackend(Wsd& wsd) : wsd_(&wsd) {}
+  explicit WsdBackend(Wsd&& owned)
+      : owned_(std::make_unique<Wsd>(std::move(owned))), wsd_(owned_.get()) {}
+
+  /// The adapted representation.
+  Wsd& wsd() { return *wsd_; }
+  const Wsd& wsd() const { return *wsd_; }
 
   std::string_view BackendName() const override { return "wsd"; }
 
@@ -64,7 +72,26 @@ class WsdBackend : public WorldSetOps {
   Result<bool> TupleCertain(const std::string& relation,
                             std::span<const rel::Value> tuple) const override;
 
+  /// Product and Difference compose components across their inputs
+  /// (Section 4) — the capability the issue of sharded execution hinges
+  /// on — so plans containing them (or Join, their fused form) fall back
+  /// to single-shard execution on the WSD path.
+  bool ShardableOperator(rel::Plan::Kind kind) const override {
+    switch (kind) {
+      case rel::Plan::Kind::kProduct:
+      case rel::Plan::Kind::kDifference:
+      case rel::Plan::Kind::kJoin:
+        return false;
+      default:
+        return true;
+    }
+  }
+  Result<bool> RelationCertain(const std::string& name) const override;
+  Result<std::unique_ptr<ShardPlan>> PlanShards(
+      const ShardRequest& req) override;
+
  private:
+  std::unique_ptr<Wsd> owned_;  // declared before wsd_ (init order)
   Wsd* wsd_;
 };
 

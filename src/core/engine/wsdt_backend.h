@@ -11,6 +11,7 @@
 #ifndef MAYWSD_CORE_ENGINE_WSDT_BACKEND_H_
 #define MAYWSD_CORE_ENGINE_WSDT_BACKEND_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,11 +21,19 @@
 
 namespace maywsd::core::engine {
 
-/// Adapts a Wsdt to the engine contract. Non-owning; the Wsdt must outlive
-/// the backend.
+/// Adapts a Wsdt to the engine contract. Non-owning by default; the Wsdt
+/// must outlive the backend. The rvalue overload takes ownership (shard
+/// slices are self-contained backends).
 class WsdtBackend : public WorldSetOps {
  public:
   explicit WsdtBackend(Wsdt& wsdt) : wsdt_(&wsdt) {}
+  explicit WsdtBackend(Wsdt&& owned)
+      : owned_(std::make_unique<Wsdt>(std::move(owned))),
+        wsdt_(owned_.get()) {}
+
+  /// The adapted representation.
+  Wsdt& wsdt() { return *wsdt_; }
+  const Wsdt& wsdt() const { return *wsdt_; }
 
   std::string_view BackendName() const override { return "wsdt"; }
 
@@ -75,7 +84,18 @@ class WsdtBackend : public WorldSetOps {
                   const std::string& out, const std::string& left_attr,
                   const std::string& right_attr) override;
 
+  /// The template operators scan rows independently; every operator kind
+  /// runs fine inside an independent slice.
+  bool ShardableOperator(rel::Plan::Kind kind) const override {
+    (void)kind;
+    return true;
+  }
+  Result<bool> RelationCertain(const std::string& name) const override;
+  Result<std::unique_ptr<ShardPlan>> PlanShards(
+      const ShardRequest& req) override;
+
  private:
+  std::unique_ptr<Wsdt> owned_;  // declared before wsdt_ (init order)
   Wsdt* wsdt_;
 };
 

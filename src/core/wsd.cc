@@ -238,6 +238,18 @@ Status Wsd::UpdateRelationSchema(const std::string& name, rel::Schema schema) {
   return Status::Ok();
 }
 
+Status Wsd::GrowRelation(const std::string& name, TupleId extra) {
+  auto it = relation_by_name_.find(name);
+  if (it == relation_by_name_.end()) {
+    return Status::NotFound("relation " + name);
+  }
+  if (extra < 0) {
+    return Status::InvalidArgument("negative slot growth for " + name);
+  }
+  relations_[it->second].max_tuples += extra;
+  return Status::Ok();
+}
+
 Status Wsd::ReplaceComponent(size_t index, std::vector<Component> parts) {
   if (index >= components_.size() || !alive_[index]) {
     return Status::InvalidArgument("replacing dead or invalid component");

@@ -108,6 +108,11 @@ class Wsd {
   /// All remaining fields of the relation must exist in the new schema.
   Status UpdateRelationSchema(const std::string& name, rel::Schema schema);
 
+  /// Raises |R|max by `extra` tuple slots (the new slots start empty —
+  /// absent in every world until components cover them). Used when merging
+  /// shard results slot-range by slot-range.
+  Status GrowRelation(const std::string& name, TupleId extra);
+
   /// Replaces a live component with the given components covering exactly
   /// the same fields (used by decompose-normalization).
   Status ReplaceComponent(size_t index, std::vector<Component> parts);

@@ -64,6 +64,10 @@ class Plan {
   /// Number of operator nodes in the plan.
   size_t NodeCount() const;
 
+  /// True when both values wrap the same underlying node (plans share
+  /// subtrees through shared_ptr); identity fast path for PlanEqual.
+  bool SharesNodeWith(const Plan& o) const { return node_ == o.node_; }
+
   std::string ToString() const;
 
  private:

@@ -1,0 +1,129 @@
+#include "rel/plan_hash.h"
+
+#include <functional>
+#include <string_view>
+
+#include "common/hash.h"
+
+namespace maywsd::rel {
+
+namespace {
+
+size_t StringHash(std::string_view s) {
+  return std::hash<std::string_view>{}(s);
+}
+
+}  // namespace
+
+size_t PredicateHash(const Predicate& pred) {
+  using K = Predicate::Kind;
+  size_t seed = 0x9ae16a3b2f90404fULL;
+  HashCombine(seed, static_cast<size_t>(pred.kind()));
+  switch (pred.kind()) {
+    case K::kTrue:
+      break;
+    case K::kCmpConst:
+      HashCombine(seed, StringHash(pred.lhs_attr()));
+      HashCombine(seed, static_cast<size_t>(pred.op()));
+      HashCombine(seed, pred.constant().Hash());
+      break;
+    case K::kCmpAttr:
+      HashCombine(seed, StringHash(pred.lhs_attr()));
+      HashCombine(seed, static_cast<size_t>(pred.op()));
+      HashCombine(seed, StringHash(pred.rhs_attr()));
+      break;
+    case K::kAnd:
+    case K::kOr:
+      HashCombine(seed, PredicateHash(pred.left()));
+      HashCombine(seed, PredicateHash(pred.right()));
+      break;
+    case K::kNot:
+      HashCombine(seed, PredicateHash(pred.left()));
+      break;
+  }
+  return seed;
+}
+
+bool PredicateEqual(const Predicate& a, const Predicate& b) {
+  using K = Predicate::Kind;
+  if (a.SharesNodeWith(b)) return true;
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case K::kTrue:
+      return true;
+    case K::kCmpConst:
+      return a.op() == b.op() && a.lhs_attr() == b.lhs_attr() &&
+             a.constant() == b.constant();
+    case K::kCmpAttr:
+      return a.op() == b.op() && a.lhs_attr() == b.lhs_attr() &&
+             a.rhs_attr() == b.rhs_attr();
+    case K::kAnd:
+    case K::kOr:
+      return PredicateEqual(a.left(), b.left()) &&
+             PredicateEqual(a.right(), b.right());
+    case K::kNot:
+      return PredicateEqual(a.left(), b.left());
+  }
+  return false;
+}
+
+size_t PlanHash(const Plan& plan) {
+  using K = Plan::Kind;
+  size_t seed = 0xc3a5c85c97cb3127ULL;
+  HashCombine(seed, static_cast<size_t>(plan.kind()));
+  switch (plan.kind()) {
+    case K::kScan:
+      HashCombine(seed, StringHash(plan.relation()));
+      return seed;
+    case K::kSelect:
+    case K::kJoin:
+      HashCombine(seed, PredicateHash(plan.predicate()));
+      break;
+    case K::kProject:
+      for (const std::string& a : plan.attributes()) {
+        HashCombine(seed, StringHash(a));
+      }
+      break;
+    case K::kRename:
+      for (const auto& [from, to] : plan.renames()) {
+        HashCombine(seed, StringHash(from));
+        HashCombine(seed, StringHash(to));
+      }
+      break;
+    case K::kProduct:
+    case K::kUnion:
+    case K::kDifference:
+      break;
+  }
+  HashCombine(seed, PlanHash(plan.left()));
+  if (plan.has_right()) HashCombine(seed, PlanHash(plan.right()));
+  return seed;
+}
+
+bool PlanEqual(const Plan& a, const Plan& b) {
+  using K = Plan::Kind;
+  if (a.SharesNodeWith(b)) return true;
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case K::kScan:
+      return a.relation() == b.relation();
+    case K::kSelect:
+      return PredicateEqual(a.predicate(), b.predicate()) &&
+             PlanEqual(a.child(), b.child());
+    case K::kProject:
+      return a.attributes() == b.attributes() &&
+             PlanEqual(a.child(), b.child());
+    case K::kRename:
+      return a.renames() == b.renames() && PlanEqual(a.child(), b.child());
+    case K::kProduct:
+    case K::kUnion:
+    case K::kDifference:
+      return PlanEqual(a.left(), b.left()) && PlanEqual(a.right(), b.right());
+    case K::kJoin:
+      return PredicateEqual(a.predicate(), b.predicate()) &&
+             PlanEqual(a.left(), b.left()) && PlanEqual(a.right(), b.right());
+  }
+  return false;
+}
+
+}  // namespace maywsd::rel

@@ -1,0 +1,47 @@
+// Structural hashing and equality over Plan and Predicate trees.
+//
+// Two plans are equal when they are the same expression: same operator
+// kinds, same relation/attribute names, same comparison operators and
+// constants, same child structure. Plans that merely share subtree nodes
+// (the Plan value type aliases subtrees through shared_ptr) compare equal
+// through the identity fast path without re-walking the shared part.
+//
+// This is the key of the engine's common-subplan cache: a batched
+// Session::RunAll evaluates each distinct subtree once and reuses the
+// materialized scratch relation for every later occurrence.
+
+#ifndef MAYWSD_REL_PLAN_HASH_H_
+#define MAYWSD_REL_PLAN_HASH_H_
+
+#include <cstddef>
+
+#include "rel/algebra.h"
+#include "rel/predicate.h"
+
+namespace maywsd::rel {
+
+/// Structural hash of a predicate tree; consistent with PredicateEqual.
+size_t PredicateHash(const Predicate& pred);
+
+/// Structural equality of predicate trees (names, operators, constants).
+bool PredicateEqual(const Predicate& a, const Predicate& b);
+
+/// Structural hash of a plan tree; consistent with PlanEqual.
+size_t PlanHash(const Plan& plan);
+
+/// Structural equality of plan trees. Shared subtree nodes short-circuit.
+bool PlanEqual(const Plan& a, const Plan& b);
+
+/// Functors for hash containers keyed on plans.
+struct PlanHasher {
+  size_t operator()(const Plan& plan) const { return PlanHash(plan); }
+};
+struct PlanEq {
+  bool operator()(const Plan& a, const Plan& b) const {
+    return PlanEqual(a, b);
+  }
+};
+
+}  // namespace maywsd::rel
+
+#endif  // MAYWSD_REL_PLAN_HASH_H_

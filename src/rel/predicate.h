@@ -55,6 +55,10 @@ class Predicate {
   /// Splits a conjunction into its flat list of conjuncts.
   std::vector<Predicate> Conjuncts() const;
 
+  /// True when both values wrap the same underlying node; identity fast
+  /// path for PredicateEqual.
+  bool SharesNodeWith(const Predicate& o) const { return node_ == o.node_; }
+
   std::string ToString() const;
 
  private:

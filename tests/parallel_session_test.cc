@@ -1,0 +1,350 @@
+// Concurrency/determinism layer for the sharded Session::Run fan-out.
+//
+// The headline property: for random plans over random world-sets, Run with
+// threads=1 and threads=N produce identical world sets for the result
+// relation on all three backends (WSD, WSDT, uniform C/F/W), across 100+
+// seeded iterations. Plans cover both the sharded path (single-scan
+// select/project/rename chains, products/joins/differences against a
+// certain auxiliary) and the fallback path (unions, repeated scans,
+// component-composing WSD operators).
+//
+// Also here: a deterministic known-shardable case per backend (so the
+// fan-out path itself cannot silently stop being exercised), a
+// ThreadPool unit test, and a many-sessions concurrency smoke that the
+// TSan CI job leans on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "api/session.h"
+#include "core/engine/parallel.h"
+#include "core/uniform.h"
+#include "core/worldset.h"
+#include "tests/test_util.h"
+
+namespace maywsd::core {
+namespace {
+
+using rel::CmpOp;
+using rel::Plan;
+using rel::Predicate;
+using rel::Value;
+using testutil::I;
+using testutil::RelSpec;
+using testutil::SeededRng;
+
+constexpr uint64_t kWorldCap = 4000000;
+
+/// Enumerates the world set of relation OUT regardless of representation.
+Result<std::vector<PossibleWorld>> OutWorlds(const api::Session& session) {
+  switch (session.kind()) {
+    case api::BackendKind::kWsd:
+      return session.wsd()->EnumerateWorlds(kWorldCap, {"OUT"});
+    case api::BackendKind::kWsdt: {
+      MAYWSD_ASSIGN_OR_RETURN(Wsd wsd, session.wsdt()->ToWsd());
+      return wsd.EnumerateWorlds(kWorldCap, {"OUT"});
+    }
+    case api::BackendKind::kUniform: {
+      MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, ImportUniform(*session.uniform()));
+      MAYWSD_ASSIGN_OR_RETURN(Wsd wsd, wsdt.ToWsd());
+      return wsd.EnumerateWorlds(kWorldCap, {"OUT"});
+    }
+  }
+  return Status::Internal("unknown backend kind");
+}
+
+/// A fully certain relation with `rows` random tuples.
+rel::Relation RandomCertain(Rng& rng, const std::string& name,
+                            const std::vector<std::string>& attrs,
+                            size_t rows, int64_t domain) {
+  rel::Relation r(rel::Schema::FromNames(attrs), name);
+  std::vector<Value> row(attrs.size());
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      row[a] = Value::Int(
+          static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(domain))));
+    }
+    r.AppendRow(row);
+  }
+  r.SortDedup();
+  return r;
+}
+
+/// Random plan over uncertain R/R2 ({A,B}) and certain S ({C,D}) and
+/// S2 ({A,B}); biased toward shapes the fan-out can shard (single scan of
+/// R behind σ/π/δ, × and ⋈ against certain relations, − with a certain
+/// right side) while keeping fallback shapes (union, uncertain difference)
+/// in the mix.
+Plan RandomParallelPlan(Rng& rng) {
+  auto pred = [&rng](const char* a, const char* b) {
+    CmpOp ops[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kGe};
+    CmpOp op = ops[rng.Uniform(4)];
+    if (rng.Bernoulli(0.3)) return Predicate::CmpAttr(a, op, b);
+    return Predicate::Cmp(rng.Bernoulli(0.5) ? a : b, op,
+                          I(static_cast<int64_t>(rng.Uniform(3))));
+  };
+  Plan scan_r = Plan::Scan("R");
+  switch (rng.Uniform(8)) {
+    case 0:  // selection chain over R
+      return Plan::Select(pred("A", "B"),
+                          Plan::Select(pred("A", "B"), scan_r));
+    case 1:  // projection over a selection
+      return Plan::Project({rng.Bernoulli(0.5) ? "A" : "B"},
+                           Plan::Select(pred("A", "B"), scan_r));
+    case 2:  // rename over a selection
+      return Plan::Rename({{"A", "X"}}, Plan::Select(pred("A", "B"), scan_r));
+    case 3:  // product with a certain relation
+      return Plan::Product(Plan::Select(pred("A", "B"), scan_r),
+                           Plan::Scan("S"));
+    case 4:  // join with a certain relation
+      return Plan::Join(Predicate::CmpAttr("A", CmpOp::kEq, "C"), scan_r,
+                        Plan::Scan("S"));
+    case 5:  // difference with a certain right side
+      return Plan::Difference(Plan::Select(pred("A", "B"), scan_r),
+                              Plan::Scan("S2"));
+    case 6:  // union: never sharded
+      return Plan::Union(scan_r, Plan::Scan("R2"));
+    default:  // difference with an uncertain right side: never sharded
+      return Plan::Difference(Plan::Select(pred("A", "B"), scan_r),
+                              Plan::Scan("R2"));
+  }
+}
+
+/// Opens seq/par sessions over identical representations of `wsd` for one
+/// backend kind, registering the same certain relations in both.
+struct SessionPair {
+  api::Session seq;
+  api::Session par;
+};
+
+Result<SessionPair> MakePair(api::BackendKind kind, const Wsd& wsd,
+                             const std::vector<rel::Relation>& certain,
+                             int par_threads) {
+  auto open = [&]() -> Result<api::Session> {
+    switch (kind) {
+      case api::BackendKind::kWsd:
+        return api::Session::OverWsd(wsd);
+      case api::BackendKind::kWsdt: {
+        MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, Wsdt::FromWsd(wsd));
+        return api::Session::OverWsdt(std::move(wsdt));
+      }
+      case api::BackendKind::kUniform: {
+        MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, Wsdt::FromWsd(wsd));
+        return api::Session::OverUniform(wsdt);
+      }
+    }
+    return Status::Internal("unknown backend kind");
+  };
+  MAYWSD_ASSIGN_OR_RETURN(api::Session seq, open());
+  MAYWSD_ASSIGN_OR_RETURN(api::Session par, open());
+  par.set_options({.threads = par_threads, .cache = true});
+  for (const rel::Relation& r : certain) {
+    MAYWSD_RETURN_IF_ERROR(seq.Register(r));
+    MAYWSD_RETURN_IF_ERROR(par.Register(r));
+  }
+  return SessionPair{std::move(seq), std::move(par)};
+}
+
+class ParallelDeterminismProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDeterminismProperty, ThreadedRunMatchesSequentialRun) {
+  SeededRng rng(static_cast<uint64_t>(GetParam()) * 99991 + 17);
+  MAYWSD_SEED_TRACE(rng);
+  std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 4, 3},
+                                RelSpec{"R2", {"A", "B"}, 2, 3}};
+  for (int round = 0; round < 3; ++round) {
+    Wsd wsd = testutil::RandomWsd(rng, specs, 3);
+    std::vector<rel::Relation> certain;
+    certain.push_back(RandomCertain(rng, "S", {"C", "D"}, 2, 3));
+    certain.push_back(RandomCertain(rng, "S2", {"A", "B"}, 2, 3));
+    Plan plan = RandomParallelPlan(rng);
+    int threads = 2 + static_cast<int>(rng.Uniform(3));  // 2..4
+
+    for (api::BackendKind kind :
+         {api::BackendKind::kWsd, api::BackendKind::kWsdt,
+          api::BackendKind::kUniform}) {
+      auto pair_or = MakePair(kind, wsd, certain, threads);
+      ASSERT_TRUE(pair_or.ok()) << pair_or.status();
+      api::Session seq = std::move(pair_or->seq);
+      api::Session par = std::move(pair_or->par);
+
+      Status seq_st = seq.Run(plan, "OUT");
+      Status par_st = par.Run(plan, "OUT");
+      ASSERT_EQ(seq_st.ok(), par_st.ok())
+          << plan.ToString() << " on " << api::BackendKindName(kind) << ": "
+          << seq_st << " vs " << par_st;
+      if (!seq_st.ok()) continue;
+
+      auto seq_worlds = OutWorlds(seq);
+      auto par_worlds = OutWorlds(par);
+      ASSERT_TRUE(seq_worlds.ok()) << seq_worlds.status();
+      ASSERT_TRUE(par_worlds.ok()) << par_worlds.status();
+      EXPECT_TRUE(WorldSetsEquivalent(*seq_worlds, *par_worlds))
+          << "threads=1 vs threads=" << threads << " disagree on "
+          << plan.ToString() << " over " << api::BackendKindName(kind)
+          << (par.Stats().sharded_runs > 0 ? " (sharded)" : " (fallback)");
+
+      // The scratch lifecycle must stay leak-free on the parallel path.
+      for (const std::string& name : par.RelationNames()) {
+        EXPECT_NE(name.rfind("__eng_", 0), 0u)
+            << "leaked engine relation " << name;
+      }
+    }
+  }
+}
+
+// 35 seeds × 3 rounds = 105 plan/world-set iterations per backend.
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismProperty,
+                         ::testing::Range(0, 35));
+
+/// A world set that is shardable by construction: three template rows,
+/// two independent placeholder components, one certain row.
+Wsdt KnownShardableWsdt() {
+  rel::Relation tmpl(rel::Schema::FromNames({"A", "B"}), "R");
+  tmpl.AppendRow({I(1), Value::Question()});
+  tmpl.AppendRow({I(2), Value::Question()});
+  tmpl.AppendRow({I(3), I(4)});
+  Wsdt wsdt;
+  EXPECT_TRUE(wsdt.AddTemplateRelation(std::move(tmpl)).ok());
+  EXPECT_TRUE(
+      wsdt.AddFieldComponent(FieldKey("R", 0, "B"), {I(5), I(6)}, {0.5, 0.5})
+          .ok());
+  EXPECT_TRUE(
+      wsdt.AddFieldComponent(FieldKey("R", 1, "B"), {I(7), I(8)}, {0.25, 0.75})
+          .ok());
+  return wsdt;
+}
+
+TEST(ParallelSessionTest, ShardedPathActuallyRunsOnAllBackends) {
+  Plan plan = Plan::Select(Predicate::Cmp("A", CmpOp::kGe, I(0)),
+                           Plan::Scan("R"));
+  Wsdt wsdt = KnownShardableWsdt();
+  auto wsd = wsdt.ToWsd();
+  ASSERT_TRUE(wsd.ok());
+
+  for (api::BackendKind kind :
+       {api::BackendKind::kWsd, api::BackendKind::kWsdt,
+        api::BackendKind::kUniform}) {
+    auto open = [&]() -> Result<api::Session> {
+      switch (kind) {
+        case api::BackendKind::kWsd:
+          return api::Session::OverWsd(*wsd);
+        case api::BackendKind::kWsdt:
+          return api::Session::OverWsdt(wsdt);
+        case api::BackendKind::kUniform:
+          return api::Session::OverUniform(wsdt);
+      }
+      return Status::Internal("unknown kind");
+    };
+    auto seq_or = open();
+    auto par_or = open();
+    ASSERT_TRUE(seq_or.ok() && par_or.ok());
+    api::Session seq = std::move(seq_or).value();
+    api::Session par = std::move(par_or).value();
+    par.set_options({.threads = 4, .cache = true});
+
+    ASSERT_TRUE(seq.Run(plan, "OUT").ok());
+    ASSERT_TRUE(par.Run(plan, "OUT").ok());
+    // The fan-out must actually have happened — this is the guard that
+    // keeps the determinism property non-vacuous.
+    EXPECT_EQ(par.Stats().sharded_runs, 1u) << api::BackendKindName(kind);
+    EXPECT_GE(par.Stats().shards_executed, 2u) << api::BackendKindName(kind);
+    EXPECT_EQ(seq.Stats().sharded_runs, 0u);
+
+    auto seq_worlds = OutWorlds(seq);
+    auto par_worlds = OutWorlds(par);
+    ASSERT_TRUE(seq_worlds.ok() && par_worlds.ok());
+    EXPECT_TRUE(WorldSetsEquivalent(*seq_worlds, *par_worlds))
+        << api::BackendKindName(kind);
+  }
+}
+
+TEST(ParallelSessionTest, FallbackDeclaredForWsdProduct) {
+  // WSD declares Product non-shardable; the run must fall back (and still
+  // be correct — covered by the property above). WSDT shards the same
+  // plan.
+  Plan plan = Plan::Product(Plan::Scan("R"), Plan::Scan("S"));
+  Wsdt wsdt = KnownShardableWsdt();
+  rel::Relation s(rel::Schema::FromNames({"C"}), "S");
+  s.AppendRow({I(9)});
+
+  auto wsd = wsdt.ToWsd();
+  ASSERT_TRUE(wsd.ok());
+  api::Session wsd_session =
+      api::Session::OverWsd(*wsd, {.threads = 4, .cache = true});
+  ASSERT_TRUE(wsd_session.Register(s).ok());
+  ASSERT_TRUE(wsd_session.Run(plan, "OUT").ok());
+  EXPECT_EQ(wsd_session.Stats().sharded_runs, 0u);
+  EXPECT_EQ(wsd_session.Stats().fallback_runs, 1u);
+
+  api::Session wsdt_session =
+      api::Session::OverWsdt(wsdt, {.threads = 4, .cache = true});
+  ASSERT_TRUE(wsdt_session.Register(s).ok());
+  ASSERT_TRUE(wsdt_session.Run(plan, "OUT").ok());
+  EXPECT_EQ(wsdt_session.Stats().sharded_runs, 1u);
+}
+
+TEST(ParallelSessionTest, ThreadPoolRunsTasksAndKeepsOrder) {
+  engine::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.push_back([i, &ran]() -> Status {
+      ran.fetch_add(1);
+      if (i % 5 == 3) return Status::Internal("task " + std::to_string(i));
+      return Status::Ok();
+    });
+  }
+  std::vector<Status> results = pool.RunAll(std::move(tasks));
+  EXPECT_EQ(ran.load(), 32);
+  ASSERT_EQ(results.size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(results[i].ok(), i % 5 != 3) << i;
+    if (i % 5 == 3) {
+      EXPECT_NE(results[i].ToString().find(std::to_string(i)),
+                std::string::npos);
+    }
+  }
+  // Nested RunAll from a worker runs inline instead of deadlocking.
+  engine::ThreadPool single(1);
+  std::vector<Status> nested = single.RunAll({[&single]() -> Status {
+    std::vector<Status> inner = single.RunAll(
+        {[]() -> Status { return Status::Ok(); },
+         []() -> Status { return Status::Internal("inner"); }});
+    return inner[1];
+  }});
+  ASSERT_EQ(nested.size(), 1u);
+  EXPECT_FALSE(nested[0].ok());
+}
+
+TEST(ParallelSessionTest, ConcurrentSessionsSmoke) {
+  // Many sessions fanning out at once: stresses the shared pool, the
+  // interner and the scratch-name counter. TSan watches this one.
+  Wsdt base = KnownShardableWsdt();
+  Plan plan = Plan::Project(
+      {"B"}, Plan::Select(Predicate::Cmp("A", CmpOp::kGe, I(0)),
+                          Plan::Scan("R")));
+  constexpr int kSessions = 8;
+  std::vector<std::thread> threads;
+  std::vector<Status> statuses(kSessions, Status::Ok());
+  threads.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&base, &plan, &statuses, i] {
+      api::Session session =
+          api::Session::OverWsdt(base, {.threads = 2, .cache = true});
+      for (int r = 0; r < 3 && statuses[i].ok(); ++r) {
+        statuses[i] = session.Run(plan, "OUT" + std::to_string(r));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_TRUE(statuses[i].ok()) << i << ": " << statuses[i];
+  }
+}
+
+}  // namespace
+}  // namespace maywsd::core

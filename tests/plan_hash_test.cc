@@ -1,0 +1,120 @@
+// PlanHash/PlanEqual unit coverage: structurally identical plans collide
+// (including plans rebuilt node by node, i.e. alpha-equivalent spellings
+// of the same expression), while semantically different plans — swapped
+// selection constants, reordered children of non-commutative operators —
+// do not compare equal.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "rel/plan_hash.h"
+
+namespace maywsd::rel {
+namespace {
+
+Plan SelectChain() {
+  return Plan::Select(
+      Predicate::And(Predicate::Cmp("A", CmpOp::kEq, Value::Int(1)),
+                     Predicate::Cmp("B", CmpOp::kLt, Value::Int(3))),
+      Plan::Project({"A", "B"}, Plan::Scan("R")));
+}
+
+TEST(PlanHashTest, RebuiltPlansCollideAndCompareEqual) {
+  Plan a = SelectChain();
+  Plan b = SelectChain();  // separately built nodes, same expression
+  EXPECT_FALSE(a.SharesNodeWith(b));
+  EXPECT_TRUE(PlanEqual(a, b));
+  EXPECT_EQ(PlanHash(a), PlanHash(b));
+}
+
+TEST(PlanHashTest, SharedSubtreeFastPath) {
+  Plan base = SelectChain();
+  Plan c = Plan::Project({"A"}, base);
+  Plan d = Plan::Project({"A"}, base);
+  EXPECT_TRUE(c.child().SharesNodeWith(d.child()));
+  EXPECT_TRUE(PlanEqual(c, d));
+  EXPECT_EQ(PlanHash(c), PlanHash(d));
+}
+
+TEST(PlanHashTest, SwappedSelectionConstantsDiffer) {
+  Plan a = Plan::Select(Predicate::Cmp("A", CmpOp::kEq, Value::Int(1)),
+                        Plan::Scan("R"));
+  Plan b = Plan::Select(Predicate::Cmp("A", CmpOp::kEq, Value::Int(2)),
+                        Plan::Scan("R"));
+  EXPECT_FALSE(PlanEqual(a, b));
+  EXPECT_NE(PlanHash(a), PlanHash(b));
+}
+
+TEST(PlanHashTest, ComparisonOperatorMatters) {
+  Plan a = Plan::Select(Predicate::Cmp("A", CmpOp::kLt, Value::Int(1)),
+                        Plan::Scan("R"));
+  Plan b = Plan::Select(Predicate::Cmp("A", CmpOp::kGe, Value::Int(1)),
+                        Plan::Scan("R"));
+  EXPECT_FALSE(PlanEqual(a, b));
+  EXPECT_NE(PlanHash(a), PlanHash(b));
+}
+
+TEST(PlanHashTest, ReorderedDifferenceChildrenDiffer) {
+  // Difference is not commutative: R − S and S − R must not collide.
+  Plan a = Plan::Difference(Plan::Scan("R"), Plan::Scan("S"));
+  Plan b = Plan::Difference(Plan::Scan("S"), Plan::Scan("R"));
+  EXPECT_FALSE(PlanEqual(a, b));
+  EXPECT_NE(PlanHash(a), PlanHash(b));
+}
+
+TEST(PlanHashTest, ScanNamesDistinguish) {
+  EXPECT_FALSE(PlanEqual(Plan::Scan("R"), Plan::Scan("S")));
+  EXPECT_NE(PlanHash(Plan::Scan("R")), PlanHash(Plan::Scan("S")));
+  EXPECT_TRUE(PlanEqual(Plan::Scan("R"), Plan::Scan("R")));
+}
+
+TEST(PlanHashTest, ProjectionOrderMatters) {
+  // π keeps attribute order (the named perspective); {A,B} ≠ {B,A}.
+  Plan a = Plan::Project({"A", "B"}, Plan::Scan("R"));
+  Plan b = Plan::Project({"B", "A"}, Plan::Scan("R"));
+  EXPECT_FALSE(PlanEqual(a, b));
+  EXPECT_NE(PlanHash(a), PlanHash(b));
+}
+
+TEST(PlanHashTest, RenamePairsDistinguish) {
+  Plan a = Plan::Rename({{"A", "X"}}, Plan::Scan("R"));
+  Plan b = Plan::Rename({{"A", "Y"}}, Plan::Scan("R"));
+  Plan c = Plan::Rename({{"A", "X"}}, Plan::Scan("R"));
+  EXPECT_FALSE(PlanEqual(a, b));
+  EXPECT_TRUE(PlanEqual(a, c));
+  EXPECT_EQ(PlanHash(a), PlanHash(c));
+}
+
+TEST(PlanHashTest, PredicateStructureDistinguishes) {
+  Predicate p = Predicate::Cmp("A", CmpOp::kEq, Value::Int(1));
+  Predicate q = Predicate::Cmp("B", CmpOp::kEq, Value::Int(1));
+  EXPECT_FALSE(PredicateEqual(Predicate::And(p, q), Predicate::And(q, p)));
+  EXPECT_FALSE(PredicateEqual(Predicate::And(p, q), Predicate::Or(p, q)));
+  EXPECT_TRUE(PredicateEqual(Predicate::Not(p), Predicate::Not(p)));
+  EXPECT_NE(PredicateHash(Predicate::And(p, q)),
+            PredicateHash(Predicate::Or(p, q)));
+}
+
+TEST(PlanHashTest, DifferentKindsSameChildrenDiffer) {
+  Plan a = Plan::Union(Plan::Scan("R"), Plan::Scan("S"));
+  Plan b = Plan::Product(Plan::Scan("R"), Plan::Scan("S"));
+  EXPECT_FALSE(PlanEqual(a, b));
+  EXPECT_NE(PlanHash(a), PlanHash(b));
+}
+
+TEST(PlanHashTest, UsableAsHashMapKey) {
+  std::unordered_map<Plan, int, PlanHasher, PlanEq> memo;
+  memo.emplace(SelectChain(), 1);
+  memo.emplace(Plan::Scan("R"), 2);
+  EXPECT_EQ(memo.size(), 2u);
+  auto it = memo.find(SelectChain());
+  ASSERT_NE(it, memo.end());
+  EXPECT_EQ(it->second, 1);
+  // Re-inserting an equal plan does not grow the map.
+  memo.emplace(SelectChain(), 3);
+  EXPECT_EQ(memo.size(), 2u);
+}
+
+}  // namespace
+}  // namespace maywsd::rel

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/session.h"
 #include "rel/eval.h"
 #include "rel/optimizer.h"
 #include "core/engine/plan_driver.h"
@@ -26,6 +27,7 @@ using rel::Plan;
 using rel::Predicate;
 using testutil::I;
 using testutil::RelSpec;
+using testutil::SeededRng;
 
 /// Draws a random comparison predicate over attributes of `attrs`.
 Predicate RandomPredicate(Rng& rng, const std::vector<std::string>& attrs,
@@ -102,7 +104,8 @@ Plan RandomPlan(Rng& rng, int depth, std::vector<std::string>* out_attrs) {
 class RandomPlanProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomPlanProperty, AllThreePathsAgree) {
-  Rng rng(GetParam() * 7919 + 13);
+  SeededRng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  MAYWSD_SEED_TRACE(rng);
   std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 2, 3},
                                 RelSpec{"S", {"C", "D"}, 2, 3},
                                 RelSpec{"R2", {"A", "B"}, 2, 3}};
@@ -154,7 +157,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlanProperty, ::testing::Range(0, 20));
 class CrossBackendProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(CrossBackendProperty, UnifiedDriverAgreesOnAllThreeBackends) {
-  Rng rng(GetParam() * 104729 + 71);
+  SeededRng rng(static_cast<uint64_t>(GetParam()) * 104729 + 71);
+  MAYWSD_SEED_TRACE(rng);
   std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 2, 3},
                                 RelSpec{"S", {"C", "D"}, 2, 3},
                                 RelSpec{"R2", {"A", "B"}, 2, 3}};
@@ -233,7 +237,8 @@ class OptimizerProperty : public ::testing::TestWithParam<int> {};
 TEST_P(OptimizerProperty, OptimizedPlansAgreeOnPlainEvaluation) {
   // The engine optimizer must preserve set-semantics results on random
   // plans and random instances.
-  Rng rng(GetParam() * 31 + 5);
+  SeededRng rng(static_cast<uint64_t>(GetParam()) * 31 + 5);
+  MAYWSD_SEED_TRACE(rng);
   std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 3, 3},
                                 RelSpec{"S", {"C", "D"}, 3, 3},
                                 RelSpec{"R2", {"A", "B"}, 3, 3}};
@@ -256,6 +261,106 @@ TEST_P(OptimizerProperty, OptimizedPlansAgreeOnPlainEvaluation) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerProperty, ::testing::Range(0, 15));
+
+// RunAll column of the oracle: a batched workload with shared subtrees
+// evaluated through Session::RunAll (one scratch lifecycle, common-subplan
+// cache) must produce, per output, exactly the world set of plan-by-plan
+// Run on a fresh session — and the shared subtrees must actually hit the
+// cache (Session::Stats()).
+class RunAllBatchProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RunAllBatchProperty, BatchedWithCacheMatchesPlanByPlan) {
+  SeededRng rng(static_cast<uint64_t>(GetParam()) * 52361 + 29);
+  MAYWSD_SEED_TRACE(rng);
+  std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 2, 3},
+                                RelSpec{"S", {"C", "D"}, 2, 3},
+                                RelSpec{"R2", {"A", "B"}, 2, 3}};
+  for (int round = 0; round < 2; ++round) {
+    Wsd wsd = testutil::RandomWsd(rng, specs, 3);
+    std::vector<std::string> attrs;
+    Plan base = RandomPlan(rng, 2, &attrs);
+    // A workload sharing `base` as a subtree: the batch must evaluate it
+    // once and reuse the materialization for the later plans.
+    std::vector<Plan> workload;
+    workload.push_back(base);
+    workload.push_back(Plan::Select(RandomPredicate(rng, attrs, 1), base));
+    workload.push_back(Plan::Project({attrs[rng.Uniform(attrs.size())]},
+                                     base));
+    std::vector<std::string> outs = {"OUT0", "OUT1", "OUT2"};
+
+    for (api::BackendKind kind :
+         {api::BackendKind::kWsd, api::BackendKind::kWsdt,
+          api::BackendKind::kUniform}) {
+      auto open = [&]() -> Result<api::Session> {
+        switch (kind) {
+          case api::BackendKind::kWsd:
+            return api::Session::OverWsd(wsd);
+          case api::BackendKind::kWsdt: {
+            MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, Wsdt::FromWsd(wsd));
+            return api::Session::OverWsdt(std::move(wsdt));
+          }
+          case api::BackendKind::kUniform: {
+            MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, Wsdt::FromWsd(wsd));
+            return api::Session::OverUniform(wsdt);
+          }
+        }
+        return Status::Internal("unknown kind");
+      };
+      auto batch_or = open();
+      auto single_or = open();
+      ASSERT_TRUE(batch_or.ok() && single_or.ok());
+      api::Session batch = std::move(batch_or).value();
+      api::Session single = std::move(single_or).value();
+
+      Status st = batch.RunAll(workload, outs);
+      ASSERT_TRUE(st.ok()) << base.ToString() << " on "
+                           << api::BackendKindName(kind) << ": " << st;
+      EXPECT_GT(batch.Stats().cache_hits, 0u)
+          << "shared subtree missed the cache on "
+          << api::BackendKindName(kind);
+
+      for (size_t i = 0; i < workload.size(); ++i) {
+        ASSERT_TRUE(single.Run(workload[i], outs[i]).ok())
+            << workload[i].ToString();
+      }
+
+      auto enumerate = [&](const api::Session& session,
+                           const std::string& out)
+          -> Result<std::vector<PossibleWorld>> {
+        switch (session.kind()) {
+          case api::BackendKind::kWsd:
+            return session.wsd()->EnumerateWorlds(4000000, {out});
+          case api::BackendKind::kWsdt: {
+            MAYWSD_ASSIGN_OR_RETURN(Wsd w, session.wsdt()->ToWsd());
+            return w.EnumerateWorlds(4000000, {out});
+          }
+          case api::BackendKind::kUniform: {
+            MAYWSD_ASSIGN_OR_RETURN(Wsdt w, ImportUniform(*session.uniform()));
+            MAYWSD_ASSIGN_OR_RETURN(Wsd w2, w.ToWsd());
+            return w2.EnumerateWorlds(4000000, {out});
+          }
+        }
+        return Status::Internal("unknown kind");
+      };
+      for (const std::string& out : outs) {
+        auto batched = enumerate(batch, out);
+        auto plain = enumerate(single, out);
+        ASSERT_TRUE(batched.ok()) << batched.status();
+        ASSERT_TRUE(plain.ok()) << plain.status();
+        EXPECT_TRUE(WorldSetsEquivalent(*batched, *plain))
+            << "RunAll vs Run disagree on " << out << " for "
+            << base.ToString() << " over " << api::BackendKindName(kind);
+      }
+      // No scratch relation may survive the batch lifecycle.
+      for (const std::string& name : batch.RelationNames()) {
+        EXPECT_NE(name.rfind("__eng_tmp", 0), 0u)
+            << "leaked scratch relation " << name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunAllBatchProperty, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace maywsd::core

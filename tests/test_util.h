@@ -20,6 +20,26 @@ inline rel::Value S(const char* s) { return rel::Value::String(s); }
 inline rel::Value Bot() { return rel::Value::Bottom(); }
 inline rel::Value Q() { return rel::Value::Question(); }
 
+/// An Rng that remembers the seed it was built from, so oracle failures
+/// are replayable: construct one per test body from an explicit seed and
+/// announce it with MAYWSD_SEED_TRACE — every assertion failure in scope
+/// then names the seed to rerun.
+class SeededRng : public Rng {
+ public:
+  explicit SeededRng(uint64_t seed) : Rng(seed), seed_(seed) {}
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
+
+/// Prefixes every assertion failure in the current scope with the
+/// generator seed (gtest SCOPED_TRACE).
+#define MAYWSD_SEED_TRACE(seeded_rng)                                     \
+  SCOPED_TRACE(::testing::Message()                                       \
+               << "replay with world-set generator seed "                 \
+               << (seeded_rng).seed())
+
 /// Spec of one relation for the random world-set generator.
 struct RelSpec {
   std::string name;
