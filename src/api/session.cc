@@ -1,12 +1,18 @@
 #include "api/session.h"
 
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <variant>
 
 #include "core/engine/parallel.h"
 #include "core/engine/plan_driver.h"
 #include "core/engine/uniform_backend.h"
+#include "core/engine/update_plan.h"
 #include "core/engine/wsd_backend.h"
 #include "core/engine/wsdt_backend.h"
 #include "core/uniform.h"
@@ -25,6 +31,27 @@ std::string_view BackendKindName(BackendKind kind) {
   return "?";
 }
 
+/// Lexicographic order over tuples via Value::Compare (a kind-ranked total
+/// order), so the per-tuple cache keys distinguish any two distinct tuples
+/// — including doubles that only differ past printing precision.
+struct TupleLess {
+  bool operator()(const std::vector<rel::Value>& a,
+                  const std::vector<rel::Value>& b) const {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return rel::TupleRef(a.data(), a.size())
+               .Compare(rel::TupleRef(b.data(), b.size())) < 0;
+  }
+};
+
+/// Memoized answers of one relation at one version.
+struct AnswerEntry {
+  std::optional<rel::Relation> possible;
+  std::optional<rel::Relation> possible_conf;
+  std::optional<rel::Relation> certain;
+  std::map<std::vector<rel::Value>, double, TupleLess> confidence;
+  std::map<std::vector<rel::Value>, bool, TupleLess> tuple_certain;
+};
+
 /// The owned representation plus its engine adapter. The variant lives in
 /// a heap-allocated Rep so the adapter's pointer into it stays stable
 /// across Session moves.
@@ -33,7 +60,33 @@ struct Session::Rep {
   std::variant<core::Wsd, core::Wsdt, rel::Database> data;
   std::unique_ptr<core::engine::WorldSetOps> backend;
   SessionOptions options;
-  SessionStats stats;
+  // The answer cache is filled from the const answer getters — which stay
+  // safe to call concurrently (the pre-cache facade allowed concurrent
+  // read-only use); cache_mu guards the memo and its counters. Mutating
+  // methods still require external synchronization, as before.
+  mutable std::mutex cache_mu;
+  mutable SessionStats stats;
+  std::unordered_map<std::string, uint64_t> versions;
+  mutable std::unordered_map<std::string, AnswerEntry> answers;
+
+  /// Bumps a relation's version and forgets its memoized answers — called
+  /// on every state change touching `name`.
+  void Invalidate(const std::string& name) {
+    std::lock_guard<std::mutex> lock(cache_mu);
+    ++versions[name];
+    answers.erase(name);
+  }
+
+  /// Forgets every memoized answer and bumps every known relation's
+  /// version: called when a caller takes mutable access to the backend or
+  /// the owned representation, which can change any relation behind the
+  /// cache's back.
+  void InvalidateAll() {
+    std::vector<std::string> names = backend->RelationNames();
+    std::lock_guard<std::mutex> lock(cache_mu);
+    for (const std::string& name : names) ++versions[name];
+    answers.clear();
+  }
 };
 
 namespace {
@@ -115,10 +168,12 @@ Result<rel::Schema> Session::RelationSchema(const std::string& name) const {
 }
 
 Status Session::Register(const rel::Relation& relation) {
+  rep_->Invalidate(relation.name());
   return rep_->backend->AddCertainRelation(relation);
 }
 
 Status Session::Drop(const std::string& name) {
+  rep_->Invalidate(name);
   return rep_->backend->Drop(name);
 }
 
@@ -127,10 +182,14 @@ void Session::set_options(const SessionOptions& options) {
   rep_->options = options;
 }
 
-const SessionStats& Session::Stats() const { return rep_->stats; }
+SessionStats Session::Stats() const {
+  std::lock_guard<std::mutex> lock(rep_->cache_mu);
+  return rep_->stats;
+}
 
 Status Session::Run(const rel::Plan& plan, const std::string& out) {
   rep_->stats.runs++;
+  rep_->Invalidate(out);
   core::engine::ParallelStats ps;
   Status st = core::engine::EvaluateParallel(
       *rep_->backend, plan, out, ResolveThreads(rep_->options.threads), &ps);
@@ -153,6 +212,7 @@ Status Session::RunOptimized(const rel::Plan& plan, const std::string& out) {
 Status Session::RunAll(std::span<const rel::Plan> plans,
                        std::span<const std::string> outs) {
   rep_->stats.batches++;
+  for (const std::string& out : outs) rep_->Invalidate(out);
   core::engine::BatchStats bs;
   Status st = core::engine::EvaluateBatch(*rep_->backend, plans, outs,
                                           rep_->options.cache, &bs);
@@ -161,45 +221,164 @@ Status Session::RunAll(std::span<const rel::Plan> plans,
   return st;
 }
 
+Status Session::Apply(const rel::UpdateOp& op) {
+  rep_->stats.applies++;
+  // Invalidate up front: a failed conditional update may still have
+  // composed components, and a stale answer is worse than a recompute.
+  rep_->Invalidate(op.relation());
+  return core::engine::ApplyUpdate(*rep_->backend, op);
+}
+
+Status Session::ApplyAll(std::span<const rel::UpdateOp> ops) {
+  for (const rel::UpdateOp& op : ops) {
+    MAYWSD_RETURN_IF_ERROR(Apply(op));
+  }
+  return Status::Ok();
+}
+
+uint64_t Session::RelationVersion(const std::string& name) const {
+  auto it = rep_->versions.find(name);
+  return it == rep_->versions.end() ? 0 : it->second;
+}
+
+namespace {
+
+// One memoization protocol for every cached answer getter: probe under
+// cache_mu WITHOUT creating an entry, run the backend computation with the
+// lock RELEASED (concurrent read-only use stays parallel; two racing
+// misses both compute, first store wins), then re-take the lock to count
+// the miss and publish. A failed computation touches neither the counters
+// nor the map, so bad relation names cannot pollute either. Entry
+// references are never held across the unlock — the map may rehash.
+
+/// Relation-level answers (possible / possible-with-conf / certain).
+template <typename Fn>
+Result<rel::Relation> MemoizedRelationAnswer(
+    std::mutex& mu, SessionStats& stats,
+    std::unordered_map<std::string, AnswerEntry>& answers,
+    const std::string& relation,
+    std::optional<rel::Relation> AnswerEntry::* slot, Fn&& compute) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = answers.find(relation);
+    if (it != answers.end() && it->second.*slot) {
+      stats.answer_cache_hits++;
+      return *(it->second.*slot);
+    }
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation out, compute());
+  std::lock_guard<std::mutex> lock(mu);
+  stats.answer_cache_misses++;
+  AnswerEntry& entry = answers[relation];
+  if (!(entry.*slot)) entry.*slot = std::move(out);
+  return *(entry.*slot);
+}
+
+/// Per-tuple answers (confidence / certainty).
+template <typename V, typename Fn>
+Result<V> MemoizedTupleAnswer(
+    std::mutex& mu, SessionStats& stats,
+    std::unordered_map<std::string, AnswerEntry>& answers,
+    const std::string& relation,
+    std::map<std::vector<rel::Value>, V, TupleLess> AnswerEntry::* slot,
+    std::span<const rel::Value> tuple, Fn&& compute) {
+  std::vector<rel::Value> key(tuple.begin(), tuple.end());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = answers.find(relation);
+    if (it != answers.end()) {
+      auto hit = (it->second.*slot).find(key);
+      if (hit != (it->second.*slot).end()) {
+        stats.answer_cache_hits++;
+        return hit->second;
+      }
+    }
+  }
+  MAYWSD_ASSIGN_OR_RETURN(V out, compute());
+  std::lock_guard<std::mutex> lock(mu);
+  stats.answer_cache_misses++;
+  (answers[relation].*slot).emplace(std::move(key), out);
+  return out;
+}
+
+}  // namespace
+
 Result<rel::Relation> Session::PossibleTuples(
     const std::string& relation) const {
-  return rep_->backend->PossibleTuples(relation);
+  if (!rep_->options.cache) return rep_->backend->PossibleTuples(relation);
+  return MemoizedRelationAnswer(
+      rep_->cache_mu, rep_->stats, rep_->answers, relation,
+      &AnswerEntry::possible,
+      [&] { return rep_->backend->PossibleTuples(relation); });
 }
 
 Result<rel::Relation> Session::PossibleTuplesWithConfidence(
     const std::string& relation) const {
-  return rep_->backend->PossibleTuplesWithConfidence(relation);
+  if (!rep_->options.cache) {
+    return rep_->backend->PossibleTuplesWithConfidence(relation);
+  }
+  return MemoizedRelationAnswer(
+      rep_->cache_mu, rep_->stats, rep_->answers, relation,
+      &AnswerEntry::possible_conf,
+      [&] { return rep_->backend->PossibleTuplesWithConfidence(relation); });
 }
 
 Result<rel::Relation> Session::CertainTuples(
     const std::string& relation) const {
-  return rep_->backend->CertainTuples(relation);
+  if (!rep_->options.cache) return rep_->backend->CertainTuples(relation);
+  return MemoizedRelationAnswer(
+      rep_->cache_mu, rep_->stats, rep_->answers, relation,
+      &AnswerEntry::certain,
+      [&] { return rep_->backend->CertainTuples(relation); });
 }
 
 Result<double> Session::TupleConfidence(
     const std::string& relation, std::span<const rel::Value> tuple) const {
-  return rep_->backend->TupleConfidence(relation, tuple);
+  if (!rep_->options.cache) {
+    return rep_->backend->TupleConfidence(relation, tuple);
+  }
+  return MemoizedTupleAnswer<double>(
+      rep_->cache_mu, rep_->stats, rep_->answers, relation,
+      &AnswerEntry::confidence, tuple,
+      [&] { return rep_->backend->TupleConfidence(relation, tuple); });
 }
 
 Result<bool> Session::TupleCertain(const std::string& relation,
                                    std::span<const rel::Value> tuple) const {
-  return rep_->backend->TupleCertain(relation, tuple);
+  if (!rep_->options.cache) {
+    return rep_->backend->TupleCertain(relation, tuple);
+  }
+  return MemoizedTupleAnswer<bool>(
+      rep_->cache_mu, rep_->stats, rep_->answers, relation,
+      &AnswerEntry::tuple_certain, tuple,
+      [&] { return rep_->backend->TupleCertain(relation, tuple); });
 }
 
-core::engine::WorldSetOps& Session::ops() { return *rep_->backend; }
+core::engine::WorldSetOps& Session::ops() {
+  // Mutable access can change any relation behind the answer cache's back.
+  rep_->InvalidateAll();
+  return *rep_->backend;
+}
 const core::engine::WorldSetOps& Session::ops() const {
   return *rep_->backend;
 }
 
-core::Wsd* Session::wsd() { return std::get_if<core::Wsd>(&rep_->data); }
+core::Wsd* Session::wsd() {
+  rep_->InvalidateAll();
+  return std::get_if<core::Wsd>(&rep_->data);
+}
 const core::Wsd* Session::wsd() const {
   return std::get_if<core::Wsd>(&rep_->data);
 }
-core::Wsdt* Session::wsdt() { return std::get_if<core::Wsdt>(&rep_->data); }
+core::Wsdt* Session::wsdt() {
+  rep_->InvalidateAll();
+  return std::get_if<core::Wsdt>(&rep_->data);
+}
 const core::Wsdt* Session::wsdt() const {
   return std::get_if<core::Wsdt>(&rep_->data);
 }
 rel::Database* Session::uniform() {
+  rep_->InvalidateAll();
   return std::get_if<rel::Database>(&rep_->data);
 }
 const rel::Database* Session::uniform() const {

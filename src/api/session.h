@@ -33,6 +33,7 @@
 #include "rel/algebra.h"
 #include "rel/database.h"
 #include "rel/relation.h"
+#include "rel/update.h"
 
 namespace maywsd::api {
 
@@ -49,7 +50,9 @@ struct SessionOptions {
   /// at most N workers, 0 uses the hardware concurrency. Plans or backends
   /// that cannot shard fall back to sequential execution automatically.
   int threads = 1;
-  /// Common-subplan caching across a RunAll workload.
+  /// Caching: common subplans across a RunAll workload, and the memoized
+  /// answer surface (PossibleTuples/CertainTuples/TupleConfidence per
+  /// relation version, invalidated by Apply).
   bool cache = true;
 };
 
@@ -62,6 +65,9 @@ struct SessionStats {
   uint64_t batches = 0;        ///< RunAll calls
   uint64_t cache_hits = 0;     ///< RunAll subplan-cache hits
   uint64_t cache_misses = 0;   ///< RunAll subplan-cache misses
+  uint64_t applies = 0;          ///< Apply/ApplyAll update operations
+  uint64_t answer_cache_hits = 0;    ///< memoized answer-surface hits
+  uint64_t answer_cache_misses = 0;  ///< memoized answer-surface misses
 };
 
 /// A query session over one world-set representation.
@@ -103,7 +109,9 @@ class Session {
   void set_options(const SessionOptions& options);
 
   /// Cumulative execution counters (runs, shard fan-outs, cache hits).
-  const SessionStats& Stats() const;
+  /// Returns a snapshot by value — safe against concurrent const getters
+  /// updating the answer-cache counters.
+  SessionStats Stats() const;
 
   // -- Catalog --------------------------------------------------------------
 
@@ -141,7 +149,28 @@ class Session {
   Status RunAll(std::span<const rel::Plan> plans,
                 std::span<const std::string> outs);
 
+  // -- Updates --------------------------------------------------------------
+
+  /// Applies one update — insert, delete or conditional modify, optionally
+  /// world-conditional — through the engine's update driver. Mutates the
+  /// owned representation in place, bumps the target relation's version
+  /// and invalidates its memoized answers (and, on the next RunAll, any
+  /// subplan cache is rebuilt — it never outlives one batch).
+  Status Apply(const rel::UpdateOp& op);
+
+  /// Applies a workload of updates in order; stops at the first error
+  /// (already-applied updates remain — updates are not transactional).
+  Status ApplyAll(std::span<const rel::UpdateOp> ops);
+
+  /// Monotonic per-relation version: bumped by Register, Apply, Drop and
+  /// by Run/RunAll materializing the relation. Keys the answer cache.
+  uint64_t RelationVersion(const std::string& name) const;
+
   // -- Answers (Section 6) --------------------------------------------------
+  //
+  // With options().cache, answers are memoized per (relation, version) and
+  // served from the cache until an Apply/Run invalidates the relation;
+  // Stats() exposes the hit/miss counters.
 
   /// possible(R): tuples appearing in at least one world.
   Result<rel::Relation> PossibleTuples(const std::string& relation) const;
@@ -162,6 +191,10 @@ class Session {
                             std::span<const rel::Value> tuple) const;
 
   // -- Representation access ------------------------------------------------
+  //
+  // Taking MUTABLE access through any accessor below drops the whole
+  // memoized answer surface (the cache cannot see what you change); the
+  // const overloads leave it intact.
 
   /// The engine backend (for code driving WorldSetOps directly).
   core::engine::WorldSetOps& ops();

@@ -4,6 +4,7 @@
 #include "core/uniform.h"
 #include "core/wsdt_algebra.h"
 #include "core/wsdt_confidence.h"
+#include "core/wsdt_update.h"
 
 namespace maywsd::core::engine {
 
@@ -122,6 +123,30 @@ Status UniformBackend::Difference(const std::string& left,
                                   const std::string& out) {
   return Fallback(
       [&](Wsdt& wsdt) { return WsdtDifference(wsdt, left, right, out); });
+}
+
+Status UniformBackend::ApplyUpdate(const rel::UpdateOp& op,
+                                   const std::string& guard) {
+  if (guard.empty()) {
+    // The purely relational fragment runs directly on the store.
+    Status st;
+    switch (op.kind()) {
+      case rel::UpdateOp::Kind::kInsert:
+        return UniformInsert(*db_, op.relation(), op.tuples());
+      case rel::UpdateOp::Kind::kDelete:
+        st = UniformDeleteWhere(*db_, op.relation(), op.predicate());
+        break;
+      case rel::UpdateOp::Kind::kModify:
+        st = UniformModifyWhere(*db_, op.relation(), op.predicate(),
+                                op.assignments());
+        break;
+    }
+    if (st.code() != StatusCode::kUnsupported) return st;
+  }
+  // World-conditional updates and '?'-cell mutations compose components:
+  // one import → WSDT update → export round trip, like the query fallback.
+  return Fallback(
+      [&](Wsdt& wsdt) { return WsdtApplyUpdate(wsdt, op, guard); });
 }
 
 Status UniformBackend::Drop(const std::string& name) {

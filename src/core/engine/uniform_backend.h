@@ -74,6 +74,15 @@ class UniformBackend : public WorldSetOps {
   Result<bool> TupleCertain(const std::string& relation,
                             std::span<const rel::Value> tuple) const override;
 
+  /// Updates run inside the C/F/W store where they are pure row
+  /// rewritings (unconditional inserts; deletes and modifies whose
+  /// predicate decides on certain template cells), and fall back to one
+  /// import → WSDT update → export round trip for everything touching
+  /// components — world-conditional updates and '?'-cell modifies —
+  /// mirroring the query fallback.
+  Status ApplyUpdate(const rel::UpdateOp& op,
+                     const std::string& guard) override;
+
   /// Shards run under the template semantics (the store is imported as a
   /// WSDT and re-exported on Finish), where every operator kind slices.
   bool ShardableOperator(rel::Plan::Kind kind) const override {

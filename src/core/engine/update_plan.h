@@ -1,0 +1,43 @@
+// The shared update driver of the world-set engine.
+//
+// Exactly one lowering of rel::UpdateOp onto the backend update surface
+// lives here: the op is validated against the backend's catalog, and a
+// world condition — a rel::Plan whose non-empty answer selects the worlds
+// the mutation applies in — is evaluated through the same plan driver the
+// queries use, into a scratch relation that snapshots the pre-update
+// answer. (A bare-scan condition is explicitly copied, so updating the
+// scanned relation cannot feed back into its own guard.) The backend then
+// executes the mutation representation-natively against that guard
+// relation; the scratch lifecycle drops the guard on every path.
+
+#ifndef MAYWSD_CORE_ENGINE_UPDATE_PLAN_H_
+#define MAYWSD_CORE_ENGINE_UPDATE_PLAN_H_
+
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "rel/update.h"
+#include "core/engine/world_set_ops.h"
+
+namespace maywsd::core::engine {
+
+/// Validates `op` against the backend catalog: the target relation exists;
+/// inserted tuples are fully certain and match the schema's attributes;
+/// predicate and assignment attributes resolve; assignment values are
+/// proper constants; no attribute is assigned twice.
+Status ValidateUpdate(WorldSetOps& ops, const rel::UpdateOp& op);
+
+/// Applies one update through the backend: validates, lowers the world
+/// condition (if any) into a materialized guard relation, and calls
+/// WorldSetOps::ApplyUpdate. Scratch relations are dropped on every path.
+Status ApplyUpdate(WorldSetOps& ops, const rel::UpdateOp& op);
+
+/// Applies a workload of updates in order, stopping at the first error
+/// (already-applied updates remain applied — updates are in-place and not
+/// transactional).
+Status ApplyUpdates(WorldSetOps& ops, std::span<const rel::UpdateOp> ops_list);
+
+}  // namespace maywsd::core::engine
+
+#endif  // MAYWSD_CORE_ENGINE_UPDATE_PLAN_H_

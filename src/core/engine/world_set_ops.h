@@ -36,6 +36,7 @@
 #include "rel/predicate.h"
 #include "rel/relation.h"
 #include "rel/schema.h"
+#include "rel/update.h"
 
 namespace maywsd::core::engine {
 
@@ -205,6 +206,24 @@ class WorldSetOps {
   virtual Result<bool> TupleCertain(
       const std::string& relation,
       std::span<const rel::Value> tuple) const = 0;
+
+  // -- Update surface (engine/update_plan.h) ---------------------------------
+  //
+  // Mutations applied per world, in place: inserts, deletes and conditional
+  // modifies, optionally restricted to the worlds where a guard relation is
+  // non-empty. The driver validates `op` against the catalog and — for
+  // world-conditional updates — materializes the condition plan into a
+  // snapshot relation first; backends never see the condition plan itself.
+
+  /// Applies `op`'s mutation to `op.relation()`, restricted to the worlds
+  /// where relation `guard` is non-empty (empty string = all worlds). The
+  /// backend may ignore op.world_condition() — the driver already lowered
+  /// it into `guard`.
+  virtual Status ApplyUpdate(const rel::UpdateOp& /*op*/,
+                             const std::string& /*guard*/) {
+    return Status::Unsupported(std::string(BackendName()) +
+                               " backend has no update support");
+  }
 
   // -- Optional capabilities (Section 5 optimizations) ----------------------
 

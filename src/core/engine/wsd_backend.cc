@@ -3,6 +3,7 @@
 #include "core/confidence.h"
 #include "core/engine/shard_plan.h"
 #include "core/wsd_algebra.h"
+#include "core/wsd_update.h"
 
 namespace maywsd::core::engine {
 
@@ -78,6 +79,11 @@ Status WsdBackend::Difference(const std::string& left,
                               const std::string& right,
                               const std::string& out) {
   return WsdDifference(*wsd_, left, right, out);
+}
+
+Status WsdBackend::ApplyUpdate(const rel::UpdateOp& op,
+                               const std::string& guard) {
+  return WsdApplyUpdate(*wsd_, op, guard);
 }
 
 Status WsdBackend::Drop(const std::string& name) {

@@ -72,6 +72,10 @@ class WsdBackend : public WorldSetOps {
   Result<bool> TupleCertain(const std::string& relation,
                             std::span<const rel::Value> tuple) const override;
 
+  /// Updates run representation-natively (core/wsd_update.h).
+  Status ApplyUpdate(const rel::UpdateOp& op,
+                     const std::string& guard) override;
+
   /// Product and Difference compose components across their inputs
   /// (Section 4) — the capability the issue of sharded execution hinges
   /// on — so plans containing them (or Join, their fused form) fall back

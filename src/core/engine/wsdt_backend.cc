@@ -3,6 +3,7 @@
 #include "core/engine/shard_plan.h"
 #include "core/wsdt_algebra.h"
 #include "core/wsdt_confidence.h"
+#include "core/wsdt_update.h"
 
 namespace maywsd::core::engine {
 
@@ -68,6 +69,11 @@ Status WsdtBackend::Difference(const std::string& left,
                                const std::string& right,
                                const std::string& out) {
   return WsdtDifference(*wsdt_, left, right, out);
+}
+
+Status WsdtBackend::ApplyUpdate(const rel::UpdateOp& op,
+                                const std::string& guard) {
+  return WsdtApplyUpdate(*wsdt_, op, guard);
 }
 
 Status WsdtBackend::Drop(const std::string& name) {

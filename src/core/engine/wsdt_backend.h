@@ -75,6 +75,10 @@ class WsdtBackend : public WorldSetOps {
   Result<bool> TupleCertain(const std::string& relation,
                             std::span<const rel::Value> tuple) const override;
 
+  /// Updates run representation-natively (core/wsdt_update.h).
+  Status ApplyUpdate(const rel::UpdateOp& op,
+                     const std::string& guard) override;
+
   bool SupportsPredicateSelect() const override { return true; }
   Status SelectPredicate(const std::string& src, const std::string& out,
                          const rel::Predicate& pred) override;

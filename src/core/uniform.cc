@@ -7,6 +7,7 @@
 
 #include "rel/eval.h"
 #include "rel/index.h"
+#include "core/wsdt_algebra.h"
 
 namespace maywsd::core {
 
@@ -622,6 +623,144 @@ Status UniformDrop(rel::Database& db, const std::string& name) {
       next.AppendRow(sys->row(r).span());
     }
     *sys = std::move(next);
+  }
+  return Status::Ok();
+}
+
+Status UniformInsert(rel::Database& db, const std::string& rel,
+                     const rel::Relation& tuples) {
+  if (rel == kUniformC || rel == kUniformF || rel == kUniformW) {
+    return Status::InvalidArgument("cannot insert into system relation " +
+                                   rel);
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation * tmpl, db.GetMutableRelation(rel));
+  auto tid_idx = tmpl->schema().IndexOf(kTidColumn);
+  if (!tid_idx || *tid_idx != 0) {
+    return Status::InvalidArgument("template " + rel +
+                                   " lacks a leading TID column");
+  }
+  if (tuples.arity() + 1 != tmpl->arity()) {
+    return Status::InvalidArgument("insert arity mismatch on " + rel);
+  }
+  int64_t next_tid = 0;
+  for (size_t r = 0; r < tmpl->NumRows(); ++r) {
+    next_tid = std::max(next_tid, tmpl->row(r)[0].AsInt() + 1);
+  }
+  std::vector<rel::Value> row(tmpl->arity());
+  for (size_t r = 0; r < tuples.NumRows(); ++r) {
+    row[0] = rel::Value::Int(next_tid++);
+    for (size_t a = 0; a < tuples.arity(); ++a) row[a + 1] = tuples.row(r)[a];
+    tmpl->AppendRow(row);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Tri-evaluates `pred` on every template row (TID column stripped);
+/// kUnsupported when any row's decision needs component values.
+Result<std::vector<Tri>> DecideRows(const rel::Relation& tmpl,
+                                    const rel::Predicate& pred) {
+  rel::Schema logical(std::vector<rel::Attribute>(
+      tmpl.schema().attrs().begin() + 1, tmpl.schema().attrs().end()));
+  std::vector<Tri> out;
+  out.reserve(tmpl.NumRows());
+  for (size_t r = 0; r < tmpl.NumRows(); ++r) {
+    rel::TupleRef logical_row(tmpl.row(r).data() + 1, logical.arity());
+    MAYWSD_ASSIGN_OR_RETURN(Tri tri,
+                            TriEvalPredicate(pred, logical, logical_row));
+    if (tri == Tri::kUnknown) {
+      return Status::Unsupported(
+          "predicate on " + tmpl.name() +
+          " touches placeholder cells; needs the template semantics");
+    }
+    out.push_back(tri);
+  }
+  return out;
+}
+
+/// Removes the F and C rows of the given (relation, TID) fields.
+Status DropFieldRows(rel::Database& db, const std::string& rel,
+                     const std::set<int64_t>& tids) {
+  rel::Value sym = rel::Value::String(rel);
+  for (const char* name : {kUniformF, kUniformC}) {
+    MAYWSD_ASSIGN_OR_RETURN(rel::Relation * sys, db.GetMutableRelation(name));
+    rel::Relation next(sys->schema(), sys->name());
+    for (size_t r = 0; r < sys->NumRows(); ++r) {
+      if (sys->row(r)[0] == sym && tids.count(sys->row(r)[1].AsInt())) {
+        continue;
+      }
+      next.AppendRow(sys->row(r).span());
+    }
+    *sys = std::move(next);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status UniformDeleteWhere(rel::Database& db, const std::string& rel,
+                          const rel::Predicate& pred) {
+  if (rel == kUniformC || rel == kUniformF || rel == kUniformW) {
+    return Status::InvalidArgument("cannot delete from system relation " +
+                                   rel);
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation * tmpl, db.GetMutableRelation(rel));
+  MAYWSD_ASSIGN_OR_RETURN(std::vector<Tri> decided, DecideRows(*tmpl, pred));
+  std::set<int64_t> removed_tids;
+  bool removed_placeholder = false;
+  rel::Relation kept(tmpl->schema(), tmpl->name());
+  for (size_t r = 0; r < tmpl->NumRows(); ++r) {
+    if (decided[r] == Tri::kTrue) {
+      removed_tids.insert(tmpl->row(r)[0].AsInt());
+      for (size_t a = 1; a < tmpl->arity(); ++a) {
+        if (tmpl->row(r)[a].is_question()) removed_placeholder = true;
+      }
+    } else {
+      kept.AppendRow(tmpl->row(r).span());
+    }
+  }
+  if (removed_tids.empty()) return Status::Ok();
+  *tmpl = std::move(kept);
+  // F/C rows exist only for placeholder fields: a delete of fully certain
+  // rows (the common native case) skips the system-relation rebuild and
+  // the W garbage-collection scan entirely.
+  if (!removed_placeholder) return Status::Ok();
+  MAYWSD_RETURN_IF_ERROR(DropFieldRows(db, rel, removed_tids));
+  return UniformCompact(db);
+}
+
+Status UniformModifyWhere(rel::Database& db, const std::string& rel,
+                          const rel::Predicate& pred,
+                          std::span<const rel::Assignment> assignments) {
+  if (rel == kUniformC || rel == kUniformF || rel == kUniformW) {
+    return Status::InvalidArgument("cannot modify system relation " + rel);
+  }
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation * tmpl, db.GetMutableRelation(rel));
+  MAYWSD_ASSIGN_OR_RETURN(std::vector<Tri> decided, DecideRows(*tmpl, pred));
+  std::vector<std::pair<size_t, rel::Value>> cols;  // template column → value
+  for (const rel::Assignment& a : assignments) {
+    auto idx = tmpl->schema().IndexOf(a.attr);
+    if (!idx || *idx == 0) {
+      return Status::NotFound("assignment attribute " + a.attr + " not in " +
+                              rel);
+    }
+    cols.emplace_back(*idx, a.value);
+  }
+  // Pass 1: an assignment to a '?' cell needs component surgery.
+  for (size_t r = 0; r < tmpl->NumRows(); ++r) {
+    if (decided[r] != Tri::kTrue) continue;
+    for (const auto& [col, v] : cols) {
+      if (tmpl->row(r)[col].is_question()) {
+        return Status::Unsupported(
+            "assignment to a placeholder cell of " + rel +
+            "; needs the template semantics");
+      }
+    }
+  }
+  for (size_t r = 0; r < tmpl->NumRows(); ++r) {
+    if (decided[r] != Tri::kTrue) continue;
+    for (const auto& [col, v] : cols) tmpl->SetCell(r, col, v);
   }
   return Status::Ok();
 }

@@ -23,11 +23,14 @@
 #ifndef MAYWSD_CORE_UNIFORM_H_
 #define MAYWSD_CORE_UNIFORM_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "rel/database.h"
+#include "rel/predicate.h"
+#include "rel/update.h"
 #include "core/wsdt.h"
 
 namespace maywsd::core {
@@ -93,6 +96,34 @@ Status UniformProject(rel::Database& db, const std::string& in_rel,
 /// component no longer has any field are garbage-collected by
 /// UniformCompact, not here.
 Status UniformDrop(rel::Database& db, const std::string& name);
+
+// -- Native update fragment (see core/wsdt_update.h for the semantics) ------
+//
+// The purely relational slice of the update subsystem: operations that are
+// row rewritings of the template (plus F/C bookkeeping) run directly on the
+// store, exactly like the Figure 16 query rewritings. Anything needing
+// component composition — a world condition, a predicate touching '?'
+// cells, an assignment to a '?' cell — returns kUnsupported and the caller
+// falls back to the template semantics (import → WSDT update → export).
+
+/// Appends `tuples` (a fully certain instance) to template `rel` under
+/// fresh TIDs — insert-in-every-world as a pure row rewriting.
+Status UniformInsert(rel::Database& db, const std::string& rel,
+                     const rel::Relation& tuples);
+
+/// delete from `rel` where `pred` when every row's predicate decides on
+/// certain template cells alone: decided-true rows are removed with their
+/// F/C entries (explicit TIDs keep the others stable). kUnsupported when
+/// any row's predicate is unknown.
+Status UniformDeleteWhere(rel::Database& db, const std::string& rel,
+                          const rel::Predicate& pred);
+
+/// update `rel` set `assignments` where `pred` when every row decides
+/// certainly and no affected row has a '?' in an assigned cell; otherwise
+/// kUnsupported.
+Status UniformModifyWhere(rel::Database& db, const std::string& rel,
+                          const rel::Predicate& pred,
+                          std::span<const rel::Assignment> assignments);
 
 /// Garbage-collects W rows whose CID no longer appears in F (components
 /// fully dropped with their last relation).

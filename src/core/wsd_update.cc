@@ -1,0 +1,302 @@
+#include "core/wsd_update.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include "core/wsdt_algebra.h"
+
+namespace maywsd::core {
+
+namespace {
+
+/// Schema plus presence fields of slot (rel, tid); empty for removed slots.
+std::vector<FieldKey> AllSlotFields(const Wsd& wsd, const WsdRelation& rel,
+                                    TupleId tid) {
+  std::vector<FieldKey> fields = wsd.FieldsOfTuple(rel, tid);
+  if (fields.empty()) return fields;
+  for (const FieldKey& pf : wsd.PresenceFieldsOfTuple(rel, tid)) {
+    fields.push_back(pf);
+  }
+  return fields;
+}
+
+}  // namespace
+
+Result<WsdUpdateGuard> WsdUpdateGuard::Analyze(Wsd& wsd,
+                                               const std::string& guard_rel) {
+  MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* g, wsd.FindRelation(guard_rel));
+  std::vector<std::vector<FieldKey>> slots;
+  std::set<int32_t> comps;
+  bool any_alive = false;
+  for (TupleId t = 0; t < g->max_tuples; ++t) {
+    std::vector<FieldKey> fields = AllSlotFields(wsd, *g, t);
+    if (fields.empty()) continue;  // slot removed by normalization
+    any_alive = true;
+    std::vector<FieldKey> presence_fields;
+    for (const FieldKey& f : fields) {
+      MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsd.Locate(f));
+      if (wsd.component(loc.comp).ColumnHasBottom(
+              static_cast<size_t>(loc.col))) {
+        presence_fields.push_back(f);
+        comps.insert(loc.comp);
+      }
+    }
+    // A slot with no ⊥-carrying field exists in every world.
+    if (presence_fields.empty()) return WsdUpdateGuard(Mode::kAlways);
+    slots.push_back(std::move(presence_fields));
+  }
+  if (!any_alive) return WsdUpdateGuard(Mode::kNever);
+
+  WsdUpdateGuard guard(Mode::kConditional);
+  auto it = comps.begin();
+  guard.comp_ = static_cast<size_t>(*it);
+  for (++it; it != comps.end(); ++it) {
+    MAYWSD_RETURN_IF_ERROR(
+        wsd.ComposeInPlace(guard.comp_, static_cast<size_t>(*it)));
+  }
+  guard.slot_presence_fields_ = std::move(slots);
+  return guard;
+}
+
+Result<std::vector<bool>> WsdUpdateGuard::Selected(const Wsd& wsd) const {
+  const Component& comp = wsd.component(comp_);
+  std::vector<bool> selected(comp.NumWorlds(), false);
+  for (const std::vector<FieldKey>& fields : slot_presence_fields_) {
+    std::vector<size_t> cols;
+    for (const FieldKey& f : fields) {
+      MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsd.Locate(f));
+      if (static_cast<size_t>(loc.comp) != comp_) {
+        return Status::Internal("guard field " + f.ToString() +
+                                " escaped the guard component");
+      }
+      cols.push_back(static_cast<size_t>(loc.col));
+    }
+    for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+      if (selected[w]) continue;
+      bool present = true;
+      for (size_t c : cols) {
+        if (comp.at(w, c).is_bottom()) {
+          present = false;
+          break;
+        }
+      }
+      if (present) selected[w] = true;
+    }
+  }
+  return selected;
+}
+
+Status WsdInsertTuples(Wsd& wsd, const std::string& rel,
+                       const rel::Relation& tuples,
+                       const WsdUpdateGuard& guard) {
+  if (guard.mode() == WsdUpdateGuard::Mode::kNever) return Status::Ok();
+  MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* r, wsd.FindRelation(rel));
+  if (tuples.arity() != r->schema.arity()) {
+    return Status::InvalidArgument("insert arity mismatch on " + rel);
+  }
+  rel::Schema schema = r->schema;
+  Symbol rel_sym = r->name_sym;
+  TupleId base = r->max_tuples;
+  MAYWSD_RETURN_IF_ERROR(
+      wsd.GrowRelation(rel, static_cast<TupleId>(tuples.NumRows())));
+
+  const bool conditional =
+      guard.mode() == WsdUpdateGuard::Mode::kConditional;
+  for (size_t i = 0; i < tuples.NumRows(); ++i) {
+    TupleId tid = base + static_cast<TupleId>(i);
+    rel::TupleRef row = tuples.row(i);
+    for (size_t a = 0; a < schema.arity(); ++a) {
+      FieldKey f(rel_sym, tid, schema.attr(a).name);
+      MAYWSD_RETURN_IF_ERROR(wsd.AddCertainField(f, row[a]));
+    }
+    if (!conditional) continue;
+    // Correlate the tuple's presence with the guard: compose the first
+    // attribute's fresh singleton into the guard component and ⊥ it in
+    // the unselected worlds.
+    FieldKey f0(rel_sym, tid, schema.attr(0).name);
+    MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsd.Locate(f0));
+    MAYWSD_RETURN_IF_ERROR(
+        wsd.ComposeInPlace(guard.comp(), static_cast<size_t>(loc.comp)));
+    MAYWSD_ASSIGN_OR_RETURN(loc, wsd.Locate(f0));
+    MAYWSD_ASSIGN_OR_RETURN(std::vector<bool> selected, guard.Selected(wsd));
+    Component& comp = wsd.mutable_component(guard.comp());
+    size_t col = static_cast<size_t>(loc.col);
+    for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+      if (!selected[w]) comp.at(w, col) = rel::Value::Bottom();
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Shared core of delete and modify: per alive slot of `rel`, composes the
+/// components carrying `attrs` (plus the guard component), then calls
+/// `apply(comp, attr_cols, selected)` to rewrite local worlds in place.
+/// `attr_cols` maps every attribute of `attrs` to its column in `comp`;
+/// `selected` is empty for unconditional updates (all worlds selected).
+Status ForEachSlotComposed(
+    Wsd& wsd, const std::string& rel, const std::vector<std::string>& attrs,
+    const WsdUpdateGuard& guard,
+    const std::function<Status(
+        Component& comp,
+        const std::vector<std::pair<std::string, size_t>>& attr_cols,
+        const std::vector<bool>& selected)>& apply) {
+  MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* r, wsd.FindRelation(rel));
+  for (const std::string& a : attrs) {
+    if (!r->schema.Contains(a)) {
+      return Status::NotFound("attribute " + a + " not in " + rel);
+    }
+  }
+  const bool conditional =
+      guard.mode() == WsdUpdateGuard::Mode::kConditional;
+  Symbol rel_sym = r->name_sym;
+  TupleId max_tuples = r->max_tuples;
+  rel::Schema schema = r->schema;
+  // The guard's selection bitmap only changes when a composition grows the
+  // guard component's local-world set; recompute it lazily instead of per
+  // slot.
+  std::vector<bool> selected;
+  bool selected_valid = false;
+  for (TupleId t = 0; t < max_tuples; ++t) {
+    FieldKey probe(rel_sym, t, schema.attr(0).name);
+    if (!wsd.HasField(probe)) continue;  // removed slot
+    std::set<int32_t> comps;
+    for (const std::string& a : attrs) {
+      MAYWSD_ASSIGN_OR_RETURN(
+          FieldLoc loc, wsd.Locate(FieldKey(rel_sym, t, InternString(a))));
+      comps.insert(loc.comp);
+    }
+    size_t target = conditional ? guard.comp()
+                                : static_cast<size_t>(*comps.begin());
+    for (int32_t c : comps) {
+      if (static_cast<size_t>(c) == target) continue;
+      MAYWSD_RETURN_IF_ERROR(
+          wsd.ComposeInPlace(target, static_cast<size_t>(c)));
+      if (target == guard.comp()) selected_valid = false;
+    }
+    std::vector<std::pair<std::string, size_t>> attr_cols;
+    for (const std::string& a : attrs) {
+      MAYWSD_ASSIGN_OR_RETURN(
+          FieldLoc loc, wsd.Locate(FieldKey(rel_sym, t, InternString(a))));
+      attr_cols.emplace_back(a, static_cast<size_t>(loc.col));
+    }
+    if (conditional && !selected_valid) {
+      MAYWSD_ASSIGN_OR_RETURN(selected, guard.Selected(wsd));
+      selected_valid = true;
+    }
+    MAYWSD_RETURN_IF_ERROR(
+        apply(wsd.mutable_component(target), attr_cols, selected));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WsdDeleteWhere(Wsd& wsd, const std::string& rel,
+                      const rel::Predicate& pred,
+                      const WsdUpdateGuard& guard) {
+  if (guard.mode() == WsdUpdateGuard::Mode::kNever) return Status::Ok();
+  MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* r, wsd.FindRelation(rel));
+  std::vector<std::string> attrs = pred.ReferencedAttributes();
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  if (attrs.empty()) {
+    // σ_true-style delete: any column works as the deletion mark.
+    attrs.push_back(std::string(r->schema.attr(0).name_view()));
+  }
+  return ForEachSlotComposed(
+      wsd, rel, attrs, guard,
+      [&](Component& comp,
+          const std::vector<std::pair<std::string, size_t>>& attr_cols,
+          const std::vector<bool>& selected) -> Status {
+        for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+          if (!selected.empty() && !selected[w]) continue;
+          bool absent = false;
+          for (const auto& [a, col] : attr_cols) {
+            if (comp.at(w, col).is_bottom()) absent = true;
+          }
+          if (absent) continue;
+          auto get = [&](const std::string& name) -> rel::Value {
+            for (const auto& [a, col] : attr_cols) {
+              if (a == name) return comp.at(w, col);
+            }
+            return rel::Value::Bottom();
+          };
+          if (EvalPredicateResolved(pred, get)) {
+            for (const auto& [a, col] : attr_cols) {
+              comp.at(w, col) = rel::Value::Bottom();
+            }
+          }
+        }
+        comp.PropagateBottom();
+        return Status::Ok();
+      });
+}
+
+Status WsdModifyWhere(Wsd& wsd, const std::string& rel,
+                      const rel::Predicate& pred,
+                      std::span<const rel::Assignment> assignments,
+                      const WsdUpdateGuard& guard) {
+  if (guard.mode() == WsdUpdateGuard::Mode::kNever) return Status::Ok();
+  if (assignments.empty()) return Status::Ok();
+  std::vector<std::string> attrs = pred.ReferencedAttributes();
+  for (const rel::Assignment& a : assignments) attrs.push_back(a.attr);
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return ForEachSlotComposed(
+      wsd, rel, attrs, guard,
+      [&](Component& comp,
+          const std::vector<std::pair<std::string, size_t>>& attr_cols,
+          const std::vector<bool>& selected) -> Status {
+        std::vector<std::pair<size_t, rel::Value>> assigned_cols;
+        for (const rel::Assignment& as : assignments) {
+          for (const auto& [a, col] : attr_cols) {
+            if (a == as.attr) {
+              assigned_cols.emplace_back(col, as.value);
+              break;
+            }
+          }
+        }
+        for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+          if (!selected.empty() && !selected[w]) continue;
+          bool absent = false;
+          for (const auto& [a, col] : attr_cols) {
+            if (comp.at(w, col).is_bottom()) absent = true;
+          }
+          if (absent) continue;
+          auto get = [&](const std::string& name) -> rel::Value {
+            for (const auto& [a, col] : attr_cols) {
+              if (a == name) return comp.at(w, col);
+            }
+            return rel::Value::Bottom();
+          };
+          if (EvalPredicateResolved(pred, get)) {
+            for (const auto& [col, v] : assigned_cols) comp.at(w, col) = v;
+          }
+        }
+        return Status::Ok();
+      });
+}
+
+Status WsdApplyUpdate(Wsd& wsd, const rel::UpdateOp& op,
+                      const std::string& guard_rel) {
+  WsdUpdateGuard guard = WsdUpdateGuard::Always();
+  if (!guard_rel.empty()) {
+    MAYWSD_ASSIGN_OR_RETURN(guard, WsdUpdateGuard::Analyze(wsd, guard_rel));
+  }
+  switch (op.kind()) {
+    case rel::UpdateOp::Kind::kInsert:
+      return WsdInsertTuples(wsd, op.relation(), op.tuples(), guard);
+    case rel::UpdateOp::Kind::kDelete:
+      return WsdDeleteWhere(wsd, op.relation(), op.predicate(), guard);
+    case rel::UpdateOp::Kind::kModify:
+      return WsdModifyWhere(wsd, op.relation(), op.predicate(),
+                            op.assignments(), guard);
+  }
+  return Status::Internal("unknown update kind");
+}
+
+}  // namespace maywsd::core

@@ -1,0 +1,79 @@
+// Representation-native updates on WSDs (Section 4 decompositions).
+//
+// Same semantics as core/wsdt_update.h, expressed over components only (a
+// WSD has no certain template): inserts grow the relation's slot range and
+// register fresh fields, deletes ⊥-mark local worlds, modifies overwrite
+// component values per world. Predicates are evaluated per local world
+// after composing the components carrying the referenced fields of a tuple
+// slot — components are split (composed) only where the predicate or the
+// world condition forces it.
+
+#ifndef MAYWSD_CORE_WSD_UPDATE_H_
+#define MAYWSD_CORE_WSD_UPDATE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/predicate.h"
+#include "rel/relation.h"
+#include "rel/update.h"
+#include "core/wsd.h"
+
+namespace maywsd::core {
+
+/// How a world condition restricts an update on a WSD (see
+/// WsdtUpdateGuard for the mode semantics).
+class WsdUpdateGuard {
+ public:
+  enum class Mode { kAlways, kNever, kConditional };
+
+  static WsdUpdateGuard Always() { return WsdUpdateGuard(Mode::kAlways); }
+
+  /// Analyzes relation `guard_rel`, composing its presence-carrying
+  /// components (those with a ⊥ in a column of the relation, schema or
+  /// presence fields alike) into one.
+  static Result<WsdUpdateGuard> Analyze(Wsd& wsd,
+                                        const std::string& guard_rel);
+
+  Mode mode() const { return mode_; }
+  size_t comp() const { return comp_; }
+
+  /// Per-local-world selection bitmap of comp(); recompute after further
+  /// compositions into comp().
+  Result<std::vector<bool>> Selected(const Wsd& wsd) const;
+
+ private:
+  explicit WsdUpdateGuard(Mode mode) : mode_(mode) {}
+
+  Mode mode_;
+  size_t comp_ = 0;
+  std::vector<std::vector<FieldKey>> slot_presence_fields_;
+};
+
+/// insert `tuples` into `rel` in the worlds selected by `guard`.
+Status WsdInsertTuples(Wsd& wsd, const std::string& rel,
+                       const rel::Relation& tuples,
+                       const WsdUpdateGuard& guard);
+
+/// delete from `rel` where `pred`, in the worlds selected by `guard`.
+Status WsdDeleteWhere(Wsd& wsd, const std::string& rel,
+                      const rel::Predicate& pred,
+                      const WsdUpdateGuard& guard);
+
+/// update `rel` set `assignments` where `pred`, in the worlds selected by
+/// `guard`.
+Status WsdModifyWhere(Wsd& wsd, const std::string& rel,
+                      const rel::Predicate& pred,
+                      std::span<const rel::Assignment> assignments,
+                      const WsdUpdateGuard& guard);
+
+/// Dispatches `op` to the operators above; `guard_rel` names the
+/// materialized world-condition answer (empty = unconditional).
+Status WsdApplyUpdate(Wsd& wsd, const rel::UpdateOp& op,
+                      const std::string& guard_rel);
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_WSD_UPDATE_H_

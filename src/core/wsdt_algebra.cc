@@ -50,28 +50,6 @@ Result<TupleId> CopyRowInto(Wsdt& wsdt, const rel::Relation& src_tmpl,
   return n;
 }
 
-/// Evaluates `pred` with a resolver that maps attribute names to concrete
-/// values (two-valued; used per local world on the unknown path).
-bool EvalResolved(const rel::Predicate& pred,
-                  const std::function<rel::Value(const std::string&)>& get) {
-  using K = rel::Predicate::Kind;
-  switch (pred.kind()) {
-    case K::kTrue:
-      return true;
-    case K::kCmpConst:
-      return get(pred.lhs_attr()).Satisfies(pred.op(), pred.constant());
-    case K::kCmpAttr:
-      return get(pred.lhs_attr()).Satisfies(pred.op(), get(pred.rhs_attr()));
-    case K::kAnd:
-      return EvalResolved(pred.left(), get) && EvalResolved(pred.right(), get);
-    case K::kOr:
-      return EvalResolved(pred.left(), get) || EvalResolved(pred.right(), get);
-    case K::kNot:
-      return !EvalResolved(pred.left(), get);
-  }
-  return false;
-}
-
 /// Serialized key of a fully-certain row (for duplicate merging).
 std::string CertainRowKey(rel::TupleRef row) {
   std::string key;
@@ -90,6 +68,29 @@ bool RowFullyCertain(rel::TupleRef row) {
 }
 
 }  // namespace
+
+bool EvalPredicateResolved(
+    const rel::Predicate& pred,
+    const std::function<rel::Value(const std::string&)>& get) {
+  using K = rel::Predicate::Kind;
+  switch (pred.kind()) {
+    case K::kTrue:
+      return true;
+    case K::kCmpConst:
+      return get(pred.lhs_attr()).Satisfies(pred.op(), pred.constant());
+    case K::kCmpAttr:
+      return get(pred.lhs_attr()).Satisfies(pred.op(), get(pred.rhs_attr()));
+    case K::kAnd:
+      return EvalPredicateResolved(pred.left(), get) &&
+             EvalPredicateResolved(pred.right(), get);
+    case K::kOr:
+      return EvalPredicateResolved(pred.left(), get) ||
+             EvalPredicateResolved(pred.right(), get);
+    case K::kNot:
+      return !EvalPredicateResolved(pred.left(), get);
+  }
+  return false;
+}
 
 Result<Tri> TriEvalPredicate(const rel::Predicate& pred,
                              const rel::Schema& schema, rel::TupleRef row) {
@@ -253,7 +254,7 @@ Status WsdtSelect(Wsdt& wsdt, const std::string& src, const std::string& out,
         auto idx = schema.IndexOf(name);
         return idx ? row[*idx] : rel::Value::Bottom();
       };
-      if (!EvalResolved(pred, get)) {
+      if (!EvalPredicateResolved(pred, get)) {
         for (const auto& [a, col] : attr_cols) {
           comp.at(w, col) = rel::Value::Bottom();
         }

@@ -1,5 +1,6 @@
 #include "core/wsdt_chase.h"
 
+#include <algorithm>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -386,9 +387,35 @@ Status WsdtChaseFd(Wsdt& wsdt, const Fd& fd) {
     return RemoveWorlds(wsdt, target, remove, fd.ToString());
   };
 
-  for (const auto& [key, rows] : buckets) {
+  // A pair whose RHS values are both certain and equal can never violate
+  // the FD (process_pair exits on it without touching components). Sort
+  // each bucket by certain RHS value — uncertain rows last — so those
+  // pairs form contiguous runs that are skipped wholesale instead of being
+  // re-discovered one pair at a time in the O(bucket²) scan.
+  auto rhs_of = [&](size_t r) -> const rel::Value& {
+    return tmpl.row(r)[rhs_col];
+  };
+  for (auto& [key, rows] : buckets) {
+    std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+      const rel::Value& va = rhs_of(a);
+      const rel::Value& vb = rhs_of(b);
+      bool qa = va.is_question();
+      bool qb = vb.is_question();
+      if (qa != qb) return qb;  // certain RHS first
+      if (qa) return a < b;     // uncertain block: stable on row index
+      int cmp = va.Compare(vb);
+      return cmp != 0 ? cmp < 0 : a < b;
+    });
     for (size_t i = 0; i < rows.size(); ++i) {
-      for (size_t j = i + 1; j < rows.size(); ++j) {
+      // Skip the rest of the certainly-equal-RHS run in one step.
+      size_t next = i + 1;
+      if (!rhs_of(rows[i]).is_question()) {
+        while (next < rows.size() && !rhs_of(rows[next]).is_question() &&
+               rhs_of(rows[next]) == rhs_of(rows[i])) {
+          ++next;
+        }
+      }
+      for (size_t j = next; j < rows.size(); ++j) {
         MAYWSD_RETURN_IF_ERROR(process_pair(rows[i], rows[j]));
       }
       for (size_t c : catch_all) {

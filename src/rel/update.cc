@@ -1,0 +1,203 @@
+#include "rel/update.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "rel/eval.h"
+#include "rel/plan_hash.h"
+
+namespace maywsd::rel {
+
+UpdateOp UpdateOp::InsertTuples(std::string relation, Relation tuples) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kInsert;
+  node->relation = std::move(relation);
+  node->tuples = std::move(tuples);
+  return UpdateOp(std::move(node));
+}
+
+UpdateOp UpdateOp::DeleteWhere(std::string relation, Predicate pred) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kDelete;
+  node->relation = std::move(relation);
+  node->pred = std::move(pred);
+  return UpdateOp(std::move(node));
+}
+
+UpdateOp UpdateOp::ModifyWhere(std::string relation, Predicate pred,
+                               std::vector<Assignment> assignments) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kModify;
+  node->relation = std::move(relation);
+  node->pred = std::move(pred);
+  node->assignments = std::move(assignments);
+  return UpdateOp(std::move(node));
+}
+
+UpdateOp UpdateOp::When(Plan condition) const {
+  auto node = std::make_shared<Node>(*node_);
+  node->condition = std::make_shared<const Plan>(std::move(condition));
+  return UpdateOp(std::move(node));
+}
+
+std::string UpdateOp::ToString() const {
+  std::string out;
+  switch (kind()) {
+    case Kind::kInsert:
+      out = "insert into " + relation() + " (" +
+            std::to_string(tuples().NumRows()) + " tuples)";
+      break;
+    case Kind::kDelete:
+      out = "delete from " + relation() + " where " + predicate().ToString();
+      break;
+    case Kind::kModify: {
+      out = "update " + relation() + " set ";
+      for (size_t i = 0; i < assignments().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += assignments()[i].attr + " := " +
+               assignments()[i].value.ToString();
+      }
+      out += " where " + predicate().ToString();
+      break;
+    }
+  }
+  if (has_world_condition()) {
+    out += " when nonempty(" + world_condition().ToString() + ")";
+  }
+  return out;
+}
+
+size_t UpdateOpHash(const UpdateOp& op) {
+  size_t seed = 0x9e3779b97f4a7c15ULL;
+  HashCombine(seed, static_cast<size_t>(op.kind()));
+  HashCombine(seed, std::hash<std::string>{}(op.relation()));
+  switch (op.kind()) {
+    case UpdateOp::Kind::kInsert: {
+      const Relation& t = op.tuples();
+      for (const Attribute& a : t.schema().attrs()) {
+        HashCombine(seed, a.name);
+      }
+      HashCombine(seed, t.NumRows());
+      for (size_t r = 0; r < t.NumRows(); ++r) {
+        HashCombine(seed, t.row(r).Hash());
+      }
+      break;
+    }
+    case UpdateOp::Kind::kDelete:
+      HashCombine(seed, PredicateHash(op.predicate()));
+      break;
+    case UpdateOp::Kind::kModify:
+      HashCombine(seed, PredicateHash(op.predicate()));
+      for (const Assignment& a : op.assignments()) {
+        HashCombine(seed, std::hash<std::string>{}(a.attr));
+        HashCombine(seed, a.value.Hash());
+      }
+      break;
+  }
+  if (op.has_world_condition()) {
+    HashCombine(seed, PlanHash(op.world_condition()));
+  }
+  return seed;
+}
+
+bool UpdateOpEqual(const UpdateOp& a, const UpdateOp& b) {
+  if (a.SharesNodeWith(b)) return true;
+  if (a.kind() != b.kind() || a.relation() != b.relation()) return false;
+  if (a.has_world_condition() != b.has_world_condition()) return false;
+  if (a.has_world_condition() &&
+      !PlanEqual(a.world_condition(), b.world_condition())) {
+    return false;
+  }
+  switch (a.kind()) {
+    case UpdateOp::Kind::kInsert: {
+      const Relation& ta = a.tuples();
+      const Relation& tb = b.tuples();
+      if (ta.NumRows() != tb.NumRows() || ta.arity() != tb.arity()) {
+        return false;
+      }
+      // Attribute names matter: ValidateUpdate matches them positionally
+      // against the target schema.
+      for (size_t i = 0; i < ta.arity(); ++i) {
+        if (ta.schema().attr(i).name != tb.schema().attr(i).name) {
+          return false;
+        }
+      }
+      for (size_t r = 0; r < ta.NumRows(); ++r) {
+        if (!(ta.row(r) == tb.row(r))) return false;
+      }
+      return true;
+    }
+    case UpdateOp::Kind::kDelete:
+      return PredicateEqual(a.predicate(), b.predicate());
+    case UpdateOp::Kind::kModify: {
+      if (!PredicateEqual(a.predicate(), b.predicate())) return false;
+      if (a.assignments().size() != b.assignments().size()) return false;
+      for (size_t i = 0; i < a.assignments().size(); ++i) {
+        if (a.assignments()[i].attr != b.assignments()[i].attr ||
+            !(a.assignments()[i].value == b.assignments()[i].value)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ApplyUpdate(Database& db, const UpdateOp& op) {
+  if (op.has_world_condition()) {
+    MAYWSD_ASSIGN_OR_RETURN(Relation guard,
+                            Evaluate(op.world_condition(), db));
+    if (guard.NumRows() == 0) return Status::Ok();  // world not selected
+  }
+  MAYWSD_ASSIGN_OR_RETURN(Relation * rel,
+                          db.GetMutableRelation(op.relation()));
+  switch (op.kind()) {
+    case UpdateOp::Kind::kInsert: {
+      if (op.tuples().arity() != rel->arity()) {
+        return Status::InvalidArgument("insert arity mismatch on " +
+                                       op.relation());
+      }
+      for (size_t r = 0; r < op.tuples().NumRows(); ++r) {
+        rel->AppendRow(op.tuples().row(r).span());
+      }
+      rel->SortDedup();
+      return Status::Ok();
+    }
+    case UpdateOp::Kind::kDelete: {
+      MAYWSD_ASSIGN_OR_RETURN(
+          BoundPredicate pred,
+          BoundPredicate::Bind(op.predicate(), rel->schema()));
+      Relation kept(rel->schema(), rel->name());
+      for (size_t r = 0; r < rel->NumRows(); ++r) {
+        if (!pred.Eval(rel->row(r))) kept.AppendRow(rel->row(r).span());
+      }
+      *rel = std::move(kept);
+      return Status::Ok();
+    }
+    case UpdateOp::Kind::kModify: {
+      MAYWSD_ASSIGN_OR_RETURN(
+          BoundPredicate pred,
+          BoundPredicate::Bind(op.predicate(), rel->schema()));
+      std::vector<std::pair<size_t, Value>> cols;
+      for (const Assignment& a : op.assignments()) {
+        auto idx = rel->schema().IndexOf(a.attr);
+        if (!idx) {
+          return Status::NotFound("assignment attribute " + a.attr +
+                                  " not in " + op.relation());
+        }
+        cols.emplace_back(*idx, a.value);
+      }
+      for (size_t r = 0; r < rel->NumRows(); ++r) {
+        if (!pred.Eval(rel->row(r))) continue;
+        for (const auto& [col, v] : cols) rel->SetCell(r, col, v);
+      }
+      rel->SortDedup();
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown update kind");
+}
+
+}  // namespace maywsd::rel

@@ -1,0 +1,121 @@
+// Update operations over incomplete databases.
+//
+// The WSD line of work treats updates as first-class alongside queries:
+// inserts, deletes and modifications are applied uniformly across all
+// worlds, or conditionally in the worlds selected by a *world condition* —
+// a relational algebra plan whose non-empty answer picks the worlds the
+// mutation applies in ("insert t into R if Q is non-empty").
+//
+// UpdateOp is an immutable value type like Plan. Its one-world semantics
+// (ApplyUpdate on a Database) double as the specification: a world-set
+// update must behave as if the one-world update ran in every represented
+// world independently. The engine backends implement the same semantics
+// representation-natively (core/{wsd,wsdt}_update.h, core/uniform.h).
+
+#ifndef MAYWSD_REL_UPDATE_H_
+#define MAYWSD_REL_UPDATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/algebra.h"
+#include "rel/database.h"
+#include "rel/predicate.h"
+#include "rel/relation.h"
+
+namespace maywsd::rel {
+
+/// One `attr := constant` assignment of a ModifyWhere.
+struct Assignment {
+  std::string attr;
+  Value value;
+};
+
+/// One update: an insert, delete or modify against a named relation,
+/// optionally guarded by a world condition.
+class UpdateOp {
+ public:
+  enum class Kind : uint8_t { kInsert, kDelete, kModify };
+
+  /// insert `tuples` into `relation` — the tuples (a fully certain
+  /// instance matching the relation's schema) are added in every world.
+  static UpdateOp InsertTuples(std::string relation, Relation tuples);
+
+  /// delete from `relation` where `pred` — per world, every tuple
+  /// satisfying `pred` is removed.
+  static UpdateOp DeleteWhere(std::string relation, Predicate pred);
+
+  /// update `relation` set `assignments` where `pred` — per world, every
+  /// tuple satisfying `pred` has the assigned attributes overwritten.
+  static UpdateOp ModifyWhere(std::string relation, Predicate pred,
+                              std::vector<Assignment> assignments);
+
+  /// Returns a copy guarded by `condition`: the mutation applies only in
+  /// worlds where the condition plan's answer is non-empty.
+  UpdateOp When(Plan condition) const;
+
+  Kind kind() const { return node_->kind; }
+  const std::string& relation() const { return node_->relation; }
+
+  /// Valid for kInsert.
+  const Relation& tuples() const { return node_->tuples; }
+  /// Valid for kDelete and kModify.
+  const Predicate& predicate() const { return node_->pred; }
+  /// Valid for kModify.
+  const std::vector<Assignment>& assignments() const {
+    return node_->assignments;
+  }
+
+  bool has_world_condition() const { return node_->condition != nullptr; }
+  /// Valid when has_world_condition().
+  const Plan& world_condition() const { return *node_->condition; }
+
+  /// True when both values wrap the same node; identity fast path.
+  bool SharesNodeWith(const UpdateOp& o) const { return node_ == o.node_; }
+
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    Kind kind = Kind::kInsert;
+    std::string relation;
+    Relation tuples;
+    Predicate pred = Predicate::True();
+    std::vector<Assignment> assignments;
+    std::shared_ptr<const Plan> condition;
+  };
+
+  explicit UpdateOp(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// Structural hash of an update; consistent with UpdateOpEqual.
+size_t UpdateOpHash(const UpdateOp& op);
+
+/// Structural equality (kind, relation, tuples, predicate, assignments,
+/// world condition).
+bool UpdateOpEqual(const UpdateOp& a, const UpdateOp& b);
+
+/// Functors for hash containers keyed on updates.
+struct UpdateOpHasher {
+  size_t operator()(const UpdateOp& op) const { return UpdateOpHash(op); }
+};
+struct UpdateOpEq {
+  bool operator()(const UpdateOp& a, const UpdateOp& b) const {
+    return UpdateOpEqual(a, b);
+  }
+};
+
+/// One-world reference semantics: applies `op` to the single world `db`
+/// (evaluating the world condition against `db` first, when present). The
+/// test suite uses this per world as the oracle for every backend's
+/// world-set update.
+Status ApplyUpdate(Database& db, const UpdateOp& op);
+
+}  // namespace maywsd::rel
+
+#endif  // MAYWSD_REL_UPDATE_H_

@@ -63,6 +63,39 @@ TEST_P(WsdtChaseProperty, FdMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WsdtChaseProperty, ::testing::Range(0, 15));
 
+// The FD chase sorts every bucket by certain RHS value so pairs that are
+// certainly equal on the RHS are skipped wholesale. This instance makes the
+// skipped run dominate the bucket (many certain rows with equal key AND
+// equal RHS) while an uncertain row still must be chased against the run —
+// the result must equal the brute-force per-world filter exactly.
+TEST(WsdtChaseTest, FdSortedBucketsSkipCertainlyEqualRuns) {
+  Wsdt wsdt;
+  rel::Relation tmpl(rel::Schema::FromNames({"A", "B"}), "R");
+  for (int i = 0; i < 6; ++i) tmpl.AppendRow({I(0), I(7)});
+  tmpl.AppendRow({I(0), testutil::Q()});  // uncertain RHS, same key
+  tmpl.AppendRow({I(1), I(3)});           // different key: untouched
+  ASSERT_TRUE(wsdt.AddTemplateRelation(std::move(tmpl)).ok());
+  ASSERT_TRUE(wsdt.AddFieldComponent(FieldKey("R", 6, "B"), {I(7), I(8)},
+                                     {0.5, 0.5})
+                  .ok());
+
+  auto before = wsdt.ToWsd().value().EnumerateWorlds(100000).value();
+  std::vector<Dependency> deps{Fd{"R", {"A"}, "B"}};
+  auto expected = FilterWorldsByDependencies(before, deps);
+  ASSERT_TRUE(expected.ok());
+
+  ASSERT_TRUE(WsdtChase(wsdt, deps).ok());
+  ASSERT_TRUE(wsdt.Validate().ok());
+  auto after = wsdt.ToWsd().value().EnumerateWorlds(100000).value();
+  EXPECT_TRUE(WorldSetsEquivalent(*expected, after));
+
+  // The surviving world pins the placeholder to 7 with probability 1.
+  std::vector<rel::Value> t{I(0), I(7)};
+  for (const PossibleWorld& w : after) {
+    EXPECT_TRUE(w.db.GetRelation("R").value()->ContainsRow(t));
+  }
+}
+
 TEST(WsdtChaseTest, CertainViolationIsInconsistent) {
   Wsdt wsdt;
   rel::Relation tmpl(rel::Schema::FromNames({"A", "B"}), "R");
