@@ -36,7 +36,7 @@ int main() {
       // Each query runs on a session over a fresh copy of the chased
       // representation so the reported characteristics are those of this
       // answer alone.
-      api::Session session = api::Session::OverWsdt(wsdt);
+      api::Session session = api::Session::Open(wsdt);
       std::string out = "Q" + std::to_string(q);
       Status st = session.Run(census::CensusQuery(q, "R"), out);
       if (!st.ok()) {

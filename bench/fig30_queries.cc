@@ -43,6 +43,10 @@ struct Sample {
   double seconds = 0.0;
   size_t result_rows = 0;
   int threads = 1;  // Session fan-out width (1 = sequential)
+  // Import → template-semantics → export round trips the backend paid for
+  // the run (Session::Stats): 0 on representation-native paths — the
+  // U-relations claim is that positive RA stays at 0.
+  uint64_t round_trips = 0;
 };
 
 void WriteJson(const char* path, const std::vector<Sample>& samples) {
@@ -57,9 +61,11 @@ void WriteJson(const char* path, const std::vector<Sample>& samples) {
     std::fprintf(f,
                  "    {\"query\": %d, \"rows\": %zu, \"density\": %g, "
                  "\"backend\": \"%s\", \"seconds\": %.6f, "
-                 "\"result_rows\": %zu, \"threads\": %d}%s\n",
+                 "\"result_rows\": %zu, \"threads\": %d, "
+                 "\"round_trips\": %llu}%s\n",
                  s.query, s.rows, s.density, s.backend, s.seconds,
                  s.result_rows, s.threads,
+                 static_cast<unsigned long long>(s.round_trips),
                  i + 1 < samples.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -112,7 +118,7 @@ int main(int argc, char** argv) {
       core::Wsdt wsdt = std::move(wsdt_or).value();
       bench::ChaseCensus(wsdt);
       for (int q = 1; q <= 6; ++q) {
-        api::Session session = api::Session::OverWsdt(wsdt);
+        api::Session session = api::Session::Open(wsdt);
         Timer t;
         Status st = session.Run(census::CensusQuery(q, "R"), "OUT");
         if (!st.ok()) {
@@ -142,20 +148,23 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  // Cross-backend trajectory: identical plans over WSD, WSDT and the
-  // uniform C/F/W store through the one Session facade. WSD intermediates
-  // are |R|max-sized, Q5's product composes components quadratically
-  // (~14 s at 32 rows), and the uniform store pays whole-store template-
-  // semantics round trips for non-relational operators, so this section
-  // stays at small fixed sizes regardless of MAYWSD_SCALE — which is the
-  // paper's point: the template refinement is what scales.
+  // Cross-backend trajectory: identical plans over WSD, WSDT, the uniform
+  // C/F/W store and the columnar U-relations store through the one Session
+  // facade. WSD intermediates are |R|max-sized, Q5's product composes
+  // components quadratically (~14 s at 32 rows), and the uniform store
+  // pays whole-store template-semantics round trips for non-relational
+  // operators, so this section stays at small fixed sizes regardless of
+  // MAYWSD_SCALE — which is the paper's point: the template refinement and
+  // the descriptor rewriting are what scale. The rt column counts the
+  // uniform/urel backends' import/export round trips: the U-relations
+  // claim is that positive RA stays at 0.
   const double kXDensity = 0.001;
   std::printf(
-      "# Cross-backend: Session facade, WSD vs WSDT vs uniform "
+      "# Cross-backend: Session facade, WSD vs WSDT vs uniform vs urel "
       "(density %s)\n",
       bench::DensityLabel(kXDensity));
-  std::printf("%10s %6s %12s %12s %12s\n", "tuples", "query", "wsd", "wsdt",
-              "uniform");
+  std::printf("%10s %6s %12s %12s %12s %12s %8s %8s\n", "tuples", "query",
+              "wsd", "wsdt", "uniform", "urel", "rt(unif)", "rt(urel)");
   for (size_t rows : {size_t{16}, size_t{32}}) {
     rel::Relation base =
         census::GenerateCensus(schema, rows, /*seed=*/0xC0FFEE ^ rows);
@@ -164,47 +173,36 @@ int main(int argc, char** argv) {
     if (!wsdt_or.ok()) return 1;
     core::Wsdt wsdt = std::move(wsdt_or).value();
     bench::ChaseCensus(wsdt);
-    auto wsd_or = wsdt.ToWsd();
-    if (!wsd_or.ok()) return 1;
     for (int q = 1; q <= 6; ++q) {
-      api::Session wsd_session = api::Session::OverWsd(wsd_or.value());
-      Timer tw;
-      Status st = wsd_session.Run(census::CensusQuery(q, "R"), "OUT");
-      if (!st.ok()) {
-        std::fprintf(stderr, "WSD Q%d failed: %s\n", q,
-                     st.ToString().c_str());
-        return 1;
+      std::map<std::string, double> secs;
+      std::map<std::string, uint64_t> trips;
+      size_t n = 0;
+      for (const char* backend : {"wsd", "wsdt", "uniform", "urel"}) {
+        auto kind_or = api::ParseBackendKind(backend);
+        if (!kind_or.ok()) return 1;
+        auto session_or = api::Session::Open(*kind_or, wsdt);
+        if (!session_or.ok()) return 1;
+        api::Session session = std::move(session_or).value();
+        Timer t;
+        Status st = session.Run(census::CensusQuery(q, "R"), "OUT");
+        if (!st.ok()) {
+          std::fprintf(stderr, "%s Q%d failed: %s\n", backend, q,
+                       st.ToString().c_str());
+          return 1;
+        }
+        secs[backend] = t.Seconds();
+        trips[backend] = session.Stats().round_trips;
+        auto out = session.PossibleTuples("OUT");
+        if (!out.ok()) return 1;
+        n = out->NumRows();
+        samples.push_back({q, rows, kXDensity, backend, secs[backend], n, 1,
+                           trips[backend]});
       }
-      double wsd_secs = tw.Seconds();
-      samples.push_back({q, rows, kXDensity, "wsd", wsd_secs, 0});
-
-      api::Session wsdt_session = api::Session::OverWsdt(wsdt);
-      Timer tt;
-      st = wsdt_session.Run(census::CensusQuery(q, "R"), "OUT");
-      if (!st.ok()) {
-        std::fprintf(stderr, "WSDT Q%d failed: %s\n", q,
-                     st.ToString().c_str());
-        return 1;
-      }
-      double wsdt_secs = tt.Seconds();
-      size_t n = wsdt_session.wsdt()->Template("OUT").value()->NumRows();
-      samples.back().result_rows = n;  // same world set, same result size
-      samples.push_back({q, rows, kXDensity, "wsdt", wsdt_secs, n});
-
-      auto uniform_or = api::Session::OverUniform(wsdt);
-      if (!uniform_or.ok()) return 1;
-      api::Session uniform_session = std::move(uniform_or).value();
-      Timer tu;
-      st = uniform_session.Run(census::CensusQuery(q, "R"), "OUT");
-      if (!st.ok()) {
-        std::fprintf(stderr, "uniform Q%d failed: %s\n", q,
-                     st.ToString().c_str());
-        return 1;
-      }
-      double uniform_secs = tu.Seconds();
-      samples.push_back({q, rows, kXDensity, "uniform", uniform_secs, n});
-      std::printf("%10zu %6d %12.4f %12.4f %12.4f\n", rows, q, wsd_secs,
-                  wsdt_secs, uniform_secs);
+      std::printf("%10zu %6d %12.4f %12.4f %12.4f %12.4f %8llu %8llu\n",
+                  rows, q, secs["wsd"], secs["wsdt"], secs["uniform"],
+                  secs["urel"],
+                  static_cast<unsigned long long>(trips["uniform"]),
+                  static_cast<unsigned long long>(trips["urel"]));
     }
   }
   std::printf("\n");
@@ -215,7 +213,9 @@ int main(int argc, char** argv) {
   // component groups at census densities, so Q1–Q4/Q6 shard; Q5 scans R
   // twice and falls back). The uniform column additionally profits
   // single-threaded: a sharded run pays ONE import/export round trip for
-  // the whole plan instead of one per non-relational operator.
+  // the whole plan instead of one per non-relational operator. The urel
+  // column runs at the full WSDT size — tuples partition into independent
+  // variable groups, and every operator here is a native rewriting.
   {
     const double kPDensity = 0.001;
     std::printf(
@@ -229,7 +229,8 @@ int main(int argc, char** argv) {
     };
     size_t wsdt_rows = sizes.back();
     size_t uniform_rows = std::min<size_t>(sizes.back(), 8000);
-    for (Cell cell : {Cell{"wsdt", wsdt_rows}, Cell{"uniform", uniform_rows}}) {
+    for (Cell cell : {Cell{"wsdt", wsdt_rows}, Cell{"uniform", uniform_rows},
+                      Cell{"urel", wsdt_rows}}) {
       rel::Relation base = census::GenerateCensus(
           schema, cell.rows, /*seed=*/0xC0FFEE ^ cell.rows);
       auto wsdt_or = census::MakeNoisyWsdt(base, schema, kPDensity,
@@ -242,35 +243,26 @@ int main(int argc, char** argv) {
         for (int t : {1, 2, 4}) {
           api::SessionOptions options;
           options.threads = t;
-          Status st;
-          size_t n = 0;
-          Timer timer;
-          if (std::strcmp(cell.backend, "wsdt") == 0) {
-            api::Session session = api::Session::OverWsdt(wsdt, options);
-            timer = Timer();
-            st = session.Run(census::CensusQuery(q, "R"), "OUT");
-            if (st.ok()) {
-              n = session.wsdt()->Template("OUT").value()->NumRows();
-            }
-          } else {
-            auto session_or = api::Session::OverUniform(wsdt, options);
-            if (!session_or.ok()) return 1;
-            api::Session session = std::move(session_or).value();
-            timer = Timer();  // export/import cost excluded from both columns
-            st = session.Run(census::CensusQuery(q, "R"), "OUT");
-            if (st.ok()) {
-              n = session.uniform()->GetRelation("OUT").value()->NumRows();
-            }
-          }
+          auto kind_or = api::ParseBackendKind(cell.backend);
+          if (!kind_or.ok()) return 1;
+          auto session_or = api::Session::Open(*kind_or, wsdt, options);
+          if (!session_or.ok()) return 1;
+          api::Session session = std::move(session_or).value();
+          Timer timer;  // conversion cost excluded from every column
+          Status st = session.Run(census::CensusQuery(q, "R"), "OUT");
           if (!st.ok()) {
             std::fprintf(stderr, "parallel %s Q%d (t=%d) failed: %s\n",
                          cell.backend, q, t, st.ToString().c_str());
             return 1;
           }
           double secs = timer.Seconds();
+          size_t n = 0;
+          if (auto out = session.PossibleTuples("OUT"); out.ok()) {
+            n = out->NumRows();
+          }
           per_thread[t] = secs;
-          samples.push_back(
-              {q, cell.rows, kPDensity, cell.backend, secs, n, t});
+          samples.push_back({q, cell.rows, kPDensity, cell.backend, secs, n,
+                             t, session.Stats().round_trips});
         }
         std::printf("%10zu %8s %6d %12.4f %12.4f %12.4f %9.2fx\n", cell.rows,
                     cell.backend, q, per_thread[1], per_thread[2],

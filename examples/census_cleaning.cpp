@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
 
   // The cleaned decomposition becomes a query session; the six Figure 29
   // queries run through the one facade.
-  api::Session session = api::Session::OverWsdt(std::move(wsdt));
+  api::Session session = api::Session::Open(std::move(wsdt));
   for (int q = 1; q <= 6; ++q) {
     std::string out = "Q" + std::to_string(q);
     Timer t;
@@ -95,7 +95,8 @@ int main(int argc, char** argv) {
   }
 
   // The uniform (fixed-arity) encoding a conventional RDBMS would store —
-  // the same data api::Session::OverUniform would query in place.
+  // the same data Session::Open(BackendKind::kUniform, ...) would query
+  // in place.
   auto uniform = core::ExportUniform(*session.wsdt());
   if (!uniform.ok()) return 1;
   std::printf(

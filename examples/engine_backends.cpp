@@ -1,11 +1,13 @@
-// One query, one front door, three representations.
+// One query, one front door, four representations.
 //
 // api::Session is the representation-agnostic facade over the world-set
 // engine: the same rel::Plan runs over (a) the Section 4 WSD, (b) the
-// Section 5 WSDT template refinement, and (c) the C/F/W uniform relational
-// encoding of Section 3 — and the same answer-side questions (possible
-// tuples with confidence) are asked through the same interface. The
-// world sets agree tuple for tuple across all three backends.
+// Section 5 WSDT template refinement, (c) the C/F/W uniform relational
+// encoding of Section 3, and (d) the columnar U-relations store — and the
+// same answer-side questions (possible tuples with confidence) are asked
+// through the same interface. Every session comes from the one
+// Session::Open entry point, and the world sets agree tuple for tuple
+// across all four backends.
 
 #include <cstdio>
 #include <string>
@@ -44,12 +46,17 @@ int main() {
   Plan plan = Plan::Select(Predicate::Cmp("M", CmpOp::kLe, Value::Int(2)),
                            Plan::Project({"S", "M"}, Plan::Scan("R")));
 
-  // The same session calls against all three representations.
-  auto uniform_or = api::Session::OverUniform(wsdt);
+  // The same session calls against all four representations, all through
+  // the one Session::Open front door (the uniform and U-relations stores
+  // are converted from the template on open).
+  auto uniform_or = api::Session::Open(api::BackendKind::kUniform, wsdt);
   if (!uniform_or.ok()) return 1;
-  api::Session sessions[] = {api::Session::OverWsd(std::move(wsd)),
-                             api::Session::OverWsdt(std::move(wsdt)),
-                             std::move(uniform_or).value()};
+  auto urel_or = api::Session::Open(api::BackendKind::kUrel, wsdt);
+  if (!urel_or.ok()) return 1;
+  api::Session sessions[] = {api::Session::Open(std::move(wsd)),
+                             api::Session::Open(std::move(wsdt)),
+                             std::move(uniform_or).value(),
+                             std::move(urel_or).value()};
 
   rel::Relation reference;
   for (api::Session& session : sessions) {
@@ -83,7 +90,7 @@ int main() {
   for (size_t i = 0; i < reference.NumRows(); ++i) {
     double base =
         sessions[0].TupleConfidence("OUT", reference.row(i).span()).value();
-    for (size_t s = 1; s < 3; ++s) {
+    for (size_t s = 1; s < std::size(sessions); ++s) {
       double conf =
           sessions[s].TupleConfidence("OUT", reference.row(i).span()).value();
       if (conf > base + 1e-9 || conf < base - 1e-9) {
@@ -92,15 +99,18 @@ int main() {
       }
     }
   }
-  std::printf("all three backends agree through one Session API\n");
+  std::printf("all four backends agree through one Session::Open API\n");
+  std::printf("urel session import/export round trips for this query: %llu "
+              "(positive RA is a pure descriptor rewriting)\n",
+              static_cast<unsigned long long>(sessions[3].Stats().round_trips));
 
   // Parallel + batched execution through the same front door: a session
   // with a worker pool shards Run across independent tuple groups, and
   // RunAll evaluates a workload sharing common subplans once.
   {
     core::Wsdt fresh = core::Wsdt::FromWsd(forms.ToWsd().value()).value();
-    api::Session parallel = api::Session::OverWsdt(
-        std::move(fresh), {.threads = 4, .cache = true});
+    api::Session parallel =
+        api::Session::Open(std::move(fresh), {.threads = 4, .cache = true});
     Plan base = Plan::Project({"S", "M"}, Plan::Scan("R"));
     std::vector<Plan> workload = {
         Plan::Select(Predicate::Cmp("M", CmpOp::kLe, Value::Int(2)), base),

@@ -84,7 +84,7 @@ int main() {
       stats.template_rows, stats.num_components);
 
   // Query: engineers earning at least 90000 — through the Session facade.
-  api::Session session = api::Session::OverWsd(std::move(wsd));
+  api::Session session = api::Session::Open(std::move(wsd));
   rel::Plan q = rel::Plan::Project(
       {"EMP"},
       rel::Plan::Select(

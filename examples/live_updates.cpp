@@ -112,18 +112,24 @@ Status RunScenario(api::Session& session, const char* backend) {
 int main() {
   core::Wsd wsd = Inventory();
 
-  api::Session over_wsd = api::Session::OverWsd(wsd);
+  api::Session over_wsd = api::Session::Open(core::Wsd(wsd));
   if (!RunScenario(over_wsd, "wsd").ok()) return 1;
 
   auto wsdt = core::Wsdt::FromWsd(wsd);
   if (!wsdt.ok()) return 1;
-  api::Session over_wsdt = api::Session::OverWsdt(std::move(wsdt).value());
+  api::Session over_wsdt = api::Session::Open(std::move(wsdt).value());
   if (!RunScenario(over_wsdt, "wsdt").ok()) return 1;
 
-  auto uniform = api::Session::OverUniform(core::Wsdt::FromWsd(wsd).value());
+  auto uniform = api::Session::Open(api::BackendKind::kUniform,
+                                    core::Wsdt::FromWsd(wsd).value());
   if (!uniform.ok()) return 1;
   if (!RunScenario(uniform.value(), "uniform").ok()) return 1;
 
-  std::printf("all three backends served the same mutating session.\n");
+  auto urel = api::Session::Open(api::BackendKind::kUrel,
+                                 core::Wsdt::FromWsd(wsd).value());
+  if (!urel.ok()) return 1;
+  if (!RunScenario(urel.value(), "urel").ok()) return 1;
+
+  std::printf("all four backends served the same mutating session.\n");
   return 0;
 }

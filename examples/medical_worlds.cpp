@@ -49,7 +49,7 @@ int main() {
   }
   std::printf("patient record as a WSD:\n%s\n", wsd.ToString().c_str());
 
-  api::Session session = api::Session::OverWsd(std::move(wsd));
+  api::Session session = api::Session::Open(std::move(wsd));
 
   // Possible diagnoses with confidence.
   if (Status st = session.Run(

@@ -109,7 +109,7 @@ int main() {
               prob.ToString().c_str());
 
   // -- Step 4: query and confidence (Example 11), via the Session API. ----
-  api::Session session = api::Session::OverWsd(std::move(prob));
+  api::Session session = api::Session::Open(std::move(prob));
   if (Status st = session.Run(rel::Plan::Project({"S"}, rel::Plan::Scan("R")),
                               "Q");
       !st.ok()) {

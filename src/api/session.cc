@@ -13,6 +13,7 @@
 #include "core/engine/plan_driver.h"
 #include "core/engine/uniform_backend.h"
 #include "core/engine/update_plan.h"
+#include "core/engine/urel_backend.h"
 #include "core/engine/wsd_backend.h"
 #include "core/engine/wsdt_backend.h"
 #include "core/uniform.h"
@@ -27,8 +28,19 @@ std::string_view BackendKindName(BackendKind kind) {
       return "wsdt";
     case BackendKind::kUniform:
       return "uniform";
+    case BackendKind::kUrel:
+      return "urel";
   }
   return "?";
+}
+
+Result<BackendKind> ParseBackendKind(std::string_view name) {
+  for (BackendKind kind : {BackendKind::kWsd, BackendKind::kWsdt,
+                           BackendKind::kUniform, BackendKind::kUrel}) {
+    if (name == BackendKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown backend \"" + std::string(name) +
+                                 "\" (expected wsd, wsdt, uniform or urel)");
 }
 
 /// Lexicographic order over tuples via Value::Compare (a kind-ranked total
@@ -57,7 +69,7 @@ struct AnswerEntry {
 /// across Session moves.
 struct Session::Rep {
   BackendKind kind;
-  std::variant<core::Wsd, core::Wsdt, rel::Database> data;
+  std::variant<core::Wsd, core::Wsdt, rel::Database, core::Urel> data;
   std::unique_ptr<core::engine::WorldSetOps> backend;
   SessionOptions options;
   // The answer cache is filled from the const answer getters — which stay
@@ -108,7 +120,7 @@ Session::~Session() = default;
 Session::Session(Session&&) noexcept = default;
 Session& Session::operator=(Session&&) noexcept = default;
 
-Session Session::OverWsd(core::Wsd wsd, SessionOptions options) {
+Session Session::Open(core::Wsd wsd, SessionOptions options) {
   auto rep = std::make_unique<Rep>();
   rep->kind = BackendKind::kWsd;
   rep->data = std::move(wsd);
@@ -118,7 +130,7 @@ Session Session::OverWsd(core::Wsd wsd, SessionOptions options) {
   return Session(std::move(rep));
 }
 
-Session Session::OverWsdt(core::Wsdt wsdt, SessionOptions options) {
+Session Session::Open(core::Wsdt wsdt, SessionOptions options) {
   auto rep = std::make_unique<Rep>();
   rep->kind = BackendKind::kWsdt;
   rep->data = std::move(wsdt);
@@ -128,7 +140,7 @@ Session Session::OverWsdt(core::Wsdt wsdt, SessionOptions options) {
   return Session(std::move(rep));
 }
 
-Session Session::OverUniformDatabase(rel::Database db, SessionOptions options) {
+Session Session::Open(rel::Database db, SessionOptions options) {
   auto rep = std::make_unique<Rep>();
   rep->kind = BackendKind::kUniform;
   rep->data = std::move(db);
@@ -138,15 +150,71 @@ Session Session::OverUniformDatabase(rel::Database db, SessionOptions options) {
   return Session(std::move(rep));
 }
 
-Session Session::OverUniform() {
-  // The export of an empty WSDT is a store with empty C, F, W.
-  return OverUniformDatabase(core::ExportUniform(core::Wsdt()).value());
+Session Session::Open(core::Urel urel, SessionOptions options) {
+  auto rep = std::make_unique<Rep>();
+  rep->kind = BackendKind::kUrel;
+  rep->data = std::move(urel);
+  rep->backend = std::make_unique<core::engine::UrelBackend>(
+      std::get<core::Urel>(rep->data));
+  rep->options = options;
+  return Session(std::move(rep));
 }
+
+Session Session::Open(BackendKind kind, SessionOptions options) {
+  switch (kind) {
+    case BackendKind::kWsd:
+      return Open(core::Wsd(), options);
+    case BackendKind::kWsdt:
+      break;
+    case BackendKind::kUniform:
+      // The export of an empty WSDT is a store with empty C, F, W.
+      return Open(core::ExportUniform(core::Wsdt()).value(), options);
+    case BackendKind::kUrel:
+      return Open(core::Urel(), options);
+  }
+  return Open(core::Wsdt(), options);
+}
+
+Result<Session> Session::Open(BackendKind kind, const core::Wsdt& wsdt,
+                              SessionOptions options) {
+  switch (kind) {
+    case BackendKind::kWsd: {
+      MAYWSD_ASSIGN_OR_RETURN(core::Wsd wsd, wsdt.ToWsd());
+      return Open(std::move(wsd), options);
+    }
+    case BackendKind::kWsdt:
+      break;
+    case BackendKind::kUniform: {
+      MAYWSD_ASSIGN_OR_RETURN(rel::Database db, core::ExportUniform(wsdt));
+      return Open(std::move(db), options);
+    }
+    case BackendKind::kUrel: {
+      MAYWSD_ASSIGN_OR_RETURN(core::Urel urel, core::ExportUrel(wsdt));
+      return Open(std::move(urel), options);
+    }
+  }
+  return Open(core::Wsdt(wsdt), options);
+}
+
+// -- Deprecated pre-Open factories -------------------------------------------
+
+Session Session::OverWsd(core::Wsd wsd, SessionOptions options) {
+  return Open(std::move(wsd), options);
+}
+
+Session Session::OverWsdt(core::Wsdt wsdt, SessionOptions options) {
+  return Open(std::move(wsdt), options);
+}
+
+Session Session::OverUniformDatabase(rel::Database db, SessionOptions options) {
+  return Open(std::move(db), options);
+}
+
+Session Session::OverUniform() { return Open(BackendKind::kUniform); }
 
 Result<Session> Session::OverUniform(const core::Wsdt& wsdt,
                                      SessionOptions options) {
-  MAYWSD_ASSIGN_OR_RETURN(rel::Database db, core::ExportUniform(wsdt));
-  return OverUniformDatabase(std::move(db), options);
+  return Open(BackendKind::kUniform, wsdt, options);
 }
 
 BackendKind Session::kind() const { return rep_->kind; }
@@ -155,16 +223,16 @@ std::string_view Session::BackendName() const {
   return rep_->backend->BackendName();
 }
 
-bool Session::HasRelation(const std::string& name) const {
-  return rep_->backend->HasRelation(name);
+bool Session::HasRelation(std::string_view name) const {
+  return rep_->backend->HasRelation(std::string(name));
 }
 
 std::vector<std::string> Session::RelationNames() const {
   return rep_->backend->RelationNames();
 }
 
-Result<rel::Schema> Session::RelationSchema(const std::string& name) const {
-  return rep_->backend->RelationSchema(name);
+Result<rel::Schema> Session::RelationSchema(std::string_view name) const {
+  return rep_->backend->RelationSchema(std::string(name));
 }
 
 Status Session::Register(const rel::Relation& relation) {
@@ -172,9 +240,10 @@ Status Session::Register(const rel::Relation& relation) {
   return rep_->backend->AddCertainRelation(relation);
 }
 
-Status Session::Drop(const std::string& name) {
-  rep_->Invalidate(name);
-  return rep_->backend->Drop(name);
+Status Session::Drop(std::string_view name) {
+  std::string key(name);
+  rep_->Invalidate(key);
+  return rep_->backend->Drop(key);
 }
 
 const SessionOptions& Session::options() const { return rep_->options; }
@@ -184,7 +253,9 @@ void Session::set_options(const SessionOptions& options) {
 
 SessionStats Session::Stats() const {
   std::lock_guard<std::mutex> lock(rep_->cache_mu);
-  return rep_->stats;
+  SessionStats snapshot = rep_->stats;
+  snapshot.round_trips = rep_->backend->RoundTrips();
+  return snapshot;
 }
 
 Status Session::Run(const rel::Plan& plan, const std::string& out) {
@@ -236,8 +307,8 @@ Status Session::ApplyAll(std::span<const rel::UpdateOp> ops) {
   return Status::Ok();
 }
 
-uint64_t Session::RelationVersion(const std::string& name) const {
-  auto it = rep_->versions.find(name);
+uint64_t Session::RelationVersion(std::string_view name) const {
+  auto it = rep_->versions.find(std::string(name));
   return it == rep_->versions.end() ? 0 : it->second;
 }
 
@@ -303,55 +374,58 @@ Result<V> MemoizedTupleAnswer(
 
 }  // namespace
 
-Result<rel::Relation> Session::PossibleTuples(
-    const std::string& relation) const {
-  if (!rep_->options.cache) return rep_->backend->PossibleTuples(relation);
+Result<rel::Relation> Session::PossibleTuples(std::string_view relation) const {
+  std::string rel_name(relation);
+  if (!rep_->options.cache) return rep_->backend->PossibleTuples(rel_name);
   return MemoizedRelationAnswer(
-      rep_->cache_mu, rep_->stats, rep_->answers, relation,
+      rep_->cache_mu, rep_->stats, rep_->answers, rel_name,
       &AnswerEntry::possible,
-      [&] { return rep_->backend->PossibleTuples(relation); });
+      [&] { return rep_->backend->PossibleTuples(rel_name); });
 }
 
 Result<rel::Relation> Session::PossibleTuplesWithConfidence(
-    const std::string& relation) const {
+    std::string_view relation) const {
+  std::string rel_name(relation);
   if (!rep_->options.cache) {
-    return rep_->backend->PossibleTuplesWithConfidence(relation);
+    return rep_->backend->PossibleTuplesWithConfidence(rel_name);
   }
   return MemoizedRelationAnswer(
-      rep_->cache_mu, rep_->stats, rep_->answers, relation,
+      rep_->cache_mu, rep_->stats, rep_->answers, rel_name,
       &AnswerEntry::possible_conf,
-      [&] { return rep_->backend->PossibleTuplesWithConfidence(relation); });
+      [&] { return rep_->backend->PossibleTuplesWithConfidence(rel_name); });
 }
 
-Result<rel::Relation> Session::CertainTuples(
-    const std::string& relation) const {
-  if (!rep_->options.cache) return rep_->backend->CertainTuples(relation);
+Result<rel::Relation> Session::CertainTuples(std::string_view relation) const {
+  std::string rel_name(relation);
+  if (!rep_->options.cache) return rep_->backend->CertainTuples(rel_name);
   return MemoizedRelationAnswer(
-      rep_->cache_mu, rep_->stats, rep_->answers, relation,
+      rep_->cache_mu, rep_->stats, rep_->answers, rel_name,
       &AnswerEntry::certain,
-      [&] { return rep_->backend->CertainTuples(relation); });
+      [&] { return rep_->backend->CertainTuples(rel_name); });
 }
 
 Result<double> Session::TupleConfidence(
-    const std::string& relation, std::span<const rel::Value> tuple) const {
+    std::string_view relation, std::span<const rel::Value> tuple) const {
+  std::string rel_name(relation);
   if (!rep_->options.cache) {
-    return rep_->backend->TupleConfidence(relation, tuple);
+    return rep_->backend->TupleConfidence(rel_name, tuple);
   }
   return MemoizedTupleAnswer<double>(
-      rep_->cache_mu, rep_->stats, rep_->answers, relation,
+      rep_->cache_mu, rep_->stats, rep_->answers, rel_name,
       &AnswerEntry::confidence, tuple,
-      [&] { return rep_->backend->TupleConfidence(relation, tuple); });
+      [&] { return rep_->backend->TupleConfidence(rel_name, tuple); });
 }
 
-Result<bool> Session::TupleCertain(const std::string& relation,
+Result<bool> Session::TupleCertain(std::string_view relation,
                                    std::span<const rel::Value> tuple) const {
+  std::string rel_name(relation);
   if (!rep_->options.cache) {
-    return rep_->backend->TupleCertain(relation, tuple);
+    return rep_->backend->TupleCertain(rel_name, tuple);
   }
   return MemoizedTupleAnswer<bool>(
-      rep_->cache_mu, rep_->stats, rep_->answers, relation,
+      rep_->cache_mu, rep_->stats, rep_->answers, rel_name,
       &AnswerEntry::tuple_certain, tuple,
-      [&] { return rep_->backend->TupleCertain(relation, tuple); });
+      [&] { return rep_->backend->TupleCertain(rel_name, tuple); });
 }
 
 core::engine::WorldSetOps& Session::ops() {
@@ -383,6 +457,13 @@ rel::Database* Session::uniform() {
 }
 const rel::Database* Session::uniform() const {
   return std::get_if<rel::Database>(&rep_->data);
+}
+core::Urel* Session::urel() {
+  rep_->InvalidateAll();
+  return std::get_if<core::Urel>(&rep_->data);
+}
+const core::Urel* Session::urel() const {
+  return std::get_if<core::Urel>(&rep_->data);
 }
 
 }  // namespace maywsd::api

@@ -2,20 +2,23 @@
 //
 // The paper's central claim is that one relational algebra (Figure 9) runs
 // over interchangeable representations of incomplete information — WSDs
-// (Section 4), WSDTs/UWSDTs (Section 5), and the C/F/W uniform relational
-// encoding the PostgreSQL prototype stored (Section 3, Figure 8). A
-// Session makes that claim an API: open it over any representation
-// (OverWsd / OverWsdt / OverUniform), register base relations, run
-// rel::Plans through the shared engine driver (scratch lifecycle managed),
-// and ask the Section 6 answer-side questions — PossibleTuples,
-// CertainTuples, TupleConfidence — through one interface regardless of
-// which backend holds the data.
+// (Section 4), WSDTs/UWSDTs (Section 5), the C/F/W uniform relational
+// encoding the PostgreSQL prototype stored (Section 3, Figure 8), and the
+// columnar U-relations of the authors' follow-up work (core/urel.h). A
+// Session makes that claim an API: open it over any representation with
+// Session::Open (backends are data — a BackendKind value — not method
+// names), register base relations, run rel::Plans through the shared
+// engine driver (scratch lifecycle managed), and ask the Section 6
+// answer-side questions — PossibleTuples, CertainTuples, TupleConfidence —
+// through one interface regardless of which backend holds the data.
 //
 // Representation-level tooling (chase, normalization, statistics, or-set
-// noise) stays below the facade; wsd()/wsdt()/uniform() expose the owned
-// representation for it. The historical per-representation entry points
-// (WsdEvaluate, WsdtEvaluate*, confidence.h, wsdt_confidence.h) remain as
-// thin compatibility shims over the same engine code.
+// noise) stays below the facade; wsd()/wsdt()/uniform()/urel() expose the
+// owned representation for it. The historical per-representation entry
+// points (WsdEvaluate, WsdtEvaluate*, confidence.h, wsdt_confidence.h)
+// remain as thin compatibility shims over the same engine code, and the
+// pre-Open factories (OverWsd & co.) survive as deprecated one-line
+// wrappers until removal.
 
 #ifndef MAYWSD_API_SESSION_H_
 #define MAYWSD_API_SESSION_H_
@@ -28,6 +31,7 @@
 
 #include "common/status.h"
 #include "core/engine/world_set_ops.h"
+#include "core/urel.h"
 #include "core/wsd.h"
 #include "core/wsdt.h"
 #include "rel/algebra.h"
@@ -38,10 +42,15 @@
 namespace maywsd::api {
 
 /// The representation a Session runs over.
-enum class BackendKind { kWsd, kWsdt, kUniform };
+enum class BackendKind { kWsd, kWsdt, kUniform, kUrel };
 
-/// "wsd" / "wsdt" / "uniform".
+/// "wsd" / "wsdt" / "uniform" / "urel".
 std::string_view BackendKindName(BackendKind kind);
+
+/// Parses a backend tag ("wsd", "wsdt", "uniform", "urel" — the
+/// BackendKindName spellings) for --backend= style flags; InvalidArgument
+/// on anything else, listing the accepted spellings.
+Result<BackendKind> ParseBackendKind(std::string_view name);
 
 /// Execution policy of a Session.
 struct SessionOptions {
@@ -68,28 +77,59 @@ struct SessionStats {
   uint64_t applies = 0;          ///< Apply/ApplyAll update operations
   uint64_t answer_cache_hits = 0;    ///< memoized answer-surface hits
   uint64_t answer_cache_misses = 0;  ///< memoized answer-surface misses
+  /// Import → template semantics → export round trips the backend paid for
+  /// operators outside its native fragment (uniform and urel backends;
+  /// always 0 for wsd/wsdt).
+  uint64_t round_trips = 0;
 };
 
 /// A query session over one world-set representation.
 class Session {
  public:
   // -- Opening a session ----------------------------------------------------
+  //
+  // One factory, backends as data: Open(kind) starts empty, the
+  // adopt-existing overloads wrap a representation you already built, and
+  // Open(kind, wsdt) converts a WSDT into any backend's encoding. Adding a
+  // backend adds a BackendKind value, not a factory name.
 
-  /// Over a (possibly empty) Section 4 world-set decomposition.
-  static Session OverWsd(core::Wsd wsd = {}, SessionOptions options = {});
+  /// Over an empty store of the given kind.
+  static Session Open(BackendKind kind, SessionOptions options = {});
 
-  /// Over a (possibly empty) Section 5 template decomposition.
-  static Session OverWsdt(core::Wsdt wsdt = {}, SessionOptions options = {});
+  /// Over an existing Section 4 world-set decomposition.
+  static Session Open(core::Wsd wsd, SessionOptions options = {});
 
-  /// Over an empty C/F/W uniform store (Section 3, Figure 8).
-  static Session OverUniform();
-
-  /// Over the uniform encoding of an existing WSDT (ExportUniform).
-  static Result<Session> OverUniform(const core::Wsdt& wsdt,
-                                     SessionOptions options = {});
+  /// Over an existing Section 5 template decomposition.
+  static Session Open(core::Wsdt wsdt, SessionOptions options = {});
 
   /// Over an existing uniform store (templates with a leading __TID column
   /// plus the C, F, W system relations).
+  static Session Open(rel::Database db, SessionOptions options = {});
+
+  /// Over an existing columnar U-relations store.
+  static Session Open(core::Urel urel, SessionOptions options = {});
+
+  /// Over the `kind` encoding of an existing WSDT (kWsd via ToWsd, kWsdt
+  /// by copy, kUniform via ExportUniform, kUrel via ExportUrel).
+  static Result<Session> Open(BackendKind kind, const core::Wsdt& wsdt,
+                              SessionOptions options = {});
+
+  // -- Deprecated pre-Open factories (thin wrappers, kept until removal) ----
+
+  [[deprecated("use Session::Open(core::Wsd, ...)")]]
+  static Session OverWsd(core::Wsd wsd = {}, SessionOptions options = {});
+
+  [[deprecated("use Session::Open(core::Wsdt, ...)")]]
+  static Session OverWsdt(core::Wsdt wsdt = {}, SessionOptions options = {});
+
+  [[deprecated("use Session::Open(BackendKind::kUniform)")]]
+  static Session OverUniform();
+
+  [[deprecated("use Session::Open(BackendKind::kUniform, wsdt, ...)")]]
+  static Result<Session> OverUniform(const core::Wsdt& wsdt,
+                                     SessionOptions options = {});
+
+  [[deprecated("use Session::Open(rel::Database, ...)")]]
   static Session OverUniformDatabase(rel::Database db,
                                      SessionOptions options = {});
 
@@ -100,7 +140,8 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   BackendKind kind() const;
-  /// Backend tag as reported by the engine ("wsd", "wsdt", "uniform").
+  /// Backend tag as reported by the engine ("wsd", "wsdt", "uniform",
+  /// "urel").
   std::string_view BackendName() const;
 
   // -- Execution policy ------------------------------------------------------
@@ -108,23 +149,23 @@ class Session {
   const SessionOptions& options() const;
   void set_options(const SessionOptions& options);
 
-  /// Cumulative execution counters (runs, shard fan-outs, cache hits).
-  /// Returns a snapshot by value — safe against concurrent const getters
-  /// updating the answer-cache counters.
+  /// Cumulative execution counters (runs, shard fan-outs, cache hits,
+  /// representation round trips). Returns a snapshot by value — safe
+  /// against concurrent const getters updating the answer-cache counters.
   SessionStats Stats() const;
 
   // -- Catalog --------------------------------------------------------------
 
-  bool HasRelation(const std::string& name) const;
+  bool HasRelation(std::string_view name) const;
   std::vector<std::string> RelationNames() const;
-  Result<rel::Schema> RelationSchema(const std::string& name) const;
+  Result<rel::Schema> RelationSchema(std::string_view name) const;
 
   /// Registers a fully certain base relation under its name (equal in
   /// every world). Uncertainty is introduced below the facade — or-sets,
   /// noise injection, chase — against the owned representation.
   Status Register(const rel::Relation& relation);
 
-  Status Drop(const std::string& name);
+  Status Drop(std::string_view name);
 
   // -- Query evaluation -----------------------------------------------------
 
@@ -164,7 +205,7 @@ class Session {
 
   /// Monotonic per-relation version: bumped by Register, Apply, Drop and
   /// by Run/RunAll materializing the relation. Keys the answer cache.
-  uint64_t RelationVersion(const std::string& name) const;
+  uint64_t RelationVersion(std::string_view name) const;
 
   // -- Answers (Section 6) --------------------------------------------------
   //
@@ -173,21 +214,21 @@ class Session {
   // Stats() exposes the hit/miss counters.
 
   /// possible(R): tuples appearing in at least one world.
-  Result<rel::Relation> PossibleTuples(const std::string& relation) const;
+  Result<rel::Relation> PossibleTuples(std::string_view relation) const;
 
   /// possibleᵖ(R): possible tuples with a trailing "conf" column.
   Result<rel::Relation> PossibleTuplesWithConfidence(
-      const std::string& relation) const;
+      std::string_view relation) const;
 
   /// certain(R): tuples occurring in every world.
-  Result<rel::Relation> CertainTuples(const std::string& relation) const;
+  Result<rel::Relation> CertainTuples(std::string_view relation) const;
 
   /// conf(t): probability that `tuple` ∈ R in a random world.
-  Result<double> TupleConfidence(const std::string& relation,
+  Result<double> TupleConfidence(std::string_view relation,
                                  std::span<const rel::Value> tuple) const;
 
   /// certain(t): true iff conf(t) = 1.
-  Result<bool> TupleCertain(const std::string& relation,
+  Result<bool> TupleCertain(std::string_view relation,
                             std::span<const rel::Value> tuple) const;
 
   // -- Representation access ------------------------------------------------
@@ -207,6 +248,8 @@ class Session {
   const core::Wsdt* wsdt() const;
   rel::Database* uniform();
   const rel::Database* uniform() const;
+  core::Urel* urel();
+  const core::Urel* urel() const;
 
  private:
   struct Rep;

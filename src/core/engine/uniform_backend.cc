@@ -203,6 +203,7 @@ Status UniformBackend::Fallback(const std::function<Status(Wsdt&)>& op) {
   MAYWSD_RETURN_IF_ERROR(op(wsdt));
   MAYWSD_ASSIGN_OR_RETURN(rel::Database out, ExportUniform(wsdt));
   *db_ = std::move(out);
+  ++round_trips_;
   return Status::Ok();
 }
 

@@ -93,6 +93,8 @@ class UniformBackend : public WorldSetOps {
   Result<std::unique_ptr<ShardPlan>> PlanShards(
       const ShardRequest& req) override;
 
+  uint64_t RoundTrips() const override { return round_trips_; }
+
  private:
   /// Imports the whole store as a WSDT (templates stripped of __TID).
   Result<Wsdt> Import() const;
@@ -102,6 +104,7 @@ class UniformBackend : public WorldSetOps {
   Status Fallback(const std::function<Status(Wsdt&)>& op);
 
   rel::Database* db_;
+  uint64_t round_trips_ = 0;
 };
 
 }  // namespace maywsd::core::engine

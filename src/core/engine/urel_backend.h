@@ -1,0 +1,132 @@
+// UrelBackend: WorldSetOps over the columnar U-relations store
+// (core/urel.h — the authors' follow-up representation, see PAPERS.md).
+//
+// The whole positive fragment — copy, selections (arbitrary predicate
+// trees in one vectorized pass), product, the fused σ(×) hash join,
+// union, projection, rename — plus the unconditional update fragment and
+// the Section 6 answer surface run natively against the columnar store:
+// zero import/export round trips, the property the uniform C/F/W encoding
+// pays for whenever it leaves the purely relational fragment. Only two
+// operations can leave the representation: a difference whose assignment
+// expansion exceeds the internal cap, and world-conditional updates; both
+// take the established one-round-trip template-semantics fallback
+// (ImportUrel → WSDT → ExportUrel), counted by RoundTrips().
+
+#ifndef MAYWSD_CORE_ENGINE_UREL_BACKEND_H_
+#define MAYWSD_CORE_ENGINE_UREL_BACKEND_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine/world_set_ops.h"
+#include "core/urel.h"
+#include "core/wsdt.h"
+
+namespace maywsd::core::engine {
+
+/// Adapts a Urel store to the engine contract. Non-owning by default; the
+/// store must outlive the backend. The rvalue overload takes ownership
+/// (shard slices are self-contained backends).
+class UrelBackend : public WorldSetOps {
+ public:
+  explicit UrelBackend(Urel& urel) : urel_(&urel) {}
+  explicit UrelBackend(Urel&& owned)
+      : owned_(std::make_unique<Urel>(std::move(owned))),
+        urel_(owned_.get()) {}
+
+  /// The adapted representation.
+  Urel& urel() { return *urel_; }
+  const Urel& urel() const { return *urel_; }
+
+  std::string_view BackendName() const override { return "urel"; }
+
+  bool HasRelation(const std::string& name) const override;
+  std::vector<std::string> RelationNames() const override;
+  Result<rel::Schema> RelationSchema(const std::string& name) const override;
+  Status AddCertainRelation(const rel::Relation& relation) override;
+
+  Status Copy(const std::string& src, const std::string& out) override;
+  Status SelectConst(const std::string& src, const std::string& out,
+                     const std::string& attr, rel::CmpOp op,
+                     const rel::Value& constant) override;
+  Status SelectAttrAttr(const std::string& src, const std::string& out,
+                        const std::string& attr_a, rel::CmpOp op,
+                        const std::string& attr_b) override;
+  Status Product(const std::string& left, const std::string& right,
+                 const std::string& out) override;
+  Status Union(const std::string& left, const std::string& right,
+               const std::string& out) override;
+  Status Project(const std::string& src, const std::string& out,
+                 const std::vector<std::string>& attrs) override;
+  Status Rename(const std::string& src, const std::string& out,
+                const std::vector<std::pair<std::string, std::string>>&
+                    renames) override;
+  /// Native while the assignment expansion stays under the cap; past it,
+  /// one template-semantics round trip.
+  Status Difference(const std::string& left, const std::string& right,
+                    const std::string& out) override;
+  Status Drop(const std::string& name) override;
+
+  Result<rel::Relation> PossibleTuples(
+      const std::string& relation) const override;
+  Result<rel::Relation> PossibleTuplesWithConfidence(
+      const std::string& relation) const override;
+  Result<rel::Relation> CertainTuples(
+      const std::string& relation) const override;
+  Result<double> TupleConfidence(
+      const std::string& relation,
+      std::span<const rel::Value> tuple) const override;
+  Result<bool> TupleCertain(const std::string& relation,
+                            std::span<const rel::Value> tuple) const override;
+
+  /// Unconditional inserts/deletes/modifies are pure row rewritings (a
+  /// U-relation has no '?' cells, so every predicate decides natively);
+  /// world-conditional updates compose with the guard's variables and take
+  /// one import → WSDT update → export round trip.
+  Status ApplyUpdate(const rel::UpdateOp& op,
+                     const std::string& guard) override;
+
+  bool SupportsPredicateSelect() const override { return true; }
+  Status SelectPredicate(const std::string& src, const std::string& out,
+                         const rel::Predicate& pred) override;
+
+  bool SupportsHashJoin() const override { return true; }
+  Status HashJoin(const std::string& left, const std::string& right,
+                  const std::string& out, const std::string& left_attr,
+                  const std::string& right_attr) override;
+
+  /// Every operator runs on tuple slices independently — descriptors
+  /// travel with their rows.
+  bool ShardableOperator(rel::Plan::Kind kind) const override {
+    (void)kind;
+    return true;
+  }
+  Result<bool> RelationCertain(const std::string& name) const override;
+  Result<std::unique_ptr<ShardPlan>> PlanShards(
+      const ShardRequest& req) override;
+
+  uint64_t RoundTrips() const override { return round_trips_; }
+
+ private:
+  /// Runs `op` on the imported WSDT and re-exports the store — the
+  /// template-semantics escape hatch, counted as one round trip.
+  Status Fallback(const std::function<Status(Wsdt&)>& op);
+
+  std::unique_ptr<Urel> owned_;
+  Urel* urel_;
+  uint64_t round_trips_ = 0;
+};
+
+/// Shard plan over a U-relations store: rows sharing a variable co-shard
+/// (descriptors are the only correlation carriers); each slice replicates
+/// the full variable table, so descriptors transfer verbatim and absorbed
+/// rows stay exact.
+Result<std::unique_ptr<ShardPlan>> MakeUrelShardPlan(Urel& parent,
+                                                     const ShardRequest& req);
+
+}  // namespace maywsd::core::engine
+
+#endif  // MAYWSD_CORE_ENGINE_UREL_BACKEND_H_

@@ -24,6 +24,7 @@
 #ifndef MAYWSD_CORE_ENGINE_WORLD_SET_OPS_H_
 #define MAYWSD_CORE_ENGINE_WORLD_SET_OPS_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -224,6 +225,14 @@ class WorldSetOps {
     return Status::Unsupported(std::string(BackendName()) +
                                " backend has no update support");
   }
+
+  // -- Introspection ---------------------------------------------------------
+
+  /// Number of completed import → template-semantics → export round trips
+  /// this backend has paid for operators it could not run natively — the
+  /// structural tax the fig30 bench tracks. Backends that never leave
+  /// their representation report 0.
+  virtual uint64_t RoundTrips() const { return 0; }
 
   // -- Optional capabilities (Section 5 optimizations) ----------------------
 

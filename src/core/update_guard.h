@@ -1,0 +1,142 @@
+// UpdateGuard<Rep>: the shared world-condition analysis of the update
+// operators, templated over the representation.
+//
+// Both WSDs and WSDTs carry "does the guard relation have a row in this
+// world" the same way — a ⊥ in a component column marks conditional
+// presence — and expose the identical surface the analysis needs
+// (Locate, component, ComposeInPlace). The only representation-specific
+// step is enumerating which fields of the guard relation can carry a ⊥:
+// a WSD probes every field (schema and presence attributes) of each alive
+// tuple slot, a WSDT only the '?' placeholders of each template row. That
+// step is the GuardSlotCandidates customization point, resolved by ADL;
+// everything else — the presence scan, the compose-into-one, the
+// per-local-world selection bitmap — lives here once.
+//
+// The driver materializes the world condition into a snapshot relation
+// first (engine/update_plan.h), so the guard never sees a condition plan.
+
+#ifndef MAYWSD_CORE_UPDATE_GUARD_H_
+#define MAYWSD_CORE_UPDATE_GUARD_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/component.h"
+#include "core/field.h"
+#include "core/wsd.h"  // FieldLoc
+
+namespace maywsd::core {
+
+/// How a world condition restricts an update on representation `Rep`.
+///
+/// `Rep` must expose Locate(FieldKey) → Result<FieldLoc>,
+/// component(size_t) → const Component&, and ComposeInPlace(a, b), and an
+/// ADL-visible overload
+///   GuardSlotCandidates(const Rep&, const std::string& guard_rel)
+///       → Result<std::vector<std::vector<FieldKey>>>
+/// returning, per alive tuple slot of the guard relation, the fields that
+/// could carry conditional presence (empty outer vector = no alive slots).
+template <typename Rep>
+class UpdateGuard {
+ public:
+  enum class Mode {
+    kAlways,       ///< unconditional, or the guard is non-empty in every world
+    kNever,        ///< the guard is empty in every world: the update is a no-op
+    kConditional,  ///< non-emptiness varies; `comp()` correlates it
+  };
+
+  /// The unconditional guard.
+  static UpdateGuard Always() { return UpdateGuard(Mode::kAlways); }
+
+  /// Analyzes relation `guard_rel`: kAlways when some slot exists in every
+  /// world, kNever when there are no alive slots, otherwise kConditional
+  /// with all of the relation's presence-carrying components composed into
+  /// one.
+  static Result<UpdateGuard> Analyze(Rep& rep, const std::string& guard_rel) {
+    MAYWSD_ASSIGN_OR_RETURN(std::vector<std::vector<FieldKey>> candidates,
+                            GuardSlotCandidates(std::as_const(rep),
+                                                guard_rel));
+    if (candidates.empty()) return UpdateGuard(Mode::kNever);
+
+    std::vector<std::vector<FieldKey>> slots;
+    std::set<int32_t> comps;
+    for (std::vector<FieldKey>& fields : candidates) {
+      std::vector<FieldKey> presence_fields;
+      for (const FieldKey& f : fields) {
+        MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, rep.Locate(f));
+        if (rep.component(static_cast<size_t>(loc.comp))
+                .ColumnHasBottom(static_cast<size_t>(loc.col))) {
+          presence_fields.push_back(f);
+          comps.insert(loc.comp);
+        }
+      }
+      // A slot with no ⊥-carrying field exists in every world: the guard
+      // relation is certainly non-empty.
+      if (presence_fields.empty()) return UpdateGuard(Mode::kAlways);
+      slots.push_back(std::move(presence_fields));
+    }
+
+    UpdateGuard guard(Mode::kConditional);
+    auto it = comps.begin();
+    guard.comp_ = static_cast<size_t>(*it);
+    for (++it; it != comps.end(); ++it) {
+      MAYWSD_RETURN_IF_ERROR(
+          rep.ComposeInPlace(guard.comp_, static_cast<size_t>(*it)));
+    }
+    guard.slot_presence_fields_ = std::move(slots);
+    return guard;
+  }
+
+  Mode mode() const { return mode_; }
+
+  /// The component the guard's world selection lives in (kConditional).
+  size_t comp() const { return comp_; }
+
+  /// Recomputes the per-local-world selection bitmap of comp() — one entry
+  /// per local world, true where the guard relation is non-empty. Call
+  /// after composing further components into comp() (composition changes
+  /// the local-world count).
+  Result<std::vector<bool>> Selected(const Rep& rep) const {
+    const Component& comp = rep.component(comp_);
+    std::vector<bool> selected(comp.NumWorlds(), false);
+    for (const std::vector<FieldKey>& fields : slot_presence_fields_) {
+      std::vector<size_t> cols;
+      for (const FieldKey& f : fields) {
+        MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, rep.Locate(f));
+        if (static_cast<size_t>(loc.comp) != comp_) {
+          return Status::Internal("guard field " + f.ToString() +
+                                  " escaped the guard component");
+        }
+        cols.push_back(static_cast<size_t>(loc.col));
+      }
+      for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+        if (selected[w]) continue;
+        bool present = true;
+        for (size_t c : cols) {
+          if (comp.at(w, c).is_bottom()) {
+            present = false;
+            break;
+          }
+        }
+        if (present) selected[w] = true;
+      }
+    }
+    return selected;
+  }
+
+ private:
+  explicit UpdateGuard(Mode mode) : mode_(mode) {}
+
+  Mode mode_;
+  size_t comp_ = 0;
+  /// Per alive guard slot: the fields whose component column carried ⊥ at
+  /// analysis time (all of them live in comp()).
+  std::vector<std::vector<FieldKey>> slot_presence_fields_;
+};
+
+}  // namespace maywsd::core
+
+#endif  // MAYWSD_CORE_UPDATE_GUARD_H_

@@ -78,7 +78,7 @@ Status WsdDifference(Wsd& wsd, const std::string& left,
 /// NegatePredicate — lives in core/engine/plan_driver.h.)
 ///
 /// Compatibility shim: new code should open an api::Session over the Wsd
-/// (Session::OverWsd) and call Run(); this entry point remains for callers
+/// (Session::Open) and call Run(); this entry point remains for callers
 /// that already hold a bare Wsd.
 Status WsdEvaluate(Wsd& wsd, const rel::Plan& plan, const std::string& out,
                    bool keep_temps = false);

@@ -24,68 +24,16 @@ std::vector<FieldKey> AllSlotFields(const Wsd& wsd, const WsdRelation& rel,
 
 }  // namespace
 
-Result<WsdUpdateGuard> WsdUpdateGuard::Analyze(Wsd& wsd,
-                                               const std::string& guard_rel) {
+Result<std::vector<std::vector<FieldKey>>> GuardSlotCandidates(
+    const Wsd& wsd, const std::string& guard_rel) {
   MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* g, wsd.FindRelation(guard_rel));
   std::vector<std::vector<FieldKey>> slots;
-  std::set<int32_t> comps;
-  bool any_alive = false;
   for (TupleId t = 0; t < g->max_tuples; ++t) {
     std::vector<FieldKey> fields = AllSlotFields(wsd, *g, t);
     if (fields.empty()) continue;  // slot removed by normalization
-    any_alive = true;
-    std::vector<FieldKey> presence_fields;
-    for (const FieldKey& f : fields) {
-      MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsd.Locate(f));
-      if (wsd.component(loc.comp).ColumnHasBottom(
-              static_cast<size_t>(loc.col))) {
-        presence_fields.push_back(f);
-        comps.insert(loc.comp);
-      }
-    }
-    // A slot with no ⊥-carrying field exists in every world.
-    if (presence_fields.empty()) return WsdUpdateGuard(Mode::kAlways);
-    slots.push_back(std::move(presence_fields));
+    slots.push_back(std::move(fields));
   }
-  if (!any_alive) return WsdUpdateGuard(Mode::kNever);
-
-  WsdUpdateGuard guard(Mode::kConditional);
-  auto it = comps.begin();
-  guard.comp_ = static_cast<size_t>(*it);
-  for (++it; it != comps.end(); ++it) {
-    MAYWSD_RETURN_IF_ERROR(
-        wsd.ComposeInPlace(guard.comp_, static_cast<size_t>(*it)));
-  }
-  guard.slot_presence_fields_ = std::move(slots);
-  return guard;
-}
-
-Result<std::vector<bool>> WsdUpdateGuard::Selected(const Wsd& wsd) const {
-  const Component& comp = wsd.component(comp_);
-  std::vector<bool> selected(comp.NumWorlds(), false);
-  for (const std::vector<FieldKey>& fields : slot_presence_fields_) {
-    std::vector<size_t> cols;
-    for (const FieldKey& f : fields) {
-      MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsd.Locate(f));
-      if (static_cast<size_t>(loc.comp) != comp_) {
-        return Status::Internal("guard field " + f.ToString() +
-                                " escaped the guard component");
-      }
-      cols.push_back(static_cast<size_t>(loc.col));
-    }
-    for (size_t w = 0; w < comp.NumWorlds(); ++w) {
-      if (selected[w]) continue;
-      bool present = true;
-      for (size_t c : cols) {
-        if (comp.at(w, c).is_bottom()) {
-          present = false;
-          break;
-        }
-      }
-      if (present) selected[w] = true;
-    }
-  }
-  return selected;
+  return slots;
 }
 
 Status WsdInsertTuples(Wsd& wsd, const std::string& rel,

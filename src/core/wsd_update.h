@@ -19,38 +19,21 @@
 #include "rel/predicate.h"
 #include "rel/relation.h"
 #include "rel/update.h"
+#include "core/update_guard.h"
 #include "core/wsd.h"
 
 namespace maywsd::core {
 
+/// UpdateGuard customization point (see core/update_guard.h): per alive
+/// tuple slot of `guard_rel`, every field that could carry conditional
+/// presence — the slot's schema and presence fields alike (a WSD has no
+/// certain template, so any column may hold the ⊥).
+Result<std::vector<std::vector<FieldKey>>> GuardSlotCandidates(
+    const Wsd& wsd, const std::string& guard_rel);
+
 /// How a world condition restricts an update on a WSD (see
-/// WsdtUpdateGuard for the mode semantics).
-class WsdUpdateGuard {
- public:
-  enum class Mode { kAlways, kNever, kConditional };
-
-  static WsdUpdateGuard Always() { return WsdUpdateGuard(Mode::kAlways); }
-
-  /// Analyzes relation `guard_rel`, composing its presence-carrying
-  /// components (those with a ⊥ in a column of the relation, schema or
-  /// presence fields alike) into one.
-  static Result<WsdUpdateGuard> Analyze(Wsd& wsd,
-                                        const std::string& guard_rel);
-
-  Mode mode() const { return mode_; }
-  size_t comp() const { return comp_; }
-
-  /// Per-local-world selection bitmap of comp(); recompute after further
-  /// compositions into comp().
-  Result<std::vector<bool>> Selected(const Wsd& wsd) const;
-
- private:
-  explicit WsdUpdateGuard(Mode mode) : mode_(mode) {}
-
-  Mode mode_;
-  size_t comp_ = 0;
-  std::vector<std::vector<FieldKey>> slot_presence_fields_;
-};
+/// core/update_guard.h for the mode semantics and the shared analysis).
+using WsdUpdateGuard = UpdateGuard<Wsd>;
 
 /// insert `tuples` into `rel` in the worlds selected by `guard`.
 Status WsdInsertTuples(Wsd& wsd, const std::string& rel,

@@ -91,7 +91,7 @@ Status WsdtDifference(Wsdt& wsdt, const std::string& left,
 /// temporaries are dropped unless `keep_temps`.
 ///
 /// Compatibility shim: new code should open an api::Session over the Wsdt
-/// (Session::OverWsdt) and call Run(); this entry point remains for
+/// (Session::Open) and call Run(); this entry point remains for
 /// callers that already hold a bare Wsdt.
 Status WsdtEvaluate(Wsdt& wsdt, const rel::Plan& plan, const std::string& out,
                     bool keep_temps = false);

@@ -1,0 +1,55 @@
+// Compile-and-run check for the deprecated Session factory shims: the
+// [[deprecated]] Over* wrappers must keep working (one release of grace
+// for out-of-tree callers) and must open the same backends as
+// Session::Open. This file is the only in-tree caller of the old names —
+// everything else migrated — so it locally silences the deprecation
+// warnings the -Werror CI build would otherwise turn fatal.
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "tests/test_util.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+namespace maywsd::api {
+namespace {
+
+using core::Wsd;
+using core::Wsdt;
+using testutil::I;
+
+TEST(DeprecatedFactoryTest, ShimsOpenTheSameBackendsAsOpen) {
+  Session wsd = Session::OverWsd();
+  EXPECT_EQ(wsd.kind(), BackendKind::kWsd);
+
+  Session wsdt = Session::OverWsdt();
+  EXPECT_EQ(wsdt.kind(), BackendKind::kWsdt);
+
+  Session uniform = Session::OverUniform();
+  EXPECT_EQ(uniform.kind(), BackendKind::kUniform);
+
+  auto uniform_over = Session::OverUniform(Wsdt());
+  ASSERT_TRUE(uniform_over.ok());
+  EXPECT_EQ(uniform_over->kind(), BackendKind::kUniform);
+
+  rel::Database db;
+  Session uniform_db = Session::OverUniformDatabase(std::move(db));
+  EXPECT_EQ(uniform_db.kind(), BackendKind::kUniform);
+}
+
+TEST(DeprecatedFactoryTest, ShimsStillQueryEndToEnd) {
+  Session session = Session::OverWsdt();
+  rel::Relation r(rel::Schema::FromNames({"A"}), "R");
+  r.AppendRow({I(1)});
+  ASSERT_TRUE(session.Register(r).ok());
+  ASSERT_TRUE(session.Run(rel::Plan::Scan("R"), "OUT").ok());
+  auto possible = session.PossibleTuples("OUT");
+  ASSERT_TRUE(possible.ok());
+  EXPECT_EQ(possible->NumRows(), 1u);
+}
+
+}  // namespace
+}  // namespace maywsd::api

@@ -2,8 +2,8 @@
 //
 // The headline property: for random plans over random world-sets, Run with
 // threads=1 and threads=N produce identical world sets for the result
-// relation on all three backends (WSD, WSDT, uniform C/F/W), across 100+
-// seeded iterations. Plans cover both the sharded path (single-scan
+// relation on every enrolled backend (WSD, WSDT, uniform C/F/W,
+// U-relations — testutil::AllBackendKinds), across 100+ seeded iterations. Plans cover both the sharded path (single-scan
 // select/project/rename chains, products/joins/differences against a
 // certain auxiliary) and the fallback path (unions, repeated scans,
 // component-composing WSD operators).
@@ -39,20 +39,7 @@ constexpr uint64_t kWorldCap = 4000000;
 
 /// Enumerates the world set of relation OUT regardless of representation.
 Result<std::vector<PossibleWorld>> OutWorlds(const api::Session& session) {
-  switch (session.kind()) {
-    case api::BackendKind::kWsd:
-      return session.wsd()->EnumerateWorlds(kWorldCap, {"OUT"});
-    case api::BackendKind::kWsdt: {
-      MAYWSD_ASSIGN_OR_RETURN(Wsd wsd, session.wsdt()->ToWsd());
-      return wsd.EnumerateWorlds(kWorldCap, {"OUT"});
-    }
-    case api::BackendKind::kUniform: {
-      MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, ImportUniform(*session.uniform()));
-      MAYWSD_ASSIGN_OR_RETURN(Wsd wsd, wsdt.ToWsd());
-      return wsd.EnumerateWorlds(kWorldCap, {"OUT"});
-    }
-  }
-  return Status::Internal("unknown backend kind");
+  return testutil::SessionWorlds(session, kWorldCap, {"OUT"});
 }
 
 /// A fully certain relation with `rows` random tuples.
@@ -122,23 +109,10 @@ struct SessionPair {
 Result<SessionPair> MakePair(api::BackendKind kind, const Wsd& wsd,
                              const std::vector<rel::Relation>& certain,
                              int par_threads) {
-  auto open = [&]() -> Result<api::Session> {
-    switch (kind) {
-      case api::BackendKind::kWsd:
-        return api::Session::OverWsd(wsd);
-      case api::BackendKind::kWsdt: {
-        MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, Wsdt::FromWsd(wsd));
-        return api::Session::OverWsdt(std::move(wsdt));
-      }
-      case api::BackendKind::kUniform: {
-        MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, Wsdt::FromWsd(wsd));
-        return api::Session::OverUniform(wsdt);
-      }
-    }
-    return Status::Internal("unknown backend kind");
-  };
-  MAYWSD_ASSIGN_OR_RETURN(api::Session seq, open());
-  MAYWSD_ASSIGN_OR_RETURN(api::Session par, open());
+  MAYWSD_ASSIGN_OR_RETURN(api::Session seq,
+                          testutil::OpenSessionOver(kind, wsd));
+  MAYWSD_ASSIGN_OR_RETURN(api::Session par,
+                          testutil::OpenSessionOver(kind, wsd));
   par.set_options({.threads = par_threads, .cache = true});
   for (const rel::Relation& r : certain) {
     MAYWSD_RETURN_IF_ERROR(seq.Register(r));
@@ -162,9 +136,7 @@ TEST_P(ParallelDeterminismProperty, ThreadedRunMatchesSequentialRun) {
     Plan plan = RandomParallelPlan(rng);
     int threads = 2 + static_cast<int>(rng.Uniform(3));  // 2..4
 
-    for (api::BackendKind kind :
-         {api::BackendKind::kWsd, api::BackendKind::kWsdt,
-          api::BackendKind::kUniform}) {
+    for (api::BackendKind kind : testutil::AllBackendKinds()) {
       auto pair_or = MakePair(kind, wsd, certain, threads);
       ASSERT_TRUE(pair_or.ok()) << pair_or.status();
       api::Session seq = std::move(pair_or->seq);
@@ -221,25 +193,10 @@ TEST(ParallelSessionTest, ShardedPathActuallyRunsOnAllBackends) {
   Plan plan = Plan::Select(Predicate::Cmp("A", CmpOp::kGe, I(0)),
                            Plan::Scan("R"));
   Wsdt wsdt = KnownShardableWsdt();
-  auto wsd = wsdt.ToWsd();
-  ASSERT_TRUE(wsd.ok());
 
-  for (api::BackendKind kind :
-       {api::BackendKind::kWsd, api::BackendKind::kWsdt,
-        api::BackendKind::kUniform}) {
-    auto open = [&]() -> Result<api::Session> {
-      switch (kind) {
-        case api::BackendKind::kWsd:
-          return api::Session::OverWsd(*wsd);
-        case api::BackendKind::kWsdt:
-          return api::Session::OverWsdt(wsdt);
-        case api::BackendKind::kUniform:
-          return api::Session::OverUniform(wsdt);
-      }
-      return Status::Internal("unknown kind");
-    };
-    auto seq_or = open();
-    auto par_or = open();
+  for (api::BackendKind kind : testutil::AllBackendKinds()) {
+    auto seq_or = api::Session::Open(kind, wsdt);
+    auto par_or = api::Session::Open(kind, wsdt);
     ASSERT_TRUE(seq_or.ok() && par_or.ok());
     api::Session seq = std::move(seq_or).value();
     api::Session par = std::move(par_or).value();
@@ -273,14 +230,14 @@ TEST(ParallelSessionTest, FallbackDeclaredForWsdProduct) {
   auto wsd = wsdt.ToWsd();
   ASSERT_TRUE(wsd.ok());
   api::Session wsd_session =
-      api::Session::OverWsd(*wsd, {.threads = 4, .cache = true});
+      api::Session::Open(*wsd, {.threads = 4, .cache = true});
   ASSERT_TRUE(wsd_session.Register(s).ok());
   ASSERT_TRUE(wsd_session.Run(plan, "OUT").ok());
   EXPECT_EQ(wsd_session.Stats().sharded_runs, 0u);
   EXPECT_EQ(wsd_session.Stats().fallback_runs, 1u);
 
   api::Session wsdt_session =
-      api::Session::OverWsdt(wsdt, {.threads = 4, .cache = true});
+      api::Session::Open(Wsdt(wsdt), {.threads = 4, .cache = true});
   ASSERT_TRUE(wsdt_session.Register(s).ok());
   ASSERT_TRUE(wsdt_session.Run(plan, "OUT").ok());
   EXPECT_EQ(wsdt_session.Stats().sharded_runs, 1u);
@@ -334,7 +291,7 @@ TEST(ParallelSessionTest, ConcurrentSessionsSmoke) {
   for (int i = 0; i < kSessions; ++i) {
     threads.emplace_back([&base, &plan, &statuses, i] {
       api::Session session =
-          api::Session::OverWsdt(base, {.threads = 2, .cache = true});
+          api::Session::Open(Wsdt(base), {.threads = 2, .cache = true});
       for (int r = 0; r < 3 && statuses[i].ok(); ++r) {
         statuses[i] = session.Run(plan, "OUT" + std::to_string(r));
       }

@@ -6,14 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "api/session.h"
 #include "rel/eval.h"
 #include "rel/optimizer.h"
 #include "core/engine/plan_driver.h"
 #include "core/engine/uniform_backend.h"
+#include "core/engine/urel_backend.h"
 #include "core/engine/wsd_backend.h"
 #include "core/engine/wsdt_backend.h"
 #include "core/uniform.h"
+#include "core/urel.h"
 #include "core/wsd_algebra.h"
 #include "core/wsdt_algebra.h"
 #include "core/worldset.h"
@@ -148,15 +152,15 @@ TEST_P(RandomPlanProperty, AllThreePathsAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlanProperty, ::testing::Range(0, 20));
 
 // Cross-backend equivalence oracle: the SAME engine driver
-// (core/engine/plan_driver.h) runs the SAME random plan over a Wsd, over
-// the equivalent Wsdt, and over the C/F/W uniform store of that Wsdt; all
-// three backends must produce identical world-sets, both on the plain
-// plan and after the Section 5 logical optimizations (which reshape the
-// plan into joins the WSDT backend executes natively and the other two
-// lower to product + selections).
+// (core/engine/plan_driver.h) runs the SAME random plan over every
+// enrolled backend (testutil::AllBackendKinds — Wsd, Wsdt, the C/F/W
+// uniform store, and the columnar U-relations store); all must produce
+// identical world-sets, both on the plain plan and after the Section 5
+// logical optimizations (which reshape the plan into joins some backends
+// execute natively and others lower to product + selections).
 class CrossBackendProperty : public ::testing::TestWithParam<int> {};
 
-TEST_P(CrossBackendProperty, UnifiedDriverAgreesOnAllThreeBackends) {
+TEST_P(CrossBackendProperty, UnifiedDriverAgreesOnAllBackends) {
   SeededRng rng(static_cast<uint64_t>(GetParam()) * 104729 + 71);
   MAYWSD_SEED_TRACE(rng);
   std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 2, 3},
@@ -168,63 +172,103 @@ TEST_P(CrossBackendProperty, UnifiedDriverAgreesOnAllThreeBackends) {
     Plan plan = RandomPlan(rng, 2, &attrs);
 
     for (bool optimized : {false, true}) {
-      Wsd wsd_copy = wsd;
-      engine::WsdBackend wsd_backend(wsd_copy);
-      Status st = optimized
-                      ? engine::EvaluateOptimized(wsd_backend, plan, "OUT")
-                      : engine::Evaluate(wsd_backend, plan, "OUT");
-      ASSERT_TRUE(st.ok()) << plan.ToString() << ": " << st;
-      auto wsd_out = wsd_copy.EnumerateWorlds(4000000, {"OUT"});
-      ASSERT_TRUE(wsd_out.ok()) << plan.ToString();
+      // The first enrolled backend's answer is the reference the rest are
+      // compared against.
+      std::vector<PossibleWorld> reference;
+      bool have_reference = false;
+      for (api::BackendKind kind : testutil::AllBackendKinds()) {
+        SCOPED_TRACE(::testing::Message()
+                     << "backend " << api::BackendKindName(kind)
+                     << (optimized ? " (optimized)" : " (plain)"));
+        // Per-kind store + backend; only the pair for `kind` is used.
+        Wsd wsd_store;
+        Wsdt wsdt_store;
+        rel::Database udb_store;
+        Urel urel_store;
+        std::unique_ptr<engine::WorldSetOps> backend;
+        switch (kind) {
+          case api::BackendKind::kWsd:
+            wsd_store = wsd;
+            backend = std::make_unique<engine::WsdBackend>(wsd_store);
+            break;
+          case api::BackendKind::kWsdt: {
+            auto wsdt_or = Wsdt::FromWsd(wsd);
+            ASSERT_TRUE(wsdt_or.ok());
+            wsdt_store = std::move(wsdt_or).value();
+            backend = std::make_unique<engine::WsdtBackend>(wsdt_store);
+            break;
+          }
+          case api::BackendKind::kUniform: {
+            auto udb_or = ExportUniform(Wsdt::FromWsd(wsd).value());
+            ASSERT_TRUE(udb_or.ok());
+            udb_store = std::move(udb_or).value();
+            backend = std::make_unique<engine::UniformBackend>(udb_store);
+            break;
+          }
+          case api::BackendKind::kUrel: {
+            auto urel_or = ExportUrel(Wsdt::FromWsd(wsd).value());
+            ASSERT_TRUE(urel_or.ok());
+            urel_store = std::move(urel_or).value();
+            backend = std::make_unique<engine::UrelBackend>(urel_store);
+            break;
+          }
+        }
+        ASSERT_NE(backend, nullptr);
 
-      auto wsdt_or = Wsdt::FromWsd(wsd);
-      ASSERT_TRUE(wsdt_or.ok());
-      Wsdt wsdt = std::move(wsdt_or).value();
-      engine::WsdtBackend wsdt_backend(wsdt);
-      st = optimized ? engine::EvaluateOptimized(wsdt_backend, plan, "OUT")
-                     : engine::Evaluate(wsdt_backend, plan, "OUT");
-      ASSERT_TRUE(st.ok()) << plan.ToString() << ": " << st;
-      ASSERT_TRUE(wsdt.Validate().ok()) << plan.ToString();
-      auto wsdt_out = wsdt.ToWsd().value().EnumerateWorlds(4000000, {"OUT"});
-      ASSERT_TRUE(wsdt_out.ok()) << plan.ToString();
+        Status st = optimized ? engine::EvaluateOptimized(*backend, plan,
+                                                          "OUT")
+                              : engine::Evaluate(*backend, plan, "OUT");
+        ASSERT_TRUE(st.ok()) << plan.ToString() << ": " << st;
 
-      EXPECT_TRUE(WorldSetsEquivalent(*wsd_out, *wsdt_out))
-          << "wsd/wsdt backends disagree on " << plan.ToString() << " seed "
-          << GetParam() << (optimized ? " (optimized)" : " (plain)");
+        // Representation integrity after the whole plan ran.
+        Status valid;
+        Result<std::vector<PossibleWorld>> out =
+            Status::Internal("unset");
+        switch (kind) {
+          case api::BackendKind::kWsd:
+            valid = wsd_store.Validate();
+            out = wsd_store.EnumerateWorlds(4000000, {"OUT"});
+            break;
+          case api::BackendKind::kWsdt:
+            valid = wsdt_store.Validate();
+            out = wsdt_store.ToWsd().value().EnumerateWorlds(4000000,
+                                                             {"OUT"});
+            break;
+          case api::BackendKind::kUniform: {
+            valid = ValidateUniform(udb_store);
+            auto back = ImportUniform(udb_store);
+            ASSERT_TRUE(back.ok()) << plan.ToString() << ": "
+                                   << back.status();
+            out = back->ToWsd().value().EnumerateWorlds(4000000, {"OUT"});
+            break;
+          }
+          case api::BackendKind::kUrel: {
+            valid = ValidateUrel(urel_store);
+            auto back = ImportUrel(urel_store);
+            ASSERT_TRUE(back.ok()) << plan.ToString() << ": "
+                                   << back.status();
+            out = back->ToWsd().value().EnumerateWorlds(4000000, {"OUT"});
+            break;
+          }
+        }
+        ASSERT_TRUE(valid.ok()) << plan.ToString() << ": " << valid;
+        ASSERT_TRUE(out.ok()) << plan.ToString();
 
-      // Third backend: the same plan inside the C/F/W store.
-      auto udb_or = ExportUniform(Wsdt::FromWsd(wsd).value());
-      ASSERT_TRUE(udb_or.ok());
-      rel::Database udb = std::move(udb_or).value();
-      engine::UniformBackend uniform_backend(udb);
-      st = optimized ? engine::EvaluateOptimized(uniform_backend, plan, "OUT")
-                     : engine::Evaluate(uniform_backend, plan, "OUT");
-      ASSERT_TRUE(st.ok()) << plan.ToString() << ": " << st;
-      ASSERT_TRUE(ValidateUniform(udb).ok())
-          << plan.ToString() << ": " << ValidateUniform(udb);
-      auto back = ImportUniform(udb);
-      ASSERT_TRUE(back.ok()) << plan.ToString() << ": " << back.status();
-      auto uniform_out =
-          back->ToWsd().value().EnumerateWorlds(4000000, {"OUT"});
-      ASSERT_TRUE(uniform_out.ok()) << plan.ToString();
-      EXPECT_TRUE(WorldSetsEquivalent(*wsd_out, *uniform_out))
-          << "wsd/uniform backends disagree on " << plan.ToString()
-          << " seed " << GetParam()
-          << (optimized ? " (optimized)" : " (plain)");
+        if (!have_reference) {
+          reference = std::move(out).value();
+          have_reference = true;
+        } else {
+          EXPECT_TRUE(WorldSetsEquivalent(reference, *out))
+              << "backends disagree on " << plan.ToString() << " seed "
+              << GetParam();
+        }
 
-      // The scratch-relation lifecycle must not leak intermediates into
-      // any decomposition.
-      for (const std::string& name : wsd_copy.RelationNames()) {
-        EXPECT_NE(name.rfind("__eng_tmp", 0), 0u)
-            << "leaked scratch relation " << name;
-      }
-      for (const std::string& name : wsdt.RelationNames()) {
-        EXPECT_NE(name.rfind("__eng_tmp", 0), 0u)
-            << "leaked scratch relation " << name;
-      }
-      for (const std::string& name : uniform_backend.RelationNames()) {
-        EXPECT_NE(name.rfind("__eng_tmp", 0), 0u)
-            << "leaked scratch relation " << name;
+        // The scratch-relation lifecycle must not leak intermediates into
+        // any representation.
+        for (const std::string& name : backend->RelationNames()) {
+          EXPECT_NE(name.rfind("__eng_tmp", 0), 0u)
+              << "leaked scratch relation " << name;
+        }
       }
     }
   }
@@ -288,26 +332,9 @@ TEST_P(RunAllBatchProperty, BatchedWithCacheMatchesPlanByPlan) {
                                      base));
     std::vector<std::string> outs = {"OUT0", "OUT1", "OUT2"};
 
-    for (api::BackendKind kind :
-         {api::BackendKind::kWsd, api::BackendKind::kWsdt,
-          api::BackendKind::kUniform}) {
-      auto open = [&]() -> Result<api::Session> {
-        switch (kind) {
-          case api::BackendKind::kWsd:
-            return api::Session::OverWsd(wsd);
-          case api::BackendKind::kWsdt: {
-            MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, Wsdt::FromWsd(wsd));
-            return api::Session::OverWsdt(std::move(wsdt));
-          }
-          case api::BackendKind::kUniform: {
-            MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, Wsdt::FromWsd(wsd));
-            return api::Session::OverUniform(wsdt);
-          }
-        }
-        return Status::Internal("unknown kind");
-      };
-      auto batch_or = open();
-      auto single_or = open();
+    for (api::BackendKind kind : testutil::AllBackendKinds()) {
+      auto batch_or = testutil::OpenSessionOver(kind, wsd);
+      auto single_or = testutil::OpenSessionOver(kind, wsd);
       ASSERT_TRUE(batch_or.ok() && single_or.ok());
       api::Session batch = std::move(batch_or).value();
       api::Session single = std::move(single_or).value();
@@ -324,27 +351,9 @@ TEST_P(RunAllBatchProperty, BatchedWithCacheMatchesPlanByPlan) {
             << workload[i].ToString();
       }
 
-      auto enumerate = [&](const api::Session& session,
-                           const std::string& out)
-          -> Result<std::vector<PossibleWorld>> {
-        switch (session.kind()) {
-          case api::BackendKind::kWsd:
-            return session.wsd()->EnumerateWorlds(4000000, {out});
-          case api::BackendKind::kWsdt: {
-            MAYWSD_ASSIGN_OR_RETURN(Wsd w, session.wsdt()->ToWsd());
-            return w.EnumerateWorlds(4000000, {out});
-          }
-          case api::BackendKind::kUniform: {
-            MAYWSD_ASSIGN_OR_RETURN(Wsdt w, ImportUniform(*session.uniform()));
-            MAYWSD_ASSIGN_OR_RETURN(Wsd w2, w.ToWsd());
-            return w2.EnumerateWorlds(4000000, {out});
-          }
-        }
-        return Status::Internal("unknown kind");
-      };
       for (const std::string& out : outs) {
-        auto batched = enumerate(batch, out);
-        auto plain = enumerate(single, out);
+        auto batched = testutil::SessionWorlds(batch, 4000000, {out});
+        auto plain = testutil::SessionWorlds(single, 4000000, {out});
         ASSERT_TRUE(batched.ok()) << batched.status();
         ASSERT_TRUE(plain.ok()) << plain.status();
         EXPECT_TRUE(WorldSetsEquivalent(*batched, *plain))

@@ -1,5 +1,5 @@
 // api::Session: the representation-agnostic facade must behave
-// identically over all three backends — same catalog semantics, same
+// identically over every backend — same catalog semantics, same
 // query results, same Section 6 answers — and manage the scratch
 // lifecycle so no engine temporaries leak into any representation.
 
@@ -21,32 +21,54 @@ using rel::Plan;
 using rel::Predicate;
 using testutil::I;
 
-/// The three sessions over one random world set.
+/// One session per enrolled backend over one random world set.
 std::vector<Session> SessionsOver(const Wsd& wsd) {
-  Wsdt wsdt = Wsdt::FromWsd(wsd).value();
-  auto uniform = Session::OverUniform(wsdt);
-  EXPECT_TRUE(uniform.ok());
   std::vector<Session> sessions;
-  sessions.push_back(Session::OverWsd(wsd));
-  sessions.push_back(Session::OverWsdt(std::move(wsdt)));
-  sessions.push_back(std::move(uniform).value());
+  for (BackendKind kind : testutil::AllBackendKinds()) {
+    auto session = testutil::OpenSessionOver(kind, wsd);
+    EXPECT_TRUE(session.ok()) << BackendKindName(kind);
+    sessions.push_back(std::move(session).value());
+  }
   return sessions;
 }
 
 TEST(SessionTest, KindAndRepresentationAccess) {
   std::vector<Session> sessions = SessionsOver(Wsd());
+  ASSERT_EQ(sessions.size(), 4u);
   EXPECT_EQ(sessions[0].kind(), BackendKind::kWsd);
   EXPECT_EQ(sessions[1].kind(), BackendKind::kWsdt);
   EXPECT_EQ(sessions[2].kind(), BackendKind::kUniform);
+  EXPECT_EQ(sessions[3].kind(), BackendKind::kUrel);
   for (const Session& s : sessions) {
     EXPECT_EQ(s.BackendName(), BackendKindName(s.kind()));
   }
   EXPECT_NE(sessions[0].wsd(), nullptr);
   EXPECT_EQ(sessions[0].wsdt(), nullptr);
   EXPECT_EQ(sessions[0].uniform(), nullptr);
+  EXPECT_EQ(sessions[0].urel(), nullptr);
   EXPECT_NE(sessions[1].wsdt(), nullptr);
   EXPECT_NE(sessions[2].uniform(), nullptr);
   EXPECT_EQ(sessions[2].wsd(), nullptr);
+  EXPECT_NE(sessions[3].urel(), nullptr);
+  EXPECT_EQ(sessions[3].wsd(), nullptr);
+}
+
+TEST(SessionTest, ParseBackendKindRoundTripsAndRejects) {
+  for (BackendKind kind : testutil::AllBackendKinds()) {
+    auto parsed = ParseBackendKind(BackendKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << BackendKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  auto bad = ParseBackendKind("no-such-backend");
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionTest, OpenByKindStartsEmpty) {
+  for (BackendKind kind : testutil::AllBackendKinds()) {
+    Session session = Session::Open(kind);
+    EXPECT_EQ(session.kind(), kind);
+    EXPECT_TRUE(session.RelationNames().empty()) << BackendKindName(kind);
+  }
 }
 
 TEST(SessionTest, RegisterRunAnswerOnEveryBackend) {
@@ -55,11 +77,8 @@ TEST(SessionTest, RegisterRunAnswerOnEveryBackend) {
   base.AppendRow({I(2), I(20)});
   base.AppendRow({I(3), I(30)});
 
-  std::vector<Session> sessions;
-  sessions.push_back(Session::OverWsd());
-  sessions.push_back(Session::OverWsdt());
-  sessions.push_back(Session::OverUniform());
-  for (Session& session : sessions) {
+  for (BackendKind kind : testutil::AllBackendKinds()) {
+    Session session = Session::Open(kind);
     SCOPED_TRACE(std::string(session.BackendName()));
     ASSERT_TRUE(session.Register(base).ok());
     EXPECT_FALSE(session.Register(base).ok());  // name collision
@@ -109,11 +128,8 @@ TEST(SessionTest, RegisterRejectsPlaceholdersAndBottom) {
   bad.AppendRow({rel::Value::Question()});
   rel::Relation bot(rel::Schema::FromNames({"A"}), "R");
   bot.AppendRow({rel::Value::Bottom()});
-  std::vector<Session> sessions;
-  sessions.push_back(Session::OverWsd());
-  sessions.push_back(Session::OverWsdt());
-  sessions.push_back(Session::OverUniform());
-  for (Session& session : sessions) {
+  for (BackendKind kind : testutil::AllBackendKinds()) {
+    Session session = Session::Open(kind);
     SCOPED_TRACE(std::string(session.BackendName()));
     EXPECT_FALSE(session.Register(bad).ok());
     EXPECT_FALSE(session.Register(bot).ok());
@@ -193,7 +209,8 @@ TEST(SessionTest, UniformSessionKeepsStoreImportable) {
   std::vector<testutil::RelSpec> specs = {{"R", {"A", "B"}, 2, 3},
                                           {"R2", {"A", "B"}, 2, 3}};
   Wsd wsd = testutil::RandomWsd(rng, specs, 2);
-  auto session_or = Session::OverUniform(Wsdt::FromWsd(wsd).value());
+  auto session_or =
+      Session::Open(BackendKind::kUniform, Wsdt::FromWsd(wsd).value());
   ASSERT_TRUE(session_or.ok());
   Session session = std::move(session_or).value();
   Plan plan = Plan::Difference(Plan::Scan("R"), Plan::Scan("R2"));

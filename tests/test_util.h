@@ -5,11 +5,16 @@
 #define MAYWSD_TESTS_TEST_UTIL_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/session.h"
 #include "common/rng.h"
 #include "core/normalize.h"
+#include "core/uniform.h"
+#include "core/urel.h"
 #include "core/wsd.h"
+#include "core/wsdt.h"
 #include "core/worldset.h"
 #include "rel/relation.h"
 
@@ -91,6 +96,72 @@ inline core::Wsd RandomWsd(Rng& rng, const std::vector<RelSpec>& specs,
     (void)st;
   }
   return wsd;
+}
+
+// -- Backend enrollment ------------------------------------------------------
+//
+// The cross-backend equivalence oracles iterate this list instead of a
+// hardcoded trio: adding a backend here enrolls it in every oracle
+// (random_plan_test, update_test, parallel_session_test) at once.
+
+/// Every Session backend, in a stable order.
+inline std::vector<api::BackendKind> AllBackendKinds() {
+  return {api::BackendKind::kWsd, api::BackendKind::kWsdt,
+          api::BackendKind::kUniform, api::BackendKind::kUrel};
+}
+
+/// Opens a Session of the requested backend kind over (a copy of) `wsd`.
+inline Result<api::Session> OpenSessionOver(api::BackendKind kind,
+                                            const core::Wsd& wsd,
+                                            api::SessionOptions options = {}) {
+  if (kind == api::BackendKind::kWsd) {
+    return api::Session::Open(core::Wsd(wsd), options);
+  }
+  MAYWSD_ASSIGN_OR_RETURN(core::Wsdt wsdt, core::Wsdt::FromWsd(wsd));
+  return api::Session::Open(kind, wsdt, options);
+}
+
+/// Enumerates the session's world set (restricted to `rels` when non-empty)
+/// regardless of the backing representation, for oracle comparisons.
+inline Result<std::vector<core::PossibleWorld>> SessionWorlds(
+    const api::Session& session, size_t cap,
+    const std::vector<std::string>& rels = {}) {
+  switch (session.kind()) {
+    case api::BackendKind::kWsd:
+      return session.wsd()->EnumerateWorlds(cap, rels);
+    case api::BackendKind::kWsdt: {
+      MAYWSD_ASSIGN_OR_RETURN(core::Wsd w, session.wsdt()->ToWsd());
+      return w.EnumerateWorlds(cap, rels);
+    }
+    case api::BackendKind::kUniform: {
+      MAYWSD_ASSIGN_OR_RETURN(core::Wsdt wsdt,
+                              core::ImportUniform(*session.uniform()));
+      MAYWSD_ASSIGN_OR_RETURN(core::Wsd w, wsdt.ToWsd());
+      return w.EnumerateWorlds(cap, rels);
+    }
+    case api::BackendKind::kUrel: {
+      MAYWSD_ASSIGN_OR_RETURN(core::Wsdt wsdt,
+                              core::ImportUrel(*session.urel()));
+      MAYWSD_ASSIGN_OR_RETURN(core::Wsd w, wsdt.ToWsd());
+      return w.EnumerateWorlds(cap, rels);
+    }
+  }
+  return Status::Internal("unknown backend kind");
+}
+
+/// Representation-specific integrity check of the session's store.
+inline Status ValidateSession(const api::Session& session) {
+  switch (session.kind()) {
+    case api::BackendKind::kWsd:
+      return session.wsd()->Validate();
+    case api::BackendKind::kWsdt:
+      return session.wsdt()->Validate();
+    case api::BackendKind::kUniform:
+      return core::ValidateUniform(*session.uniform());
+    case api::BackendKind::kUrel:
+      return core::ValidateUrel(*session.urel());
+  }
+  return Status::Internal("unknown backend kind");
 }
 
 }  // namespace maywsd::testutil

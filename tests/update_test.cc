@@ -2,10 +2,11 @@
 //   - UpdateOp value-type basics (accessors, hashing, equality),
 //   - the one-world reference semantics (rel::ApplyUpdate),
 //   - hand-built world-conditional scenarios on every backend,
-//   - the three-backend update-equivalence oracle: random sequences of
+//   - the cross-backend update-equivalence oracle: random sequences of
 //     InsertTuples/DeleteWhere/ModifyWhere (including world-conditional
-//     ones) applied to WSD, WSDT and uniform backends, with the expanded
-//     world sets compared against the per-world reference after every step,
+//     ones) applied to every enrolled backend (WSD, WSDT, uniform,
+//     U-relations), with the expanded world sets compared against the
+//     per-world reference after every step,
 //   - query/update interleavings: a cached, threaded Session must return
 //     exactly the answers of a fresh cache-off sequential session,
 //   - answer-surface cache hit/miss/invalidation accounting.
@@ -15,9 +16,11 @@
 #include "api/session.h"
 #include "core/engine/uniform_backend.h"
 #include "core/engine/update_plan.h"
+#include "core/engine/urel_backend.h"
 #include "core/engine/wsd_backend.h"
 #include "core/engine/wsdt_backend.h"
 #include "core/uniform.h"
+#include "core/urel.h"
 #include "core/worldset.h"
 #include "rel/update.h"
 #include "tests/test_util.h"
@@ -141,12 +144,14 @@ struct BackendUnderTest {
   std::unique_ptr<Wsd> wsd;
   std::unique_ptr<Wsdt> wsdt;
   std::unique_ptr<rel::Database> udb;
+  std::unique_ptr<Urel> urel;
   std::unique_ptr<engine::WorldSetOps> ops;
 
   Status Validate() const {
     if (wsd) return wsd->Validate();
     if (wsdt) return wsdt->Validate();
-    return ValidateUniform(*udb);
+    if (udb) return ValidateUniform(*udb);
+    return ValidateUrel(*urel);
   }
 
   Result<std::vector<PossibleWorld>> Expand(
@@ -156,8 +161,9 @@ struct BackendUnderTest {
       MAYWSD_ASSIGN_OR_RETURN(Wsd w, wsdt->ToWsd());
       return w.EnumerateWorlds(4000000, relations);
     }
-    MAYWSD_ASSIGN_OR_RETURN(Wsdt t, ImportUniform(*udb));
-    MAYWSD_ASSIGN_OR_RETURN(Wsd w, t.ToWsd());
+    Result<Wsdt> t = udb ? ImportUniform(*udb) : ImportUrel(*urel);
+    MAYWSD_RETURN_IF_ERROR(t.status());
+    MAYWSD_ASSIGN_OR_RETURN(Wsd w, t->ToWsd());
     return w.EnumerateWorlds(4000000, relations);
   }
 };
@@ -184,6 +190,14 @@ std::vector<BackendUnderTest> MakeBackends(const Wsd& wsd) {
     b.udb = std::make_unique<rel::Database>(
         ExportUniform(Wsdt::FromWsd(wsd).value()).value());
     b.ops = std::make_unique<engine::UniformBackend>(*b.udb);
+    out.push_back(std::move(b));
+  }
+  {
+    BackendUnderTest b;
+    b.name = "urel";
+    b.urel = std::make_unique<Urel>(
+        ExportUrel(Wsdt::FromWsd(wsd).value()).value());
+    b.ops = std::make_unique<engine::UrelBackend>(*b.urel);
     out.push_back(std::move(b));
   }
   return out;
@@ -411,23 +425,6 @@ INSTANTIATE_TEST_SUITE_P(Seeds, UpdateOracleProperty, ::testing::Range(0, 12));
 
 // -- Query/update interleavings through the Session facade --------------------
 
-Result<api::Session> OpenSession(api::BackendKind kind, const Wsd& wsd,
-                                 api::SessionOptions options) {
-  switch (kind) {
-    case api::BackendKind::kWsd:
-      return api::Session::OverWsd(wsd, options);
-    case api::BackendKind::kWsdt: {
-      MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, Wsdt::FromWsd(wsd));
-      return api::Session::OverWsdt(std::move(wsdt), options);
-    }
-    case api::BackendKind::kUniform: {
-      MAYWSD_ASSIGN_OR_RETURN(Wsdt wsdt, Wsdt::FromWsd(wsd));
-      return api::Session::OverUniform(wsdt, options);
-    }
-  }
-  return Status::Internal("unknown kind");
-}
-
 class InterleavingProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(InterleavingProperty, CachedThreadedSessionMatchesCacheOffSession) {
@@ -438,15 +435,11 @@ TEST_P(InterleavingProperty, CachedThreadedSessionMatchesCacheOffSession) {
                                 RelSpec{"R2", {"A", "B"}, 2, 3}};
   Wsd wsd = testutil::RandomWsd(rng, specs, 3);
 
-  for (api::BackendKind kind :
-       {api::BackendKind::kWsd, api::BackendKind::kWsdt,
-        api::BackendKind::kUniform}) {
-    auto cached_or =
-        OpenSession(kind, wsd, api::SessionOptions{.threads = 2,
-                                                   .cache = true});
-    auto plain_or =
-        OpenSession(kind, wsd, api::SessionOptions{.threads = 1,
-                                                   .cache = false});
+  for (api::BackendKind kind : testutil::AllBackendKinds()) {
+    auto cached_or = testutil::OpenSessionOver(
+        kind, wsd, api::SessionOptions{.threads = 2, .cache = true});
+    auto plain_or = testutil::OpenSessionOver(
+        kind, wsd, api::SessionOptions{.threads = 1, .cache = false});
     ASSERT_TRUE(cached_or.ok() && plain_or.ok());
     api::Session cached = std::move(cached_or).value();
     api::Session plain = std::move(plain_or).value();
@@ -525,7 +518,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, InterleavingProperty, ::testing::Range(0, 8));
 // -- Answer-cache accounting --------------------------------------------------
 
 TEST(AnswerCacheTest, HitsMissesAndInvalidation) {
-  api::Session session = api::Session::OverWsdt();
+  api::Session session = api::Session::Open(api::BackendKind::kWsdt);
   rel::Relation r(rel::Schema::FromNames({"A", "B"}), "R");
   r.AppendRow({I(1), I(1)});
   ASSERT_TRUE(session.Register(r).ok());
@@ -558,7 +551,7 @@ TEST(AnswerCacheTest, HitsMissesAndInvalidation) {
 
   // cache=false bypasses the memo entirely.
   api::Session raw =
-      api::Session::OverWsdt(Wsdt(), api::SessionOptions{.cache = false});
+      api::Session::Open(Wsdt(), api::SessionOptions{.cache = false});
   ASSERT_TRUE(raw.Register(r).ok());
   ASSERT_TRUE(raw.PossibleTuples("R").ok());
   ASSERT_TRUE(raw.PossibleTuples("R").ok());
@@ -567,7 +560,7 @@ TEST(AnswerCacheTest, HitsMissesAndInvalidation) {
 }
 
 TEST(SessionUpdateTest, ApplyAllAppliesInOrder) {
-  api::Session session = api::Session::OverWsdt();
+  api::Session session = api::Session::Open(api::BackendKind::kWsdt);
   rel::Relation r(rel::Schema::FromNames({"A", "B"}), "R");
   ASSERT_TRUE(session.Register(r).ok());
   std::vector<UpdateOp> ops = {
@@ -586,7 +579,7 @@ TEST(SessionUpdateTest, ApplyAllAppliesInOrder) {
 }
 
 TEST(SessionUpdateTest, ValidationRejectsBadUpdates) {
-  api::Session session = api::Session::OverWsdt();
+  api::Session session = api::Session::Open(api::BackendKind::kWsdt);
   rel::Relation r(rel::Schema::FromNames({"A", "B"}), "R");
   ASSERT_TRUE(session.Register(r).ok());
 
