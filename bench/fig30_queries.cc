@@ -214,8 +214,11 @@ int main(int argc, char** argv) {
   // twice and falls back). The uniform column additionally profits
   // single-threaded: a sharded run pays ONE import/export round trip for
   // the whole plan instead of one per non-relational operator. The urel
-  // column runs at the full WSDT size — tuples partition into independent
-  // variable groups, and every operator here is a native rewriting.
+  // column runs at the full WSDT size; its cost gate declines the fan-out
+  // for Q1–Q4/Q6 (single-leaf unary chains are one bandwidth-bound pass —
+  // slicing every column of the store first can only lose) and Q5 scans R
+  // twice, so the urel t≥2 columns measure the sequential path and must
+  // match t=1 instead of regressing behind slice-construction cost.
   {
     const double kPDensity = 0.001;
     std::printf(

@@ -16,6 +16,7 @@
 #include "core/engine/urel_backend.h"
 #include "core/engine/wsd_backend.h"
 #include "core/engine/wsdt_backend.h"
+#include "core/component_store.h"
 #include "core/uniform.h"
 
 namespace maywsd::api {
@@ -255,6 +256,13 @@ SessionStats Session::Stats() const {
   std::lock_guard<std::mutex> lock(rep_->cache_mu);
   SessionStats snapshot = rep_->stats;
   snapshot.round_trips = rep_->backend->RoundTrips();
+  core::store::StoreStats ss = core::store::GetStoreStats();
+  snapshot.store_compose_nodes = ss.compose_nodes;
+  snapshot.store_forced_evals = ss.forced_evals;
+  snapshot.store_live_cells = ss.live_cells;
+  snapshot.store_peak_cells = ss.peak_cells;
+  snapshot.store_dedup_hits = ss.dedup_hits;
+  snapshot.store_cow_breaks = ss.cow_breaks;
   return snapshot;
 }
 
@@ -301,10 +309,19 @@ Status Session::Apply(const rel::UpdateOp& op) {
 }
 
 Status Session::ApplyAll(std::span<const rel::UpdateOp> ops) {
-  for (const rel::UpdateOp& op : ops) {
-    MAYWSD_RETURN_IF_ERROR(Apply(op));
+  // Counted and invalidated up front for the same reason Apply invalidates
+  // eagerly: a mid-batch failure leaves earlier updates applied, and a
+  // stale answer is worse than a recompute.
+  rep_->stats.applies += ops.size();
+  for (const rel::UpdateOp& op : ops) rep_->Invalidate(op.relation());
+  core::engine::UpdateBatchStats ubs;
+  Status st = core::engine::ApplyUpdates(*rep_->backend, ops, &ubs);
+  {
+    std::lock_guard<std::mutex> lock(rep_->cache_mu);
+    rep_->stats.guard_materializations += ubs.guard_materializations;
+    rep_->stats.guard_shares += ubs.guard_shares;
   }
-  return Status::Ok();
+  return st;
 }
 
 uint64_t Session::RelationVersion(std::string_view name) const {

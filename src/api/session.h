@@ -77,10 +77,25 @@ struct SessionStats {
   uint64_t applies = 0;          ///< Apply/ApplyAll update operations
   uint64_t answer_cache_hits = 0;    ///< memoized answer-surface hits
   uint64_t answer_cache_misses = 0;  ///< memoized answer-surface misses
+  /// ApplyAll guard sharing: world conditions actually evaluated + copied
+  /// versus updates served by a batch-cached guard (structurally equal
+  /// conditions share one materialization until an applied update mutates
+  /// a relation the condition reads).
+  uint64_t guard_materializations = 0;
+  uint64_t guard_shares = 0;
   /// Import → template semantics → export round trips the backend paid for
   /// operators outside its native fragment (uniform and urel backends;
   /// always 0 for wsd/wsdt).
   uint64_t round_trips = 0;
+  /// Interned component-store counters, snapshotted from the process-wide
+  /// store at Stats() time (the store is shared by every session in the
+  /// process — benches diff two snapshots around a workload).
+  uint64_t store_compose_nodes = 0;  ///< lazy compose DAG nodes recorded
+  uint64_t store_forced_evals = 0;   ///< derived nodes actually materialized
+  uint64_t store_live_cells = 0;     ///< value cells currently materialized
+  uint64_t store_peak_cells = 0;     ///< high-water mark of live cells
+  uint64_t store_dedup_hits = 0;     ///< certain-singleton intern hits
+  uint64_t store_cow_breaks = 0;     ///< shared payloads privatized
 };
 
 /// A query session over one world-set representation.

@@ -3,10 +3,25 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <map>
 #include <sstream>
 #include <unordered_map>
 
 namespace maywsd::core {
+
+Component Component::Certain(const FieldKey& field, const rel::Value& value) {
+  Component out({field});
+  out.node_ = store::CertainLeaf(value);
+  return out;
+}
+
+void Component::PrivatizePayload() {
+  if (node_ == nullptr) {
+    node_ = store::NewLeaf(fields_.size());
+    return;
+  }
+  node_ = store::MutableLeaf(std::move(node_));
+}
 
 int Component::FindField(const FieldKey& field) const {
   for (size_t i = 0; i < fields_.size(); ++i) {
@@ -17,8 +32,12 @@ int Component::FindField(const FieldKey& field) const {
 
 void Component::AddWorld(std::span<const rel::Value> values, double prob) {
   assert(values.size() == fields_.size());
-  values_.insert(values_.end(), values.begin(), values.end());
-  probs_.push_back(prob);
+  EnsureMutable();
+  assert(node_->width == fields_.size());
+  node_->values.insert(node_->values.end(), values.begin(), values.end());
+  node_->probs.push_back(prob);
+  ++node_->worlds;
+  store::Account(*node_);
 }
 
 void Component::AddWorld(std::initializer_list<rel::Value> values,
@@ -26,83 +45,64 @@ void Component::AddWorld(std::initializer_list<rel::Value> values,
   AddWorld(std::span<const rel::Value>(values.begin(), values.size()), prob);
 }
 
-double Component::ProbSum() const {
-  double sum = 0;
-  for (double p : probs_) sum += p;
-  return sum;
-}
-
 Status Component::NormalizeProbs() {
   double sum = ProbSum();
   if (sum <= 0) {
     return Status::Inconsistent("component has zero probability mass");
   }
-  for (double& p : probs_) p /= sum;
+  if (std::abs(sum - 1.0) < kProbEpsilon * kProbEpsilon) return Status::Ok();
+  EnsureMutable();
+  for (double& p : node_->probs) p /= sum;
   return Status::Ok();
 }
 
 void Component::ExtDuplicateColumn(size_t src_col, const FieldKey& new_field) {
-  size_t old_width = fields_.size();
-  size_t n = NumWorlds();
   fields_.push_back(new_field);
-  std::vector<rel::Value> out;
-  out.reserve(n * (old_width + 1));
-  for (size_t w = 0; w < n; ++w) {
-    const rel::Value* row = values_.data() + w * old_width;
-    out.insert(out.end(), row, row + old_width);
-    out.push_back(row[src_col]);
+  if (node_ == nullptr) return;  // no local worlds: the column is virtual
+  if (node_->worlds == 0) {
+    EnsureMutable();
+    ++node_->width;
+    return;
   }
-  values_ = std::move(out);
+  node_ = store::ExtDup(node_, src_col);
 }
 
 void Component::ExtConstantColumn(const FieldKey& new_field,
                                   const rel::Value& value) {
-  size_t old_width = fields_.size();
-  size_t n = NumWorlds();
   fields_.push_back(new_field);
-  std::vector<rel::Value> out;
-  out.reserve(n * (old_width + 1));
-  for (size_t w = 0; w < n; ++w) {
-    const rel::Value* row = values_.data() + w * old_width;
-    out.insert(out.end(), row, row + old_width);
-    out.push_back(value);
+  if (node_ == nullptr) return;
+  if (node_->worlds == 0) {
+    EnsureMutable();
+    ++node_->width;
+    return;
   }
-  values_ = std::move(out);
+  node_ = store::ExtConst(node_, value);
 }
 
 void Component::ExtColumn(const FieldKey& new_field,
                           std::span<const rel::Value> values) {
-  size_t old_width = fields_.size();
-  size_t n = NumWorlds();
-  assert(values.size() == n);
-  fields_.push_back(new_field);
+  assert(values.size() == NumWorlds());
+  EnsureMutable();
+  size_t old_width = node_->width;
+  size_t n = node_->worlds;
   std::vector<rel::Value> out;
   out.reserve(n * (old_width + 1));
   for (size_t w = 0; w < n; ++w) {
-    const rel::Value* row = values_.data() + w * old_width;
+    const rel::Value* row = node_->values.data() + w * old_width;
     out.insert(out.end(), row, row + old_width);
     out.push_back(values[w]);
   }
-  values_ = std::move(out);
+  node_->values = std::move(out);
+  ++node_->width;
+  fields_.push_back(new_field);
+  store::Account(*node_);
 }
 
 Component Component::Compose(const Component& a, const Component& b) {
   std::vector<FieldKey> fields = a.fields_;
   fields.insert(fields.end(), b.fields_.begin(), b.fields_.end());
   Component out(std::move(fields));
-  size_t na = a.NumWorlds();
-  size_t nb = b.NumWorlds();
-  out.values_.reserve(na * nb * out.fields_.size());
-  out.probs_.reserve(na * nb);
-  for (size_t i = 0; i < na; ++i) {
-    const rel::Value* ra = a.values_.data() + i * a.fields_.size();
-    for (size_t j = 0; j < nb; ++j) {
-      const rel::Value* rb = b.values_.data() + j * b.fields_.size();
-      out.values_.insert(out.values_.end(), ra, ra + a.fields_.size());
-      out.values_.insert(out.values_.end(), rb, rb + b.fields_.size());
-      out.probs_.push_back(a.probs_[i] * b.probs_[j]);
-    }
-  }
+  out.node_ = store::Compose(a.node_, b.node_);
   return out;
 }
 
@@ -122,51 +122,65 @@ Component Component::ProjectColumns(const std::vector<size_t>& cols) const {
   fields.reserve(cols.size());
   for (size_t c : cols) fields.push_back(fields_[c]);
   Component out(std::move(fields));
-  size_t n = NumWorlds();
-  out.values_.reserve(n * cols.size());
-  out.probs_ = probs_;
-  for (size_t w = 0; w < n; ++w) {
-    const rel::Value* row = values_.data() + w * fields_.size();
-    for (size_t c : cols) out.values_.push_back(row[c]);
+  if (node_ == nullptr) return out;
+  const store::Node& n = store::ForcedRef(node_);
+  out.node_ = store::NewLeaf(cols.size());
+  out.node_->worlds = n.worlds;
+  out.node_->probs = n.probs;
+  out.node_->values.reserve(n.worlds * cols.size());
+  for (size_t w = 0; w < n.worlds; ++w) {
+    const rel::Value* row = n.values.data() + w * n.width;
+    for (size_t c : cols) out.node_->values.push_back(row[c]);
   }
+  store::Account(*out.node_);
+  return out;
+}
+
+Component Component::WithFields(std::vector<FieldKey> fields) const {
+  assert(fields.size() == fields_.size());
+  Component out(std::move(fields));
+  out.node_ = node_;
   return out;
 }
 
 void Component::RemoveWorld(size_t world) {
-  size_t n = NumWorlds();
-  size_t k = fields_.size();
+  EnsureMutable();
+  size_t n = node_->worlds;
+  size_t k = node_->width;
   assert(world < n);
   if (world != n - 1) {
     if (k > 0) {
-      std::copy(values_.begin() + (n - 1) * k, values_.begin() + n * k,
-                values_.begin() + world * k);
+      std::copy(node_->values.begin() + (n - 1) * k,
+                node_->values.begin() + n * k,
+                node_->values.begin() + world * k);
     }
-    probs_[world] = probs_[n - 1];
+    node_->probs[world] = node_->probs[n - 1];
   }
-  values_.resize((n - 1) * k);
-  probs_.resize(n - 1);
+  node_->values.resize((n - 1) * k);
+  node_->probs.resize(n - 1);
+  --node_->worlds;
+  store::Account(*node_);
 }
 
 void Component::Compress() {
-  size_t n = NumWorlds();
-  size_t k = fields_.size();
-  if (n <= 1) return;
+  if (NumWorlds() <= 1) return;
+  EnsureMutable();
+  size_t n = node_->worlds;
+  size_t k = node_->width;
+  const std::vector<rel::Value>& vals = node_->values;
+  const std::vector<double>& probs = node_->probs;
   // Hash rows; merge duplicates by summing probabilities.
-  struct RowRef {
-    const rel::Value* data;
-    size_t len;
-  };
   std::unordered_map<size_t, std::vector<size_t>> buckets;
   std::vector<rel::Value> out_vals;
   std::vector<double> out_probs;
   auto row_hash = [&](size_t w) {
     size_t seed = 0x165667b1u;
-    for (size_t c = 0; c < k; ++c) HashCombine(seed, at(w, c).Hash());
+    for (size_t c = 0; c < k; ++c) HashCombine(seed, vals[w * k + c].Hash());
     return seed;
   };
   auto rows_equal_out = [&](size_t out_row, size_t w) {
     for (size_t c = 0; c < k; ++c) {
-      if (!(out_vals[out_row * k + c] == at(w, c))) return false;
+      if (!(out_vals[out_row * k + c] == vals[w * k + c])) return false;
     }
     return true;
   };
@@ -176,63 +190,74 @@ void Component::Compress() {
     bool merged = false;
     for (size_t out_row : bucket) {
       if (rows_equal_out(out_row, w)) {
-        out_probs[out_row] += probs_[w];
+        out_probs[out_row] += probs[w];
         merged = true;
         break;
       }
     }
     if (!merged) {
       size_t out_row = out_probs.size();
-      for (size_t c = 0; c < k; ++c) out_vals.push_back(at(w, c));
-      out_probs.push_back(probs_[w]);
+      for (size_t c = 0; c < k; ++c) out_vals.push_back(vals[w * k + c]);
+      out_probs.push_back(probs[w]);
       bucket.push_back(out_row);
     }
   }
-  values_ = std::move(out_vals);
-  probs_ = std::move(out_probs);
+  node_->worlds = out_probs.size();
+  node_->values = std::move(out_vals);
+  node_->probs = std::move(out_probs);
+  store::Account(*node_);
 }
 
 void Component::PropagateBottom() {
-  size_t n = NumWorlds();
   size_t k = fields_.size();
+  if (k == 0 || node_ == nullptr || node_->worlds == 0) return;
   // Columns grouped by (relation, tuple-id): ⊥ spreads within a group.
-  for (size_t w = 0; w < n; ++w) {
+  std::vector<int> group(k, 0);
+  int num_groups = 0;
+  bool multi_column_group = false;
+  {
+    std::map<std::pair<Symbol, TupleId>, int> ids;
     for (size_t c = 0; c < k; ++c) {
-      if (!at(w, c).is_bottom()) continue;
-      const FieldKey& f = fields_[c];
-      for (size_t c2 = 0; c2 < k; ++c2) {
-        if (fields_[c2].rel == f.rel && fields_[c2].tuple == f.tuple) {
-          at(w, c2) = rel::Value::Bottom();
-        }
+      auto [it, inserted] = ids.emplace(
+          std::make_pair(fields_[c].rel, fields_[c].tuple), num_groups);
+      if (inserted) {
+        ++num_groups;
+      } else {
+        multi_column_group = true;
+      }
+      group[c] = it->second;
+    }
+  }
+  // Propagation is a no-op unless some multi-column tuple group exists and
+  // some column carries a ⊥ — both probed without forcing.
+  if (!multi_column_group) return;
+  bool any_bottom = false;
+  for (size_t c = 0; c < k && !any_bottom; ++c) {
+    any_bottom = store::ColumnHasBottom(node_.get(), c);
+  }
+  if (!any_bottom) return;
+
+  EnsureMutable();
+  size_t n = node_->worlds;
+  std::vector<rel::Value>& vals = node_->values;
+  std::vector<char> group_bottom(static_cast<size_t>(num_groups));
+  for (size_t w = 0; w < n; ++w) {
+    std::fill(group_bottom.begin(), group_bottom.end(), 0);
+    rel::Value* row = vals.data() + w * k;
+    bool any = false;
+    for (size_t c = 0; c < k; ++c) {
+      if (row[c].is_bottom()) {
+        group_bottom[static_cast<size_t>(group[c])] = 1;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    for (size_t c = 0; c < k; ++c) {
+      if (group_bottom[static_cast<size_t>(group[c])] != 0) {
+        row[c] = rel::Value::Bottom();
       }
     }
   }
-}
-
-bool Component::ColumnAllBottom(size_t col) const {
-  size_t n = NumWorlds();
-  if (n == 0) return false;
-  for (size_t w = 0; w < n; ++w) {
-    if (!at(w, col).is_bottom()) return false;
-  }
-  return true;
-}
-
-bool Component::ColumnHasBottom(size_t col) const {
-  size_t n = NumWorlds();
-  for (size_t w = 0; w < n; ++w) {
-    if (at(w, col).is_bottom()) return true;
-  }
-  return false;
-}
-
-bool Component::ColumnConstant(size_t col) const {
-  size_t n = NumWorlds();
-  if (n == 0) return false;
-  for (size_t w = 1; w < n; ++w) {
-    if (!(at(w, col) == at(0, col))) return false;
-  }
-  return true;
 }
 
 void Component::RenameField(size_t col, const FieldKey& new_field) {
@@ -252,7 +277,7 @@ std::string Component::ToString() const {
     for (size_t c = 0; c < fields_.size(); ++c) {
       os << at(w, c) << " ";
     }
-    os << "| " << probs_[w] << "\n";
+    os << "| " << prob(w) << "\n";
   }
   return os.str();
 }

@@ -4,17 +4,27 @@
 // FieldKey) whose rows — the paper's *local worlds* — each carry a
 // probability. The world-set represented by a WSD is the product of its
 // components: one local world is chosen per component, independently.
+//
+// The local-world payload is a refcounted handle into the shared component
+// store (core/component_store.h): copying a Component shares the payload,
+// Compose/ext record O(1) nodes in a composition DAG, reads force and
+// memoize lazily, and writers privatize the payload copy-on-write. The
+// public surface below is unchanged from the eager implementation; only
+// the cost model moved. Mutating a Component still requires external
+// synchronization; sharing and reading are thread-safe.
 
 #ifndef MAYWSD_CORE_COMPONENT_H_
 #define MAYWSD_CORE_COMPONENT_H_
 
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
-#include "rel/value.h"
+#include "core/component_store.h"
 #include "core/field.h"
+#include "rel/value.h"
 
 namespace maywsd::core {
 
@@ -31,10 +41,12 @@ class Component {
   explicit Component(std::vector<FieldKey> fields)
       : fields_(std::move(fields)) {}
 
+  /// The certain singleton [value | 1.0] under `field`, interned: equal
+  /// values across the store share one payload node.
+  static Component Certain(const FieldKey& field, const rel::Value& value);
+
   size_t NumFields() const { return fields_.size(); }
-  size_t NumWorlds() const {
-    return fields_.empty() ? probs_.size() : values_.size() / fields_.size();
-  }
+  size_t NumWorlds() const { return node_ ? node_->worlds : 0; }
   bool empty() const { return NumWorlds() == 0; }
 
   const std::vector<FieldKey>& fields() const { return fields_; }
@@ -47,25 +59,34 @@ class Component {
   void AddWorld(std::span<const rel::Value> values, double prob);
   void AddWorld(std::initializer_list<rel::Value> values, double prob);
 
-  /// Field value in local world `world`.
+  /// Field value in local world `world` (forces a lazy payload).
   const rel::Value& at(size_t world, size_t col) const {
-    return values_[world * fields_.size() + col];
+    const store::Node& n = store::ForcedRef(node_);
+    return n.values[world * n.width + col];
   }
   rel::Value& at(size_t world, size_t col) {
-    return values_[world * fields_.size() + col];
+    EnsureMutable();
+    return node_->values[world * node_->width + col];
   }
 
-  double prob(size_t world) const { return probs_[world]; }
-  void set_prob(size_t world, double p) { probs_[world] = p; }
+  double prob(size_t world) const {
+    return store::ForcedRef(node_).probs[world];
+  }
+  void set_prob(size_t world, double p) {
+    EnsureMutable();
+    node_->probs[world] = p;
+  }
 
   /// Sum of local-world probabilities (should be 1 for a valid component).
-  double ProbSum() const;
+  /// Computed structurally — never forces a lazy payload.
+  double ProbSum() const { return store::ProbSum(node_.get()); }
 
   /// Scales all probabilities by 1/ProbSum(); fails if the sum is 0.
   Status NormalizeProbs();
 
   /// Appends a column that duplicates column `src_col` under a new field
-  /// name — the paper's ext(C, A, B) primitive (Section 4).
+  /// name — the paper's ext(C, A, B) primitive (Section 4). O(1) beyond
+  /// the store's eager-materialization threshold.
   void ExtDuplicateColumn(size_t src_col, const FieldKey& new_field);
 
   /// Appends a column with the same value in every local world.
@@ -77,7 +98,8 @@ class Component {
                  std::span<const rel::Value> values);
 
   /// The paper's compose(C1, C2): the product of the local-world sets with
-  /// multiplied probabilities (Section 4).
+  /// multiplied probabilities (Section 4). Records an O(1) DAG node; the
+  /// product is materialized only when a read forces it.
   static Component Compose(const Component& a, const Component& b);
 
   /// Removes the columns listed in `cols` (the "project away" step of the
@@ -87,6 +109,16 @@ class Component {
   /// Keeps only the columns in `cols` (in that order).
   Component ProjectColumns(const std::vector<size_t>& cols) const;
 
+  /// This component's payload shared as-is under `fields` (which must
+  /// match the field count): the copy-on-write slice primitive — O(1), no
+  /// materialization, mutations on either side privatize first.
+  Component WithFields(std::vector<FieldKey> fields) const;
+
+  /// True when `other` shares this component's payload node.
+  bool SharesPayloadWith(const Component& other) const {
+    return node_ != nullptr && node_ == other.node_;
+  }
+
   /// Removes local world `world` (swap-remove; order is not meaningful).
   void RemoveWorld(size_t world);
 
@@ -95,17 +127,32 @@ class Component {
 
   /// The paper's propagate-⊥ (Figure 12): within every local world, if any
   /// field of tuple R.tᵢ is ⊥, all fields of R.tᵢ in this component become ⊥.
+  /// Probes the payload structurally first: a component with no ⊥ anywhere
+  /// (or no two columns of the same tuple) returns without forcing.
   void PropagateBottom();
 
-  /// True if every value in column `col` is ⊥.
-  bool ColumnAllBottom(size_t col) const;
+  /// True if every value in column `col` is ⊥. Never forces.
+  bool ColumnAllBottom(size_t col) const {
+    return store::ColumnAllBottom(node_.get(), col);
+  }
 
-  /// True if column `col` contains at least one ⊥.
-  bool ColumnHasBottom(size_t col) const;
+  /// True if column `col` contains at least one ⊥. Never forces.
+  bool ColumnHasBottom(size_t col) const {
+    return store::ColumnHasBottom(node_.get(), col);
+  }
 
   /// True if every value in column `col` equals the value in its first row
-  /// (i.e. the field is certain). False for empty components.
-  bool ColumnConstant(size_t col) const;
+  /// (i.e. the field is certain). False for empty components. Never forces.
+  bool ColumnConstant(size_t col) const {
+    return store::ColumnConstant(node_.get(), col);
+  }
+
+  /// The value a constant column holds in every local world, or null when
+  /// the column is not constant (or the component is empty). Never forces;
+  /// the pointer is valid until this component is mutated or destroyed.
+  const rel::Value* ColumnConstantValue(size_t col) const {
+    return store::ColumnConstantValue(node_.get(), col);
+  }
 
   /// Renames the field of a column (δ on WSDs renames component attributes).
   void RenameField(size_t col, const FieldKey& new_field);
@@ -113,9 +160,19 @@ class Component {
   std::string ToString() const;
 
  private:
+  /// Guarantees node_ is a uniquely held mutable leaf (creating an empty
+  /// one when the component has no payload yet).
+  void EnsureMutable() {
+    if (node_ != nullptr && node_->kind == store::NodeKind::kLeaf &&
+        !node_->interned && node_.use_count() == 1) {
+      return;
+    }
+    PrivatizePayload();
+  }
+  void PrivatizePayload();
+
   std::vector<FieldKey> fields_;
-  std::vector<rel::Value> values_;  // row-major: world * NumFields() + col
-  std::vector<double> probs_;
+  store::NodePtr node_;  ///< null = no local worlds
 };
 
 }  // namespace maywsd::core

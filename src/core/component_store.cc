@@ -1,0 +1,412 @@
+#include "core/component_store.h"
+
+#include <cassert>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace maywsd::core::store {
+
+namespace {
+
+struct Counters {
+  std::atomic<uint64_t> live_nodes{0};
+  std::atomic<uint64_t> live_cells{0};
+  std::atomic<uint64_t> peak_cells{0};
+  std::atomic<uint64_t> compose_nodes{0};
+  std::atomic<uint64_t> ext_nodes{0};
+  std::atomic<uint64_t> forced_evals{0};
+  std::atomic<uint64_t> dedup_hits{0};
+  std::atomic<uint64_t> cow_breaks{0};
+};
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+std::atomic<bool> g_eager{false};
+
+/// Striped locks guarding cache fills; children are always forced before
+/// the parent's stripe is taken, so no two stripes nest.
+std::mutex& ForceMutex(const Node* n) {
+  static std::mutex stripes[64];
+  return stripes[(reinterpret_cast<uintptr_t>(n) >> 6) % 64];
+}
+
+void ChargeCells(uint64_t add) {
+  Counters& c = counters();
+  uint64_t now = c.live_cells.fetch_add(add) + add;
+  uint64_t peak = c.peak_cells.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !c.peak_cells.compare_exchange_weak(peak, now)) {
+  }
+}
+
+/// The certain-singleton intern table. Weak references only: the table
+/// never keeps a node alive, so leak accounting stays exact. Expired
+/// entries are reclaimed on the next lookup of the same value.
+struct InternTable {
+  std::mutex mu;
+  std::unordered_map<rel::Value, std::weak_ptr<Node>> map;
+};
+
+InternTable& intern_table() {
+  static InternTable t;
+  return t;
+}
+
+}  // namespace
+
+Node::Node(NodeKind k, size_t w, size_t n)
+    : kind(k), width(w), worlds(n), ready(k == NodeKind::kLeaf) {
+  counters().live_nodes.fetch_add(1, std::memory_order_relaxed);
+}
+
+Node::~Node() {
+  counters().live_nodes.fetch_sub(1, std::memory_order_relaxed);
+  counters().live_cells.fetch_sub(accounted_cells,
+                                  std::memory_order_relaxed);
+}
+
+StoreStats GetStoreStats() {
+  Counters& c = counters();
+  StoreStats s;
+  s.live_nodes = c.live_nodes.load();
+  s.live_cells = c.live_cells.load();
+  s.peak_cells = c.peak_cells.load();
+  s.compose_nodes = c.compose_nodes.load();
+  s.ext_nodes = c.ext_nodes.load();
+  s.forced_evals = c.forced_evals.load();
+  s.dedup_hits = c.dedup_hits.load();
+  s.cow_breaks = c.cow_breaks.load();
+  return s;
+}
+
+void Account(Node& n) {
+  size_t cells = n.values.size();
+  if (cells >= n.accounted_cells) {
+    ChargeCells(cells - n.accounted_cells);
+  } else {
+    counters().live_cells.fetch_sub(n.accounted_cells - cells);
+  }
+  n.accounted_cells = cells;
+}
+
+NodePtr NewLeaf(size_t width) {
+  return std::make_shared<Node>(NodeKind::kLeaf, width, 0);
+}
+
+NodePtr CertainLeaf(const rel::Value& v) {
+  InternTable& t = intern_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.map.find(v);
+  if (it != t.map.end()) {
+    if (NodePtr hit = it->second.lock()) {
+      counters().dedup_hits.fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
+  }
+  NodePtr leaf = std::make_shared<Node>(NodeKind::kLeaf, 1, 1);
+  leaf->values.push_back(v);
+  leaf->probs.push_back(1.0);
+  leaf->interned = true;
+  Account(*leaf);
+  t.map[v] = leaf;
+  return leaf;
+}
+
+NodePtr Compose(const NodePtr& a, const NodePtr& b) {
+  if (!a || !b) return nullptr;
+  NodePtr node = std::make_shared<Node>(NodeKind::kCompose,
+                                        a->width + b->width,
+                                        a->worlds * b->worlds);
+  node->a = a;
+  node->b = b;
+  counters().compose_nodes.fetch_add(1, std::memory_order_relaxed);
+  if (g_eager.load(std::memory_order_relaxed) ||
+      node->worlds * node->width <= kEagerCells) {
+    Force(node);
+  }
+  return node;
+}
+
+NodePtr ExtDup(const NodePtr& n, size_t src_col) {
+  if (!n) return nullptr;
+  assert(src_col < n->width);
+  NodePtr node =
+      std::make_shared<Node>(NodeKind::kExtDup, n->width + 1, n->worlds);
+  node->a = n;
+  node->src_col = src_col;
+  counters().ext_nodes.fetch_add(1, std::memory_order_relaxed);
+  if (g_eager.load(std::memory_order_relaxed) ||
+      node->worlds * node->width <= kEagerCells) {
+    Force(node);
+  }
+  return node;
+}
+
+NodePtr ExtConst(const NodePtr& n, const rel::Value& v) {
+  if (!n) return nullptr;
+  NodePtr node =
+      std::make_shared<Node>(NodeKind::kExtConst, n->width + 1, n->worlds);
+  node->a = n;
+  node->constant = v;
+  counters().ext_nodes.fetch_add(1, std::memory_order_relaxed);
+  if (g_eager.load(std::memory_order_relaxed) ||
+      node->worlds * node->width <= kEagerCells) {
+    Force(node);
+  }
+  return node;
+}
+
+namespace {
+
+/// Fills a compose node's cache from its (already forced) children.
+void FillCompose(Node& n) {
+  const Node& a = *n.a;
+  const Node& b = *n.b;
+  n.values.reserve(n.worlds * n.width);
+  n.probs.reserve(n.worlds);
+  for (size_t i = 0; i < a.worlds; ++i) {
+    const rel::Value* ra = a.values.data() + i * a.width;
+    for (size_t j = 0; j < b.worlds; ++j) {
+      const rel::Value* rb = b.values.data() + j * b.width;
+      n.values.insert(n.values.end(), ra, ra + a.width);
+      n.values.insert(n.values.end(), rb, rb + b.width);
+      n.probs.push_back(a.probs[i] * b.probs[j]);
+    }
+  }
+}
+
+/// How one output column of an ext chain resolves: either a column of the
+/// chain's base node or a constant.
+struct ColSpec {
+  bool is_const = false;
+  size_t base_col = 0;
+  const rel::Value* constant = nullptr;
+};
+
+/// Fills an ext node's cache by resolving the whole chain of consecutive
+/// ext nodes below it down to its base in one pass — O(chain) to build the
+/// column specs, then O(final cells) to fill, with no per-intermediate
+/// materialization.
+void FillExtChain(Node& n) {
+  // Chain from n down to (excluding) the first non-ext node.
+  std::vector<const Node*> chain;
+  const Node* base = &n;
+  while (base->kind == NodeKind::kExtDup ||
+         base->kind == NodeKind::kExtConst) {
+    // A ready intermediate already has its matrix; treat it as the base.
+    if (base != &n && base->ready.load(std::memory_order_acquire)) break;
+    chain.push_back(base);
+    base = base->a.get();
+  }
+  // Specs bottom-up: base columns first, then each chain level appends
+  // one resolved column.
+  std::vector<ColSpec> specs;
+  specs.reserve(n.width);
+  for (size_t c = 0; c < base->width; ++c) {
+    specs.push_back(ColSpec{false, c, nullptr});
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const Node* level = *it;
+    if (level->kind == NodeKind::kExtConst) {
+      specs.push_back(ColSpec{true, 0, &level->constant});
+    } else {
+      specs.push_back(specs[level->src_col]);
+    }
+  }
+  assert(specs.size() == n.width);
+  n.values.reserve(n.worlds * n.width);
+  for (size_t w = 0; w < n.worlds; ++w) {
+    const rel::Value* row = base->values.data() + w * base->width;
+    for (const ColSpec& s : specs) {
+      n.values.push_back(s.is_const ? *s.constant : row[s.base_col]);
+    }
+  }
+  n.probs = base->probs;
+}
+
+}  // namespace
+
+void Force(const NodePtr& n) {
+  if (!n || n->ready.load(std::memory_order_acquire)) return;
+  // Force the inputs first, outside our stripe lock (stripes never nest).
+  switch (n->kind) {
+    case NodeKind::kCompose:
+      Force(n->a);
+      Force(n->b);
+      break;
+    case NodeKind::kExtDup:
+    case NodeKind::kExtConst: {
+      NodePtr base = n->a;
+      while ((base->kind == NodeKind::kExtDup ||
+              base->kind == NodeKind::kExtConst) &&
+             !base->ready.load(std::memory_order_acquire)) {
+        base = base->a;
+      }
+      Force(base);
+      break;
+    }
+    case NodeKind::kLeaf:
+      return;
+  }
+  std::lock_guard<std::mutex> lock(ForceMutex(n.get()));
+  if (n->ready.load(std::memory_order_relaxed)) return;
+  if (n->kind == NodeKind::kCompose) {
+    FillCompose(*n);
+  } else {
+    FillExtChain(*n);
+  }
+  Account(*n);
+  counters().forced_evals.fetch_add(1, std::memory_order_relaxed);
+  n->ready.store(true, std::memory_order_release);
+}
+
+NodePtr MutableLeaf(NodePtr n) {
+  if (!n) return nullptr;
+  if (n->kind == NodeKind::kLeaf && !n->interned && n.use_count() == 1) {
+    return n;
+  }
+  Force(n);
+  NodePtr leaf = std::make_shared<Node>(NodeKind::kLeaf, n->width, n->worlds);
+  if (n.use_count() == 1 && !n->interned) {
+    // Uniquely held derived node: its cache can be stolen, not copied.
+    leaf->values = std::move(n->values);
+    leaf->probs = std::move(n->probs);
+  } else {
+    leaf->values = n->values;
+    leaf->probs = n->probs;
+    counters().cow_breaks.fetch_add(1, std::memory_order_relaxed);
+  }
+  Account(*leaf);
+  return leaf;
+}
+
+bool ColumnHasBottom(const Node* n, size_t col) {
+  while (true) {
+    if (n == nullptr || n->worlds == 0) return false;
+    if (n->ready.load(std::memory_order_acquire)) {
+      for (size_t w = 0; w < n->worlds; ++w) {
+        if (n->values[w * n->width + col].is_bottom()) return true;
+      }
+      return false;
+    }
+    switch (n->kind) {
+      case NodeKind::kCompose:
+        if (col < n->a->width) {
+          n = n->a.get();
+        } else {
+          col -= n->a->width;
+          n = n->b.get();
+        }
+        break;
+      case NodeKind::kExtDup:
+        if (col == n->width - 1) col = n->src_col;
+        n = n->a.get();
+        break;
+      case NodeKind::kExtConst:
+        if (col == n->width - 1) return n->constant.is_bottom();
+        n = n->a.get();
+        break;
+      case NodeKind::kLeaf:
+        return false;  // unreachable: leaves are always ready
+    }
+  }
+}
+
+bool ColumnAllBottom(const Node* n, size_t col) {
+  while (true) {
+    if (n == nullptr || n->worlds == 0) return false;
+    if (n->ready.load(std::memory_order_acquire)) {
+      for (size_t w = 0; w < n->worlds; ++w) {
+        if (!n->values[w * n->width + col].is_bottom()) return false;
+      }
+      return true;
+    }
+    switch (n->kind) {
+      case NodeKind::kCompose:
+        if (col < n->a->width) {
+          n = n->a.get();
+        } else {
+          col -= n->a->width;
+          n = n->b.get();
+        }
+        break;
+      case NodeKind::kExtDup:
+        if (col == n->width - 1) col = n->src_col;
+        n = n->a.get();
+        break;
+      case NodeKind::kExtConst:
+        if (col == n->width - 1) return n->constant.is_bottom();
+        n = n->a.get();
+        break;
+      case NodeKind::kLeaf:
+        return false;
+    }
+  }
+}
+
+const rel::Value* ColumnConstantValue(const Node* n, size_t col) {
+  while (true) {
+    if (n == nullptr || n->worlds == 0) return nullptr;
+    if (n->ready.load(std::memory_order_acquire)) {
+      const rel::Value& first = n->values[col];
+      for (size_t w = 1; w < n->worlds; ++w) {
+        if (!(n->values[w * n->width + col] == first)) return nullptr;
+      }
+      return &first;
+    }
+    switch (n->kind) {
+      // The column's per-world value pattern depends only on the owning
+      // side's row, so constancy delegates.
+      case NodeKind::kCompose:
+        if (col < n->a->width) {
+          n = n->a.get();
+        } else {
+          col -= n->a->width;
+          n = n->b.get();
+        }
+        break;
+      case NodeKind::kExtDup:
+        if (col == n->width - 1) col = n->src_col;
+        n = n->a.get();
+        break;
+      case NodeKind::kExtConst:
+        if (col == n->width - 1) return &n->constant;
+        n = n->a.get();
+        break;
+      case NodeKind::kLeaf:
+        return &n->values[col];
+    }
+  }
+}
+
+bool ColumnConstant(const Node* n, size_t col) {
+  return ColumnConstantValue(n, col) != nullptr;
+}
+
+double ProbSum(const Node* n) {
+  if (n == nullptr) return 0;
+  if (n->ready.load(std::memory_order_acquire)) {
+    double sum = 0;
+    for (double p : n->probs) sum += p;
+    return sum;
+  }
+  switch (n->kind) {
+    case NodeKind::kCompose:
+      return ProbSum(n->a.get()) * ProbSum(n->b.get());
+    case NodeKind::kExtDup:
+    case NodeKind::kExtConst:
+      return ProbSum(n->a.get());
+    case NodeKind::kLeaf:
+      return 0;  // unreachable
+  }
+  return 0;
+}
+
+void SetEagerForTesting(bool eager) { g_eager.store(eager); }
+bool EagerForTesting() { return g_eager.load(); }
+
+}  // namespace maywsd::core::store

@@ -184,7 +184,12 @@ Result<std::string> EvalPlanUncached(WorldSetOps& ops, ScratchScope& scope,
       MAYWSD_ASSIGN_OR_RETURN(std::string child,
                               EvalPlan(ops, scope, plan.child(), cache));
       std::string out = scope.Fresh();
-      MAYWSD_RETURN_IF_ERROR(ops.Project(child, out, plan.attributes()));
+      if (ops.SupportsProjectExists()) {
+        MAYWSD_RETURN_IF_ERROR(
+            ops.ProjectExists(child, out, plan.attributes()));
+      } else {
+        MAYWSD_RETURN_IF_ERROR(ops.Project(child, out, plan.attributes()));
+      }
       return out;
     }
     case K::kRename: {

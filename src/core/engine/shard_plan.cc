@@ -64,6 +64,17 @@ Component SliceComponent(const Component& comp, Symbol relation,
     if (f.rel == relation && in_slice(f.tuple)) keep.push_back(c);
   }
   if (keep.empty()) return Component();
+  if (keep.size() == comp.NumFields()) {
+    // Self-contained component: every column survives, so the slice can
+    // share the payload copy-on-write under the remapped field names —
+    // no copy, no compress (a full keep creates no duplicate rows).
+    std::vector<FieldKey> renamed;
+    renamed.reserve(keep.size());
+    for (const FieldKey& f : comp.fields()) {
+      renamed.emplace_back(out_relation, remap(f.tuple), f.attr);
+    }
+    return comp.WithFields(std::move(renamed));
+  }
   Component proj = comp.ProjectColumns(keep);
   proj.Compress();
   for (size_t c = 0; c < proj.NumFields(); ++c) {
@@ -345,43 +356,61 @@ std::vector<std::vector<TupleId>> PartitionSlots(
   for (const auto& [a, b] : links) {
     uf.Union(static_cast<size_t>(a), static_cast<size_t>(b));
   }
-  // Groups keyed by root, ordered by minimum member id (roots are group
-  // minima by construction of UnionFind::Union).
-  std::vector<std::vector<TupleId>> groups;
-  std::unordered_map<size_t, size_t> group_of_root;
+  // Flat group ids in minimum-member order (roots are group minima by
+  // construction of UnionFind::Union, so an ascending slot scan visits
+  // each group at its root first). The common independent-tuple case is
+  // n singleton groups; per-group vectors would pay one heap allocation
+  // per slot here, which dominated shard planning at census sizes.
+  std::vector<uint32_t> group_of_slot(n);
+  std::vector<size_t> group_size;
   for (size_t t = 0; t < n; ++t) {
     size_t root = uf.Find(t);
-    auto [it, fresh] = group_of_root.try_emplace(root, groups.size());
-    if (fresh) groups.emplace_back();
-    groups[it->second].push_back(static_cast<TupleId>(t));
+    if (root == t) {
+      group_of_slot[t] = static_cast<uint32_t>(group_size.size());
+      group_size.push_back(0);
+    } else {
+      group_of_slot[t] = group_of_slot[root];
+    }
+    ++group_size[group_of_slot[t]];
   }
-  if (groups.size() < 2) return {};
+  size_t num_groups = group_size.size();
+  if (num_groups < 2) return {};
 
   // Pack whole groups into contiguous shards, balancing slot counts.
-  size_t num_shards = std::min(max_shards, groups.size());
-  std::vector<std::vector<TupleId>> shards;
-  shards.reserve(num_shards);
+  size_t num_shards = std::min(max_shards, num_groups);
+  std::vector<uint32_t> shard_of_group(num_groups);
   size_t remaining_slots = n;
   size_t remaining_shards = num_shards;
-  std::vector<TupleId> current;
-  for (size_t g = 0; g < groups.size(); ++g) {
+  size_t current = 0;
+  uint32_t shard = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
     size_t target = (remaining_slots + remaining_shards - 1) / remaining_shards;
-    current.insert(current.end(), groups[g].begin(), groups[g].end());
+    shard_of_group[g] = shard;
+    current += group_size[g];
     // Close the shard once it reached its share, keeping one group per
     // remaining shard available.
-    size_t groups_left = groups.size() - g - 1;
-    if ((current.size() >= target || groups_left < remaining_shards) &&
+    size_t groups_left = num_groups - g - 1;
+    if ((current >= target || groups_left < remaining_shards) &&
         remaining_shards > 1) {
-      remaining_slots -= current.size();
+      remaining_slots -= current;
       --remaining_shards;
-      shards.push_back(std::move(current));
-      current.clear();
+      ++shard;
+      current = 0;
     }
   }
-  if (!current.empty()) shards.push_back(std::move(current));
-  if (shards.size() < 2) return {};
-  for (std::vector<TupleId>& shard : shards) {
-    std::sort(shard.begin(), shard.end());
+  size_t shards_used = static_cast<size_t>(shard) + (current > 0 ? 1 : 0);
+  if (shards_used < 2) return {};
+  // Scatter slots in ascending order: each shard's tid list comes out
+  // sorted without a separate sort pass.
+  std::vector<size_t> shard_count(shards_used, 0);
+  for (size_t t = 0; t < n; ++t) {
+    ++shard_count[shard_of_group[group_of_slot[t]]];
+  }
+  std::vector<std::vector<TupleId>> shards(shards_used);
+  for (size_t s = 0; s < shards_used; ++s) shards[s].reserve(shard_count[s]);
+  for (size_t t = 0; t < n; ++t) {
+    shards[shard_of_group[group_of_slot[t]]].push_back(
+        static_cast<TupleId>(t));
   }
   return shards;
 }

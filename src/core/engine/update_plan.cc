@@ -1,12 +1,30 @@
 #include "core/engine/update_plan.h"
 
+#include <iterator>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/engine/plan_driver.h"
+#include "rel/plan_hash.h"
 
 namespace maywsd::core::engine {
+
+namespace {
+
+/// Adds every relation a plan's scan leaves read to `out`.
+void CollectScanRelations(const rel::Plan& plan, std::set<std::string>& out) {
+  if (plan.kind() == rel::Plan::Kind::kScan) {
+    out.insert(plan.relation());
+    return;
+  }
+  CollectScanRelations(plan.left(), out);
+  if (plan.has_right()) CollectScanRelations(plan.right(), out);
+}
+
+}  // namespace
 
 Status ValidateUpdate(WorldSetOps& ops, const rel::UpdateOp& op) {
   if (!ops.HasRelation(op.relation())) {
@@ -89,12 +107,57 @@ Status ApplyUpdate(WorldSetOps& ops, const rel::UpdateOp& op) {
   return scope.DropAll();
 }
 
-Status ApplyUpdates(WorldSetOps& ops,
-                    std::span<const rel::UpdateOp> ops_list) {
+Status ApplyUpdates(WorldSetOps& ops, std::span<const rel::UpdateOp> ops_list,
+                    UpdateBatchStats* stats) {
+  /// A materialized guard snapshot plus the relations its condition read
+  /// (an applied update on any of them invalidates the snapshot).
+  struct CachedGuard {
+    std::string guard;
+    std::set<std::string> scans;
+  };
+  std::unordered_map<rel::Plan, CachedGuard, rel::PlanHasher, rel::PlanEq>
+      guards;
+  ScratchScope scope(ops);
+  Status st = Status::Ok();
   for (const rel::UpdateOp& op : ops_list) {
-    MAYWSD_RETURN_IF_ERROR(ApplyUpdate(ops, op));
+    st = ValidateUpdate(ops, op);
+    if (!st.ok()) break;
+    if (op.has_world_condition()) {
+      auto it = guards.find(op.world_condition());
+      if (it == guards.end()) {
+        auto guard_or = EvalPlan(ops, scope, op.world_condition());
+        if (!guard_or.ok()) {
+          st = guard_or.status();
+          break;
+        }
+        // Snapshot unconditionally (not just for bare scans, as the
+        // single-op path does): the cached guard outlives this op, so it
+        // must not alias anything a later batched update may mutate.
+        std::string snapshot = scope.Fresh();
+        st = ops.Copy(guard_or.value(), snapshot);
+        if (!st.ok()) break;
+        CachedGuard cached;
+        cached.guard = std::move(snapshot);
+        CollectScanRelations(op.world_condition(), cached.scans);
+        it = guards.emplace(op.world_condition(), std::move(cached)).first;
+        if (stats != nullptr) stats->guard_materializations++;
+      } else if (stats != nullptr) {
+        stats->guard_shares++;
+      }
+      st = ops.ApplyUpdate(op, it->second.guard);
+    } else {
+      st = ops.ApplyUpdate(op, std::string());
+    }
+    if (!st.ok()) break;
+    // The applied op mutated its target: cached guards whose condition
+    // read it are stale now — sequential semantics re-evaluate them.
+    for (auto it = guards.begin(); it != guards.end();) {
+      it = it->second.scans.count(op.relation()) ? guards.erase(it)
+                                                 : std::next(it);
+    }
   }
-  return Status::Ok();
+  Status drop = scope.DropAll();
+  return st.ok() ? drop : st;
 }
 
 }  // namespace maywsd::core::engine

@@ -33,10 +33,23 @@ Status ValidateUpdate(WorldSetOps& ops, const rel::UpdateOp& op);
 /// WorldSetOps::ApplyUpdate. Scratch relations are dropped on every path.
 Status ApplyUpdate(WorldSetOps& ops, const rel::UpdateOp& op);
 
+/// Batch accounting for ApplyUpdates: how many world conditions were
+/// actually evaluated versus served from the batch's guard cache.
+struct UpdateBatchStats {
+  uint64_t guard_materializations = 0;  ///< conditions evaluated + copied
+  uint64_t guard_shares = 0;            ///< updates reusing a cached guard
+};
+
 /// Applies a workload of updates in order, stopping at the first error
 /// (already-applied updates remain applied — updates are in-place and not
-/// transactional).
-Status ApplyUpdates(WorldSetOps& ops, std::span<const rel::UpdateOp> ops_list);
+/// transactional). Updates with structurally equal world conditions (the
+/// rel::PlanHash/PlanEqual notion UpdateOpHash builds on) share one guard
+/// materialization; a cached guard is discarded as soon as an applied
+/// update mutates a relation its condition reads, so later updates in the
+/// batch still see post-update guards, exactly as sequential Apply calls
+/// would.
+Status ApplyUpdates(WorldSetOps& ops, std::span<const rel::UpdateOp> ops_list,
+                    UpdateBatchStats* stats = nullptr);
 
 }  // namespace maywsd::core::engine
 

@@ -180,12 +180,34 @@ Status UrelBackend::Fallback(const std::function<Status(Wsdt&)>& op) {
 
 namespace {
 
-/// Appends `src`'s rows (data re-interned, descriptors verbatim — both
-/// stores carry the same variable table) into `dst` under fresh TIDs.
+/// Appends `src`'s rows into `dst` under fresh TIDs. Descriptors transfer
+/// verbatim (both stores carry the same variable table); data ids transfer
+/// verbatim too while the stores still share one symbol table, and are
+/// re-interned only after a shard's dictionary diverged.
 void AppendUrelRows(const Urel& from, const UrelRelation& src, Urel& into,
                     UrelRelation& dst) {
+  size_t n = src.NumRows();
+  if (into.SharesSymbolsWith(from)) {
+    // Ids transfer verbatim while the stores share one symbol table, so
+    // whole columns and the CSR descriptor arrays append as contiguous
+    // ranges instead of per-row gathers.
+    for (size_t a = 0; a < src.columns.size(); ++a) {
+      dst.columns[a].insert(dst.columns[a].end(), src.columns[a].begin(),
+                            src.columns[a].end());
+    }
+    dst.tids.reserve(dst.tids.size() + n);
+    for (size_t i = 0; i < n; ++i) dst.tids.push_back(dst.next_tid++);
+    uint32_t base = static_cast<uint32_t>(dst.desc_entries.size());
+    dst.desc_entries.insert(dst.desc_entries.end(), src.desc_entries.begin(),
+                            src.desc_entries.end());
+    dst.desc_offsets.reserve(dst.desc_offsets.size() + n);
+    for (size_t i = 1; i <= n; ++i) {
+      dst.desc_offsets.push_back(base + src.desc_offsets[i]);
+    }
+    return;
+  }
   std::vector<UrelValueId> values(src.columns.size());
-  for (size_t i = 0; i < src.NumRows(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     for (size_t a = 0; a < src.columns.size(); ++a) {
       values[a] = into.Intern(from.ValueAt(src.columns[a][i]));
     }
@@ -208,22 +230,46 @@ class UrelShardPlan final : public ShardPlan {
     MAYWSD_ASSIGN_OR_RETURN(const UrelRelation* src,
                             parent_->Get(relation_));
     Urel slice;
-    // Replicate the whole variable table so descriptors transfer verbatim
-    // (VarIds are positional).
-    for (VarId v = 0; v < parent_->NumVariables(); ++v) {
-      slice.AddVariable(parent_->Domain(v));
-    }
+    // Share the parent's symbol table copy-on-write: the variable table and
+    // the dictionary transfer by reference, so descriptors and value ids
+    // below are copied verbatim instead of re-interned per cell. The slice
+    // privatizes the table only if a query mints a genuinely new value.
+    slice.ShareSymbolsFrom(*parent_);
     UrelRelation part;
     part.name = relation_;
     part.schema = src->schema;
     part.columns.resize(src->schema.arity());
-    std::vector<UrelValueId> values(src->columns.size());
-    for (TupleId t : shards_[i]) {
-      size_t row = static_cast<size_t>(t);
+    // Shard tid lists are sorted, and independent-tuple workloads (the
+    // census tables) partition into contiguous ranges, so copy maximal
+    // runs column-wise instead of gathering row by row. Values and
+    // descriptors transfer verbatim under the shared symbol table.
+    const std::vector<TupleId>& rows = shards_[i];
+    size_t n = rows.size();
+    for (auto& col : part.columns) col.reserve(n);
+    part.tids.reserve(n);
+    part.desc_offsets.reserve(n + 1);
+    size_t k = 0;
+    while (k < n) {
+      size_t lo = static_cast<size_t>(rows[k]);
+      size_t j = k + 1;
+      while (j < n && static_cast<size_t>(rows[j]) == lo + (j - k)) ++j;
+      size_t hi = lo + (j - k);
       for (size_t a = 0; a < src->columns.size(); ++a) {
-        values[a] = slice.Intern(parent_->ValueAt(src->columns[a][row]));
+        part.columns[a].insert(part.columns[a].end(),
+                               src->columns[a].begin() + lo,
+                               src->columns[a].begin() + hi);
       }
-      part.AppendTuple(values, src->Descriptor(row));
+      uint32_t entry_base = static_cast<uint32_t>(part.desc_entries.size());
+      uint32_t src_base = src->desc_offsets[lo];
+      part.desc_entries.insert(
+          part.desc_entries.end(), src->desc_entries.begin() + src_base,
+          src->desc_entries.begin() + src->desc_offsets[hi]);
+      for (size_t r = lo + 1; r <= hi; ++r) {
+        part.desc_offsets.push_back(entry_base +
+                                    (src->desc_offsets[r] - src_base));
+      }
+      for (size_t r = lo; r < hi; ++r) part.tids.push_back(part.next_tid++);
+      k = j;
     }
     MAYWSD_RETURN_IF_ERROR(slice.Add(std::move(part)));
 
@@ -274,6 +320,14 @@ class UrelShardPlan final : public ShardPlan {
 
 Result<std::unique_ptr<ShardPlan>> MakeUrelShardPlan(Urel& parent,
                                                      const ShardRequest& req) {
+  // Cost gate: a single-leaf plan is a unary select/project/rename chain —
+  // one bandwidth-bound pass over a few columns. Building a shard slice
+  // copies EVERY column of the partitioned relation, which already costs
+  // more than the scan it would parallelize, so a fan-out can only lose;
+  // decline and let the caller evaluate sequentially. Plans with a second
+  // (certain) leaf — joins, products — do superlinear per-row work that
+  // amortizes the slice.
+  if (req.aux_relations.empty()) return std::unique_ptr<ShardPlan>();
   MAYWSD_ASSIGN_OR_RETURN(const UrelRelation* r, parent.Get(req.relation));
   // Descriptors are the only correlation carriers: rows sharing a variable
   // must co-shard.

@@ -248,6 +248,22 @@ class WorldSetOps {
                                " backend has no native predicate selection");
   }
 
+  /// True when ProjectExists() implements projection with the "exists
+  /// column" optimization (Section 4 Discussion): the ⊥ pattern of a
+  /// projected-away column survives as an extra-schema presence field
+  /// instead of being composed into the kept components, so projections
+  /// never pay component products. The driver then routes kProject nodes
+  /// through ProjectExists().
+  virtual bool SupportsProjectExists() const { return false; }
+
+  /// out := π_attrs(src), keeping deletion patterns as presence fields.
+  virtual Status ProjectExists(const std::string& /*src*/,
+                               const std::string& /*out*/,
+                               const std::vector<std::string>& /*attrs*/) {
+    return Status::Unsupported(std::string(BackendName()) +
+                               " backend has no exists-column projection");
+  }
+
   /// True when HashJoin() implements the fused σ(×) equi-join; the driver
   /// then splits join predicates into an equality pair plus residual.
   virtual bool SupportsHashJoin() const { return false; }

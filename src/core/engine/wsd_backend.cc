@@ -69,6 +69,12 @@ Status WsdBackend::Project(const std::string& src, const std::string& out,
   return WsdProject(*wsd_, src, out, attrs);
 }
 
+Status WsdBackend::ProjectExists(const std::string& src,
+                                 const std::string& out,
+                                 const std::vector<std::string>& attrs) {
+  return WsdProjectExists(*wsd_, src, out, attrs);
+}
+
 Status WsdBackend::Rename(
     const std::string& src, const std::string& out,
     const std::vector<std::pair<std::string, std::string>>& renames) {

@@ -52,6 +52,11 @@ class WsdBackend : public WorldSetOps {
                const std::string& out) override;
   Status Project(const std::string& src, const std::string& out,
                  const std::vector<std::string>& attrs) override;
+  /// The exists-column optimization (WsdProjectExists): ⊥ patterns of
+  /// projected-away columns become presence fields, never compositions.
+  bool SupportsProjectExists() const override { return true; }
+  Status ProjectExists(const std::string& src, const std::string& out,
+                       const std::vector<std::string>& attrs) override;
   Status Rename(const std::string& src, const std::string& out,
                 const std::vector<std::pair<std::string, std::string>>&
                     renames) override;

@@ -236,18 +236,27 @@ void UrelRelation::AppendTuple(std::span<const UrelValueId> values,
   desc_offsets.push_back(static_cast<uint32_t>(desc_entries.size()));
 }
 
+Urel::SymbolTable& Urel::MutableSymbols() {
+  if (symbols_.use_count() > 1) {
+    symbols_ = std::make_shared<SymbolTable>(*symbols_);
+  }
+  return *symbols_;
+}
+
 UrelValueId Urel::Intern(const rel::Value& v) {
-  auto it = dict_index_.find(v);
-  if (it != dict_index_.end()) return it->second;
-  UrelValueId id = static_cast<UrelValueId>(dict_.size());
-  dict_.push_back(v);
-  dict_index_.emplace(v, id);
+  auto it = symbols_->dict_index.find(v);
+  if (it != symbols_->dict_index.end()) return it->second;
+  SymbolTable& s = MutableSymbols();
+  UrelValueId id = static_cast<UrelValueId>(s.dict.size());
+  s.dict.push_back(v);
+  s.dict_index.emplace(v, id);
   return id;
 }
 
 VarId Urel::AddVariable(std::vector<double> probs) {
-  vars_.push_back(std::move(probs));
-  return static_cast<VarId>(vars_.size() - 1);
+  SymbolTable& s = MutableSymbols();
+  s.vars.push_back(std::move(probs));
+  return static_cast<VarId>(s.vars.size() - 1);
 }
 
 bool Urel::Contains(const std::string& name) const {
@@ -294,7 +303,7 @@ void Urel::MaterializeRow(const UrelRelation& r, size_t row,
                           std::vector<rel::Value>& out) const {
   out.resize(r.columns.size());
   for (size_t a = 0; a < r.columns.size(); ++a) {
-    out[a] = dict_[r.columns[a][row]];
+    out[a] = symbols_->dict[r.columns[a][row]];
   }
 }
 

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -93,16 +94,20 @@ struct UrelRelation {
 /// dictionary shared by all relations, and the relation catalog.
 class Urel {
  public:
-  Urel() = default;
+  Urel() : symbols_(std::make_shared<SymbolTable>()) {}
 
   // -- Value dictionary -------------------------------------------------------
 
   /// Interns `v`, returning its stable id (injective modulo Value
   /// equality). ⊥ and '?' are rejected by the operators, not here.
+  /// Interning a value already in the dictionary is a read-only lookup;
+  /// only a genuinely new value privatizes a shared symbol table.
   UrelValueId Intern(const rel::Value& v);
 
-  const rel::Value& ValueAt(UrelValueId id) const { return dict_[id]; }
-  size_t DictionarySize() const { return dict_.size(); }
+  const rel::Value& ValueAt(UrelValueId id) const {
+    return symbols_->dict[id];
+  }
+  size_t DictionarySize() const { return symbols_->dict.size(); }
 
   // -- Variables --------------------------------------------------------------
 
@@ -110,8 +115,30 @@ class Urel {
   /// probabilities (must sum to 1; validated by ValidateUrel).
   VarId AddVariable(std::vector<double> probs);
 
-  size_t NumVariables() const { return vars_.size(); }
-  const std::vector<double>& Domain(VarId var) const { return vars_[var]; }
+  size_t NumVariables() const { return symbols_->vars.size(); }
+  const std::vector<double>& Domain(VarId var) const {
+    return symbols_->vars[var];
+  }
+
+  // -- Symbol-table sharing ---------------------------------------------------
+  //
+  // The dictionary and the variable table live behind one refcounted,
+  // copy-on-write table: copying a Urel (and shard slices built via
+  // ShareSymbolsFrom) share it, so dictionary ids and VarIds transfer
+  // verbatim between sharers; the first divergent Intern/AddVariable
+  // privatizes. Ids are append-only, so ids minted before a split stay
+  // valid in every sharer.
+
+  /// Makes this store share `other`'s symbol table (this store's
+  /// dictionary and variables must not be referenced by its relations —
+  /// typically a freshly constructed slice).
+  void ShareSymbolsFrom(const Urel& other) { symbols_ = other.symbols_; }
+
+  /// True while both stores still reference the same symbol table, i.e.
+  /// value ids and variable ids agree verbatim.
+  bool SharesSymbolsWith(const Urel& other) const {
+    return symbols_ == other.symbols_;
+  }
 
   // -- Catalog ----------------------------------------------------------------
 
@@ -127,9 +154,16 @@ class Urel {
                       std::vector<rel::Value>& out) const;
 
  private:
-  std::vector<rel::Value> dict_;
-  std::unordered_map<rel::Value, UrelValueId> dict_index_;
-  std::vector<std::vector<double>> vars_;
+  struct SymbolTable {
+    std::vector<rel::Value> dict;
+    std::unordered_map<rel::Value, UrelValueId> dict_index;
+    std::vector<std::vector<double>> vars;
+  };
+
+  /// The symbol table, privatized for writing (copied when shared).
+  SymbolTable& MutableSymbols();
+
+  std::shared_ptr<SymbolTable> symbols_;
   std::map<std::string, UrelRelation> relations_;
 };
 

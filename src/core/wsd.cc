@@ -212,9 +212,8 @@ Status Wsd::CopyFieldInto(const FieldKey& src, const FieldKey& dst) {
 }
 
 Status Wsd::AddCertainField(const FieldKey& dst, const rel::Value& value) {
-  Component comp({dst});
-  comp.AddWorld({value}, 1.0);
-  return AddComponent(std::move(comp));
+  // Interned: every certain field of the same value shares one payload node.
+  return AddComponent(Component::Certain(dst, value));
 }
 
 Status Wsd::UpdateRelationSchema(const std::string& name, rel::Schema schema) {

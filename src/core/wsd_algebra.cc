@@ -78,6 +78,11 @@ Status WsdSelectConst(Wsd& wsd, const std::string& src, const std::string& out,
     FieldLoc loc = loc_or.value();
     Component& comp = wsd.mutable_component(loc.comp);
     size_t col = static_cast<size_t>(loc.col);
+    // Certain column: one evaluation decides every local world. A pass is
+    // a no-op (no forcing, no write); a fail deletes the tuple everywhere.
+    if (const rel::Value* cv = comp.ColumnConstantValue(col)) {
+      if (cv->Satisfies(op, constant)) continue;
+    }
     for (size_t w = 0; w < comp.NumWorlds(); ++w) {
       if (!comp.at(w, col).Satisfies(op, constant)) {
         comp.at(w, col) = rel::Value::Bottom();
@@ -107,6 +112,42 @@ Status WsdSelectAttrAttr(Wsd& wsd, const std::string& src,
     FieldLoc la = la_or.value();
     MAYWSD_ASSIGN_OR_RETURN(FieldLoc lb, wsd.Locate(fb));
     if (la.comp != lb.comp) {
+      // Certain-column fast paths: a ⊥ in any one field deletes the tuple
+      // (EnumerateWorlds), so the predicate can be decided — and a failing
+      // world marked — inside a single component, with no compose.
+      const Component& ca_ref = wsd.component(la.comp);
+      const Component& cb_ref = wsd.component(lb.comp);
+      const rel::Value* av =
+          ca_ref.ColumnConstantValue(static_cast<size_t>(la.col));
+      const rel::Value* bv =
+          cb_ref.ColumnConstantValue(static_cast<size_t>(lb.col));
+      if (av != nullptr && bv != nullptr) {
+        if (av->Satisfies(op, *bv)) continue;  // holds in every world
+        // Fails everywhere: delete the tuple in all of A's local worlds.
+        Component& comp = wsd.mutable_component(la.comp);
+        size_t col = static_cast<size_t>(la.col);
+        for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+          comp.at(w, col) = rel::Value::Bottom();
+        }
+        comp.PropagateBottom();
+        continue;
+      }
+      if (av != nullptr || bv != nullptr) {
+        // Exactly one side is certain: the outcome depends only on the
+        // uncertain component's local world, so mark ⊥ there.
+        const rel::Value* cv = av != nullptr ? av : bv;
+        FieldLoc lu = av != nullptr ? lb : la;
+        Component& comp = wsd.mutable_component(lu.comp);
+        size_t col = static_cast<size_t>(lu.col);
+        bool a_const = av != nullptr;
+        for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+          const rel::Value& uv = comp.at(w, col);
+          bool pass = a_const ? cv->Satisfies(op, uv) : uv.Satisfies(op, *cv);
+          if (!pass) comp.at(w, col) = rel::Value::Bottom();
+        }
+        comp.PropagateBottom();
+        continue;
+      }
       MAYWSD_RETURN_IF_ERROR(
           wsd.ComposeInPlace(static_cast<size_t>(la.comp),
                              static_cast<size_t>(lb.comp)));
@@ -375,6 +416,59 @@ Status WsdDifference(Wsd& wsd, const std::string& left,
     for (TupleId j = 0; j < smax; ++j) {
       FieldKey sprobe(s_sym, j, schema.attr(0).name);
       if (!wsd.HasField(sprobe)) continue;
+      // Certain fast path: when every column the subtraction reads is
+      // constant (P.tᵢ and S.tⱼ attributes plus S.tⱼ's presence fields),
+      // the decision is made once with no compose — a ⊥ in any single
+      // field deletes P.tᵢ (EnumerateWorlds), so a positive decision marks
+      // one column of P.tᵢ across its own component's local worlds.
+      {
+        bool all_const = true;
+        bool equal = true;
+        bool s_present = true;
+        FieldLoc lp0{};
+        for (size_t a = 0; a < schema.arity(); ++a) {
+          MAYWSD_ASSIGN_OR_RETURN(
+              FieldLoc lp,
+              wsd.Locate(FieldKey(p_sym, i, schema.attr(a).name)));
+          MAYWSD_ASSIGN_OR_RETURN(
+              FieldLoc ls,
+              wsd.Locate(FieldKey(s_sym, j, schema.attr(a).name)));
+          if (a == 0) lp0 = lp;
+          const rel::Value* pv = wsd.component(lp.comp).ColumnConstantValue(
+              static_cast<size_t>(lp.col));
+          const rel::Value* sv = wsd.component(ls.comp).ColumnConstantValue(
+              static_cast<size_t>(ls.col));
+          if (pv == nullptr || sv == nullptr) {
+            all_const = false;
+            break;
+          }
+          if (sv->is_bottom()) s_present = false;
+          if (!(*pv == *sv)) equal = false;
+        }
+        if (all_const) {
+          for (const FieldKey& pf : wsd.PresenceFieldsOfTuple(*s, j)) {
+            MAYWSD_ASSIGN_OR_RETURN(FieldLoc loc, wsd.Locate(pf));
+            const rel::Value* v = wsd.component(loc.comp).ColumnConstantValue(
+                static_cast<size_t>(loc.col));
+            if (v == nullptr) {
+              all_const = false;
+              break;
+            }
+            if (v->is_bottom()) s_present = false;
+          }
+        }
+        if (all_const) {
+          if (equal && s_present) {
+            Component& comp = wsd.mutable_component(lp0.comp);
+            size_t col = static_cast<size_t>(lp0.col);
+            for (size_t w = 0; w < comp.NumWorlds(); ++w) {
+              comp.at(w, col) = rel::Value::Bottom();
+            }
+            comp.PropagateBottom();
+          }
+          continue;
+        }
+      }
       // Compose every component holding a field of P.tᵢ or S.tⱼ (including
       // their presence fields, which decide existence).
       std::set<int32_t> comps;

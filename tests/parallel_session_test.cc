@@ -190,16 +190,29 @@ Wsdt KnownShardableWsdt() {
 }
 
 TEST(ParallelSessionTest, ShardedPathActuallyRunsOnAllBackends) {
-  Plan plan = Plan::Select(Predicate::Cmp("A", CmpOp::kGe, I(0)),
-                           Plan::Scan("R"));
+  // The U-relations backend declines single-leaf plans (slicing every
+  // column of the store costs more than the one scan a unary chain
+  // performs), so its known-shardable case carries a certain join leaf.
+  Plan linear = Plan::Select(Predicate::Cmp("A", CmpOp::kGe, I(0)),
+                             Plan::Scan("R"));
+  Plan join = Plan::Join(Predicate::CmpAttr("A", CmpOp::kEq, "C"),
+                         Plan::Scan("R"), Plan::Scan("S"));
+  rel::Relation s(rel::Schema::FromNames({"C"}), "S");
+  s.AppendRow({I(1)});
+  s.AppendRow({I(2)});
+  s.AppendRow({I(3)});
   Wsdt wsdt = KnownShardableWsdt();
 
   for (api::BackendKind kind : testutil::AllBackendKinds()) {
+    const Plan& plan =
+        kind == api::BackendKind::kUrel ? join : linear;
     auto seq_or = api::Session::Open(kind, wsdt);
     auto par_or = api::Session::Open(kind, wsdt);
     ASSERT_TRUE(seq_or.ok() && par_or.ok());
     api::Session seq = std::move(seq_or).value();
     api::Session par = std::move(par_or).value();
+    ASSERT_TRUE(seq.Register(s).ok());
+    ASSERT_TRUE(par.Register(s).ok());
     par.set_options({.threads = 4, .cache = true});
 
     ASSERT_TRUE(seq.Run(plan, "OUT").ok());
@@ -216,6 +229,33 @@ TEST(ParallelSessionTest, ShardedPathActuallyRunsOnAllBackends) {
     EXPECT_TRUE(WorldSetsEquivalent(*seq_worlds, *par_worlds))
         << api::BackendKindName(kind);
   }
+}
+
+TEST(ParallelSessionTest, UrelDeclinesFanOutForSingleLeafPlans) {
+  // Cost gate: a unary select/project chain over one leaf is a single
+  // bandwidth-bound pass; building shard slices would copy every column
+  // first, so the threaded run must take the sequential path — and still
+  // produce the same world set.
+  Plan plan = Plan::Select(Predicate::Cmp("A", CmpOp::kGe, I(0)),
+                           Plan::Scan("R"));
+  Wsdt wsdt = KnownShardableWsdt();
+
+  auto seq_or = api::Session::Open(api::BackendKind::kUrel, wsdt);
+  auto par_or = api::Session::Open(api::BackendKind::kUrel, wsdt);
+  ASSERT_TRUE(seq_or.ok() && par_or.ok());
+  api::Session seq = std::move(seq_or).value();
+  api::Session par = std::move(par_or).value();
+  par.set_options({.threads = 4, .cache = true});
+
+  ASSERT_TRUE(seq.Run(plan, "OUT").ok());
+  ASSERT_TRUE(par.Run(plan, "OUT").ok());
+  EXPECT_EQ(par.Stats().sharded_runs, 0u);
+  EXPECT_EQ(par.Stats().shards_executed, 0u);
+
+  auto seq_worlds = OutWorlds(seq);
+  auto par_worlds = OutWorlds(par);
+  ASSERT_TRUE(seq_worlds.ok() && par_worlds.ok());
+  EXPECT_TRUE(WorldSetsEquivalent(*seq_worlds, *par_worlds));
 }
 
 TEST(ParallelSessionTest, FallbackDeclaredForWsdProduct) {

@@ -11,6 +11,7 @@
 #include "api/session.h"
 #include "rel/eval.h"
 #include "rel/optimizer.h"
+#include "core/component_store.h"
 #include "core/engine/plan_driver.h"
 #include "core/engine/uniform_backend.h"
 #include "core/engine/urel_backend.h"
@@ -163,6 +164,10 @@ class CrossBackendProperty : public ::testing::TestWithParam<int> {};
 TEST_P(CrossBackendProperty, UnifiedDriverAgreesOnAllBackends) {
   SeededRng rng(static_cast<uint64_t>(GetParam()) * 104729 + 71);
   MAYWSD_SEED_TRACE(rng);
+  // Companion to the scratch-relation leak check below: every payload
+  // node and materialized cell the whole test allocates in the interned
+  // component store must be released by the time the stores die.
+  store::StoreStats store_before = store::GetStoreStats();
   std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 2, 3},
                                 RelSpec{"S", {"C", "D"}, 2, 3},
                                 RelSpec{"R2", {"A", "B"}, 2, 3}};
@@ -272,6 +277,11 @@ TEST_P(CrossBackendProperty, UnifiedDriverAgreesOnAllBackends) {
       }
     }
   }
+  store::StoreStats store_after = store::GetStoreStats();
+  EXPECT_EQ(store_after.live_nodes, store_before.live_nodes)
+      << "leaked component-store nodes";
+  EXPECT_EQ(store_after.live_cells, store_before.live_cells)
+      << "leaked component-store cells";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossBackendProperty, ::testing::Range(0, 15));

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "api/session.h"
+#include "core/component_store.h"
 #include "core/engine/uniform_backend.h"
 #include "core/engine/update_plan.h"
 #include "core/engine/urel_backend.h"
@@ -221,6 +222,10 @@ Wsd TwoWorldWsd() {
 }
 
 TEST(ConditionalUpdateTest, InsertGuardedByUncertainRelation) {
+  // Companion to the scratch-relation leak check below: guard evaluation
+  // and the update itself must release every component-store node and
+  // cell once the backends die.
+  store::StoreStats store_before = store::GetStoreStats();
   for (BackendUnderTest& b : MakeBackends(TwoWorldWsd())) {
     UpdateOp op = UpdateOp::InsertTuples("R", Tuples({"A", "B"},
                                                      {{I(2), I(2)}}))
@@ -248,6 +253,11 @@ TEST(ConditionalUpdateTest, InsertGuardedByUncertainRelation) {
           << b.name << " leaked scratch relation " << name;
     }
   }
+  store::StoreStats store_after = store::GetStoreStats();
+  EXPECT_EQ(store_after.live_nodes, store_before.live_nodes)
+      << "leaked component-store nodes";
+  EXPECT_EQ(store_after.live_cells, store_before.live_cells)
+      << "leaked component-store cells";
 }
 
 TEST(ConditionalUpdateTest, DeleteGuardedBySelection) {
