@@ -1,0 +1,342 @@
+// Serving under concurrency: MVCC snapshot reads vs a live writer, and
+// the sharded unconditional-update fan-out, across all four backends.
+//
+// The paper's prototype served world-set relations from PostgreSQL — many
+// clients, one store. This harness measures the serving properties of the
+// in-process reproduction:
+//
+//   - read_only:  N reader threads answering possible(R) from pinned
+//     Session snapshots, no writer. Baseline read p50/p99.
+//   - mixed:      the same readers while a writer thread continuously
+//     applies whole-relation modifies. Snapshot reads answer from their
+//     pinned view, so they never wait behind the writer — the JSON
+//     records the snapshots' blocked-on-writer wait count (structurally
+//     0) and CI asserts it. The acceptance gate: mixed read p99 within
+//     2x of the read-only p99.
+//   - apply_seq / apply_sharded: the same unconditional update batch
+//     through ApplyAll at threads=1 vs threads=4. The run of consecutive
+//     updates is sliced ONCE, every slice applies the whole run on the
+//     pool, and slices stream back in shard order — the slice copy
+//     amortizes over the run, so the fan-out wins once real cores back
+//     the pool. The JSON records hardware_concurrency: on a single-core
+//     host the sharded sample can only show the slicing overhead, and
+//     the speedup comparison is meaningful only at hw >= 4.
+//   - server_batch: WorldServer::ExecuteAll throughput over one session
+//     per backend under a mixed snapshot-read/update request batch.
+//
+// Usage: fig_serving [--json PATH] — writes BENCH_fig_serving.json for
+// CI. MAYWSD_SCALE scales the relation sizes as in the other harnesses.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "rel/update.h"
+#include "server/world_server.h"
+
+namespace {
+
+using namespace maywsd;
+using rel::CmpOp;
+using rel::Predicate;
+using rel::UpdateOp;
+
+constexpr int kReaderThreads = 4;
+constexpr int kReadsPerThread = 400;
+constexpr int kSnapshotRefresh = 16;  // reads served per pinned snapshot
+
+struct Sample {
+  std::string phase;
+  const char* backend = "wsdt";
+  int threads = 1;
+  size_t ops = 0;
+  double seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double throughput = 0.0;       // ops/second
+  uint64_t blocked_waits = 0;    // snapshot reads that waited on a writer
+  uint64_t sharded_applies = 0;  // updates that took the sharded path
+};
+
+void WriteJson(const char* path, const std::vector<Sample>& samples) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n  \"figure\": \"fig_serving\",\n"
+               "  \"hardware_concurrency\": %u,\n  \"samples\": [\n",
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(
+        f,
+        "    {\"phase\": \"%s\", \"backend\": \"%s\", \"threads\": %d, "
+        "\"ops\": %zu, \"seconds\": %.6f, \"p50_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"throughput\": %.1f, \"blocked_waits\": %llu, "
+        "\"sharded_applies\": %llu}%s\n",
+        s.phase.c_str(), s.backend, s.threads, s.ops, s.seconds, s.p50_ms,
+        s.p99_ms, s.throughput,
+        static_cast<unsigned long long>(s.blocked_waits),
+        static_cast<unsigned long long>(s.sharded_applies),
+        i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// The writer's update: rewrite FERTIL on the younger half of the
+/// relation, alternating the value so every apply changes the store.
+UpdateOp WriterOp(int k) {
+  return UpdateOp::ModifyWhere(
+      "R", Predicate::Cmp("AGE", CmpOp::kLt, rel::Value::Int(45)),
+      {{"FERTIL", rel::Value::Int(k % 13)}});
+}
+
+/// Runs the reader fleet against `session`; a writer loops WriterOp when
+/// `with_writer`. Returns the phase's Sample (latencies are per answer
+/// read off the pinned snapshot; snapshot refreshes count toward wall
+/// clock / throughput but not latency).
+Sample ReadPhase(const api::Session& session, api::Session& writable,
+                 const char* backend, bool with_writer) {
+  std::vector<std::vector<double>> latencies(kReaderThreads);
+  std::atomic<uint64_t> blocked{0};
+  std::atomic<bool> stop{false};
+  Timer wall;
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaderThreads);
+  for (int r = 0; r < kReaderThreads; ++r) {
+    readers.emplace_back([&session, &latencies, &blocked, r] {
+      std::optional<api::Snapshot> snap;
+      latencies[r].reserve(kReadsPerThread);
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        if (i % kSnapshotRefresh == 0) {
+          if (snap.has_value()) {
+            blocked.fetch_add(snap->Stats().reader_blocked_waits);
+          }
+          snap.emplace(session.Snapshot());
+        }
+        Timer t;
+        auto rows = snap->PossibleTuples("R");
+        latencies[r].push_back(t.Millis());
+        if (!rows.ok()) {
+          std::fprintf(stderr, "read failed: %s\n",
+                       rows.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+      blocked.fetch_add(snap->Stats().reader_blocked_waits);
+    });
+  }
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([&writable, &stop] {
+      for (int k = 0; !stop.load(std::memory_order_acquire); ++k) {
+        Status st = writable.Apply(WriterOp(k));
+        if (!st.ok()) {
+          std::fprintf(stderr, "apply failed: %s\n", st.ToString().c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  if (writer.joinable()) writer.join();
+
+  Sample s;
+  s.phase = with_writer ? "mixed" : "read_only";
+  s.backend = backend;
+  s.threads = kReaderThreads;
+  s.seconds = wall.Seconds();
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  s.ops = all.size();
+  s.p50_ms = Percentile(all, 0.50);
+  s.p99_ms = Percentile(all, 0.99);
+  s.throughput = static_cast<double>(s.ops) / s.seconds;
+  s.blocked_waits = blocked.load();
+  return s;
+}
+
+/// The unconditional update batch both apply phases run: one long run of
+/// same-relation modifies and narrow deletes, so the sharded path slices
+/// once and amortizes the copy across all 16 ops.
+std::vector<UpdateOp> ApplyBatch() {
+  std::vector<UpdateOp> ops;
+  for (int k = 0; k < 16; ++k) {
+    if (k % 4 == 3) {
+      ops.push_back(UpdateOp::DeleteWhere(
+          "R", Predicate::Cmp("AGE", CmpOp::kEq, rel::Value::Int(90 - k))));
+    } else {
+      ops.push_back(UpdateOp::ModifyWhere(
+          "R", Predicate::Cmp("AGE", CmpOp::kGe, rel::Value::Int(k % 60)),
+          {{"FERTIL", rel::Value::Int(k % 13)}}));
+    }
+  }
+  return ops;
+}
+
+Sample ApplyPhase(const core::Wsdt& wsdt, api::BackendKind kind,
+                  const char* backend, int threads) {
+  auto session_or =
+      api::Session::Open(kind, wsdt, {.threads = threads, .cache = true});
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 session_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  api::Session session = std::move(session_or).value();
+  std::vector<UpdateOp> batch = ApplyBatch();
+  Timer wall;
+  Status st = session.ApplyAll(batch);
+  double seconds = wall.Seconds();
+  if (!st.ok()) {
+    std::fprintf(stderr, "ApplyAll failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  Sample s;
+  s.phase = threads > 1 ? "apply_sharded" : "apply_seq";
+  s.backend = backend;
+  s.threads = threads;
+  s.ops = batch.size();
+  s.seconds = seconds;
+  s.throughput = static_cast<double>(s.ops) / seconds;
+  s.sharded_applies = session.Stats().sharded_applies;
+  return s;
+}
+
+/// WorldServer::ExecuteAll throughput: one session per backend, a mixed
+/// request batch (snapshot reads, direct reads, no-op deletes).
+Sample ServerBatchPhase(const rel::Relation& base) {
+  server::WorldServer server;
+  const char* backends[] = {"wsd", "wsdt", "uniform", "urel"};
+  for (const char* b : backends) {
+    server::Request open;
+    open.kind = server::Request::Kind::kOpenSession;
+    open.session = b;
+    open.backend = *api::ParseBackendKind(b);
+    server.Execute(open);
+    server::Request reg;
+    reg.kind = server::Request::Kind::kRegister;
+    reg.session = b;
+    reg.relation = base;
+    server.Execute(reg);
+  }
+  std::vector<server::Request> batch;
+  for (int i = 0; i < 256; ++i) {
+    server::Request req;
+    req.session = backends[i % 4];
+    req.target = "R";
+    switch (i % 3) {
+      case 0:
+        req.kind = server::Request::Kind::kSnapshotRead;
+        break;
+      case 1:
+        req.kind = server::Request::Kind::kApply;
+        req.update = UpdateOp::DeleteWhere(
+            "R", Predicate::Cmp("AGE", CmpOp::kLt, rel::Value::Int(0)));
+        break;
+      default:
+        req.kind = server::Request::Kind::kPossible;
+        break;
+    }
+    batch.push_back(std::move(req));
+  }
+  Timer wall;
+  std::vector<server::Response> responses = server.ExecuteAll(batch);
+  double seconds = wall.Seconds();
+  for (const server::Response& r : responses) {
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "server request failed: %s\n",
+                   r.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  Sample s;
+  s.phase = "server_batch";
+  s.backend = "all";
+  s.threads = static_cast<int>(std::thread::hardware_concurrency());
+  s.ops = batch.size();
+  s.seconds = seconds;
+  s.throughput = static_cast<double>(s.ops) / seconds;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  const census::CensusSchema schema = census::CensusSchema::Standard();
+  const size_t read_rows =
+      static_cast<size_t>(2000 * maywsd::bench::ScaleFactor());
+  const size_t apply_rows =
+      static_cast<size_t>(10000 * maywsd::bench::ScaleFactor());
+  core::Wsdt read_wsdt = bench::MakeCensusWsdt(schema, read_rows, 0.001);
+  core::Wsdt apply_wsdt = bench::MakeCensusWsdt(schema, apply_rows, 0.001);
+
+  std::vector<Sample> samples;
+  const char* backends[] = {"wsd", "wsdt", "uniform", "urel"};
+  for (const char* backend : backends) {
+    api::BackendKind kind = *api::ParseBackendKind(backend);
+
+    auto session_or = api::Session::Open(kind, read_wsdt);
+    if (!session_or.ok()) {
+      std::fprintf(stderr, "open %s failed: %s\n", backend,
+                   session_or.status().ToString().c_str());
+      return 1;
+    }
+    api::Session session = std::move(session_or).value();
+    for (bool with_writer : {false, true}) {
+      Sample s = ReadPhase(session, session, backend, with_writer);
+      std::printf("%-13s %-8s ops=%-5zu p50=%.3fms p99=%.3fms "
+                  "%.0f reads/s blocked=%llu\n",
+                  s.phase.c_str(), backend, s.ops, s.p50_ms, s.p99_ms,
+                  s.throughput,
+                  static_cast<unsigned long long>(s.blocked_waits));
+      samples.push_back(std::move(s));
+    }
+
+    for (int threads : {1, 4}) {
+      Sample s = ApplyPhase(apply_wsdt, kind, backend, threads);
+      std::printf("%-13s %-8s threads=%d ops=%zu %.3fs sharded=%llu\n",
+                  s.phase.c_str(), backend, threads, s.ops, s.seconds,
+                  static_cast<unsigned long long>(s.sharded_applies));
+      samples.push_back(std::move(s));
+    }
+  }
+
+  rel::Relation base =
+      census::GenerateCensus(schema, read_rows, /*seed=*/0xC0FFEE ^ read_rows);
+  Sample sb = ServerBatchPhase(base);
+  std::printf("%-13s %-8s ops=%zu %.3fs %.0f req/s\n", sb.phase.c_str(),
+              sb.backend, sb.ops, sb.seconds, sb.throughput);
+  samples.push_back(std::move(sb));
+
+  if (json_path != nullptr) WriteJson(json_path, samples);
+  return 0;
+}

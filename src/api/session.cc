@@ -1,9 +1,11 @@
 #include "api/session.h"
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -73,14 +75,33 @@ struct Session::Rep {
   std::variant<core::Wsd, core::Wsdt, rel::Database, core::Urel> data;
   std::unique_ptr<core::engine::WorldSetOps> backend;
   SessionOptions options;
-  // The answer cache is filled from the const answer getters — which stay
-  // safe to call concurrently (the pre-cache facade allowed concurrent
-  // read-only use); cache_mu guards the memo and its counters. Mutating
-  // methods still require external synchronization, as before.
+  // Two-level locking, always state_mu before cache_mu:
+  //  - state_mu serializes the representation itself. Mutators (Register,
+  //    Drop, Run*, Apply*, mutable accessors) hold it exclusively; the
+  //    const catalog/answer surface holds it shared, so reads run
+  //    concurrently with each other and block only behind writers.
+  //  - cache_mu guards the memoized answers, versions and counters — held
+  //    only for map probes/publishes, never across backend work.
+  mutable std::shared_mutex state_mu;
   mutable std::mutex cache_mu;
   mutable SessionStats stats;
+  /// Reads that found a writer in flight (see
+  /// SessionStats::reader_blocked_waits). Atomic: bumped before the
+  /// blocking lock acquisition, so no lock protects it.
+  mutable std::atomic<uint64_t> blocked_reads{0};
   std::unordered_map<std::string, uint64_t> versions;
   mutable std::unordered_map<std::string, AnswerEntry> answers;
+
+  /// Shared (reader) lock on the representation, counting the acquisitions
+  /// that had to wait behind an exclusive holder.
+  std::shared_lock<std::shared_mutex> ReadLock() const {
+    std::shared_lock<std::shared_mutex> lock(state_mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      blocked_reads.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+    }
+    return lock;
+  }
 
   /// Bumps a relation's version and forgets its memoized answers — called
   /// on every state change touching `name`.
@@ -116,7 +137,7 @@ size_t ResolveThreads(int threads) {
 
 }  // namespace
 
-Session::Session(std::unique_ptr<Rep> rep) : rep_(std::move(rep)) {}
+Session::Session(std::shared_ptr<Rep> rep) : rep_(std::move(rep)) {}
 Session::~Session() = default;
 Session::Session(Session&&) noexcept = default;
 Session& Session::operator=(Session&&) noexcept = default;
@@ -197,27 +218,6 @@ Result<Session> Session::Open(BackendKind kind, const core::Wsdt& wsdt,
   return Open(core::Wsdt(wsdt), options);
 }
 
-// -- Deprecated pre-Open factories -------------------------------------------
-
-Session Session::OverWsd(core::Wsd wsd, SessionOptions options) {
-  return Open(std::move(wsd), options);
-}
-
-Session Session::OverWsdt(core::Wsdt wsdt, SessionOptions options) {
-  return Open(std::move(wsdt), options);
-}
-
-Session Session::OverUniformDatabase(rel::Database db, SessionOptions options) {
-  return Open(std::move(db), options);
-}
-
-Session Session::OverUniform() { return Open(BackendKind::kUniform); }
-
-Result<Session> Session::OverUniform(const core::Wsdt& wsdt,
-                                     SessionOptions options) {
-  return Open(BackendKind::kUniform, wsdt, options);
-}
-
 BackendKind Session::kind() const { return rep_->kind; }
 
 std::string_view Session::BackendName() const {
@@ -225,23 +225,28 @@ std::string_view Session::BackendName() const {
 }
 
 bool Session::HasRelation(std::string_view name) const {
+  auto read = rep_->ReadLock();
   return rep_->backend->HasRelation(std::string(name));
 }
 
 std::vector<std::string> Session::RelationNames() const {
+  auto read = rep_->ReadLock();
   return rep_->backend->RelationNames();
 }
 
 Result<rel::Schema> Session::RelationSchema(std::string_view name) const {
+  auto read = rep_->ReadLock();
   return rep_->backend->RelationSchema(std::string(name));
 }
 
 Status Session::Register(const rel::Relation& relation) {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   rep_->Invalidate(relation.name());
   return rep_->backend->AddCertainRelation(relation);
 }
 
 Status Session::Drop(std::string_view name) {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   std::string key(name);
   rep_->Invalidate(key);
   return rep_->backend->Drop(key);
@@ -249,12 +254,16 @@ Status Session::Drop(std::string_view name) {
 
 const SessionOptions& Session::options() const { return rep_->options; }
 void Session::set_options(const SessionOptions& options) {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   rep_->options = options;
 }
 
 SessionStats Session::Stats() const {
+  auto read = rep_->ReadLock();
   std::lock_guard<std::mutex> lock(rep_->cache_mu);
   SessionStats snapshot = rep_->stats;
+  snapshot.reader_blocked_waits =
+      rep_->blocked_reads.load(std::memory_order_relaxed);
   snapshot.round_trips = rep_->backend->RoundTrips();
   core::store::StoreStats ss = core::store::GetStoreStats();
   snapshot.store_compose_nodes = ss.compose_nodes;
@@ -267,6 +276,7 @@ SessionStats Session::Stats() const {
 }
 
 Status Session::Run(const rel::Plan& plan, const std::string& out) {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   rep_->stats.runs++;
   rep_->Invalidate(out);
   core::engine::ParallelStats ps;
@@ -282,14 +292,21 @@ Status Session::Run(const rel::Plan& plan, const std::string& out) {
 }
 
 Status Session::RunOptimized(const rel::Plan& plan, const std::string& out) {
-  MAYWSD_ASSIGN_OR_RETURN(rel::Plan optimized,
-                          core::engine::OptimizeForBackend(*rep_->backend,
-                                                           plan));
-  return Run(optimized, out);
+  // Optimize against the catalog under the reader lock, then release it
+  // before Run takes the writer lock. A writer slipping in between can
+  // only make the rewrite stale, never wrong — the rewritten plan is
+  // re-resolved against the catalog when it executes.
+  auto optimized = [&]() -> Result<rel::Plan> {
+    auto read = rep_->ReadLock();
+    return core::engine::OptimizeForBackend(*rep_->backend, plan);
+  }();
+  if (!optimized.ok()) return optimized.status();
+  return Run(optimized.value(), out);
 }
 
 Status Session::RunAll(std::span<const rel::Plan> plans,
                        std::span<const std::string> outs) {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   rep_->stats.batches++;
   for (const std::string& out : outs) rep_->Invalidate(out);
   core::engine::BatchStats bs;
@@ -301,6 +318,7 @@ Status Session::RunAll(std::span<const rel::Plan> plans,
 }
 
 Status Session::Apply(const rel::UpdateOp& op) {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   rep_->stats.applies++;
   // Invalidate up front: a failed conditional update may still have
   // composed components, and a stale answer is worse than a recompute.
@@ -309,24 +327,59 @@ Status Session::Apply(const rel::UpdateOp& op) {
 }
 
 Status Session::ApplyAll(std::span<const rel::UpdateOp> ops) {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   // Counted and invalidated up front for the same reason Apply invalidates
   // eagerly: a mid-batch failure leaves earlier updates applied, and a
   // stale answer is worse than a recompute.
   rep_->stats.applies += ops.size();
   for (const rel::UpdateOp& op : ops) rep_->Invalidate(op.relation());
   core::engine::UpdateBatchStats ubs;
-  Status st = core::engine::ApplyUpdates(*rep_->backend, ops, &ubs);
+  Status st = core::engine::ApplyUpdates(
+      *rep_->backend, ops, ResolveThreads(rep_->options.threads), &ubs);
   {
     std::lock_guard<std::mutex> lock(rep_->cache_mu);
     rep_->stats.guard_materializations += ubs.guard_materializations;
     rep_->stats.guard_shares += ubs.guard_shares;
+    rep_->stats.sharded_applies += ubs.sharded_applies;
+    rep_->stats.apply_shards_executed += ubs.apply_shards;
   }
   return st;
 }
 
 uint64_t Session::RelationVersion(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(rep_->cache_mu);
   auto it = rep_->versions.find(std::string(name));
   return it == rep_->versions.end() ? 0 : it->second;
+}
+
+api::Snapshot Session::Snapshot() const {
+  auto read = rep_->ReadLock();
+  SessionOptions opts = rep_->options;
+  // The private copy is read by one caller at a time; its own Run fan-out
+  // stays sequential (a snapshot read should not commandeer the pool).
+  opts.threads = 1;
+  std::optional<Session> inner;
+  switch (rep_->kind) {
+    case BackendKind::kWsd:
+      inner = Open(core::Wsd(std::get<core::Wsd>(rep_->data)), opts);
+      break;
+    case BackendKind::kWsdt:
+      inner = Open(core::Wsdt(std::get<core::Wsdt>(rep_->data)), opts);
+      break;
+    case BackendKind::kUniform:
+      inner = Open(rel::Database(std::get<rel::Database>(rep_->data)), opts);
+      break;
+    case BackendKind::kUrel:
+      inner = Open(core::Urel(std::get<core::Urel>(rep_->data)), opts);
+      break;
+  }
+  std::unordered_map<std::string, uint64_t> versions;
+  {
+    std::lock_guard<std::mutex> lock(rep_->cache_mu);
+    versions = rep_->versions;
+    rep_->stats.snapshots++;
+  }
+  return api::Snapshot(std::move(*inner), std::move(versions), rep_);
 }
 
 namespace {
@@ -392,6 +445,7 @@ Result<V> MemoizedTupleAnswer(
 }  // namespace
 
 Result<rel::Relation> Session::PossibleTuples(std::string_view relation) const {
+  auto read = rep_->ReadLock();
   std::string rel_name(relation);
   if (!rep_->options.cache) return rep_->backend->PossibleTuples(rel_name);
   return MemoizedRelationAnswer(
@@ -402,6 +456,7 @@ Result<rel::Relation> Session::PossibleTuples(std::string_view relation) const {
 
 Result<rel::Relation> Session::PossibleTuplesWithConfidence(
     std::string_view relation) const {
+  auto read = rep_->ReadLock();
   std::string rel_name(relation);
   if (!rep_->options.cache) {
     return rep_->backend->PossibleTuplesWithConfidence(rel_name);
@@ -413,6 +468,7 @@ Result<rel::Relation> Session::PossibleTuplesWithConfidence(
 }
 
 Result<rel::Relation> Session::CertainTuples(std::string_view relation) const {
+  auto read = rep_->ReadLock();
   std::string rel_name(relation);
   if (!rep_->options.cache) return rep_->backend->CertainTuples(rel_name);
   return MemoizedRelationAnswer(
@@ -423,6 +479,7 @@ Result<rel::Relation> Session::CertainTuples(std::string_view relation) const {
 
 Result<double> Session::TupleConfidence(
     std::string_view relation, std::span<const rel::Value> tuple) const {
+  auto read = rep_->ReadLock();
   std::string rel_name(relation);
   if (!rep_->options.cache) {
     return rep_->backend->TupleConfidence(rel_name, tuple);
@@ -435,6 +492,7 @@ Result<double> Session::TupleConfidence(
 
 Result<bool> Session::TupleCertain(std::string_view relation,
                                    std::span<const rel::Value> tuple) const {
+  auto read = rep_->ReadLock();
   std::string rel_name(relation);
   if (!rep_->options.cache) {
     return rep_->backend->TupleCertain(rel_name, tuple);
@@ -445,7 +503,14 @@ Result<bool> Session::TupleCertain(std::string_view relation,
       [&] { return rep_->backend->TupleCertain(rel_name, tuple); });
 }
 
+// Representation accessors hand out raw pointers, so the session's
+// internal locks cannot cover the caller's accesses — concurrent use of
+// the pointers still requires external synchronization against writers.
+// The mutable overloads invalidate the answer surface (under the writer
+// lock, so in-flight reads never see a half-invalidated cache).
+
 core::engine::WorldSetOps& Session::ops() {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   // Mutable access can change any relation behind the answer cache's back.
   rep_->InvalidateAll();
   return *rep_->backend;
@@ -455,6 +520,7 @@ const core::engine::WorldSetOps& Session::ops() const {
 }
 
 core::Wsd* Session::wsd() {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   rep_->InvalidateAll();
   return std::get_if<core::Wsd>(&rep_->data);
 }
@@ -462,6 +528,7 @@ const core::Wsd* Session::wsd() const {
   return std::get_if<core::Wsd>(&rep_->data);
 }
 core::Wsdt* Session::wsdt() {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   rep_->InvalidateAll();
   return std::get_if<core::Wsdt>(&rep_->data);
 }
@@ -469,6 +536,7 @@ const core::Wsdt* Session::wsdt() const {
   return std::get_if<core::Wsdt>(&rep_->data);
 }
 rel::Database* Session::uniform() {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   rep_->InvalidateAll();
   return std::get_if<rel::Database>(&rep_->data);
 }
@@ -476,11 +544,106 @@ const rel::Database* Session::uniform() const {
   return std::get_if<rel::Database>(&rep_->data);
 }
 core::Urel* Session::urel() {
+  std::unique_lock<std::shared_mutex> write(rep_->state_mu);
   rep_->InvalidateAll();
   return std::get_if<core::Urel>(&rep_->data);
 }
 const core::Urel* Session::urel() const {
   return std::get_if<core::Urel>(&rep_->data);
 }
+
+// -- Snapshot -----------------------------------------------------------------
+
+Snapshot::Snapshot(Session session,
+                   std::unordered_map<std::string, uint64_t> versions,
+                   std::shared_ptr<Session::Rep> parent)
+    : session_(std::move(session)),
+      versions_(std::move(versions)),
+      parent_(std::move(parent)) {}
+
+Snapshot::~Snapshot() { ReleaseView(); }
+
+Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
+  if (this != &other) {
+    ReleaseView();
+    session_ = std::move(other.session_);
+    versions_ = std::move(other.versions_);
+    parent_ = std::move(other.parent_);
+  }
+  return *this;
+}
+
+void Snapshot::ReleaseView() {
+  if (parent_ == nullptr) return;
+  {
+    // The private copy shares copy-on-write state with the parent (urel
+    // symbol tables, component payload nodes). Parent writers decide
+    // mutate-in-place vs privatize with a use_count() == 1 probe, and a
+    // bare refcount decrement does not order this snapshot's reads before
+    // that probe — so the shares are released while holding the parent's
+    // reader lock, which does.
+    std::shared_lock<std::shared_mutex> lock(parent_->state_mu);
+    Session dying = std::move(session_);
+  }
+  parent_.reset();
+}
+
+BackendKind Snapshot::kind() const { return session_.kind(); }
+std::string_view Snapshot::BackendName() const {
+  return session_.BackendName();
+}
+
+bool Snapshot::HasRelation(std::string_view name) const {
+  return session_.HasRelation(name);
+}
+std::vector<std::string> Snapshot::RelationNames() const {
+  return session_.RelationNames();
+}
+Result<rel::Schema> Snapshot::RelationSchema(std::string_view name) const {
+  return session_.RelationSchema(name);
+}
+
+uint64_t Snapshot::RelationVersion(std::string_view name) const {
+  auto it = versions_.find(std::string(name));
+  if (it != versions_.end()) return it->second;
+  return session_.RelationVersion(name);
+}
+
+const std::unordered_map<std::string, uint64_t>& Snapshot::Versions() const {
+  return versions_;
+}
+
+Result<rel::Relation> Snapshot::PossibleTuples(
+    std::string_view relation) const {
+  return session_.PossibleTuples(relation);
+}
+Result<rel::Relation> Snapshot::PossibleTuplesWithConfidence(
+    std::string_view relation) const {
+  return session_.PossibleTuplesWithConfidence(relation);
+}
+Result<rel::Relation> Snapshot::CertainTuples(
+    std::string_view relation) const {
+  return session_.CertainTuples(relation);
+}
+Result<double> Snapshot::TupleConfidence(
+    std::string_view relation, std::span<const rel::Value> tuple) const {
+  return session_.TupleConfidence(relation, tuple);
+}
+Result<bool> Snapshot::TupleCertain(std::string_view relation,
+                                    std::span<const rel::Value> tuple) const {
+  return session_.TupleCertain(relation, tuple);
+}
+
+Status Snapshot::Run(const rel::Plan& plan, const std::string& out) {
+  // Fresh names only: replacing a pinned relation would release its share
+  // of the parent's copy-on-write state outside the teardown lock
+  // (ReleaseView), and a snapshot's catalog is immutable by contract.
+  if (session_.HasRelation(out)) {
+    return Status::AlreadyExists("snapshot relation " + out);
+  }
+  return session_.Run(plan, out);
+}
+
+SessionStats Snapshot::Stats() const { return session_.Stats(); }
 
 }  // namespace maywsd::api

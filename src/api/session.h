@@ -16,9 +16,16 @@
 // noise) stays below the facade; wsd()/wsdt()/uniform()/urel() expose the
 // owned representation for it. The historical per-representation entry
 // points (WsdEvaluate, WsdtEvaluate*, confidence.h, wsdt_confidence.h)
-// remain as thin compatibility shims over the same engine code, and the
-// pre-Open factories (OverWsd & co.) survive as deprecated one-line
-// wrappers until removal.
+// remain as thin compatibility shims over the same engine code.
+//
+// Concurrency: a Session is internally synchronized. Mutators (Register,
+// Drop, Run*, Apply*, the mutable representation accessors) serialize
+// behind a writer lock; the const catalog and answer surface runs under a
+// shared reader lock and counts every read that had to wait behind an
+// in-flight writer (SessionStats::reader_blocked_waits). Readers that must
+// never wait take a Snapshot() — an immutable read view over a private
+// copy of the representation (cheap for the COW-component backends),
+// pinned to the per-relation version vector at creation time.
 
 #ifndef MAYWSD_API_SESSION_H_
 #define MAYWSD_API_SESSION_H_
@@ -27,6 +34,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -54,10 +62,12 @@ Result<BackendKind> ParseBackendKind(std::string_view name);
 
 /// Execution policy of a Session.
 struct SessionOptions {
-  /// Worker threads for the Run fan-out: 1 evaluates sequentially (the
-  /// default), N > 1 shards the plan's partitionable input relation across
-  /// at most N workers, 0 uses the hardware concurrency. Plans or backends
-  /// that cannot shard fall back to sequential execution automatically.
+  /// Worker threads for the Run and ApplyAll fan-outs: 1 evaluates
+  /// sequentially (the default), N > 1 shards the plan's partitionable
+  /// input relation — or an unconditional delete/modify's target relation —
+  /// across at most N workers, 0 uses the hardware concurrency. Plans,
+  /// updates or backends that cannot shard fall back to sequential
+  /// execution automatically.
   int threads = 1;
   /// Caching: common subplans across a RunAll workload, and the memoized
   /// answer surface (PossibleTuples/CertainTuples/TupleConfidence per
@@ -75,6 +85,14 @@ struct SessionStats {
   uint64_t cache_hits = 0;     ///< RunAll subplan-cache hits
   uint64_t cache_misses = 0;   ///< RunAll subplan-cache misses
   uint64_t applies = 0;          ///< Apply/ApplyAll update operations
+  uint64_t sharded_applies = 0;  ///< updates that fanned out across workers
+  uint64_t apply_shards_executed = 0;  ///< total shards across sharded applies
+  uint64_t snapshots = 0;        ///< Snapshot() views taken
+  /// Reads (answer surface, Stats, Snapshot) that had to wait behind an
+  /// in-flight writer holding the session's state lock. Always 0 on a
+  /// Snapshot's own stats: no writer ever touches a snapshot's private
+  /// copy.
+  uint64_t reader_blocked_waits = 0;
   uint64_t answer_cache_hits = 0;    ///< memoized answer-surface hits
   uint64_t answer_cache_misses = 0;  ///< memoized answer-surface misses
   /// ApplyAll guard sharing: world conditions actually evaluated + copied
@@ -97,6 +115,8 @@ struct SessionStats {
   uint64_t store_dedup_hits = 0;     ///< certain-singleton intern hits
   uint64_t store_cow_breaks = 0;     ///< shared payloads privatized
 };
+
+class Snapshot;
 
 /// A query session over one world-set representation.
 class Session {
@@ -128,25 +148,6 @@ class Session {
   /// by copy, kUniform via ExportUniform, kUrel via ExportUrel).
   static Result<Session> Open(BackendKind kind, const core::Wsdt& wsdt,
                               SessionOptions options = {});
-
-  // -- Deprecated pre-Open factories (thin wrappers, kept until removal) ----
-
-  [[deprecated("use Session::Open(core::Wsd, ...)")]]
-  static Session OverWsd(core::Wsd wsd = {}, SessionOptions options = {});
-
-  [[deprecated("use Session::Open(core::Wsdt, ...)")]]
-  static Session OverWsdt(core::Wsdt wsdt = {}, SessionOptions options = {});
-
-  [[deprecated("use Session::Open(BackendKind::kUniform)")]]
-  static Session OverUniform();
-
-  [[deprecated("use Session::Open(BackendKind::kUniform, wsdt, ...)")]]
-  static Result<Session> OverUniform(const core::Wsdt& wsdt,
-                                     SessionOptions options = {});
-
-  [[deprecated("use Session::Open(rel::Database, ...)")]]
-  static Session OverUniformDatabase(rel::Database db,
-                                     SessionOptions options = {});
 
   ~Session();
   Session(Session&&) noexcept;
@@ -216,11 +217,28 @@ class Session {
 
   /// Applies a workload of updates in order; stops at the first error
   /// (already-applied updates remain — updates are not transactional).
+  /// With options().threads > 1, runs of consecutive unconditional
+  /// deletes/modifies on one relation fan out over shard slices of that
+  /// relation (sliced once per run, so the copy amortizes over the run's
+  /// length) and merge back in shard order as workers finish — the same
+  /// slicing Run uses; inserts and world-conditional updates stay
+  /// sequential.
   Status ApplyAll(std::span<const rel::UpdateOp> ops);
 
   /// Monotonic per-relation version: bumped by Register, Apply, Drop and
   /// by Run/RunAll materializing the relation. Keys the answer cache.
   uint64_t RelationVersion(std::string_view name) const;
+
+  // -- Snapshot reads (MVCC) ------------------------------------------------
+
+  /// Pins an immutable read view: a private copy of the representation
+  /// (component columns are O(1) COW handle shares into the interned
+  /// store; template rows copy) plus the per-relation version vector at
+  /// creation time. Reads on the returned Snapshot never block behind and
+  /// never observe a later Apply/Run on this session. Taking the snapshot
+  /// itself briefly holds the reader lock (counted in
+  /// reader_blocked_waits when it had to wait).
+  api::Snapshot Snapshot() const;
 
   // -- Answers (Section 6) --------------------------------------------------
   //
@@ -268,9 +286,89 @@ class Session {
 
  private:
   struct Rep;
-  explicit Session(std::unique_ptr<Rep> rep);
+  friend class Snapshot;
+  explicit Session(std::shared_ptr<Rep> rep);
 
-  std::unique_ptr<Rep> rep_;
+  // Shared so a Snapshot can keep the parent representation (and its
+  // mutex) alive while it tears down — see Snapshot::ReleaseView.
+  std::shared_ptr<Rep> rep_;
+};
+
+/// An immutable MVCC read view of a Session (see Session::Snapshot()).
+///
+/// A Snapshot owns a private copy of the parent's representation and the
+/// version vector that was current when it was taken. Its answer surface
+/// mirrors the Session's, but no writer can ever touch the private copy:
+/// reads here never wait (the snapshot's own
+/// SessionStats::reader_blocked_waits is 0 by construction) and never see
+/// a later update. Run materializes only inside the snapshot — the parent
+/// session never observes snapshot-local relations.
+///
+/// The private copy may still *share* copy-on-write state with the parent
+/// (interned component payloads, the urel symbol table); writers privatize
+/// before mutating, so sharing is never observable. Destruction briefly
+/// takes the parent's reader lock to release those shares (and may wait
+/// out an in-flight Apply); the parent representation stays alive as long
+/// as any of its snapshots does.
+class Snapshot {
+ public:
+  ~Snapshot();
+  Snapshot(Snapshot&&) noexcept = default;
+  Snapshot& operator=(Snapshot&&) noexcept;
+
+  BackendKind kind() const;
+  std::string_view BackendName() const;
+
+  // -- Catalog (of the pinned view) -----------------------------------------
+
+  bool HasRelation(std::string_view name) const;
+  std::vector<std::string> RelationNames() const;
+  Result<rel::Schema> RelationSchema(std::string_view name) const;
+
+  /// The pinned version of `name` — what Session::RelationVersion returned
+  /// when the snapshot was taken. Relations materialized inside the
+  /// snapshot by Run report the snapshot-local version instead.
+  uint64_t RelationVersion(std::string_view name) const;
+
+  /// The whole pinned version vector.
+  const std::unordered_map<std::string, uint64_t>& Versions() const;
+
+  // -- Answers --------------------------------------------------------------
+
+  Result<rel::Relation> PossibleTuples(std::string_view relation) const;
+  Result<rel::Relation> PossibleTuplesWithConfidence(
+      std::string_view relation) const;
+  Result<rel::Relation> CertainTuples(std::string_view relation) const;
+  Result<double> TupleConfidence(std::string_view relation,
+                                 std::span<const rel::Value> tuple) const;
+  Result<bool> TupleCertain(std::string_view relation,
+                            std::span<const rel::Value> tuple) const;
+
+  /// Evaluates `plan` against the pinned view, materializing `out` inside
+  /// the snapshot only. `out` must be a fresh name: a snapshot never
+  /// replaces a pinned relation.
+  Status Run(const rel::Plan& plan, const std::string& out);
+
+  /// Counters of the snapshot's private session; reader_blocked_waits is
+  /// structurally 0.
+  SessionStats Stats() const;
+
+ private:
+  friend class Session;
+  Snapshot(Session session, std::unordered_map<std::string, uint64_t> versions,
+           std::shared_ptr<Session::Rep> parent);
+
+  /// Drops the private copy under the parent's reader lock. The copy can
+  /// share copy-on-write state with the parent, whose
+  /// mutate-in-place probe (use_count() == 1) is not a synchronization
+  /// point by itself: releasing the shares under the lock orders every
+  /// read this snapshot made before any later in-place write.
+  void ReleaseView();
+
+  Session session_;
+  std::unordered_map<std::string, uint64_t> versions_;
+  /// Keeps the parent representation (and its mutex) alive for teardown.
+  std::shared_ptr<Session::Rep> parent_;
 };
 
 }  // namespace maywsd::api

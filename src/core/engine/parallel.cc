@@ -96,6 +96,19 @@ std::vector<Status> ThreadPool::RunAll(
   return results;
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  if (t_on_pool_worker) {
+    // Nested use from a worker: run inline to avoid queue deadlock.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->work_cv.notify_one();
+}
+
 ThreadPool& ThreadPool::Shared() {
   static ThreadPool pool(std::thread::hardware_concurrency() == 0
                              ? 4
@@ -209,6 +222,58 @@ Result<std::unique_ptr<ShardRequest>> FindShardCandidate(
 /// namespace, so a fixed name cannot collide).
 constexpr const char* kShardOut = "__eng_shard_out";
 
+/// The ordered streaming merge: runs `work(i)` for every shard on the
+/// shared pool and calls `absorb(i)` on THIS thread as soon as shards
+/// 0..i have completed — slower shards keep executing while earlier ones
+/// merge, so there is no wait-for-slowest barrier, and shard-index order
+/// keeps the merged result deterministic. After the first failure no
+/// further absorbs run, but the coordinator still drains every in-flight
+/// worker before returning (the tasks reference this frame). From inside
+/// a pool worker the whole fan-out degrades to a sequential
+/// work-then-absorb loop.
+Status RunStreamingOrdered(size_t num_shards,
+                           const std::function<Status(size_t)>& work,
+                           const std::function<Status(size_t)>& absorb) {
+  if (t_on_pool_worker) {
+    for (size_t i = 0; i < num_shards; ++i) {
+      MAYWSD_RETURN_IF_ERROR(work(i));
+      MAYWSD_RETURN_IF_ERROR(absorb(i));
+    }
+    return Status::Ok();
+  }
+  struct State {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::vector<Status> results;
+    std::vector<char> done;
+  } state;
+  state.results.assign(num_shards, Status::Ok());
+  state.done.assign(num_shards, 0);
+  for (size_t i = 0; i < num_shards; ++i) {
+    ThreadPool::Shared().Submit([&state, &work, i] {
+      Status st = work(i);
+      std::lock_guard<std::mutex> lock(state.mu);
+      state.results[i] = std::move(st);
+      state.done[i] = 1;
+      state.done_cv.notify_all();
+    });
+  }
+  Status first_error = Status::Ok();
+  for (size_t i = 0; i < num_shards; ++i) {
+    Status st;
+    {
+      std::unique_lock<std::mutex> lock(state.mu);
+      state.done_cv.wait(lock, [&state, i] { return state.done[i] != 0; });
+      st = state.results[i];
+    }
+    if (first_error.ok() && !st.ok()) first_error = st;
+    if (first_error.ok()) {
+      if (Status ast = absorb(i); !ast.ok()) first_error = ast;
+    }
+  }
+  return first_error;
+}
+
 }  // namespace
 
 // -- EvaluateParallel ---------------------------------------------------
@@ -230,35 +295,108 @@ Status EvaluateParallel(WorldSetOps& ops, const rel::Plan& plan,
 
   size_t num_shards = shard_plan->NumShards();
   std::vector<std::unique_ptr<WorldSetOps>> shards(num_shards);
-  std::vector<std::function<Status()>> tasks;
-  tasks.reserve(num_shards);
   const ShardPlan* plan_view = shard_plan.get();
+  // Phase 1 — build every slice, with a barrier: BuildShard only READS the
+  // parent, and Absorb mutates it, so no absorb may start before the last
+  // build returned. Builds are slice copies — cheap next to evaluation.
+  std::vector<std::function<Status()>> builds;
+  builds.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
-    tasks.push_back([plan_view, &plan, &shards, i]() -> Status {
+    builds.push_back([plan_view, &shards, i]() -> Status {
       MAYWSD_ASSIGN_OR_RETURN(shards[i], plan_view->BuildShard(i));
-      return Evaluate(*shards[i], plan, kShardOut);
+      return Status::Ok();
     });
   }
-  std::vector<Status> results = ThreadPool::Shared().RunAll(std::move(tasks));
-  for (const Status& st : results) {
+  for (Status& st : ThreadPool::Shared().RunAll(std::move(builds))) {
     MAYWSD_RETURN_IF_ERROR(st);
   }
-  // Deterministic merge: shard-index order, on this thread, after every
-  // worker finished. On a mid-merge failure, drop the partially-built
-  // result so callers never observe a truncated `out` (the uniform plan
-  // only publishes on Finish, so its parent store needs no cleanup — the
-  // drop is a no-op there).
-  auto merge = [&]() -> Status {
-    for (size_t i = 0; i < num_shards; ++i) {
-      MAYWSD_RETURN_IF_ERROR(
-          shard_plan->Absorb(i, *shards[i], kShardOut, out));
-    }
-    return shard_plan->Finish();
-  };
-  if (Status st = merge(); !st.ok()) {
+  // Phase 2 — evaluate per slice on the pool, streaming finished shards
+  // back in index order while slower ones still run. On any failure, drop
+  // the partially-built result so callers never observe a truncated `out`
+  // (the uniform plan only publishes on Finish, so its parent store needs
+  // no cleanup — the drop is a no-op there).
+  Status st = RunStreamingOrdered(
+      num_shards,
+      [&shards, &plan](size_t i) {
+        return Evaluate(*shards[i], plan, kShardOut);
+      },
+      [&shard_plan, &shards, &out](size_t i) {
+        return shard_plan->Absorb(i, *shards[i], kShardOut, out);
+      });
+  if (st.ok()) st = shard_plan->Finish();
+  if (!st.ok()) {
     if (ops.HasRelation(out)) (void)ops.Drop(out);
     return st;
   }
+  if (stats != nullptr) {
+    stats->sharded = true;
+    stats->shards = num_shards;
+  }
+  return Status::Ok();
+}
+
+// -- ApplyUpdatesSharded ------------------------------------------------
+
+Status ApplyUpdatesSharded(WorldSetOps& ops,
+                           std::span<const rel::UpdateOp> run, size_t threads,
+                           ParallelStats* stats) {
+  if (stats != nullptr) *stats = ParallelStats{};
+  if (run.empty()) return Status::Ok();
+  auto sequential = [&ops, run]() -> Status {
+    for (const rel::UpdateOp& op : run) {
+      MAYWSD_RETURN_IF_ERROR(ops.ApplyUpdate(op, std::string()));
+    }
+    return Status::Ok();
+  };
+  // Only unconditional deletes/modifies distribute over tuple slices (an
+  // insert has nothing to slice, and a world-conditional update's guard
+  // correlates every slice with the guard relation's components); the
+  // caller groups runs so one check on the head covers all of them.
+  if (threads <= 1 || run.front().kind() == rel::UpdateOp::Kind::kInsert ||
+      run.front().has_world_condition()) {
+    return sequential();
+  }
+  ShardRequest req;
+  req.relation = run.front().relation();
+  req.max_shards = threads;
+  req.for_update = true;
+  MAYWSD_ASSIGN_OR_RETURN(std::unique_ptr<ShardPlan> shard_plan,
+                          ops.PlanShards(req));
+  if (shard_plan == nullptr) return sequential();
+
+  size_t num_shards = shard_plan->NumShards();
+  std::vector<std::unique_ptr<WorldSetOps>> shards(num_shards);
+  const ShardPlan* plan_view = shard_plan.get();
+  std::vector<std::function<Status()>> builds;
+  builds.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    builds.push_back([plan_view, &shards, i]() -> Status {
+      MAYWSD_ASSIGN_OR_RETURN(shards[i], plan_view->BuildShard(i));
+      return Status::Ok();
+    });
+  }
+  for (Status& st : ThreadPool::Shared().RunAll(std::move(builds))) {
+    MAYWSD_RETURN_IF_ERROR(st);
+  }
+  // Replace-by-slices: drop the parent relation, run the whole update run
+  // on each slice on the pool (this is where the fan-out earns its copy:
+  // one slicing serves every update in the run), and stream the mutated
+  // slices back under the original name.
+  const std::string& name = run.front().relation();
+  MAYWSD_RETURN_IF_ERROR(ops.Drop(name));
+  Status st = RunStreamingOrdered(
+      num_shards,
+      [&shards, run](size_t i) -> Status {
+        for (const rel::UpdateOp& op : run) {
+          MAYWSD_RETURN_IF_ERROR(shards[i]->ApplyUpdate(op, std::string()));
+        }
+        return Status::Ok();
+      },
+      [&shard_plan, &shards, &name](size_t i) {
+        return shard_plan->Absorb(i, *shards[i], name, name);
+      });
+  if (st.ok()) st = shard_plan->Finish();
+  MAYWSD_RETURN_IF_ERROR(st);
   if (stats != nullptr) {
     stats->sharded = true;
     stats->shards = num_shards;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -124,12 +125,14 @@ class WsdtShardPlan final : public ShardPlan {
  public:
   WsdtShardPlan(const Wsdt* parent, Wsdt* absorb_into, std::string relation,
                 std::vector<std::string> aux,
-                std::vector<std::vector<TupleId>> shards)
+                std::vector<std::vector<TupleId>> shards,
+                std::vector<std::vector<size_t>> comps)
       : parent_(parent),
         absorb_into_(absorb_into),
         relation_(std::move(relation)),
         aux_(std::move(aux)),
-        shards_(std::move(shards)) {}
+        shards_(std::move(shards)),
+        comps_(std::move(comps)) {}
 
   size_t NumShards() const override { return shards_.size(); }
 
@@ -150,7 +153,10 @@ class WsdtShardPlan final : public ShardPlan {
     }
     MAYWSD_RETURN_IF_ERROR(slice.AddTemplateRelation(std::move(part)));
 
-    for (size_t c : parent_->LiveComponents()) {
+    // Only this shard's components (precomputed at plan time): their own
+    // tuples all live in this slice, so the full-keep COW share of
+    // SliceComponent is the common path for relation-pure components.
+    for (size_t c : comps_[i]) {
       Component proj = SliceComponent(
           parent_->component(c), sym, sym,
           [&remap](TupleId t) { return remap.count(t) > 0; },
@@ -183,6 +189,7 @@ class WsdtShardPlan final : public ShardPlan {
   std::string relation_;
   std::vector<std::string> aux_;
   std::vector<std::vector<TupleId>> shards_;
+  std::vector<std::vector<size_t>> comps_;  ///< per-shard component indices
 };
 
 // -- WSD ----------------------------------------------------------------
@@ -190,11 +197,13 @@ class WsdtShardPlan final : public ShardPlan {
 class WsdShardPlan final : public ShardPlan {
  public:
   WsdShardPlan(Wsd* parent, std::string relation, std::vector<std::string> aux,
-               std::vector<std::vector<TupleId>> shards)
+               std::vector<std::vector<TupleId>> shards,
+               std::vector<std::vector<size_t>> comps)
       : parent_(parent),
         relation_(std::move(relation)),
         aux_(std::move(aux)),
-        shards_(std::move(shards)) {}
+        shards_(std::move(shards)),
+        comps_(std::move(comps)) {}
 
   size_t NumShards() const override { return shards_.size(); }
 
@@ -211,7 +220,7 @@ class WsdShardPlan final : public ShardPlan {
     for (size_t j = 0; j < tids.size(); ++j) {
       remap[tids[j]] = static_cast<TupleId>(j);
     }
-    for (size_t c : parent_->LiveComponents()) {
+    for (size_t c : comps_[i]) {
       Component proj = SliceComponent(
           parent_->component(c), rel->name_sym, rel->name_sym,
           [&remap](TupleId t) { return remap.count(t) > 0; },
@@ -281,6 +290,7 @@ class WsdShardPlan final : public ShardPlan {
   std::string relation_;
   std::vector<std::string> aux_;
   std::vector<std::vector<TupleId>> shards_;
+  std::vector<std::vector<size_t>> comps_;  ///< per-shard component indices
 };
 
 // -- Uniform ------------------------------------------------------------
@@ -334,6 +344,41 @@ std::vector<std::vector<TupleId>> PlanSlices(TupleId num_slots,
     }
   }
   return PartitionSlots(num_slots, links, max_shards);
+}
+
+/// Assigns each live component touching `relation` to the one shard
+/// holding its tuple slots (component links keep them together, so the
+/// first own tuple decides). BuildShard then scans only its own
+/// components instead of every live one per shard — the planning pass
+/// that made WSDT slices O(shards × components). With `require_pure`
+/// (update fan-outs), returns nullopt when a component touching the
+/// relation also covers another relation's columns: replacing the
+/// relation with re-absorbed slices would marginalize that component and
+/// lose the cross-relation correlation.
+template <typename ComponentRange, typename GetComponent>
+std::optional<std::vector<std::vector<size_t>>> AssignComponents(
+    const std::vector<std::vector<TupleId>>& shards, TupleId num_slots,
+    Symbol relation, const ComponentRange& live, const GetComponent& component,
+    bool require_pure) {
+  std::vector<uint32_t> shard_of_tid(static_cast<size_t>(num_slots), 0);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    for (TupleId t : shards[s]) {
+      shard_of_tid[static_cast<size_t>(t)] = static_cast<uint32_t>(s);
+    }
+  }
+  std::vector<std::vector<size_t>> comps(shards.size());
+  for (size_t i : live) {
+    const Component& comp = component(i);
+    std::vector<TupleId> tids = OwnTuples(comp, relation);
+    if (tids.empty()) continue;
+    if (require_pure) {
+      for (const FieldKey& f : comp.fields()) {
+        if (f.rel != relation) return std::nullopt;
+      }
+    }
+    comps[shard_of_tid[static_cast<size_t>(tids[0])]].push_back(i);
+  }
+  return comps;
 }
 
 }  // namespace
@@ -426,13 +471,25 @@ Result<std::unique_ptr<ShardPlan>> MakeWsdtShardPlan(const Wsdt& parent,
       [&parent](size_t i) -> const Component& { return parent.component(i); },
       req.max_shards);
   if (shards.empty()) return std::unique_ptr<ShardPlan>();
-  return std::unique_ptr<ShardPlan>(
-      std::make_unique<WsdtShardPlan>(&parent, absorb_into, req.relation,
-                                      req.aux_relations, std::move(shards)));
+  std::optional<std::vector<std::vector<size_t>>> comps = AssignComponents(
+      shards, static_cast<TupleId>(tmpl->NumRows()), sym,
+      parent.LiveComponents(),
+      [&parent](size_t i) -> const Component& { return parent.component(i); },
+      /*require_pure=*/req.for_update);
+  if (!comps) return std::unique_ptr<ShardPlan>();
+  return std::unique_ptr<ShardPlan>(std::make_unique<WsdtShardPlan>(
+      &parent, absorb_into, req.relation, req.aux_relations,
+      std::move(shards), std::move(*comps)));
 }
 
 Result<std::unique_ptr<ShardPlan>> MakeWsdShardPlan(Wsd& parent,
                                                     const ShardRequest& req) {
+  // Update fan-outs never pay off here: absorbing a mutated slice folds
+  // its presence fields back into the parent (EliminatePresenceFields), a
+  // superlinear merge that costs far more than the one-pass delete/modify
+  // it would parallelize. Query fan-outs keep the path — they absorb into
+  // a fresh result relation, not back into the sliced one.
+  if (req.for_update) return std::unique_ptr<ShardPlan>();
   MAYWSD_ASSIGN_OR_RETURN(const WsdRelation* rel,
                           parent.FindRelation(req.relation));
   // Presence ("exists") fields make slot membership two-layered; decline
@@ -443,12 +500,22 @@ Result<std::unique_ptr<ShardPlan>> MakeWsdShardPlan(Wsd& parent,
       [&parent](size_t i) -> const Component& { return parent.component(i); },
       req.max_shards);
   if (shards.empty()) return std::unique_ptr<ShardPlan>();
+  std::optional<std::vector<std::vector<size_t>>> comps = AssignComponents(
+      shards, rel->max_tuples, rel->name_sym, parent.LiveComponents(),
+      [&parent](size_t i) -> const Component& { return parent.component(i); },
+      /*require_pure=*/req.for_update);
+  if (!comps) return std::unique_ptr<ShardPlan>();
   return std::unique_ptr<ShardPlan>(std::make_unique<WsdShardPlan>(
-      &parent, req.relation, req.aux_relations, std::move(shards)));
+      &parent, req.relation, req.aux_relations, std::move(shards),
+      std::move(*comps)));
 }
 
 Result<std::unique_ptr<ShardPlan>> MakeUniformShardPlan(
     rel::Database& db, const ShardRequest& req) {
+  // Update fan-outs never pay off here: the plan's import + re-export
+  // round trip over the WHOLE store swamps any per-slice win over the
+  // backend's native one-pass update.
+  if (req.for_update) return std::unique_ptr<ShardPlan>();
   MAYWSD_ASSIGN_OR_RETURN(Wsdt imported, ImportUniform(db));
   auto plan = std::make_unique<UniformShardPlan>(std::move(imported), &db);
   MAYWSD_ASSIGN_OR_RETURN(

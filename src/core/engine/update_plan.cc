@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/engine/parallel.h"
 #include "core/engine/plan_driver.h"
 #include "rel/plan_hash.h"
 
@@ -108,7 +109,7 @@ Status ApplyUpdate(WorldSetOps& ops, const rel::UpdateOp& op) {
 }
 
 Status ApplyUpdates(WorldSetOps& ops, std::span<const rel::UpdateOp> ops_list,
-                    UpdateBatchStats* stats) {
+                    size_t threads, UpdateBatchStats* stats) {
   /// A materialized guard snapshot plus the relations its condition read
   /// (an applied update on any of them invalidates the snapshot).
   struct CachedGuard {
@@ -119,7 +120,10 @@ Status ApplyUpdates(WorldSetOps& ops, std::span<const rel::UpdateOp> ops_list,
       guards;
   ScratchScope scope(ops);
   Status st = Status::Ok();
-  for (const rel::UpdateOp& op : ops_list) {
+  size_t idx = 0;
+  while (idx < ops_list.size()) {
+    const rel::UpdateOp& op = ops_list[idx];
+    size_t next = idx + 1;
     st = ValidateUpdate(ops, op);
     if (!st.ok()) break;
     if (op.has_world_condition()) {
@@ -146,7 +150,33 @@ Status ApplyUpdates(WorldSetOps& ops, std::span<const rel::UpdateOp> ops_list,
       }
       st = ops.ApplyUpdate(op, it->second.guard);
     } else {
-      st = ops.ApplyUpdate(op, std::string());
+      // Unconditional deletes/modifies are the fan-out candidates. Extend
+      // the run across consecutive unconditional deletes/modifies of the
+      // SAME relation: one slicing then serves the whole run, which is
+      // what lets the fan-out beat k sequential one-pass updates.
+      // Deletes/modifies never change a schema or drop a relation, so
+      // validating the run up front equals validating each op against the
+      // intermediate states; an op failing validation just ends the run
+      // and reports its error on its own turn through the outer loop.
+      if (threads > 1 && op.kind() != rel::UpdateOp::Kind::kInsert) {
+        while (next < ops_list.size()) {
+          const rel::UpdateOp& peek = ops_list[next];
+          if (peek.has_world_condition() ||
+              peek.kind() == rel::UpdateOp::Kind::kInsert ||
+              peek.relation() != op.relation() ||
+              !ValidateUpdate(ops, peek).ok()) {
+            break;
+          }
+          ++next;
+        }
+      }
+      std::span<const rel::UpdateOp> run = ops_list.subspan(idx, next - idx);
+      ParallelStats ps;
+      st = ApplyUpdatesSharded(ops, run, threads, &ps);
+      if (ps.sharded && stats != nullptr) {
+        stats->sharded_applies += run.size();
+        stats->apply_shards += ps.shards;
+      }
     }
     if (!st.ok()) break;
     // The applied op mutated its target: cached guards whose condition
@@ -155,6 +185,7 @@ Status ApplyUpdates(WorldSetOps& ops, std::span<const rel::UpdateOp> ops_list,
       it = it->second.scans.count(op.relation()) ? guards.erase(it)
                                                  : std::next(it);
     }
+    idx = next;
   }
   Status drop = scope.DropAll();
   return st.ok() ? drop : st;

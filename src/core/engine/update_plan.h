@@ -34,10 +34,13 @@ Status ValidateUpdate(WorldSetOps& ops, const rel::UpdateOp& op);
 Status ApplyUpdate(WorldSetOps& ops, const rel::UpdateOp& op);
 
 /// Batch accounting for ApplyUpdates: how many world conditions were
-/// actually evaluated versus served from the batch's guard cache.
+/// actually evaluated versus served from the batch's guard cache, and how
+/// many unconditional updates fanned out over shard slices.
 struct UpdateBatchStats {
   uint64_t guard_materializations = 0;  ///< conditions evaluated + copied
   uint64_t guard_shares = 0;            ///< updates reusing a cached guard
+  uint64_t sharded_applies = 0;         ///< updates that fanned out
+  uint64_t apply_shards = 0;            ///< total shards across fan-outs
 };
 
 /// Applies a workload of updates in order, stopping at the first error
@@ -47,9 +50,12 @@ struct UpdateBatchStats {
 /// materialization; a cached guard is discarded as soon as an applied
 /// update mutates a relation its condition reads, so later updates in the
 /// batch still see post-update guards, exactly as sequential Apply calls
-/// would.
+/// would. With threads > 1, unconditional deletes/modifies fan out over
+/// shard slices of their target relation (engine/parallel.h,
+/// ApplyUpdateSharded) when the backend can slice it soundly; everything
+/// else stays sequential.
 Status ApplyUpdates(WorldSetOps& ops, std::span<const rel::UpdateOp> ops_list,
-                    UpdateBatchStats* stats = nullptr);
+                    size_t threads = 1, UpdateBatchStats* stats = nullptr);
 
 }  // namespace maywsd::core::engine
 

@@ -326,8 +326,11 @@ Result<std::unique_ptr<ShardPlan>> MakeUrelShardPlan(Urel& parent,
   // more than the scan it would parallelize, so a fan-out can only lose;
   // decline and let the caller evaluate sequentially. Plans with a second
   // (certain) leaf — joins, products — do superlinear per-row work that
-  // amortizes the slice.
-  if (req.aux_relations.empty()) return std::unique_ptr<ShardPlan>();
+  // amortizes the slice. Update fan-outs decline for the same reason: the
+  // native columnar update is itself one bandwidth-bound pass.
+  if (req.aux_relations.empty() || req.for_update) {
+    return std::unique_ptr<ShardPlan>();
+  }
   MAYWSD_ASSIGN_OR_RETURN(const UrelRelation* r, parent.Get(req.relation));
   // Descriptors are the only correlation carriers: rows sharing a variable
   // must co-shard.

@@ -54,6 +54,14 @@ struct ShardRequest {
   std::vector<std::string> aux_relations;
   /// Upper bound on the number of shards (the worker-pool width).
   size_t max_shards = 1;
+  /// True when the shards carry an in-place update fan-out: the driver
+  /// will mutate each slice and then REPLACE the parent relation with the
+  /// absorbed slices (drop + re-absorb under the same name). A backend
+  /// must decline unless every component touching `relation` covers only
+  /// that relation's columns — a cross-relation component cannot be
+  /// dropped and rebuilt per slice without losing the correlation — and
+  /// should decline when slicing cannot beat its native one-pass update.
+  bool for_update = false;
 };
 
 /// A backend's partitioning of one relation into independent slices.
@@ -65,10 +73,14 @@ struct ShardRequest {
 ///      certain copies. The slice world-sets are mutually independent and
 ///      their union is the marginal world-set of the parent relation.
 ///   2. Absorb(i, ...) — called on the coordinating thread, in shard-index
-///      order, only after every worker finished (this is what makes the
-///      merged result deterministic regardless of completion order). Merges
-///      shard i's relation `src` into the parent's `dst`, creating `dst` on
-///      the first call.
+///      order (this is what makes the merged result deterministic
+///      regardless of completion order), only after every BuildShard
+///      returned. Workers may still be EXECUTING on later shards while
+///      shard i is absorbed — the streaming merge overlaps merging with
+///      the slowest shards — so Absorb must touch only the parent and the
+///      finished shard i, never another shard's state. Merges shard i's
+///      relation `src` into the parent's `dst`, creating `dst` on the
+///      first call.
 ///   3. Finish() — once, after all absorbs (the uniform backend re-exports
 ///      its store here). Default no-op.
 ///

@@ -1,0 +1,270 @@
+#include "server/protocol.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rel/predicate.h"
+#include "rel/schema.h"
+#include "rel/value.h"
+
+namespace maywsd::server {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(std::move(tok));
+  return tokens;
+}
+
+std::vector<std::string> SplitComma(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// An integer token is an integer value; anything else is a string.
+rel::Value ParseValue(const std::string& token) {
+  if (!token.empty()) {
+    char* end = nullptr;
+    long long v = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() + token.size()) return rel::Value::Int(v);
+  }
+  return rel::Value::String(token);
+}
+
+Result<rel::CmpOp> ParseCmpOp(const std::string& token) {
+  if (token == "=") return rel::CmpOp::kEq;
+  if (token == "!=" || token == "<>") return rel::CmpOp::kNe;
+  if (token == "<") return rel::CmpOp::kLt;
+  if (token == "<=") return rel::CmpOp::kLe;
+  if (token == ">") return rel::CmpOp::kGt;
+  if (token == ">=") return rel::CmpOp::kGe;
+  return Status::InvalidArgument("bad comparison operator: " + token);
+}
+
+Result<rel::Relation> ParseRows(const std::string& name,
+                                const std::string& attrs_token,
+                                const std::vector<std::string>& row_tokens) {
+  std::vector<rel::Attribute> attrs;
+  for (const std::string& a : SplitComma(attrs_token)) {
+    if (a.empty()) {
+      return Status::InvalidArgument("empty attribute in " + attrs_token);
+    }
+    attrs.emplace_back(a);
+  }
+  rel::Relation out(rel::Schema(std::move(attrs)), name);
+  for (const std::string& row_token : row_tokens) {
+    std::vector<rel::Value> row;
+    for (const std::string& v : SplitComma(row_token)) row.push_back(ParseValue(v));
+    if (row.size() != out.arity()) {
+      return Status::InvalidArgument("row " + row_token + " has " +
+                                     std::to_string(row.size()) +
+                                     " values, schema wants " +
+                                     std::to_string(out.arity()));
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+/// run <sid> <out> <scan|select|project> ... — tokens[3:] here.
+Result<rel::Plan> ParsePlan(const std::vector<std::string>& t) {
+  if (t.empty()) return Status::InvalidArgument("run: missing plan");
+  const std::string& op = t[0];
+  if (op == "scan") {
+    if (t.size() != 2) return Status::InvalidArgument("run: scan <rel>");
+    return rel::Plan::Scan(t[1]);
+  }
+  if (op == "select") {
+    if (t.size() != 5) {
+      return Status::InvalidArgument("run: select <rel> <attr> <op> <value>");
+    }
+    MAYWSD_ASSIGN_OR_RETURN(rel::CmpOp cmp, ParseCmpOp(t[3]));
+    return rel::Plan::Select(rel::Predicate::Cmp(t[2], cmp, ParseValue(t[4])),
+                             rel::Plan::Scan(t[1]));
+  }
+  if (op == "project") {
+    if (t.size() != 3) {
+      return Status::InvalidArgument("run: project <rel> <attr,attr,...>");
+    }
+    return rel::Plan::Project(SplitComma(t[2]), rel::Plan::Scan(t[1]));
+  }
+  return Status::InvalidArgument("run: unknown plan operator " + op);
+}
+
+/// apply <sid> <insert|delete|modify> ... — tokens[2:] here.
+Result<rel::UpdateOp> ParseUpdate(const std::vector<std::string>& t) {
+  if (t.size() < 2) return Status::InvalidArgument("apply: missing update");
+  const std::string& op = t[0];
+  const std::string& relation = t[1];
+  if (op == "insert") {
+    // Session::Apply validates inserted attribute names against the
+    // target, so the wire carries them (same shape register uses).
+    if (t.size() < 4) {
+      return Status::InvalidArgument(
+          "apply: insert <rel> <attr,attr,...> <v,v,...> ...");
+    }
+    MAYWSD_ASSIGN_OR_RETURN(
+        rel::Relation rows,
+        ParseRows(relation, t[2],
+                  std::vector<std::string>(t.begin() + 3, t.end())));
+    return rel::UpdateOp::InsertTuples(relation, std::move(rows));
+  }
+  if (op == "delete") {
+    if (t.size() != 5) {
+      return Status::InvalidArgument("apply: delete <rel> <attr> <op> <value>");
+    }
+    MAYWSD_ASSIGN_OR_RETURN(rel::CmpOp cmp, ParseCmpOp(t[3]));
+    return rel::UpdateOp::DeleteWhere(
+        relation, rel::Predicate::Cmp(t[2], cmp, ParseValue(t[4])));
+  }
+  if (op == "modify") {
+    if (t.size() != 7 || t[5] != "set") {
+      return Status::InvalidArgument(
+          "apply: modify <rel> <attr> <op> <value> set <attr>=<value>[,...]");
+    }
+    MAYWSD_ASSIGN_OR_RETURN(rel::CmpOp cmp, ParseCmpOp(t[3]));
+    std::vector<rel::Assignment> assignments;
+    for (const std::string& a : SplitComma(t[6])) {
+      size_t eq = a.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::InvalidArgument("bad assignment: " + a);
+      }
+      assignments.push_back(
+          {a.substr(0, eq), ParseValue(a.substr(eq + 1))});
+    }
+    return rel::UpdateOp::ModifyWhere(
+        relation, rel::Predicate::Cmp(t[2], cmp, ParseValue(t[4])),
+        std::move(assignments));
+  }
+  return Status::InvalidArgument("apply: unknown update kind " + op);
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(const std::string& line) {
+  std::vector<std::string> t = Tokenize(line);
+  if (t.empty()) return Status::InvalidArgument("empty request");
+  const std::string& verb = t[0];
+  Request req;
+
+  if (verb == "sessions") {
+    req.kind = Request::Kind::kListSessions;
+    return req;
+  }
+  if (t.size() < 2) {
+    return Status::InvalidArgument(verb + ": missing session id");
+  }
+  req.session = t[1];
+
+  if (verb == "open") {
+    if (t.size() != 3) {
+      return Status::InvalidArgument("open <sid> <wsd|wsdt|uniform|urel>");
+    }
+    req.kind = Request::Kind::kOpenSession;
+    MAYWSD_ASSIGN_OR_RETURN(req.backend, api::ParseBackendKind(t[2]));
+    return req;
+  }
+  if (verb == "close") {
+    req.kind = Request::Kind::kCloseSession;
+    return req;
+  }
+  if (verb == "register") {
+    if (t.size() < 4) {
+      return Status::InvalidArgument(
+          "register <sid> <rel> <attr,attr,...> [<v,v,...> ...]");
+    }
+    req.kind = Request::Kind::kRegister;
+    MAYWSD_ASSIGN_OR_RETURN(
+        rel::Relation relation,
+        ParseRows(t[2], t[3],
+                  std::vector<std::string>(t.begin() + 4, t.end())));
+    req.relation = std::move(relation);
+    return req;
+  }
+  if (verb == "run") {
+    if (t.size() < 4) return Status::InvalidArgument("run <sid> <out> <plan>");
+    req.kind = Request::Kind::kRun;
+    req.target = t[2];
+    MAYWSD_ASSIGN_OR_RETURN(
+        rel::Plan plan,
+        ParsePlan(std::vector<std::string>(t.begin() + 3, t.end())));
+    req.plan = std::move(plan);
+    return req;
+  }
+  if (verb == "apply") {
+    req.kind = Request::Kind::kApply;
+    MAYWSD_ASSIGN_OR_RETURN(
+        rel::UpdateOp update,
+        ParseUpdate(std::vector<std::string>(t.begin() + 2, t.end())));
+    req.update = std::move(update);
+    return req;
+  }
+  if (verb == "possible" || verb == "certain" || verb == "read" ||
+      verb == "conf") {
+    if (t.size() < 3) {
+      return Status::InvalidArgument(verb + " <sid> <rel>");
+    }
+    req.target = t[2];
+    if (verb == "possible") {
+      req.kind = Request::Kind::kPossible;
+    } else if (verb == "certain") {
+      req.kind = Request::Kind::kCertain;
+    } else if (verb == "read") {
+      req.kind = Request::Kind::kSnapshotRead;
+    } else {
+      if (t.size() != 4) {
+        return Status::InvalidArgument("conf <sid> <rel> <v,v,...>");
+      }
+      req.kind = Request::Kind::kConfidence;
+      for (const std::string& v : SplitComma(t[3])) {
+        req.tuple.push_back(ParseValue(v));
+      }
+    }
+    return req;
+  }
+  if (verb == "stats") {
+    req.kind = Request::Kind::kStats;
+    return req;
+  }
+  return Status::InvalidArgument("unknown verb: " + verb);
+}
+
+std::string FormatResponse(const Response& response) {
+  if (!response.status.ok()) return "ERR " + response.status.ToString();
+  std::ostringstream os;
+  os << "OK";
+  if (response.relation.has_value()) {
+    const rel::Relation& r = *response.relation;
+    os << " " << r.NumRows() << " rows";
+    for (size_t i = 0; i < r.NumRows(); ++i) {
+      os << "\n";
+      const auto row = r.row(i).span();
+      for (size_t c = 0; c < row.size(); ++c) {
+        os << (c == 0 ? "" : ",") << row[c].ToString();
+      }
+    }
+  } else if (response.number.has_value()) {
+    os << " " << *response.number;
+  } else if (!response.text.empty()) {
+    os << " " << response.text;
+  }
+  return os.str();
+}
+
+}  // namespace maywsd::server

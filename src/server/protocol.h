@@ -1,0 +1,47 @@
+// The serve_worlds line protocol: one request per line, space-separated
+// tokens, comma-separated tuples. Values parse as integers when the whole
+// token is one, as strings otherwise. Comparison operators spell as
+// = != <> < <= > >=.
+//
+// Grammar (sid = session id, rel = relation name):
+//   open <sid> <wsd|wsdt|uniform|urel>
+//   close <sid>
+//   sessions
+//   register <sid> <rel> <attr,attr,...> [<v,v,...> ...]
+//   run <sid> <out> scan <rel>
+//   run <sid> <out> select <rel> <attr> <op> <value>
+//   run <sid> <out> project <rel> <attr,attr,...>
+//   apply <sid> insert <rel> <attr,attr,...> <v,v,...> [<v,v,...> ...]
+//   apply <sid> delete <rel> <attr> <op> <value>
+//   apply <sid> modify <rel> <attr> <op> <value> set <attr>=<value>[,...]
+//   possible <sid> <rel>
+//   certain <sid> <rel>
+//   conf <sid> <rel> <v,v,...>
+//   read <sid> <rel>           (snapshot read: answers from a pinned view)
+//   stats <sid>
+//
+// The grammar covers the single-operator plans a REPL needs; programs
+// drive WorldServer::Execute directly with arbitrary rel::Plans.
+
+#ifndef MAYWSD_SERVER_PROTOCOL_H_
+#define MAYWSD_SERVER_PROTOCOL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "server/world_server.h"
+
+namespace maywsd::server {
+
+/// Parses one line into a Request; InvalidArgument names the offending
+/// token. Blank lines and `#` comments are the caller's job to skip.
+Result<Request> ParseRequest(const std::string& line);
+
+/// Renders a Response for the wire: "OK" / "OK <payload>" on one or more
+/// lines (relations print one row per line), "ERR <code>: <message>" on
+/// failure.
+std::string FormatResponse(const Response& response);
+
+}  // namespace maywsd::server
+
+#endif  // MAYWSD_SERVER_PROTOCOL_H_

@@ -1,0 +1,68 @@
+// serve_worlds: a line-protocol front end over WorldServer.
+//
+// Reads one request per line from stdin, writes one response per request
+// to stdout (see protocol.h for the grammar). Blank lines and lines
+// starting with '#' are skipped; "quit" / "exit" ends the loop.
+//
+//   $ serve_worlds --threads=4
+//   open s wsdt
+//   register s R a,b 1,2 3,4
+//   read s R
+//
+// Each session the server opens inherits --threads as its fan-out budget
+// (Run and unconditional-update sharding); requests stream sequentially
+// here — concurrent serving is exercised by WorldServer::ExecuteAll in
+// bench/fig_serving.cc.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "api/session.h"
+#include "server/protocol.h"
+#include "server/world_server.h"
+
+namespace {
+
+void PrintUsage() {
+  std::cout << "usage: serve_worlds [--threads=N]\n"
+               "  --threads=N  per-session fan-out budget (default 1;\n"
+               "               0 = hardware concurrency)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  maywsd::api::SessionOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  maywsd::server::WorldServer server(options);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    line = line.substr(first);
+    if (line[0] == '#') continue;
+    if (line == "quit" || line == "exit") break;
+    auto request = maywsd::server::ParseRequest(line);
+    if (!request.ok()) {
+      std::cout << "ERR " << request.status().ToString() << "\n" << std::flush;
+      continue;
+    }
+    maywsd::server::Response response = server.Execute(request.value());
+    std::cout << maywsd::server::FormatResponse(response) << "\n" << std::flush;
+  }
+  return 0;
+}

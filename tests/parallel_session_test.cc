@@ -190,9 +190,9 @@ Wsdt KnownShardableWsdt() {
 }
 
 TEST(ParallelSessionTest, ShardedPathActuallyRunsOnAllBackends) {
-  // The U-relations backend declines single-leaf plans (slicing every
-  // column of the store costs more than the one scan a unary chain
-  // performs), so its known-shardable case carries a certain join leaf.
+  // The U-relations and WSDT backends decline single-leaf plans (building
+  // a shard slice costs about as much as the one pass a unary chain
+  // performs), so their known-shardable cases carry a certain join leaf.
   Plan linear = Plan::Select(Predicate::Cmp("A", CmpOp::kGe, I(0)),
                              Plan::Scan("R"));
   Plan join = Plan::Join(Predicate::CmpAttr("A", CmpOp::kEq, "C"),
@@ -204,8 +204,10 @@ TEST(ParallelSessionTest, ShardedPathActuallyRunsOnAllBackends) {
   Wsdt wsdt = KnownShardableWsdt();
 
   for (api::BackendKind kind : testutil::AllBackendKinds()) {
-    const Plan& plan =
-        kind == api::BackendKind::kUrel ? join : linear;
+    const Plan& plan = (kind == api::BackendKind::kUrel ||
+                        kind == api::BackendKind::kWsdt)
+                           ? join
+                           : linear;
     auto seq_or = api::Session::Open(kind, wsdt);
     auto par_or = api::Session::Open(kind, wsdt);
     ASSERT_TRUE(seq_or.ok() && par_or.ok());
@@ -231,31 +233,74 @@ TEST(ParallelSessionTest, ShardedPathActuallyRunsOnAllBackends) {
   }
 }
 
-TEST(ParallelSessionTest, UrelDeclinesFanOutForSingleLeafPlans) {
-  // Cost gate: a unary select/project chain over one leaf is a single
-  // bandwidth-bound pass; building shard slices would copy every column
-  // first, so the threaded run must take the sequential path — and still
-  // produce the same world set.
+TEST(ParallelSessionTest, CostGateDeclinesFanOutForSingleLeafPlans) {
+  // Cost gate (urel and wsdt): a unary select/project chain over one leaf
+  // is a single bandwidth-bound pass; building shard slices would copy
+  // the partitioned relation first, so the threaded run must take the
+  // sequential path — and still produce the same world set.
   Plan plan = Plan::Select(Predicate::Cmp("A", CmpOp::kGe, I(0)),
                            Plan::Scan("R"));
   Wsdt wsdt = KnownShardableWsdt();
 
-  auto seq_or = api::Session::Open(api::BackendKind::kUrel, wsdt);
-  auto par_or = api::Session::Open(api::BackendKind::kUrel, wsdt);
-  ASSERT_TRUE(seq_or.ok() && par_or.ok());
-  api::Session seq = std::move(seq_or).value();
-  api::Session par = std::move(par_or).value();
-  par.set_options({.threads = 4, .cache = true});
+  for (api::BackendKind kind :
+       {api::BackendKind::kUrel, api::BackendKind::kWsdt}) {
+    auto seq_or = api::Session::Open(kind, wsdt);
+    auto par_or = api::Session::Open(kind, wsdt);
+    ASSERT_TRUE(seq_or.ok() && par_or.ok());
+    api::Session seq = std::move(seq_or).value();
+    api::Session par = std::move(par_or).value();
+    par.set_options({.threads = 4, .cache = true});
 
-  ASSERT_TRUE(seq.Run(plan, "OUT").ok());
-  ASSERT_TRUE(par.Run(plan, "OUT").ok());
-  EXPECT_EQ(par.Stats().sharded_runs, 0u);
-  EXPECT_EQ(par.Stats().shards_executed, 0u);
+    ASSERT_TRUE(seq.Run(plan, "OUT").ok());
+    ASSERT_TRUE(par.Run(plan, "OUT").ok());
+    EXPECT_EQ(par.Stats().sharded_runs, 0u) << api::BackendKindName(kind);
+    EXPECT_EQ(par.Stats().shards_executed, 0u) << api::BackendKindName(kind);
 
-  auto seq_worlds = OutWorlds(seq);
-  auto par_worlds = OutWorlds(par);
-  ASSERT_TRUE(seq_worlds.ok() && par_worlds.ok());
-  EXPECT_TRUE(WorldSetsEquivalent(*seq_worlds, *par_worlds));
+    auto seq_worlds = OutWorlds(seq);
+    auto par_worlds = OutWorlds(par);
+    ASSERT_TRUE(seq_worlds.ok() && par_worlds.ok());
+    EXPECT_TRUE(WorldSetsEquivalent(*seq_worlds, *par_worlds))
+        << api::BackendKindName(kind);
+  }
+}
+
+TEST(ParallelSessionTest, ShardedApplyMatchesSequentialApply) {
+  // Unconditional deletes/modifies fan out over the same shard slices Run
+  // uses (slice once per run, mutate each slice, stream them back). The
+  // world set after a threaded ApplyAll must equal the sequential one on
+  // every backend; wsdt must actually take the sharded path, while wsd
+  // (absorb folds presence fields — superlinear), uniform and urel
+  // (native one-pass updates beat the slice round trip) decline it.
+  std::vector<rel::UpdateOp> updates;
+  updates.push_back(rel::UpdateOp::ModifyWhere(
+      "R", Predicate::Cmp("A", CmpOp::kEq, I(1)), {{"A", I(9)}}));
+  updates.push_back(rel::UpdateOp::DeleteWhere(
+      "R", Predicate::Cmp("A", CmpOp::kGe, I(3))));
+  Wsdt wsdt = KnownShardableWsdt();
+
+  for (api::BackendKind kind : testutil::AllBackendKinds()) {
+    auto seq_or = api::Session::Open(kind, wsdt);
+    auto par_or = api::Session::Open(kind, wsdt);
+    ASSERT_TRUE(seq_or.ok() && par_or.ok());
+    api::Session seq = std::move(seq_or).value();
+    api::Session par = std::move(par_or).value();
+    par.set_options({.threads = 4, .cache = true});
+
+    ASSERT_TRUE(seq.ApplyAll(updates).ok()) << api::BackendKindName(kind);
+    ASSERT_TRUE(par.ApplyAll(updates).ok()) << api::BackendKindName(kind);
+
+    bool shards_updates = kind == api::BackendKind::kWsdt;
+    EXPECT_EQ(par.Stats().sharded_applies, shards_updates ? 2u : 0u)
+        << api::BackendKindName(kind);
+    EXPECT_EQ(seq.Stats().sharded_applies, 0u);
+
+    auto seq_worlds = testutil::SessionWorlds(seq, kWorldCap, {"R"});
+    auto par_worlds = testutil::SessionWorlds(par, kWorldCap, {"R"});
+    ASSERT_TRUE(seq_worlds.ok() && par_worlds.ok())
+        << api::BackendKindName(kind);
+    EXPECT_TRUE(WorldSetsEquivalent(*seq_worlds, *par_worlds))
+        << api::BackendKindName(kind);
+  }
 }
 
 TEST(ParallelSessionTest, FallbackDeclaredForWsdProduct) {

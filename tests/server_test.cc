@@ -1,0 +1,334 @@
+// The serving subsystem: WorldServer request dispatch, the serve_worlds
+// line protocol, and the MVCC snapshot-isolation oracle.
+//
+// The oracle is the load-bearing test (and the one the TSan CI job runs):
+// reader threads take Session::Snapshot()s while a writer thread applies
+// a known update sequence. Every snapshot records its pinned version of
+// the target relation plus the answer it saw; afterwards the same update
+// sequence replays serially on a fresh session, building the
+// version → relation truth table. Snapshot isolation holds iff every
+// concurrent observation equals the serial state at its pinned version —
+// no torn reads, no observations of a version that never existed.
+
+#include "server/world_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "server/protocol.h"
+#include "tests/test_util.h"
+
+namespace maywsd::server {
+namespace {
+
+using rel::CmpOp;
+using rel::Plan;
+using rel::Predicate;
+using rel::Value;
+using testutil::I;
+
+rel::Relation BaseRelation() {
+  rel::Relation r(rel::Schema::FromNames({"A"}), "R");
+  r.AppendRow({I(1)});
+  r.AppendRow({I(2)});
+  r.AppendRow({I(3)});
+  return r;
+}
+
+/// The writer's script: an alternating insert/delete sequence whose every
+/// step changes possible(R), so distinct versions have distinct answers.
+std::vector<rel::UpdateOp> WriterScript(int steps) {
+  std::vector<rel::UpdateOp> ops;
+  for (int k = 0; k < steps; ++k) {
+    if (k % 2 == 0) {
+      rel::Relation rows(rel::Schema::FromNames({"A"}), "R");
+      rows.AppendRow({I(100 + k)});
+      ops.push_back(rel::UpdateOp::InsertTuples("R", std::move(rows)));
+    } else {
+      ops.push_back(rel::UpdateOp::DeleteWhere(
+          "R", Predicate::Cmp("A", CmpOp::kEq, I(100 + k - 1))));
+    }
+  }
+  return ops;
+}
+
+TEST(SnapshotIsolationOracle, ConcurrentSnapshotsEqualSerialReplay) {
+  constexpr int kWriterSteps = 24;
+  constexpr int kReaders = 4;
+  const std::vector<rel::UpdateOp> script = WriterScript(kWriterSteps);
+
+  for (api::BackendKind kind : testutil::AllBackendKinds()) {
+    api::Session session = api::Session::Open(kind);
+    ASSERT_TRUE(session.Register(BaseRelation()).ok());
+
+    struct Observation {
+      uint64_t version;
+      rel::Relation rows;
+    };
+    std::vector<std::vector<Observation>> observed(kReaders);
+    std::atomic<bool> writer_done{false};
+
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&session, &observed, &writer_done, r] {
+        do {
+          api::Snapshot snapshot = session.Snapshot();
+          uint64_t version = snapshot.RelationVersion("R");
+          auto rows = snapshot.PossibleTuples("R");
+          ASSERT_TRUE(rows.ok());
+          // A snapshot's own reads never wait behind the writer.
+          EXPECT_EQ(snapshot.Stats().reader_blocked_waits, 0u);
+          observed[r].push_back({version, std::move(rows.value())});
+        } while (!writer_done.load(std::memory_order_acquire));
+      });
+    }
+    std::thread writer([&session, &script, &writer_done] {
+      for (const rel::UpdateOp& op : script) {
+        ASSERT_TRUE(session.Apply(op).ok());
+      }
+      writer_done.store(true, std::memory_order_release);
+    });
+    writer.join();
+    for (std::thread& t : readers) t.join();
+
+    // Serial replay: the truth table version → possible(R).
+    api::Session replay = api::Session::Open(kind);
+    ASSERT_TRUE(replay.Register(BaseRelation()).ok());
+    std::unordered_map<uint64_t, rel::Relation> truth;
+    auto record = [&truth, &replay] {
+      auto rows = replay.PossibleTuples("R");
+      ASSERT_TRUE(rows.ok());
+      truth.emplace(replay.RelationVersion("R"), std::move(rows.value()));
+    };
+    record();
+    for (const rel::UpdateOp& op : script) {
+      ASSERT_TRUE(replay.Apply(op).ok());
+      record();
+    }
+
+    size_t total = 0;
+    for (int r = 0; r < kReaders; ++r) {
+      total += observed[r].size();
+      for (const Observation& obs : observed[r]) {
+        auto it = truth.find(obs.version);
+        ASSERT_NE(it, truth.end())
+            << api::BackendKindName(kind) << ": snapshot pinned version "
+            << obs.version << ", which no serial state ever had";
+        EXPECT_TRUE(obs.rows.EqualsAsSet(it->second))
+            << api::BackendKindName(kind) << " at version " << obs.version;
+      }
+    }
+    EXPECT_GT(total, 0u);
+    EXPECT_GE(session.Stats().snapshots, total);
+  }
+}
+
+TEST(WorldServerTest, SessionLifecycleAndErrors) {
+  WorldServer server;
+
+  Request open;
+  open.kind = Request::Kind::kOpenSession;
+  open.session = "s1";
+  open.backend = api::BackendKind::kWsdt;
+  EXPECT_TRUE(server.Execute(open).status.ok());
+  EXPECT_EQ(server.Execute(open).status.code(), StatusCode::kAlreadyExists);
+
+  Request missing;
+  missing.kind = Request::Kind::kPossible;
+  missing.session = "nope";
+  missing.target = "R";
+  EXPECT_EQ(server.Execute(missing).status.code(), StatusCode::kNotFound);
+
+  EXPECT_EQ(server.SessionIds(), std::vector<std::string>{"s1"});
+
+  Request close;
+  close.kind = Request::Kind::kCloseSession;
+  close.session = "s1";
+  EXPECT_TRUE(server.Execute(close).status.ok());
+  EXPECT_EQ(server.Execute(close).status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(server.SessionIds().empty());
+
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.errors, 3u);
+  EXPECT_EQ(stats.sessions_opened, 1u);
+}
+
+TEST(WorldServerTest, RegisterRunAnswerRoundTrip) {
+  WorldServer server;
+  Request open;
+  open.kind = Request::Kind::kOpenSession;
+  open.session = "s";
+  open.backend = api::BackendKind::kUrel;
+  ASSERT_TRUE(server.Execute(open).status.ok());
+
+  Request reg;
+  reg.kind = Request::Kind::kRegister;
+  reg.session = "s";
+  reg.relation = BaseRelation();
+  ASSERT_TRUE(server.Execute(reg).status.ok());
+
+  Request run;
+  run.kind = Request::Kind::kRun;
+  run.session = "s";
+  run.target = "Q";
+  run.plan = Plan::Select(Predicate::Cmp("A", CmpOp::kGe, I(2)),
+                          Plan::Scan("R"));
+  ASSERT_TRUE(server.Execute(run).status.ok());
+
+  Request possible;
+  possible.kind = Request::Kind::kPossible;
+  possible.session = "s";
+  possible.target = "Q";
+  Response got = server.Execute(possible);
+  ASSERT_TRUE(got.status.ok());
+  ASSERT_TRUE(got.relation.has_value());
+  EXPECT_EQ(got.relation->NumRows(), 2u);
+
+  Request snap_read = possible;
+  snap_read.kind = Request::Kind::kSnapshotRead;
+  Response via_snapshot = server.Execute(snap_read);
+  ASSERT_TRUE(via_snapshot.status.ok());
+  EXPECT_TRUE(via_snapshot.relation->EqualsAsSet(*got.relation));
+  EXPECT_EQ(server.Stats().snapshot_reads, 1u);
+}
+
+TEST(WorldServerTest, ExecuteAllServesMixedTrafficConcurrently) {
+  // Many sessions, mixed reads/updates in one batch over the shared pool:
+  // responses land in request order, every request against an open
+  // session succeeds.
+  WorldServer server;
+  constexpr int kSessions = 6;
+  for (int s = 0; s < kSessions; ++s) {
+    Request open;
+    open.kind = Request::Kind::kOpenSession;
+    open.session = "s" + std::to_string(s);
+    open.backend =
+        testutil::AllBackendKinds()[s % testutil::AllBackendKinds().size()];
+    ASSERT_TRUE(server.Execute(open).status.ok());
+    Request reg;
+    reg.kind = Request::Kind::kRegister;
+    reg.session = open.session;
+    reg.relation = BaseRelation();
+    ASSERT_TRUE(server.Execute(reg).status.ok());
+  }
+
+  std::vector<Request> batch;
+  for (int i = 0; i < 48; ++i) {
+    Request req;
+    req.session = "s" + std::to_string(i % kSessions);
+    req.target = "R";
+    switch (i % 3) {
+      case 0:
+        req.kind = Request::Kind::kSnapshotRead;
+        break;
+      case 1:
+        req.kind = Request::Kind::kApply;
+        req.update = rel::UpdateOp::DeleteWhere(
+            "R", Predicate::Cmp("A", CmpOp::kLt, I(0)));  // no-op delete
+        break;
+      default:
+        req.kind = Request::Kind::kPossible;
+        break;
+    }
+    batch.push_back(std::move(req));
+  }
+  std::vector<Response> responses = server.ExecuteAll(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_TRUE(responses[i].status.ok()) << "request " << i;
+    if (batch[i].kind != Request::Kind::kApply) {
+      ASSERT_TRUE(responses[i].relation.has_value()) << "request " << i;
+      EXPECT_EQ(responses[i].relation->NumRows(), 3u) << "request " << i;
+    }
+  }
+  EXPECT_EQ(server.Stats().errors, 0u);
+}
+
+TEST(ProtocolTest, ParsesEveryVerb) {
+  auto open = ParseRequest("open s wsd");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open->kind, Request::Kind::kOpenSession);
+  EXPECT_EQ(open->session, "s");
+  EXPECT_EQ(open->backend, api::BackendKind::kWsd);
+
+  auto reg = ParseRequest("register s R a,b 1,2 3,x");
+  ASSERT_TRUE(reg.ok());
+  EXPECT_EQ(reg->kind, Request::Kind::kRegister);
+  ASSERT_TRUE(reg->relation.has_value());
+  EXPECT_EQ(reg->relation->name(), "R");
+  EXPECT_EQ(reg->relation->NumRows(), 2u);
+  EXPECT_TRUE(reg->relation->row(1).span()[1].is_string());
+
+  auto run = ParseRequest("run s Q select R a >= 2");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->kind, Request::Kind::kRun);
+  EXPECT_EQ(run->target, "Q");
+  ASSERT_TRUE(run->plan.has_value());
+  EXPECT_EQ(run->plan->kind(), Plan::Kind::kSelect);
+
+  auto insert = ParseRequest("apply s insert R a,b 7,8");
+  ASSERT_TRUE(insert.ok());
+  EXPECT_EQ(insert->update->kind(), rel::UpdateOp::Kind::kInsert);
+
+  auto del = ParseRequest("apply s delete R a = 1");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->update->kind(), rel::UpdateOp::Kind::kDelete);
+
+  auto modify = ParseRequest("apply s modify R a = 1 set b=9,a=0");
+  ASSERT_TRUE(modify.ok());
+  EXPECT_EQ(modify->update->kind(), rel::UpdateOp::Kind::kModify);
+  EXPECT_EQ(modify->update->assignments().size(), 2u);
+
+  EXPECT_EQ(ParseRequest("possible s R")->kind, Request::Kind::kPossible);
+  EXPECT_EQ(ParseRequest("certain s R")->kind, Request::Kind::kCertain);
+  EXPECT_EQ(ParseRequest("read s R")->kind, Request::Kind::kSnapshotRead);
+  EXPECT_EQ(ParseRequest("stats s")->kind, Request::Kind::kStats);
+  EXPECT_EQ(ParseRequest("sessions")->kind, Request::Kind::kListSessions);
+
+  auto conf = ParseRequest("conf s R 1,2");
+  ASSERT_TRUE(conf.ok());
+  EXPECT_EQ(conf->kind, Request::Kind::kConfidence);
+  ASSERT_EQ(conf->tuple.size(), 2u);
+  EXPECT_EQ(conf->tuple[0], I(1));
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  for (const char* bad :
+       {"", "frobnicate s", "open s cassandra", "open s", "run s Q",
+        "run s Q select R a ~ 2", "apply s insert R", "apply s modify R a = 1",
+        "register s R", "conf s R"}) {
+    auto req = ParseRequest(bad);
+    EXPECT_FALSE(req.ok()) << "\"" << bad << "\" parsed";
+  }
+}
+
+TEST(ProtocolTest, FormatsResponses) {
+  Response err;
+  err.status = Status::NotFound("session x");
+  EXPECT_EQ(FormatResponse(err).rfind("ERR ", 0), 0u);
+
+  Response rows;
+  rows.relation = BaseRelation();
+  EXPECT_EQ(FormatResponse(rows), "OK 3 rows\n1\n2\n3");
+
+  Response number;
+  number.number = 0.5;
+  EXPECT_EQ(FormatResponse(number), "OK 0.5");
+
+  Response ack;
+  ack.text = "opened s";
+  EXPECT_EQ(FormatResponse(ack), "OK opened s");
+
+  EXPECT_EQ(FormatResponse(Response{}), "OK");
+}
+
+}  // namespace
+}  // namespace maywsd::server

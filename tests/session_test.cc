@@ -71,6 +71,57 @@ TEST(SessionTest, OpenByKindStartsEmpty) {
   }
 }
 
+TEST(SessionTest, OpenAdoptsExistingRepresentations) {
+  // The adopt-existing overloads must open the matching backend kind
+  // (the old Over* factory shims promised this; Open(repr) carries it).
+  EXPECT_EQ(Session::Open(Wsd()).kind(), BackendKind::kWsd);
+  EXPECT_EQ(Session::Open(Wsdt()).kind(), BackendKind::kWsdt);
+  EXPECT_EQ(Session::Open(rel::Database()).kind(), BackendKind::kUniform);
+  EXPECT_EQ(Session::Open(core::Urel()).kind(), BackendKind::kUrel);
+  for (BackendKind kind : testutil::AllBackendKinds()) {
+    auto converted = Session::Open(kind, Wsdt());
+    ASSERT_TRUE(converted.ok()) << BackendKindName(kind);
+    EXPECT_EQ(converted->kind(), kind);
+  }
+}
+
+TEST(SessionTest, SnapshotPinsAViewAcrossApplies) {
+  for (BackendKind kind : testutil::AllBackendKinds()) {
+    Session session = Session::Open(kind);
+    rel::Relation base(rel::Schema::FromNames({"A"}), "R");
+    base.AppendRow({I(1)});
+    base.AppendRow({I(2)});
+    ASSERT_TRUE(session.Register(base).ok()) << BackendKindName(kind);
+
+    Snapshot snapshot = session.Snapshot();
+    uint64_t pinned = snapshot.RelationVersion("R");
+    EXPECT_EQ(pinned, session.RelationVersion("R"));
+
+    // Mutate the parent after the snapshot: the snapshot keeps answering
+    // from its pinned view, the parent sees the update.
+    ASSERT_TRUE(session
+                    .Apply(rel::UpdateOp::DeleteWhere(
+                        "R", Predicate::Cmp("A", CmpOp::kEq, I(1))))
+                    .ok())
+        << BackendKindName(kind);
+    auto snap_rows = snapshot.PossibleTuples("R");
+    auto live_rows = session.PossibleTuples("R");
+    ASSERT_TRUE(snap_rows.ok() && live_rows.ok()) << BackendKindName(kind);
+    EXPECT_EQ(snap_rows->NumRows(), 2u) << BackendKindName(kind);
+    EXPECT_EQ(live_rows->NumRows(), 1u) << BackendKindName(kind);
+    EXPECT_EQ(snapshot.RelationVersion("R"), pinned);
+    EXPECT_NE(session.RelationVersion("R"), pinned);
+
+    // Snapshot-local Run materializes only inside the snapshot.
+    ASSERT_TRUE(snapshot.Run(Plan::Scan("R"), "LOCAL").ok());
+    EXPECT_TRUE(snapshot.HasRelation("LOCAL"));
+    EXPECT_FALSE(session.HasRelation("LOCAL"));
+
+    EXPECT_EQ(snapshot.Stats().reader_blocked_waits, 0u);
+    EXPECT_EQ(session.Stats().snapshots, 1u);
+  }
+}
+
 TEST(SessionTest, RegisterRunAnswerOnEveryBackend) {
   rel::Relation base(rel::Schema::FromNames({"A", "B"}), "R");
   base.AppendRow({I(1), I(10)});
