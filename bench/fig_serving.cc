@@ -23,6 +23,12 @@
 //     the speedup comparison is meaningful only at hw >= 4.
 //   - server_batch: WorldServer::ExecuteAll throughput over one session
 //     per backend under a mixed snapshot-read/update request batch.
+//   - snapshot_pin: Snapshot() pin+teardown latency at three FIXED data
+//     scales (1000/3000/10000 census rows, deliberately independent of
+//     MAYWSD_SCALE). The COW pin is O(relations), not O(data): the
+//     harness itself exits nonzero if the largest scale's pin p50
+//     exceeds 1.5x the smallest scale's (plus a 0.02 ms noise floor) on
+//     any backend, and CI's bench smoke re-asserts the section exists.
 //
 // Usage: fig_serving [--json PATH] — writes BENCH_fig_serving.json for
 // CI. MAYWSD_SCALE scales the relation sizes as in the other harnesses.
@@ -58,6 +64,7 @@ struct Sample {
   std::string phase;
   const char* backend = "wsdt";
   int threads = 1;
+  size_t rows = 0;  // data scale of the phase's store (0 = phase default)
   size_t ops = 0;
   double seconds = 0.0;
   double p50_ms = 0.0;
@@ -82,10 +89,12 @@ void WriteJson(const char* path, const std::vector<Sample>& samples) {
     std::fprintf(
         f,
         "    {\"phase\": \"%s\", \"backend\": \"%s\", \"threads\": %d, "
+        "\"rows\": %zu, "
         "\"ops\": %zu, \"seconds\": %.6f, \"p50_ms\": %.4f, "
         "\"p99_ms\": %.4f, \"throughput\": %.1f, \"blocked_waits\": %llu, "
         "\"sharded_applies\": %llu}%s\n",
-        s.phase.c_str(), s.backend, s.threads, s.ops, s.seconds, s.p50_ms,
+        s.phase.c_str(), s.backend, s.threads, s.rows, s.ops, s.seconds,
+        s.p50_ms,
         s.p99_ms, s.throughput,
         static_cast<unsigned long long>(s.blocked_waits),
         static_cast<unsigned long long>(s.sharded_applies),
@@ -224,6 +233,49 @@ Sample ApplyPhase(const core::Wsdt& wsdt, api::BackendKind kind,
   return s;
 }
 
+/// Snapshot pin+teardown latency over a store of `rows` census rows. The
+/// pin is a copy-on-write clone — O(relations) handle copies, no data —
+/// so the sample must not move as `rows` grows; main() enforces that.
+Sample SnapshotPinPhase(api::BackendKind kind, const char* backend,
+                        const core::Wsdt& wsdt, size_t rows) {
+  constexpr int kPins = 128;
+  auto session_or = api::Session::Open(kind, wsdt);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "open %s failed: %s\n", backend,
+                 session_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  api::Session session = std::move(session_or).value();
+  {
+    // Warm-up: the first read may force shared lazy state; pins after it
+    // measure the steady-state clone cost only.
+    api::Snapshot warm = session.Snapshot();
+    if (!warm.PossibleTuples("R").ok()) std::exit(1);
+  }
+  std::vector<double> latencies;
+  latencies.reserve(kPins);
+  Timer wall;
+  for (int i = 0; i < kPins; ++i) {
+    Timer t;
+    {
+      api::Snapshot snapshot = session.Snapshot();
+      (void)snapshot;
+    }
+    latencies.push_back(t.Millis());
+  }
+  Sample s;
+  s.phase = "snapshot_pin";
+  s.backend = backend;
+  s.threads = 1;
+  s.rows = rows;
+  s.ops = latencies.size();
+  s.seconds = wall.Seconds();
+  s.p50_ms = Percentile(latencies, 0.50);
+  s.p99_ms = Percentile(latencies, 0.99);
+  s.throughput = static_cast<double>(s.ops) / s.seconds;
+  return s;
+}
+
 /// WorldServer::ExecuteAll throughput: one session per backend, a mixed
 /// request batch (snapshot reads, direct reads, no-op deletes).
 Sample ServerBatchPhase(const rel::Relation& base) {
@@ -330,6 +382,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  // snapshot_pin: fixed scales so the flatness gate means the same thing
+  // at every MAYWSD_SCALE. A 10x data sweep must leave pin p50 flat.
+  const size_t pin_scales[] = {1000, 3000, 10000};
+  std::vector<core::Wsdt> pin_stores;
+  for (size_t rows : pin_scales) {
+    pin_stores.push_back(bench::MakeCensusWsdt(schema, rows, 0.001));
+  }
+  bool pin_flat = true;
+  for (const char* backend : backends) {
+    api::BackendKind kind = *api::ParseBackendKind(backend);
+    double smallest_p50 = 0.0;
+    for (size_t i = 0; i < pin_stores.size(); ++i) {
+      Sample s =
+          SnapshotPinPhase(kind, backend, pin_stores[i], pin_scales[i]);
+      std::printf("%-13s %-8s rows=%-6zu p50=%.4fms p99=%.4fms\n",
+                  s.phase.c_str(), backend, s.rows, s.p50_ms, s.p99_ms);
+      if (i == 0) smallest_p50 = s.p50_ms;
+      // O(relations), not O(data): allow 1.5x plus a noise floor.
+      if (i + 1 == pin_stores.size() &&
+          s.p50_ms > smallest_p50 * 1.5 + 0.02) {
+        std::fprintf(stderr,
+                     "snapshot pin p50 grew with data on %s: "
+                     "%.4fms at %zu rows vs %.4fms at %zu rows\n",
+                     backend, s.p50_ms, pin_scales[i], smallest_p50,
+                     pin_scales[0]);
+        pin_flat = false;
+      }
+      samples.push_back(std::move(s));
+    }
+  }
+
   rel::Relation base =
       census::GenerateCensus(schema, read_rows, /*seed=*/0xC0FFEE ^ read_rows);
   Sample sb = ServerBatchPhase(base);
@@ -338,5 +421,5 @@ int main(int argc, char** argv) {
   samples.push_back(std::move(sb));
 
   if (json_path != nullptr) WriteJson(json_path, samples);
-  return 0;
+  return pin_flat ? 0 : 1;  // JSON is written either way, for forensics
 }

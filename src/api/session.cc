@@ -352,34 +352,58 @@ uint64_t Session::RelationVersion(std::string_view name) const {
   return it == rep_->versions.end() ? 0 : it->second;
 }
 
-api::Snapshot Session::Snapshot() const {
+Session Session::CowClone(SessionOptions clone_options,
+                          std::unordered_map<std::string, uint64_t>* versions)
+    const {
   auto read = rep_->ReadLock();
+  // Representation copies are O(relations): every backend shares its bulk
+  // state copy-on-write (component pools, template/uniform rows, urel
+  // columns and symbols). The reader lock orders the pin against in-flight
+  // writers; after that, the store's acquire/release refcounts make the
+  // shared state safe without further coordination.
+  std::optional<Session> clone;
+  switch (rep_->kind) {
+    case BackendKind::kWsd:
+      clone = Open(core::Wsd(std::get<core::Wsd>(rep_->data)), clone_options);
+      break;
+    case BackendKind::kWsdt:
+      clone = Open(core::Wsdt(std::get<core::Wsdt>(rep_->data)), clone_options);
+      break;
+    case BackendKind::kUniform:
+      clone = Open(rel::Database(std::get<rel::Database>(rep_->data)),
+                   clone_options);
+      break;
+    case BackendKind::kUrel:
+      clone = Open(core::Urel(std::get<core::Urel>(rep_->data)), clone_options);
+      break;
+  }
+  std::lock_guard<std::mutex> lock(rep_->cache_mu);
+  if (versions != nullptr) *versions = rep_->versions;
+  clone->rep_->versions = rep_->versions;
+  return std::move(*clone);
+}
+
+api::Snapshot Session::Snapshot() const {
   SessionOptions opts = rep_->options;
   // The private copy is read by one caller at a time; its own Run fan-out
   // stays sequential (a snapshot read should not commandeer the pool).
   opts.threads = 1;
-  std::optional<Session> inner;
-  switch (rep_->kind) {
-    case BackendKind::kWsd:
-      inner = Open(core::Wsd(std::get<core::Wsd>(rep_->data)), opts);
-      break;
-    case BackendKind::kWsdt:
-      inner = Open(core::Wsdt(std::get<core::Wsdt>(rep_->data)), opts);
-      break;
-    case BackendKind::kUniform:
-      inner = Open(rel::Database(std::get<rel::Database>(rep_->data)), opts);
-      break;
-    case BackendKind::kUrel:
-      inner = Open(core::Urel(std::get<core::Urel>(rep_->data)), opts);
-      break;
-  }
   std::unordered_map<std::string, uint64_t> versions;
+  Session inner = CowClone(opts, &versions);
   {
     std::lock_guard<std::mutex> lock(rep_->cache_mu);
-    versions = rep_->versions;
     rep_->stats.snapshots++;
   }
-  return api::Snapshot(std::move(*inner), std::move(versions), rep_);
+  return api::Snapshot(std::move(inner), std::move(versions));
+}
+
+Session Session::Fork() const {
+  Session clone = CowClone(rep_->options, nullptr);
+  {
+    std::lock_guard<std::mutex> lock(rep_->cache_mu);
+    rep_->stats.forks++;
+  }
+  return clone;
 }
 
 namespace {
@@ -555,37 +579,25 @@ const core::Urel* Session::urel() const {
 // -- Snapshot -----------------------------------------------------------------
 
 Snapshot::Snapshot(Session session,
-                   std::unordered_map<std::string, uint64_t> versions,
-                   std::shared_ptr<Session::Rep> parent)
-    : session_(std::move(session)),
-      versions_(std::move(versions)),
-      parent_(std::move(parent)) {}
+                   std::unordered_map<std::string, uint64_t> versions)
+    : session_(std::move(session)), versions_(std::move(versions)) {}
 
-Snapshot::~Snapshot() { ReleaseView(); }
+// Teardown needs no coordination with the parent session: the private copy
+// shares copy-on-write state with it (component pools and payload nodes,
+// relation rows, urel symbols), but every shared handle releases through
+// an acq_rel refcount decrement, and the parent's mutate-in-place probes
+// are acquire loads — a probe that observes uniqueness happens-after this
+// snapshot's release, reads included. (Under the old shared_ptr scheme the
+// probe was a relaxed use_count() and teardown had to hide behind the
+// parent's reader lock.)
+Snapshot::~Snapshot() = default;
 
 Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
   if (this != &other) {
-    ReleaseView();
     session_ = std::move(other.session_);
     versions_ = std::move(other.versions_);
-    parent_ = std::move(other.parent_);
   }
   return *this;
-}
-
-void Snapshot::ReleaseView() {
-  if (parent_ == nullptr) return;
-  {
-    // The private copy shares copy-on-write state with the parent (urel
-    // symbol tables, component payload nodes). Parent writers decide
-    // mutate-in-place vs privatize with a use_count() == 1 probe, and a
-    // bare refcount decrement does not order this snapshot's reads before
-    // that probe — so the shares are released while holding the parent's
-    // reader lock, which does.
-    std::shared_lock<std::shared_mutex> lock(parent_->state_mu);
-    Session dying = std::move(session_);
-  }
-  parent_.reset();
 }
 
 BackendKind Snapshot::kind() const { return session_.kind(); }
@@ -635,9 +647,8 @@ Result<bool> Snapshot::TupleCertain(std::string_view relation,
 }
 
 Status Snapshot::Run(const rel::Plan& plan, const std::string& out) {
-  // Fresh names only: replacing a pinned relation would release its share
-  // of the parent's copy-on-write state outside the teardown lock
-  // (ReleaseView), and a snapshot's catalog is immutable by contract.
+  // Fresh names only: a snapshot's pinned catalog is immutable by
+  // contract — Run may only add snapshot-local derived relations.
   if (session_.HasRelation(out)) {
     return Status::AlreadyExists("snapshot relation " + out);
   }

@@ -23,9 +23,13 @@
 // behind a writer lock; the const catalog and answer surface runs under a
 // shared reader lock and counts every read that had to wait behind an
 // in-flight writer (SessionStats::reader_blocked_waits). Readers that must
-// never wait take a Snapshot() — an immutable read view over a private
-// copy of the representation (cheap for the COW-component backends),
-// pinned to the per-relation version vector at creation time.
+// never wait take a Snapshot() — an immutable read view pinned to the
+// per-relation version vector at creation time. Pinning is O(relations),
+// not O(data): every backend store shares its bulk state copy-on-write
+// (component payloads and pools, template and uniform rows, urel columns
+// and symbols), and the first write on either side privatizes only what it
+// touches. Fork() hands out the same cheap clone as a fully writable
+// independent Session.
 
 #ifndef MAYWSD_API_SESSION_H_
 #define MAYWSD_API_SESSION_H_
@@ -88,6 +92,7 @@ struct SessionStats {
   uint64_t sharded_applies = 0;  ///< updates that fanned out across workers
   uint64_t apply_shards_executed = 0;  ///< total shards across sharded applies
   uint64_t snapshots = 0;        ///< Snapshot() views taken
+  uint64_t forks = 0;            ///< Fork() clones taken
   /// Reads (answer surface, Stats, Snapshot) that had to wait behind an
   /// in-flight writer holding the session's state lock. Always 0 on a
   /// Snapshot's own stats: no writer ever touches a snapshot's private
@@ -231,14 +236,25 @@ class Session {
 
   // -- Snapshot reads (MVCC) ------------------------------------------------
 
-  /// Pins an immutable read view: a private copy of the representation
-  /// (component columns are O(1) COW handle shares into the interned
-  /// store; template rows copy) plus the per-relation version vector at
-  /// creation time. Reads on the returned Snapshot never block behind and
-  /// never observe a later Apply/Run on this session. Taking the snapshot
+  /// Pins an immutable read view: an O(relations) copy-on-write clone of
+  /// the representation (component pools, template and uniform rows, urel
+  /// columns and symbols are all shared handles; nothing that scales with
+  /// the data is copied) plus the per-relation version vector at creation
+  /// time. Reads on the returned Snapshot never block behind and never
+  /// observe a later Apply/Run on this session. Taking the snapshot
   /// itself briefly holds the reader lock (counted in
   /// reader_blocked_waits when it had to wait).
   api::Snapshot Snapshot() const;
+
+  /// Clones this session into an independent, fully writable Session — the
+  /// same O(relations) copy-on-write pin Snapshot() takes (options and the
+  /// per-relation versions carry over; stats and caches start fresh).
+  /// Writes on either side privatize only the relation they touch; neither
+  /// side ever observes the other's mutations. Teardown needs no
+  /// coordination with the parent: the store's refcount discipline
+  /// (acquire/release intrusive counts) makes cross-session release safe
+  /// from any thread.
+  Session Fork() const;
 
   // -- Answers (Section 6) --------------------------------------------------
   //
@@ -289,8 +305,11 @@ class Session {
   friend class Snapshot;
   explicit Session(std::shared_ptr<Rep> rep);
 
-  // Shared so a Snapshot can keep the parent representation (and its
-  // mutex) alive while it tears down — see Snapshot::ReleaseView.
+  /// Clone backing Snapshot()/Fork(): O(relations) COW copy of the
+  /// representation plus the version vector, taken under the reader lock.
+  Session CowClone(SessionOptions clone_options,
+                   std::unordered_map<std::string, uint64_t>* versions) const;
+
   std::shared_ptr<Rep> rep_;
 };
 
@@ -304,12 +323,13 @@ class Session {
 /// a later update. Run materializes only inside the snapshot — the parent
 /// session never observes snapshot-local relations.
 ///
-/// The private copy may still *share* copy-on-write state with the parent
-/// (interned component payloads, the urel symbol table); writers privatize
-/// before mutating, so sharing is never observable. Destruction briefly
-/// takes the parent's reader lock to release those shares (and may wait
-/// out an in-flight Apply); the parent representation stays alive as long
-/// as any of its snapshots does.
+/// The private copy *shares* copy-on-write state with the parent (the
+/// component pool, template and uniform rows, urel columns and symbols);
+/// writers privatize before mutating, so sharing is never observable.
+/// Teardown is lock-free and independent of the parent — every shared
+/// handle releases through acquire/release refcounts whose uniqueness
+/// probes are genuine synchronization points, so a snapshot may outlive
+/// its session and die on any thread.
 class Snapshot {
  public:
   ~Snapshot();
@@ -355,20 +375,11 @@ class Snapshot {
 
  private:
   friend class Session;
-  Snapshot(Session session, std::unordered_map<std::string, uint64_t> versions,
-           std::shared_ptr<Session::Rep> parent);
-
-  /// Drops the private copy under the parent's reader lock. The copy can
-  /// share copy-on-write state with the parent, whose
-  /// mutate-in-place probe (use_count() == 1) is not a synchronization
-  /// point by itself: releasing the shares under the lock orders every
-  /// read this snapshot made before any later in-place write.
-  void ReleaseView();
+  Snapshot(Session session,
+           std::unordered_map<std::string, uint64_t> versions);
 
   Session session_;
   std::unordered_map<std::string, uint64_t> versions_;
-  /// Keeps the parent representation (and its mutex) alive for teardown.
-  std::shared_ptr<Session::Rep> parent_;
 };
 
 }  // namespace maywsd::api

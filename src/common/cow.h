@@ -1,0 +1,144 @@
+// Copy-on-write value holder for O(1) session forks.
+//
+// Cow<T> is a handle to a shared, immutable-unless-unique T. Copying a
+// handle is O(1) (one relaxed atomic increment); reading through get()
+// never copies; Mutable() returns a writable T&, privatizing (deep-copying
+// the payload) first iff the node is shared. This is the primitive behind
+// per-relation store sharing between a Session and its Snapshot()/Fork()
+// clones: pinning shares handles, the first write on either side breaks
+// sharing for that payload only.
+//
+// Memory-order discipline (the PR 8 TSan lesson, designed in):
+//  - copy:    fetch_add(1, relaxed) — publishing the handle itself is the
+//             caller's job (here: the session state lock).
+//  - release: fetch_sub(1, acq_rel); the thread that drops the count to
+//             zero deletes. The acq_rel RMW chain means the deleter
+//             observes every write made by earlier owners.
+//  - Mutable: shares.load(acquire) == 1 is a genuine synchronization
+//             point: if it reads 1, it read the value written by the last
+//             releasing fetch_sub and synchronizes-with it, so mutating in
+//             place cannot race a concurrent reader. (Contrast
+//             shared_ptr::use_count(), a relaxed load that promises
+//             nothing.) A count that concurrently *grows* is impossible:
+//             new shares are only minted from an existing handle, and
+//             handles are externally synchronized — the session state lock
+//             serializes Fork()/Snapshot() against mutators.
+//
+// Retired-generation keepalive: privatization does not free the previously
+// shared node even when this handle turns out to hold the last reference —
+// the old node parks in retired_ until the *next* privatization (or Reset,
+// or handle destruction). Mutator code is therefore free to hold
+// `const T&` references obtained before the first write of an epoch across
+// that write: the referenced payload stays alive for the whole epoch.
+// Cost: at most one extra generation per handle, transient.
+
+#ifndef MAYWSD_COMMON_COW_H_
+#define MAYWSD_COMMON_COW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace maywsd {
+
+template <typename T>
+class Cow {
+ public:
+  /// An empty handle; get() yields a default-constructed T, the first
+  /// Mutable() materializes one.
+  Cow() = default;
+
+  explicit Cow(T value) : node_(new Node(std::move(value))) {}
+
+  Cow(const Cow& o) : node_(o.Acquire()) {}
+  Cow(Cow&& o) noexcept : node_(o.node_), retired_(o.retired_) {
+    o.node_ = nullptr;
+    o.retired_ = nullptr;
+  }
+  Cow& operator=(const Cow& o) {
+    if (this == &o) return *this;
+    Node* acquired = o.Acquire();
+    DropRetired();
+    Release(node_);
+    node_ = acquired;
+    return *this;
+  }
+  Cow& operator=(Cow&& o) noexcept {
+    if (this == &o) return *this;
+    DropRetired();
+    Release(node_);
+    node_ = o.node_;
+    retired_ = o.retired_;
+    o.node_ = nullptr;
+    o.retired_ = nullptr;
+    return *this;
+  }
+  ~Cow() {
+    DropRetired();
+    Release(node_);
+  }
+
+  /// Read access; never copies. Valid until this handle is destroyed or
+  /// two privatizing operations happen (see keepalive note above).
+  const T& get() const { return node_ != nullptr ? node_->value : Empty(); }
+
+  /// Write access; privatizes first iff the payload is shared. References
+  /// into the *previous* payload stay valid until the next privatization.
+  T& Mutable() {
+    if (node_ == nullptr) {
+      node_ = new Node(T{});
+    } else if (node_->shares.load(std::memory_order_acquire) != 1) {
+      Retire(std::exchange(node_, new Node(node_->value)));
+    }
+    return node_->value;
+  }
+
+  /// Installs `value` as a fresh private payload without copying the old
+  /// one first — what Clear()/SortDedup()-style full overwrites want. The
+  /// old payload is retired, not freed, same keepalive as Mutable().
+  void Reset(T value) {
+    Retire(std::exchange(node_, new Node(std::move(value))));
+  }
+
+  /// True iff both handles share the same payload node (O(1) identity).
+  bool SharesWith(const Cow& o) const {
+    return node_ != nullptr && node_ == o.node_;
+  }
+
+ private:
+  struct Node {
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<uint32_t> shares{1};
+    T value;
+  };
+
+  static const T& Empty() {
+    static const T empty{};
+    return empty;
+  }
+
+  Node* Acquire() const {
+    if (node_ != nullptr) node_->shares.fetch_add(1, std::memory_order_relaxed);
+    return node_;
+  }
+  static void Release(Node* n) {
+    if (n != nullptr && n->shares.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      delete n;
+    }
+  }
+  void Retire(Node* old) {
+    DropRetired();
+    retired_ = old;  // keeps its share; freed on the next Retire/destruction
+  }
+  void DropRetired() {
+    Release(retired_);
+    retired_ = nullptr;
+  }
+
+  Node* node_ = nullptr;
+  Node* retired_ = nullptr;
+};
+
+}  // namespace maywsd
+
+#endif  // MAYWSD_COMMON_COW_H_

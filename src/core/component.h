@@ -161,10 +161,12 @@ class Component {
 
  private:
   /// Guarantees node_ is a uniquely held mutable leaf (creating an empty
-  /// one when the component has no payload yet).
+  /// one when the component has no payload yet). unique() is an acquire
+  /// probe, so in-place mutation is sound even when the other owners were
+  /// forked sessions releasing from other threads.
   void EnsureMutable() {
     if (node_ != nullptr && node_->kind == store::NodeKind::kLeaf &&
-        !node_->interned && node_.use_count() == 1) {
+        !node_->interned && node_.unique()) {
       return;
     }
     PrivatizePayload();

@@ -43,12 +43,25 @@ void ChargeCells(uint64_t add) {
   }
 }
 
-/// The certain-singleton intern table. Weak references only: the table
-/// never keeps a node alive, so leak accounting stays exact. Expired
-/// entries are reclaimed on the next lookup of the same value.
+/// The certain-singleton intern table. Entries are raw pointers that do
+/// NOT own a reference, so the table never keeps a node alive and leak
+/// accounting stays exact. The revive/teardown protocol (with
+/// CertainLeaf/ReleaseNode):
+///
+///  - A lookup hit revives the node with a CAS-if-nonzero increment under
+///    the table mutex. A node observed at refs == 0 is *doomed* — its
+///    final releaser is already past the decrement and committed to
+///    deleting it — so the lookup refuses to resurrect it (0 → 1 would
+///    hand out a reference to memory about to be freed), erases the stale
+///    entry, and mints a fresh node instead.
+///  - The final releaser (the unique thread whose fetch_sub returned 1)
+///    takes the mutex, erases the entry only if it still points at this
+///    node (a concurrent lookup may already have replaced it), then
+///    deletes. Because refs can never go 0 → 1, no other thread can be
+///    holding the node by then.
 struct InternTable {
   std::mutex mu;
-  std::unordered_map<rel::Value, std::weak_ptr<Node>> map;
+  std::unordered_map<rel::Value, Node*> map;
 };
 
 InternTable& intern_table() {
@@ -67,6 +80,20 @@ Node::~Node() {
   counters().live_nodes.fetch_sub(1, std::memory_order_relaxed);
   counters().live_cells.fetch_sub(accounted_cells,
                                   std::memory_order_relaxed);
+}
+
+void ReleaseNode(Node* n) noexcept {
+  if (n == nullptr) return;
+  if (n->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Sole deleter from here on: refs never revives from 0 (CertainLeaf
+  // refuses), so reading the node is safe even for interned entries.
+  if (n->interned) {
+    InternTable& t = intern_table();
+    std::lock_guard<std::mutex> lock(t.mu);
+    auto it = t.map.find(n->values[0]);
+    if (it != t.map.end() && it->second == n) t.map.erase(it);
+  }
+  delete n;
 }
 
 StoreStats GetStoreStats() {
@@ -94,7 +121,7 @@ void Account(Node& n) {
 }
 
 NodePtr NewLeaf(size_t width) {
-  return std::make_shared<Node>(NodeKind::kLeaf, width, 0);
+  return NodeRef::Adopt(new Node(NodeKind::kLeaf, width, 0));
 }
 
 NodePtr CertainLeaf(const rel::Value& v) {
@@ -102,25 +129,34 @@ NodePtr CertainLeaf(const rel::Value& v) {
   std::lock_guard<std::mutex> lock(t.mu);
   auto it = t.map.find(v);
   if (it != t.map.end()) {
-    if (NodePtr hit = it->second.lock()) {
-      counters().dedup_hits.fetch_add(1, std::memory_order_relaxed);
-      return hit;
+    // Revive: increment iff the count is still nonzero. A node at 0 is
+    // doomed (see InternTable) — drop the stale entry and mint fresh.
+    Node* hit = it->second;
+    uint32_t refs = hit->refs.load(std::memory_order_relaxed);
+    while (refs != 0) {
+      if (hit->refs.compare_exchange_weak(refs, refs + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+        counters().dedup_hits.fetch_add(1, std::memory_order_relaxed);
+        return NodeRef::Adopt(hit);
+      }
     }
+    t.map.erase(it);  // the doomed node's final releaser still deletes it
   }
-  NodePtr leaf = std::make_shared<Node>(NodeKind::kLeaf, 1, 1);
+  NodePtr leaf = NodeRef::Adopt(new Node(NodeKind::kLeaf, 1, 1));
   leaf->values.push_back(v);
   leaf->probs.push_back(1.0);
   leaf->interned = true;
   Account(*leaf);
-  t.map[v] = leaf;
+  t.map[v] = leaf.get();
   return leaf;
 }
 
 NodePtr Compose(const NodePtr& a, const NodePtr& b) {
   if (!a || !b) return nullptr;
-  NodePtr node = std::make_shared<Node>(NodeKind::kCompose,
-                                        a->width + b->width,
-                                        a->worlds * b->worlds);
+  NodePtr node = NodeRef::Adopt(
+      new Node(NodeKind::kCompose, a->width + b->width,
+               a->worlds * b->worlds));
   node->a = a;
   node->b = b;
   counters().compose_nodes.fetch_add(1, std::memory_order_relaxed);
@@ -135,7 +171,7 @@ NodePtr ExtDup(const NodePtr& n, size_t src_col) {
   if (!n) return nullptr;
   assert(src_col < n->width);
   NodePtr node =
-      std::make_shared<Node>(NodeKind::kExtDup, n->width + 1, n->worlds);
+      NodeRef::Adopt(new Node(NodeKind::kExtDup, n->width + 1, n->worlds));
   node->a = n;
   node->src_col = src_col;
   counters().ext_nodes.fetch_add(1, std::memory_order_relaxed);
@@ -149,7 +185,7 @@ NodePtr ExtDup(const NodePtr& n, size_t src_col) {
 NodePtr ExtConst(const NodePtr& n, const rel::Value& v) {
   if (!n) return nullptr;
   NodePtr node =
-      std::make_shared<Node>(NodeKind::kExtConst, n->width + 1, n->worlds);
+      NodeRef::Adopt(new Node(NodeKind::kExtConst, n->width + 1, n->worlds));
   node->a = n;
   node->constant = v;
   counters().ext_nodes.fetch_add(1, std::memory_order_relaxed);
@@ -266,12 +302,12 @@ void Force(const NodePtr& n) {
 
 NodePtr MutableLeaf(NodePtr n) {
   if (!n) return nullptr;
-  if (n->kind == NodeKind::kLeaf && !n->interned && n.use_count() == 1) {
+  if (n->kind == NodeKind::kLeaf && !n->interned && n.unique()) {
     return n;
   }
   Force(n);
-  NodePtr leaf = std::make_shared<Node>(NodeKind::kLeaf, n->width, n->worlds);
-  if (n.use_count() == 1 && !n->interned) {
+  NodePtr leaf = NodeRef::Adopt(new Node(NodeKind::kLeaf, n->width, n->worlds));
+  if (n.unique() && !n->interned) {
     // Uniquely held derived node: its cache can be stolen, not copied.
     leaf->values = std::move(n->values);
     leaf->probs = std::move(n->probs);

@@ -24,21 +24,29 @@
 // Certain singleton leaves (one world, one column, probability 1 — the
 // bulk of any census-style store) are interned in a process-wide table
 // keyed on the value, so a million certain fields of the same value share
-// one node. The table holds weak references: dropping the last Component
-// frees the node, which keeps the leak accounting exact.
+// one node. The table holds raw entries that lookups revive with a
+// CAS-if-nonzero increment: dropping the last Component frees the node and
+// clears its entry, which keeps the leak accounting exact.
 //
 // Thread-safety: nodes referenced by more than one owner are immutable
 // (copy-on-write guarantees it), forcing is idempotent and guarded by a
 // striped mutex, and the statistics are process-global atomics — so
-// concurrent shard builds may share and force nodes freely. Mutating a
+// concurrent shard builds may share and force nodes freely. Nodes are
+// refcounted intrusively (NodeRef) rather than via shared_ptr so that the
+// mutate-in-place probe is a *sound* synchronization point: releases
+// decrement with acq_rel, NodeRef::unique() loads with acquire, so a
+// probe that observes 1 happens-after every prior owner's release — the
+// guarantee shared_ptr::use_count() (a relaxed load) never gave. Sessions
+// forked from one another may therefore share and release nodes from
+// different threads with no lock beyond their own state locks. Mutating a
 // Component still requires external synchronization, as before.
 
 #ifndef MAYWSD_CORE_COMPONENT_STORE_H_
 #define MAYWSD_CORE_COMPONENT_STORE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "rel/value.h"
@@ -48,7 +56,69 @@ namespace maywsd::core::store {
 enum class NodeKind : uint8_t { kLeaf, kCompose, kExtDup, kExtConst };
 
 struct Node;
-using NodePtr = std::shared_ptr<Node>;
+
+/// Destroys `n` if this release drops the last reference; unlinks interned
+/// nodes from the certain-singleton table first. Out of line so NodeRef
+/// stays header-only without pulling the intern table in.
+void ReleaseNode(Node* n) noexcept;
+
+/// Intrusive refcounted handle to a Node. Copy is a relaxed increment;
+/// release is an acq_rel decrement (the dropping thread deletes);
+/// unique() is an acquire load — a genuine synchronization point, unlike
+/// shared_ptr::use_count(). Handles themselves are externally
+/// synchronized; only the *count* is contended across sessions.
+class NodeRef {
+ public:
+  NodeRef() = default;
+  NodeRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Takes ownership of one existing reference (a freshly minted node, or
+  /// a count the caller already incremented).
+  static NodeRef Adopt(Node* n) {
+    NodeRef r;
+    r.n_ = n;
+    return r;
+  }
+
+  NodeRef(const NodeRef& o) : n_(o.AcquireRaw()) {}
+  NodeRef(NodeRef&& o) noexcept : n_(o.n_) { o.n_ = nullptr; }
+  NodeRef& operator=(const NodeRef& o) {
+    if (this != &o) {
+      Node* acquired = o.AcquireRaw();
+      ReleaseNode(n_);
+      n_ = acquired;
+    }
+    return *this;
+  }
+  NodeRef& operator=(NodeRef&& o) noexcept {
+    if (this != &o) {
+      ReleaseNode(n_);
+      n_ = o.n_;
+      o.n_ = nullptr;
+    }
+    return *this;
+  }
+  ~NodeRef() { ReleaseNode(n_); }
+
+  Node* get() const { return n_; }
+  Node& operator*() const { return *n_; }
+  Node* operator->() const { return n_; }
+  explicit operator bool() const { return n_ != nullptr; }
+  bool operator==(const NodeRef& o) const { return n_ == o.n_; }
+  bool operator==(std::nullptr_t) const { return n_ == nullptr; }
+
+  /// True iff this handle is the only reference. An acquire load paired
+  /// with acq_rel release decrements: observing 1 happens-after every
+  /// prior owner's release, so mutating in place is race-free.
+  bool unique() const;
+
+ private:
+  Node* AcquireRaw() const;
+
+  Node* n_ = nullptr;
+};
+
+using NodePtr = NodeRef;
 
 /// One payload node of the composition DAG. `values`/`probs` are the owned
 /// matrix for leaves and the memoized materialization for derived nodes
@@ -68,6 +138,9 @@ struct Node {
   std::atomic<bool> ready;  ///< values/probs are valid (always for leaves)
   bool interned = false;    ///< lives in the certain-singleton table
 
+  /// Intrusive reference count; see NodeRef for the memory-order contract.
+  std::atomic<uint32_t> refs{1};
+
   NodePtr a, b;             ///< children (kCompose: both; ext kinds: a)
   size_t src_col = 0;       ///< kExtDup: duplicated column of `a`
   rel::Value constant;      ///< kExtConst: the appended value
@@ -75,6 +148,15 @@ struct Node {
   /// Cells currently charged to the live-cell counter (see Account()).
   size_t accounted_cells = 0;
 };
+
+inline bool NodeRef::unique() const {
+  return n_ != nullptr && n_->refs.load(std::memory_order_acquire) == 1;
+}
+
+inline Node* NodeRef::AcquireRaw() const {
+  if (n_ != nullptr) n_->refs.fetch_add(1, std::memory_order_relaxed);
+  return n_;
+}
 
 /// Derived nodes whose forced matrix would stay at or under this many
 /// cells are materialized eagerly: below this size a node + chain walk

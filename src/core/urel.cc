@@ -237,15 +237,15 @@ void UrelRelation::AppendTuple(std::span<const UrelValueId> values,
 }
 
 Urel::SymbolTable& Urel::MutableSymbols() {
-  if (symbols_.use_count() > 1) {
-    symbols_ = std::make_shared<SymbolTable>(*symbols_);
-  }
-  return *symbols_;
+  // Cow::Mutable privatizes iff shared — and unlike the shared_ptr
+  // use_count() probe this replaced, its uniqueness check is a sound
+  // synchronization point (acquire probe vs acq_rel releases).
+  return symbols_.Mutable();
 }
 
 UrelValueId Urel::Intern(const rel::Value& v) {
-  auto it = symbols_->dict_index.find(v);
-  if (it != symbols_->dict_index.end()) return it->second;
+  auto it = symbols().dict_index.find(v);
+  if (it != symbols().dict_index.end()) return it->second;
   SymbolTable& s = MutableSymbols();
   UrelValueId id = static_cast<UrelValueId>(s.dict.size());
   s.dict.push_back(v);
@@ -273,13 +273,14 @@ std::vector<std::string> Urel::Names() const {
 Result<const UrelRelation*> Urel::Get(const std::string& name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) return Status::NotFound("relation " + name);
-  return &it->second;
+  return &it->second.get();
 }
 
 Result<UrelRelation*> Urel::GetMutable(const std::string& name) {
   auto it = relations_.find(name);
   if (it == relations_.end()) return Status::NotFound("relation " + name);
-  return &it->second;
+  // Per-relation COW break: only this relation stops sharing with forks.
+  return &it->second.Mutable();
 }
 
 Status Urel::Add(UrelRelation relation) {
@@ -288,7 +289,7 @@ Status Urel::Add(UrelRelation relation) {
                                  " already exists");
   }
   std::string name = relation.name;
-  relations_.emplace(std::move(name), std::move(relation));
+  relations_.emplace(std::move(name), Cow<UrelRelation>(std::move(relation)));
   return Status::Ok();
 }
 
@@ -303,7 +304,7 @@ void Urel::MaterializeRow(const UrelRelation& r, size_t row,
                           std::vector<rel::Value>& out) const {
   out.resize(r.columns.size());
   for (size_t a = 0; a < r.columns.size(); ++a) {
-    out[a] = symbols_->dict[r.columns[a][row]];
+    out[a] = symbols().dict[r.columns[a][row]];
   }
 }
 

@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cow.h"
 #include "common/status.h"
 #include "rel/predicate.h"
 #include "rel/relation.h"
@@ -94,7 +95,7 @@ struct UrelRelation {
 /// dictionary shared by all relations, and the relation catalog.
 class Urel {
  public:
-  Urel() : symbols_(std::make_shared<SymbolTable>()) {}
+  Urel() : symbols_(SymbolTable{}) {}
 
   // -- Value dictionary -------------------------------------------------------
 
@@ -105,9 +106,9 @@ class Urel {
   UrelValueId Intern(const rel::Value& v);
 
   const rel::Value& ValueAt(UrelValueId id) const {
-    return symbols_->dict[id];
+    return symbols().dict[id];
   }
-  size_t DictionarySize() const { return symbols_->dict.size(); }
+  size_t DictionarySize() const { return symbols().dict.size(); }
 
   // -- Variables --------------------------------------------------------------
 
@@ -115,16 +116,18 @@ class Urel {
   /// probabilities (must sum to 1; validated by ValidateUrel).
   VarId AddVariable(std::vector<double> probs);
 
-  size_t NumVariables() const { return symbols_->vars.size(); }
+  size_t NumVariables() const { return symbols().vars.size(); }
   const std::vector<double>& Domain(VarId var) const {
-    return symbols_->vars[var];
+    return symbols().vars[var];
   }
 
   // -- Symbol-table sharing ---------------------------------------------------
   //
   // The dictionary and the variable table live behind one refcounted,
-  // copy-on-write table: copying a Urel (and shard slices built via
-  // ShareSymbolsFrom) share it, so dictionary ids and VarIds transfer
+  // copy-on-write table (common::Cow, whose shared-or-unique probe is a
+  // genuine acquire/release synchronization point): copying a Urel (and
+  // shard slices built via ShareSymbolsFrom, and sessions pinned via
+  // Snapshot()/Fork()) share it, so dictionary ids and VarIds transfer
   // verbatim between sharers; the first divergent Intern/AddVariable
   // privatizes. Ids are append-only, so ids minted before a split stay
   // valid in every sharer.
@@ -137,10 +140,17 @@ class Urel {
   /// True while both stores still reference the same symbol table, i.e.
   /// value ids and variable ids agree verbatim.
   bool SharesSymbolsWith(const Urel& other) const {
-    return symbols_ == other.symbols_;
+    return symbols_.SharesWith(other.symbols_);
   }
 
   // -- Catalog ----------------------------------------------------------------
+  //
+  // Relations are held behind per-relation copy-on-write handles: copying
+  // a Urel shares every relation's columns/TIDs/CSR descriptors in O(1),
+  // and GetMutable breaks sharing for that relation only. Raw pointers
+  // returned by Get/GetMutable are valid until the catalog entry is
+  // dropped or (for Get) the relation is next privatized — do not hold
+  // them across a session-lock release.
 
   bool Contains(const std::string& name) const;
   std::vector<std::string> Names() const;
@@ -162,9 +172,10 @@ class Urel {
 
   /// The symbol table, privatized for writing (copied when shared).
   SymbolTable& MutableSymbols();
+  const SymbolTable& symbols() const { return symbols_.get(); }
 
-  std::shared_ptr<SymbolTable> symbols_;
-  std::map<std::string, UrelRelation> relations_;
+  Cow<SymbolTable> symbols_;
+  std::map<std::string, Cow<UrelRelation>> relations_;
 };
 
 // -- Figure 9 operator core as pure columnar rewritings ----------------------

@@ -51,7 +51,7 @@ Status Wsd::DropRelation(const std::string& name) {
   Symbol sym = relations_[it->second].name_sym;
   // Drop all fields of the relation, component by component.
   std::vector<FieldKey> to_drop;
-  for (const auto& [field, loc] : field_index_) {
+  for (const auto& [field, loc] : pool().field_index) {
     if (field.rel == sym) to_drop.push_back(field);
   }
   for (const FieldKey& f : to_drop) {
@@ -88,7 +88,7 @@ Status Wsd::CheckComponentFields(const Component& component) const {
       return Status::NotFound("component field " + f.ToString() +
                               " refers to unknown attribute");
     }
-    if (field_index_.count(f)) {
+    if (pool().field_index.count(f)) {
       return Status::AlreadyExists("field " + f.ToString() +
                                    " already covered by a component");
     }
@@ -104,89 +104,89 @@ Status Wsd::AddComponent(Component component) {
     return Status::InvalidArgument("component must have at least one world");
   }
   MAYWSD_RETURN_IF_ERROR(CheckComponentFields(component));
-  int32_t idx = static_cast<int32_t>(components_.size());
+  int32_t idx = static_cast<int32_t>(pool().components.size());
   for (size_t c = 0; c < component.NumFields(); ++c) {
-    field_index_[component.field(c)] = FieldLoc{idx, static_cast<int32_t>(c)};
+    pool().field_index[component.field(c)] = FieldLoc{idx, static_cast<int32_t>(c)};
   }
-  components_.push_back(std::move(component));
-  alive_.push_back(true);
+  pool().components.push_back(std::move(component));
+  pool().alive.push_back(true);
   return Status::Ok();
 }
 
 std::vector<size_t> Wsd::LiveComponents() const {
   std::vector<size_t> out;
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (alive_[i]) out.push_back(i);
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (pool().alive[i]) out.push_back(i);
   }
   return out;
 }
 
 size_t Wsd::NumLiveComponents() const {
   size_t n = 0;
-  for (bool a : alive_) n += a;
+  for (bool a : pool().alive) n += a;
   return n;
 }
 
 Result<FieldLoc> Wsd::Locate(const FieldKey& field) const {
-  auto it = field_index_.find(field);
-  if (it == field_index_.end()) {
+  auto it = pool().field_index.find(field);
+  if (it == pool().field_index.end()) {
     return Status::NotFound("field " + field.ToString() + " not present");
   }
   return it->second;
 }
 
 bool Wsd::HasField(const FieldKey& field) const {
-  return field_index_.count(field) > 0;
+  return pool().field_index.count(field) > 0;
 }
 
 Status Wsd::ComposeInPlace(size_t a, size_t b) {
   if (a == b) return Status::Ok();
-  if (a >= components_.size() || b >= components_.size() || !alive_[a] ||
-      !alive_[b]) {
+  if (a >= pool().components.size() || b >= pool().components.size() || !pool().alive[a] ||
+      !pool().alive[b]) {
     return Status::InvalidArgument("compose of dead or invalid component");
   }
-  Component composed = Component::Compose(components_[a], components_[b]);
-  size_t offset = components_[a].NumFields();
-  components_[a] = std::move(composed);
-  alive_[b] = false;
+  Component composed = Component::Compose(pool().components[a], pool().components[b]);
+  size_t offset = pool().components[a].NumFields();
+  pool().components[a] = std::move(composed);
+  pool().alive[b] = false;
   // Re-point the moved fields of b (they now sit at column offset+i of a).
-  const Component& merged = components_[a];
+  const Component& merged = pool().components[a];
   for (size_t c = offset; c < merged.NumFields(); ++c) {
-    field_index_[merged.field(c)] =
+    pool().field_index[merged.field(c)] =
         FieldLoc{static_cast<int32_t>(a), static_cast<int32_t>(c)};
   }
-  components_[b] = Component();
+  pool().components[b] = Component();
   return Status::Ok();
 }
 
 Status Wsd::DropField(const FieldKey& field) {
-  auto it = field_index_.find(field);
-  if (it == field_index_.end()) {
+  auto it = pool().field_index.find(field);
+  if (it == pool().field_index.end()) {
     return Status::NotFound("field " + field.ToString());
   }
   FieldLoc loc = it->second;
-  Component& comp = components_[loc.comp];
+  Component& comp = pool().components[loc.comp];
   comp.DropColumns({static_cast<size_t>(loc.col)});
-  field_index_.erase(it);
+  pool().field_index.erase(it);
   // Columns after `col` shifted left by one.
   for (size_t c = static_cast<size_t>(loc.col); c < comp.NumFields(); ++c) {
-    field_index_[comp.field(c)] =
+    pool().field_index[comp.field(c)] =
         FieldLoc{loc.comp, static_cast<int32_t>(c)};
   }
   if (comp.NumFields() == 0) {
     // Zero-column component: dropping it is exact marginalization.
-    alive_[loc.comp] = false;
-    components_[loc.comp] = Component();
+    pool().alive[loc.comp] = false;
+    pool().components[loc.comp] = Component();
   }
   return Status::Ok();
 }
 
 Status Wsd::CopyFieldInto(const FieldKey& src, const FieldKey& dst) {
-  auto it = field_index_.find(src);
-  if (it == field_index_.end()) {
+  auto it = pool().field_index.find(src);
+  if (it == pool().field_index.end()) {
     return Status::NotFound("source field " + src.ToString());
   }
-  if (field_index_.count(dst)) {
+  if (pool().field_index.count(dst)) {
     return Status::AlreadyExists("destination field " + dst.ToString());
   }
   // Destination must be a declared, in-range field.
@@ -204,9 +204,9 @@ Status Wsd::CopyFieldInto(const FieldKey& src, const FieldKey& dst) {
                                    dst.ToString());
   }
   FieldLoc loc = it->second;
-  Component& comp = components_[loc.comp];
+  Component& comp = pool().components[loc.comp];
   comp.ExtDuplicateColumn(static_cast<size_t>(loc.col), dst);
-  field_index_[dst] =
+  pool().field_index[dst] =
       FieldLoc{loc.comp, static_cast<int32_t>(comp.NumFields() - 1)};
   return Status::Ok();
 }
@@ -222,7 +222,7 @@ Status Wsd::UpdateRelationSchema(const std::string& name, rel::Schema schema) {
     return Status::NotFound("relation " + name);
   }
   WsdRelation& rel = relations_[it->second];
-  for (const auto& [field, loc] : field_index_) {
+  for (const auto& [field, loc] : pool().field_index) {
     if (field.rel != rel.name_sym || schema.IndexOf(field.attr)) continue;
     bool is_presence =
         std::find(rel.presence_attrs.begin(), rel.presence_attrs.end(),
@@ -250,11 +250,11 @@ Status Wsd::GrowRelation(const std::string& name, TupleId extra) {
 }
 
 Status Wsd::ReplaceComponent(size_t index, std::vector<Component> parts) {
-  if (index >= components_.size() || !alive_[index]) {
+  if (index >= pool().components.size() || !pool().alive[index]) {
     return Status::InvalidArgument("replacing dead or invalid component");
   }
   // Verify the parts cover exactly the fields of the replaced component.
-  std::vector<FieldKey> old_fields = components_[index].fields();
+  std::vector<FieldKey> old_fields = pool().components[index].fields();
   std::vector<FieldKey> new_fields;
   for (const Component& part : parts) {
     for (const FieldKey& f : part.fields()) new_fields.push_back(f);
@@ -268,33 +268,33 @@ Status Wsd::ReplaceComponent(size_t index, std::vector<Component> parts) {
         "replacement components do not cover the same fields");
   }
   // Remove old index entries, tombstone, then add the parts.
-  for (const FieldKey& f : old_fields) field_index_.erase(f);
-  alive_[index] = false;
-  components_[index] = Component();
+  for (const FieldKey& f : old_fields) pool().field_index.erase(f);
+  pool().alive[index] = false;
+  pool().components[index] = Component();
   for (Component& part : parts) {
-    int32_t idx = static_cast<int32_t>(components_.size());
+    int32_t idx = static_cast<int32_t>(pool().components.size());
     for (size_t c = 0; c < part.NumFields(); ++c) {
-      field_index_[part.field(c)] =
+      pool().field_index[part.field(c)] =
           FieldLoc{idx, static_cast<int32_t>(c)};
     }
-    components_.push_back(std::move(part));
-    alive_.push_back(true);
+    pool().components.push_back(std::move(part));
+    pool().alive.push_back(true);
   }
   return Status::Ok();
 }
 
 void Wsd::CompactComponents() {
   std::vector<Component> live;
-  live.reserve(components_.size());
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (alive_[i]) live.push_back(std::move(components_[i]));
+  live.reserve(pool().components.size());
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (pool().alive[i]) live.push_back(std::move(pool().components[i]));
   }
-  components_ = std::move(live);
-  alive_.assign(components_.size(), true);
-  field_index_.clear();
-  for (size_t i = 0; i < components_.size(); ++i) {
-    for (size_t c = 0; c < components_[i].NumFields(); ++c) {
-      field_index_[components_[i].field(c)] =
+  pool().components = std::move(live);
+  pool().alive.assign(pool().components.size(), true);
+  pool().field_index.clear();
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    for (size_t c = 0; c < pool().components[i].NumFields(); ++c) {
+      pool().field_index[pool().components[i].field(c)] =
           FieldLoc{static_cast<int32_t>(i), static_cast<int32_t>(c)};
     }
   }
@@ -305,7 +305,7 @@ std::vector<FieldKey> Wsd::FieldsOfTuple(const WsdRelation& rel,
   std::vector<FieldKey> out;
   for (size_t a = 0; a < rel.schema.arity(); ++a) {
     FieldKey f(rel.name_sym, tid, rel.schema.attr(a).name);
-    if (field_index_.count(f)) out.push_back(f);
+    if (pool().field_index.count(f)) out.push_back(f);
   }
   return out;
 }
@@ -319,7 +319,7 @@ std::vector<FieldKey> Wsd::PresenceFieldsOfTuple(const WsdRelation& rel,
   std::vector<FieldKey> out;
   for (Symbol attr : rel.presence_attrs) {
     FieldKey f(rel.name_sym, tid, attr);
-    if (field_index_.count(f)) out.push_back(f);
+    if (pool().field_index.count(f)) out.push_back(f);
   }
   return out;
 }
@@ -336,7 +336,7 @@ Result<FieldKey> Wsd::MakePresenceField(const std::string& relation,
   }
   // Reuse an existing presence attribute if its field slot is free.
   for (Symbol existing : rel.presence_attrs) {
-    if (!field_index_.count(FieldKey(rel.name_sym, tid, existing))) {
+    if (!pool().field_index.count(FieldKey(rel.name_sym, tid, existing))) {
       return FieldKey(rel.name_sym, tid, existing);
     }
   }
@@ -348,17 +348,17 @@ Result<FieldKey> Wsd::MakePresenceField(const std::string& relation,
 }
 
 Status Wsd::RenameField(const FieldKey& from, const FieldKey& to) {
-  auto it = field_index_.find(from);
-  if (it == field_index_.end()) {
+  auto it = pool().field_index.find(from);
+  if (it == pool().field_index.end()) {
     return Status::NotFound("field " + from.ToString());
   }
-  if (field_index_.count(to)) {
+  if (pool().field_index.count(to)) {
     return Status::AlreadyExists("field " + to.ToString());
   }
   FieldLoc loc = it->second;
-  components_[loc.comp].RenameField(static_cast<size_t>(loc.col), to);
-  field_index_.erase(it);
-  field_index_[to] = loc;
+  pool().components[loc.comp].RenameField(static_cast<size_t>(loc.col), to);
+  pool().field_index.erase(it);
+  pool().field_index[to] = loc;
   return Status::Ok();
 }
 
@@ -401,13 +401,13 @@ Status Wsd::EliminatePresenceFields() {
 
 Status Wsd::Validate() const {
   // 1. Index consistency.
-  for (const auto& [field, loc] : field_index_) {
-    if (loc.comp < 0 || static_cast<size_t>(loc.comp) >= components_.size() ||
-        !alive_[loc.comp]) {
+  for (const auto& [field, loc] : pool().field_index) {
+    if (loc.comp < 0 || static_cast<size_t>(loc.comp) >= pool().components.size() ||
+        !pool().alive[loc.comp]) {
       return Status::Internal("field index points to dead component for " +
                               field.ToString());
     }
-    const Component& comp = components_[loc.comp];
+    const Component& comp = pool().components[loc.comp];
     if (loc.col < 0 || static_cast<size_t>(loc.col) >= comp.NumFields() ||
         comp.field(loc.col) != field) {
       return Status::Internal("field index column mismatch for " +
@@ -415,21 +415,21 @@ Status Wsd::Validate() const {
     }
   }
   // 2. Every live component's fields are in the index.
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (!alive_[i]) continue;
-    if (components_[i].empty()) {
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (!pool().alive[i]) continue;
+    if (pool().components[i].empty()) {
       return Status::Internal("live component with no local worlds");
     }
-    for (size_t c = 0; c < components_[i].NumFields(); ++c) {
-      auto it = field_index_.find(components_[i].field(c));
-      if (it == field_index_.end() ||
+    for (size_t c = 0; c < pool().components[i].NumFields(); ++c) {
+      auto it = pool().field_index.find(pool().components[i].field(c));
+      if (it == pool().field_index.end() ||
           it->second.comp != static_cast<int32_t>(i) ||
           it->second.col != static_cast<int32_t>(c)) {
         return Status::Internal("component field missing from index: " +
-                                components_[i].field(c).ToString());
+                                pool().components[i].field(c).ToString());
       }
     }
-    double sum = components_[i].ProbSum();
+    double sum = pool().components[i].ProbSum();
     if (std::abs(sum - 1.0) > 1e-4) {
       return Status::Internal("component probabilities sum to " +
                               std::to_string(sum));
@@ -455,9 +455,9 @@ Status Wsd::Validate() const {
 
 uint64_t Wsd::WorldCombinationCount(uint64_t cap) const {
   uint64_t total = 1;
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (!alive_[i]) continue;
-    uint64_t n = components_[i].NumWorlds();
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (!pool().alive[i]) continue;
+    uint64_t n = pool().components[i].NumWorlds();
     if (n == 0) return 0;
     if (total > cap / n) return cap;  // saturate
     total *= n;
@@ -505,16 +505,16 @@ Result<std::vector<PossibleWorld>> Wsd::EnumerateWorlds(
       info.rel = r;
       for (size_t a = 0; a < r->schema.arity(); ++a) {
         FieldKey f(r->name_sym, t, r->schema.attr(a).name);
-        info.locs.push_back(field_index_.at(f));
+        info.locs.push_back(pool().field_index.at(f));
       }
       for (const FieldKey& pf : PresenceFieldsOfTuple(*r, t)) {
-        info.presence_locs.push_back(field_index_.at(pf));
+        info.presence_locs.push_back(pool().field_index.at(pf));
       }
       slots.push_back(std::move(info));
     }
   }
   // Map component slot index -> position in `choice`.
-  std::vector<int> comp_pos(components_.size(), -1);
+  std::vector<int> comp_pos(pool().components.size(), -1);
   for (size_t i = 0; i < live.size(); ++i) {
     comp_pos[live[i]] = static_cast<int>(i);
   }
@@ -526,7 +526,7 @@ Result<std::vector<PossibleWorld>> Wsd::EnumerateWorlds(
     PossibleWorld world;
     world.prob = 1.0;
     for (size_t i = 0; i < live.size(); ++i) {
-      world.prob *= components_[live[i]].prob(choice[i]);
+      world.prob *= pool().components[live[i]].prob(choice[i]);
     }
     // Materialize relations.
     for (const WsdRelation* r : mats) {
@@ -539,7 +539,7 @@ Result<std::vector<PossibleWorld>> Wsd::EnumerateWorlds(
       // A ⊥ in an "exists" field deletes the tuple just like a ⊥ in a
       // schema field (Section 4 Discussion).
       for (const FieldLoc& loc : slot.presence_locs) {
-        const Component& comp = components_[loc.comp];
+        const Component& comp = pool().components[loc.comp];
         if (comp.at(choice[comp_pos[loc.comp]], loc.col).is_bottom()) {
           has_bottom = true;
           break;
@@ -547,7 +547,7 @@ Result<std::vector<PossibleWorld>> Wsd::EnumerateWorlds(
       }
       for (const FieldLoc& loc : slot.locs) {
         if (has_bottom) break;
-        const Component& comp = components_[loc.comp];
+        const Component& comp = pool().components[loc.comp];
         const rel::Value& v = comp.at(choice[comp_pos[loc.comp]], loc.col);
         if (v.is_bottom()) {
           has_bottom = true;
@@ -566,7 +566,7 @@ Result<std::vector<PossibleWorld>> Wsd::EnumerateWorlds(
     // Advance the odometer.
     done = true;
     for (size_t i = 0; i < live.size(); ++i) {
-      if (++choice[i] < components_[live[i]].NumWorlds()) {
+      if (++choice[i] < pool().components[live[i]].NumWorlds()) {
         done = false;
         break;
       }
@@ -587,9 +587,9 @@ std::string Wsd::ToString() const {
     os << r.name << r.schema.ToString() << " x" << r.max_tuples;
   }
   os << "}\n";
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (!alive_[i]) continue;
-    os << "C" << i << " " << components_[i].ToString();
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (!pool().alive[i]) continue;
+    os << "C" << i << " " << pool().components[i].ToString();
   }
   return os.str();
 }

@@ -11,6 +11,14 @@
 // rep(W) — the represented finite set of possible worlds — is computable via
 // EnumerateWorlds() (exponential; guarded by a cap) and is used as the
 // ground truth in tests and ablation benchmarks.
+//
+// The component pool (components, liveness bits, field index) sits behind a
+// copy-on-write handle: copying a Wsd shares the pool in O(1) and the first
+// mutating call on either copy privatizes it wholesale. Components span
+// relations, so pool sharing is all-or-nothing — but the component payloads
+// themselves are refcounted store nodes, so even a privatized pool still
+// shares every unmutated payload. This is what makes Session::Snapshot()
+// and Session::Fork() O(relations) on the WSD backend.
 
 #ifndef MAYWSD_CORE_WSD_H_
 #define MAYWSD_CORE_WSD_H_
@@ -19,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cow.h"
 #include "common/status.h"
 #include "rel/database.h"
 #include "core/component.h"
@@ -74,10 +83,10 @@ class Wsd {
 
   /// Number of component slots, including dead ones; iterate with
   /// IsLiveComponent(). CompactComponents() removes tombstones.
-  size_t NumComponentSlots() const { return components_.size(); }
-  bool IsLiveComponent(size_t i) const { return alive_[i]; }
-  const Component& component(size_t i) const { return components_[i]; }
-  Component& mutable_component(size_t i) { return components_[i]; }
+  size_t NumComponentSlots() const { return pool().components.size(); }
+  bool IsLiveComponent(size_t i) const { return pool().alive[i]; }
+  const Component& component(size_t i) const { return pool().components[i]; }
+  Component& mutable_component(size_t i) { return pool().components[i]; }
 
   /// Indexes of live components.
   std::vector<size_t> LiveComponents() const;
@@ -171,11 +180,25 @@ class Wsd {
  private:
   Status CheckComponentFields(const Component& component) const;
 
+  /// The shared-on-copy part of the store: everything that scales with the
+  /// data. Accessed only through pool() so constness decides read vs
+  /// privatize.
+  struct Pool {
+    std::vector<Component> components;
+    std::vector<bool> alive;
+    std::unordered_map<FieldKey, FieldLoc> field_index;
+  };
+
+  /// Read access to the pool; never copies.
+  const Pool& pool() const { return pool_.get(); }
+  /// Write access; breaks sharing with any copies first. References
+  /// obtained from the pool before this call stay valid until the next
+  /// privatization (common::Cow's retired-generation keepalive).
+  Pool& pool() { return pool_.Mutable(); }
+
   std::vector<WsdRelation> relations_;
   std::map<std::string, size_t> relation_by_name_;
-  std::vector<Component> components_;
-  std::vector<bool> alive_;
-  std::unordered_map<FieldKey, FieldLoc> field_index_;
+  Cow<Pool> pool_;
 };
 
 /// Merges equal worlds, summing probabilities; worlds are compared as sets

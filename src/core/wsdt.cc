@@ -51,7 +51,7 @@ Status Wsdt::DropRelation(const std::string& name) {
   }
   Symbol sym = InternString(name);
   std::vector<FieldKey> to_drop;
-  for (const auto& [field, loc] : field_index_) {
+  for (const auto& [field, loc] : pool().field_index) {
     if (field.rel == sym) to_drop.push_back(field);
   }
   for (const FieldKey& f : to_drop) {
@@ -66,72 +66,72 @@ Status Wsdt::AddComponent(Component component) {
     return Status::InvalidArgument("component must be non-empty");
   }
   for (const FieldKey& f : component.fields()) {
-    if (field_index_.count(f)) {
+    if (pool().field_index.count(f)) {
       return Status::AlreadyExists("field " + f.ToString() +
                                    " already covered");
     }
   }
-  int32_t idx = static_cast<int32_t>(components_.size());
+  int32_t idx = static_cast<int32_t>(pool().components.size());
   for (size_t c = 0; c < component.NumFields(); ++c) {
-    field_index_[component.field(c)] =
+    pool().field_index[component.field(c)] =
         FieldLoc{idx, static_cast<int32_t>(c)};
   }
-  components_.push_back(std::move(component));
-  alive_.push_back(true);
+  pool().components.push_back(std::move(component));
+  pool().alive.push_back(true);
   return Status::Ok();
 }
 
 std::vector<size_t> Wsdt::LiveComponents() const {
   std::vector<size_t> out;
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (alive_[i]) out.push_back(i);
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (pool().alive[i]) out.push_back(i);
   }
   return out;
 }
 
 Result<FieldLoc> Wsdt::Locate(const FieldKey& field) const {
-  auto it = field_index_.find(field);
-  if (it == field_index_.end()) {
+  auto it = pool().field_index.find(field);
+  if (it == pool().field_index.end()) {
     return Status::NotFound("field " + field.ToString() + " not present");
   }
   return it->second;
 }
 
 bool Wsdt::HasField(const FieldKey& field) const {
-  return field_index_.count(field) > 0;
+  return pool().field_index.count(field) > 0;
 }
 
 Status Wsdt::ComposeInPlace(size_t a, size_t b) {
   if (a == b) return Status::Ok();
-  if (a >= components_.size() || b >= components_.size() || !alive_[a] ||
-      !alive_[b]) {
+  if (a >= pool().components.size() || b >= pool().components.size() || !pool().alive[a] ||
+      !pool().alive[b]) {
     return Status::InvalidArgument("compose of dead or invalid component");
   }
-  Component composed = Component::Compose(components_[a], components_[b]);
-  size_t offset = components_[a].NumFields();
-  components_[a] = std::move(composed);
-  alive_[b] = false;
-  const Component& merged = components_[a];
+  Component composed = Component::Compose(pool().components[a], pool().components[b]);
+  size_t offset = pool().components[a].NumFields();
+  pool().components[a] = std::move(composed);
+  pool().alive[b] = false;
+  const Component& merged = pool().components[a];
   for (size_t c = offset; c < merged.NumFields(); ++c) {
-    field_index_[merged.field(c)] =
+    pool().field_index[merged.field(c)] =
         FieldLoc{static_cast<int32_t>(a), static_cast<int32_t>(c)};
   }
-  components_[b] = Component();
+  pool().components[b] = Component();
   return Status::Ok();
 }
 
 Status Wsdt::CopyFieldInto(const FieldKey& src, const FieldKey& dst) {
-  auto it = field_index_.find(src);
-  if (it == field_index_.end()) {
+  auto it = pool().field_index.find(src);
+  if (it == pool().field_index.end()) {
     return Status::NotFound("source field " + src.ToString());
   }
-  if (field_index_.count(dst)) {
+  if (pool().field_index.count(dst)) {
     return Status::AlreadyExists("destination field " + dst.ToString());
   }
   FieldLoc loc = it->second;
-  Component& comp = components_[loc.comp];
+  Component& comp = pool().components[loc.comp];
   comp.ExtDuplicateColumn(static_cast<size_t>(loc.col), dst);
-  field_index_[dst] =
+  pool().field_index[dst] =
       FieldLoc{loc.comp, static_cast<int32_t>(comp.NumFields() - 1)};
   return Status::Ok();
 }
@@ -152,61 +152,61 @@ Status Wsdt::AddFieldComponent(const FieldKey& dst,
 
 Status Wsdt::AddColumnToComponent(size_t comp_index, const FieldKey& dst,
                                   std::span<const rel::Value> values) {
-  if (comp_index >= components_.size() || !alive_[comp_index]) {
+  if (comp_index >= pool().components.size() || !pool().alive[comp_index]) {
     return Status::InvalidArgument("dead or invalid component");
   }
-  if (field_index_.count(dst)) {
+  if (pool().field_index.count(dst)) {
     return Status::AlreadyExists("field " + dst.ToString());
   }
-  Component& comp = components_[comp_index];
+  Component& comp = pool().components[comp_index];
   if (values.size() != comp.NumWorlds()) {
     return Status::InvalidArgument("derived column size mismatch");
   }
   comp.ExtColumn(dst, values);
-  field_index_[dst] = FieldLoc{static_cast<int32_t>(comp_index),
+  pool().field_index[dst] = FieldLoc{static_cast<int32_t>(comp_index),
                                static_cast<int32_t>(comp.NumFields() - 1)};
   return Status::Ok();
 }
 
 Status Wsdt::DropField(const FieldKey& field) {
-  auto it = field_index_.find(field);
-  if (it == field_index_.end()) {
+  auto it = pool().field_index.find(field);
+  if (it == pool().field_index.end()) {
     return Status::NotFound("field " + field.ToString());
   }
   FieldLoc loc = it->second;
-  Component& comp = components_[loc.comp];
+  Component& comp = pool().components[loc.comp];
   comp.DropColumns({static_cast<size_t>(loc.col)});
-  field_index_.erase(it);
+  pool().field_index.erase(it);
   for (size_t c = static_cast<size_t>(loc.col); c < comp.NumFields(); ++c) {
-    field_index_[comp.field(c)] = FieldLoc{loc.comp, static_cast<int32_t>(c)};
+    pool().field_index[comp.field(c)] = FieldLoc{loc.comp, static_cast<int32_t>(c)};
   }
   if (comp.NumFields() == 0) {
-    alive_[loc.comp] = false;
-    components_[loc.comp] = Component();
+    pool().alive[loc.comp] = false;
+    pool().components[loc.comp] = Component();
   }
   return Status::Ok();
 }
 
 Status Wsdt::RenameFieldKey(const FieldKey& from, const FieldKey& to) {
-  auto it = field_index_.find(from);
-  if (it == field_index_.end()) {
+  auto it = pool().field_index.find(from);
+  if (it == pool().field_index.end()) {
     return Status::NotFound("field " + from.ToString());
   }
-  if (field_index_.count(to)) {
+  if (pool().field_index.count(to)) {
     return Status::AlreadyExists("field " + to.ToString());
   }
   FieldLoc loc = it->second;
-  components_[loc.comp].RenameField(static_cast<size_t>(loc.col), to);
-  field_index_.erase(it);
-  field_index_[to] = loc;
+  pool().components[loc.comp].RenameField(static_cast<size_t>(loc.col), to);
+  pool().field_index.erase(it);
+  pool().field_index[to] = loc;
   return Status::Ok();
 }
 
 Status Wsdt::ReplaceComponent(size_t index, std::vector<Component> parts) {
-  if (index >= components_.size() || !alive_[index]) {
+  if (index >= pool().components.size() || !pool().alive[index]) {
     return Status::InvalidArgument("replacing dead or invalid component");
   }
-  std::vector<FieldKey> old_fields = components_[index].fields();
+  std::vector<FieldKey> old_fields = pool().components[index].fields();
   std::vector<FieldKey> new_fields;
   for (const Component& part : parts) {
     for (const FieldKey& f : part.fields()) new_fields.push_back(f);
@@ -219,31 +219,31 @@ Status Wsdt::ReplaceComponent(size_t index, std::vector<Component> parts) {
     return Status::InvalidArgument(
         "replacement components do not cover the same fields");
   }
-  for (const FieldKey& f : old_fields) field_index_.erase(f);
-  alive_[index] = false;
-  components_[index] = Component();
+  for (const FieldKey& f : old_fields) pool().field_index.erase(f);
+  pool().alive[index] = false;
+  pool().components[index] = Component();
   for (Component& part : parts) {
-    int32_t idx = static_cast<int32_t>(components_.size());
+    int32_t idx = static_cast<int32_t>(pool().components.size());
     for (size_t c = 0; c < part.NumFields(); ++c) {
-      field_index_[part.field(c)] = FieldLoc{idx, static_cast<int32_t>(c)};
+      pool().field_index[part.field(c)] = FieldLoc{idx, static_cast<int32_t>(c)};
     }
-    components_.push_back(std::move(part));
-    alive_.push_back(true);
+    pool().components.push_back(std::move(part));
+    pool().alive.push_back(true);
   }
   return Status::Ok();
 }
 
 void Wsdt::CompactComponents() {
   std::vector<Component> live;
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (alive_[i]) live.push_back(std::move(components_[i]));
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (pool().alive[i]) live.push_back(std::move(pool().components[i]));
   }
-  components_ = std::move(live);
-  alive_.assign(components_.size(), true);
-  field_index_.clear();
-  for (size_t i = 0; i < components_.size(); ++i) {
-    for (size_t c = 0; c < components_[i].NumFields(); ++c) {
-      field_index_[components_[i].field(c)] =
+  pool().components = std::move(live);
+  pool().alive.assign(pool().components.size(), true);
+  pool().field_index.clear();
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    for (size_t c = 0; c < pool().components[i].NumFields(); ++c) {
+      pool().field_index[pool().components[i].field(c)] =
           FieldLoc{static_cast<int32_t>(i), static_cast<int32_t>(c)};
     }
   }
@@ -259,7 +259,7 @@ Status Wsdt::Validate() const {
         if (rel.row(r)[a].is_question()) {
           ++question_cells;
           FieldKey f(sym, static_cast<TupleId>(r), rel.schema().attr(a).name);
-          if (!field_index_.count(f)) {
+          if (!pool().field_index.count(f)) {
             return Status::Internal("placeholder " + f.ToString() +
                                     " has no component column");
           }
@@ -267,19 +267,19 @@ Status Wsdt::Validate() const {
       }
     }
   }
-  if (question_cells != field_index_.size()) {
+  if (question_cells != pool().field_index.size()) {
     return Status::Internal("component columns (" +
-                            std::to_string(field_index_.size()) +
+                            std::to_string(pool().field_index.size()) +
                             ") != placeholders (" +
                             std::to_string(question_cells) + ")");
   }
-  for (const auto& [field, loc] : field_index_) {
-    if (loc.comp < 0 || static_cast<size_t>(loc.comp) >= components_.size() ||
-        !alive_[loc.comp]) {
+  for (const auto& [field, loc] : pool().field_index) {
+    if (loc.comp < 0 || static_cast<size_t>(loc.comp) >= pool().components.size() ||
+        !pool().alive[loc.comp]) {
       return Status::Internal("index points at dead component: " +
                               field.ToString());
     }
-    const Component& comp = components_[loc.comp];
+    const Component& comp = pool().components[loc.comp];
     if (loc.col < 0 || static_cast<size_t>(loc.col) >= comp.NumFields() ||
         comp.field(loc.col) != field) {
       return Status::Internal("index column mismatch: " + field.ToString());
@@ -291,9 +291,9 @@ Status Wsdt::Validate() const {
                               field.ToString());
     }
   }
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (!alive_[i]) continue;
-    double sum = components_[i].ProbSum();
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (!pool().alive[i]) continue;
+    double sum = pool().components[i].ProbSum();
     if (std::abs(sum - 1.0) > 1e-4) {
       return Status::Internal("component probabilities sum to " +
                               std::to_string(sum));
@@ -309,9 +309,9 @@ Result<Wsd> Wsdt::ToWsd() const {
         name, rel.schema(), static_cast<TupleId>(rel.NumRows())));
   }
   // Uncertain fields: copy components as-is.
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (!alive_[i]) continue;
-    MAYWSD_RETURN_IF_ERROR(wsd.AddComponent(components_[i]));
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (!pool().alive[i]) continue;
+    MAYWSD_RETURN_IF_ERROR(wsd.AddComponent(pool().components[i]));
   }
   // Certain fields: singleton components.
   for (const auto& [name, rel] : templates_) {
@@ -393,9 +393,9 @@ Result<Wsdt> Wsdt::FromWsd(const Wsd& wsd) {
 
 WsdtStats Wsdt::ComputeStats() const {
   WsdtStats stats;
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (!alive_[i]) continue;
-    const Component& comp = components_[i];
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (!pool().alive[i]) continue;
+    const Component& comp = pool().components[i];
     ++stats.num_components;
     if (comp.NumFields() > 1) ++stats.num_components_multi;
     for (size_t w = 0; w < comp.NumWorlds(); ++w) {
@@ -415,9 +415,9 @@ Result<WsdtStats> Wsdt::StatsForRelation(const std::string& name) const {
   Symbol sym = InternString(name);
   WsdtStats stats;
   stats.template_rows = tmpl->NumRows();
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (!alive_[i]) continue;
-    const Component& comp = components_[i];
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (!pool().alive[i]) continue;
+    const Component& comp = pool().components[i];
     size_t own_cols = 0;
     for (size_t c = 0; c < comp.NumFields(); ++c) {
       if (comp.field(c).rel != sym) continue;
@@ -434,9 +434,9 @@ Result<WsdtStats> Wsdt::StatsForRelation(const std::string& name) const {
 
 std::vector<size_t> Wsdt::ComponentSizeHistogram() const {
   std::vector<size_t> hist;
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (!alive_[i]) continue;
-    size_t size = components_[i].NumFields();
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (!pool().alive[i]) continue;
+    size_t size = pool().components[i].NumFields();
     if (hist.size() <= size) hist.resize(size + 1, 0);
     ++hist[size];
   }
@@ -448,9 +448,9 @@ std::string Wsdt::ToString() const {
   for (const auto& [name, rel] : templates_) {
     os << "Template " << rel.ToString();
   }
-  for (size_t i = 0; i < components_.size(); ++i) {
-    if (!alive_[i]) continue;
-    os << "C" << i << " " << components_[i].ToString();
+  for (size_t i = 0; i < pool().components.size(); ++i) {
+    if (!pool().alive[i]) continue;
+    os << "C" << i << " " << pool().components[i].ToString();
   }
   return os.str();
 }

@@ -9,6 +9,11 @@
 // slots are template rows (tid = row number). Worlds of differing sizes are
 // represented by ⊥ values inside components ("a placeholder has different
 // amounts of values in different worlds").
+//
+// Copying a Wsdt is O(relations): template relations share their row
+// storage (rel::Relation is internally copy-on-write) and the component
+// pool sits behind one copy-on-write handle, privatized wholesale on the
+// first mutating call — the basis of O(1) Session::Snapshot()/Fork().
 
 #ifndef MAYWSD_CORE_WSDT_H_
 #define MAYWSD_CORE_WSDT_H_
@@ -17,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cow.h"
 #include "common/status.h"
 #include "rel/relation.h"
 #include "core/component.h"
@@ -51,10 +57,10 @@ class Wsdt {
   /// Registers a component over '?' fields of template relations.
   Status AddComponent(Component component);
 
-  size_t NumComponentSlots() const { return components_.size(); }
-  bool IsLiveComponent(size_t i) const { return alive_[i]; }
-  const Component& component(size_t i) const { return components_[i]; }
-  Component& mutable_component(size_t i) { return components_[i]; }
+  size_t NumComponentSlots() const { return pool().components.size(); }
+  bool IsLiveComponent(size_t i) const { return pool().alive[i]; }
+  const Component& component(size_t i) const { return pool().components[i]; }
+  Component& mutable_component(size_t i) { return pool().components[i]; }
   std::vector<size_t> LiveComponents() const;
 
   Result<FieldLoc> Locate(const FieldKey& field) const;
@@ -115,10 +121,18 @@ class Wsdt {
   std::string ToString() const;
 
  private:
+  /// Component pool shared on copy; see Wsd::Pool for the access contract.
+  struct Pool {
+    std::vector<Component> components;
+    std::vector<bool> alive;
+    std::unordered_map<FieldKey, FieldLoc> field_index;
+  };
+
+  const Pool& pool() const { return pool_.get(); }
+  Pool& pool() { return pool_.Mutable(); }
+
   std::map<std::string, rel::Relation> templates_;
-  std::vector<Component> components_;
-  std::vector<bool> alive_;
-  std::unordered_map<FieldKey, FieldLoc> field_index_;
+  Cow<Pool> pool_;
 };
 
 }  // namespace maywsd::core

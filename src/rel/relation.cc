@@ -53,7 +53,8 @@ std::string TupleRef::ToString() const {
 
 void Relation::AppendRow(std::span<const Value> values) {
   assert(values.size() == arity());
-  data_.insert(data_.end(), values.begin(), values.end());
+  std::vector<Value>& rows = MutableData();
+  rows.insert(rows.end(), values.begin(), values.end());
 }
 
 void Relation::AppendRow(std::initializer_list<Value> values) {
@@ -99,13 +100,13 @@ void Relation::SortDedup() {
   size_t k = arity();
   std::vector<uint32_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  const Value* base = data_.data();
+  const Value* base = data().data();
   auto cmp_idx = [&](uint32_t a, uint32_t b) {
     return TupleRef(base + a * k, k).Compare(TupleRef(base + b * k, k)) < 0;
   };
   std::sort(order.begin(), order.end(), cmp_idx);
   std::vector<Value> out;
-  out.reserve(data_.size());
+  out.reserve(data().size());
   for (size_t i = 0; i < n; ++i) {
     if (i > 0 && TupleRef(base + order[i] * k, k) ==
                      TupleRef(base + order[i - 1] * k, k)) {
@@ -114,7 +115,7 @@ void Relation::SortDedup() {
     const Value* src = base + order[i] * k;
     out.insert(out.end(), src, src + k);
   }
-  data_ = std::move(out);
+  data_.Reset(std::move(out));
 }
 
 bool Relation::IsSetNormalized() const {
@@ -141,7 +142,7 @@ bool Relation::EqualsAsSet(const Relation& other) const {
   Relation b = other;
   a.SortDedup();
   b.SortDedup();
-  return a.data_ == b.data_;
+  return a.data() == b.data();
 }
 
 std::string Relation::ToString(size_t max_rows) const {

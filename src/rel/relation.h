@@ -4,6 +4,13 @@
 // classical set algebra); Relation itself stores rows in insertion order and
 // offers SortDedup()/IsSetNormalized() so operators can normalize when an
 // operation may introduce duplicates.
+//
+// Row storage is copy-on-write (common::Cow): copying a Relation shares the
+// flat value vector in O(1) and the first mutation on either copy
+// privatizes it. This is what makes rel::Database copies — and with them
+// Session::Snapshot()/Fork() on the uniform and WSDT template stores —
+// O(relations) instead of O(rows), with TID columns staying stable across
+// the share because the rows themselves never move.
 
 #ifndef MAYWSD_REL_RELATION_H_
 #define MAYWSD_REL_RELATION_H_
@@ -12,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cow.h"
 #include "common/status.h"
 #include "rel/schema.h"
 #include "rel/value.h"
@@ -57,12 +65,12 @@ class Relation {
   void set_name(std::string name) { name_ = std::move(name); }
   const Schema& schema() const { return schema_; }
   size_t arity() const { return schema_.arity(); }
-  size_t NumRows() const { return arity() == 0 ? 0 : data_.size() / arity(); }
-  bool empty() const { return data_.empty(); }
+  size_t NumRows() const { return arity() == 0 ? 0 : data().size() / arity(); }
+  bool empty() const { return data().empty(); }
 
   /// Row accessor (no bounds check in release builds).
   TupleRef row(size_t i) const {
-    return TupleRef(data_.data() + i * arity(), arity());
+    return TupleRef(data().data() + i * arity(), arity());
   }
 
   /// Appends a row; arity mismatch is a programming error (asserted).
@@ -74,11 +82,13 @@ class Relation {
 
   /// Overwrites one cell in place.
   void SetCell(size_t row, size_t col, const Value& v) {
-    data_[row * arity() + col] = v;
+    MutableData()[row * arity() + col] = v;
   }
 
   /// Removes all rows, keeping the schema.
-  void Clear() { data_.clear(); }
+  void Clear() {
+    if (!data().empty()) data_.Reset({});
+  }
 
   /// Sorts rows and removes duplicates (set-semantics normal form).
   void SortDedup();
@@ -93,18 +103,26 @@ class Relation {
   bool EqualsAsSet(const Relation& other) const;
 
   /// Reserves storage for `rows` rows.
-  void Reserve(size_t rows) { data_.reserve(rows * arity()); }
+  void Reserve(size_t rows) { MutableData().reserve(rows * arity()); }
 
   /// Raw storage (row-major); used by storage-aware operators.
-  const std::vector<Value>& data() const { return data_; }
+  const std::vector<Value>& data() const { return data_.get(); }
+
+  /// True iff both relations share the same row storage (O(1) identity).
+  bool SharesDataWith(const Relation& other) const {
+    return data_.SharesWith(other.data_);
+  }
 
   /// ASCII table rendering (for examples and debugging); caps at max_rows.
   std::string ToString(size_t max_rows = 50) const;
 
  private:
+  /// Writable row storage; privatizes shared storage first.
+  std::vector<Value>& MutableData() { return data_.Mutable(); }
+
   std::string name_;
   Schema schema_;
-  std::vector<Value> data_;
+  Cow<std::vector<Value>> data_;
 };
 
 }  // namespace maywsd::rel

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -70,7 +71,14 @@ Result<rel::Relation> ParseRows(const std::string& name,
   rel::Relation out(rel::Schema(std::move(attrs)), name);
   for (const std::string& row_token : row_tokens) {
     std::vector<rel::Value> row;
-    for (const std::string& v : SplitComma(row_token)) row.push_back(ParseValue(v));
+    for (const std::string& v : SplitComma(row_token)) {
+      // The grammar cannot spell an empty string value; an empty item is a
+      // truncated or doubled comma, not data.
+      if (v.empty()) {
+        return Status::InvalidArgument("empty value in row " + row_token);
+      }
+      row.push_back(ParseValue(v));
+    }
     if (row.size() != out.arity()) {
       return Status::InvalidArgument("row " + row_token + " has " +
                                      std::to_string(row.size()) +
@@ -102,7 +110,13 @@ Result<rel::Plan> ParsePlan(const std::vector<std::string>& t) {
     if (t.size() != 3) {
       return Status::InvalidArgument("run: project <rel> <attr,attr,...>");
     }
-    return rel::Plan::Project(SplitComma(t[2]), rel::Plan::Scan(t[1]));
+    std::vector<std::string> attrs = SplitComma(t[2]);
+    for (const std::string& a : attrs) {
+      if (a.empty()) {
+        return Status::InvalidArgument("empty attribute in " + t[2]);
+      }
+    }
+    return rel::Plan::Project(std::move(attrs), rel::Plan::Scan(t[1]));
   }
   return Status::InvalidArgument("run: unknown plan operator " + op);
 }
@@ -142,7 +156,7 @@ Result<rel::UpdateOp> ParseUpdate(const std::vector<std::string>& t) {
     std::vector<rel::Assignment> assignments;
     for (const std::string& a : SplitComma(t[6])) {
       size_t eq = a.find('=');
-      if (eq == std::string::npos || eq == 0) {
+      if (eq == std::string::npos || eq == 0 || eq + 1 == a.size()) {
         return Status::InvalidArgument("bad assignment: " + a);
       }
       assignments.push_back(
@@ -233,6 +247,9 @@ Result<Request> ParseRequest(const std::string& line) {
       }
       req.kind = Request::Kind::kConfidence;
       for (const std::string& v : SplitComma(t[3])) {
+        if (v.empty()) {
+          return Status::InvalidArgument("empty value in tuple " + t[3]);
+        }
         req.tuple.push_back(ParseValue(v));
       }
     }
@@ -243,6 +260,213 @@ Result<Request> ParseRequest(const std::string& line) {
     return req;
   }
   return Status::InvalidArgument("unknown verb: " + verb);
+}
+
+namespace {
+
+/// Canonical operator spellings (kNe formats as "!="; "<>" parses only).
+std::string_view FormatCmpOp(rel::CmpOp op) {
+  switch (op) {
+    case rel::CmpOp::kEq:
+      return "=";
+    case rel::CmpOp::kNe:
+      return "!=";
+    case rel::CmpOp::kLt:
+      return "<";
+    case rel::CmpOp::kLe:
+      return "<=";
+    case rel::CmpOp::kGt:
+      return ">";
+    case rel::CmpOp::kGe:
+      return ">=";
+  }
+  return "=";
+}
+
+/// A value as a wire token; fails when the token would not survive
+/// re-tokenization (whitespace/comma split, or a string that re-parses as
+/// an integer).
+Result<std::string> FormatValue(const rel::Value& v) {
+  if (v.is_int()) return std::to_string(v.AsInt());
+  if (!v.is_string()) {
+    return Status::InvalidArgument("value not expressible on the wire: " +
+                                   v.ToString());
+  }
+  std::string s(v.AsStringView());
+  if (s.empty()) return Status::InvalidArgument("empty string value");
+  for (char c : s) {
+    if (c == ',' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      return Status::InvalidArgument("string value would not re-tokenize: " +
+                                     s);
+    }
+  }
+  if (!(ParseValue(s) == v)) {
+    return Status::InvalidArgument("string value re-parses as integer: " + s);
+  }
+  return s;
+}
+
+/// <v,v,...> tokens of a relation's rows, appended after `out`.
+Status FormatRows(const rel::Relation& r, std::ostringstream& os) {
+  for (size_t i = 0; i < r.NumRows(); ++i) {
+    os << " ";
+    const auto row = r.row(i).span();
+    for (size_t c = 0; c < row.size(); ++c) {
+      MAYWSD_ASSIGN_OR_RETURN(std::string tok, FormatValue(row[c]));
+      os << (c == 0 ? "" : ",") << tok;
+    }
+  }
+  return Status::Ok();
+}
+
+/// <rel> <attr,attr,...> [<v,v,...> ...] — the register/insert shape.
+Status FormatRelation(const rel::Relation& r, std::ostringstream& os) {
+  os << r.name();
+  if (r.arity() == 0) {
+    return Status::InvalidArgument("relation without attributes: " + r.name());
+  }
+  os << " ";
+  for (size_t a = 0; a < r.arity(); ++a) {
+    os << (a == 0 ? "" : ",") << r.schema().attr(a).name_view();
+  }
+  return FormatRows(r, os);
+}
+
+/// <attr> <op> <value> of a simple comparison predicate.
+Status FormatCmpPredicate(const rel::Predicate& p, std::ostringstream& os) {
+  if (p.kind() != rel::Predicate::Kind::kCmpConst) {
+    return Status::InvalidArgument("predicate beyond the wire grammar");
+  }
+  MAYWSD_ASSIGN_OR_RETURN(std::string tok, FormatValue(p.constant()));
+  os << p.lhs_attr() << " " << FormatCmpOp(p.op()) << " " << tok;
+  return Status::Ok();
+}
+
+/// scan/select/project over a scan — the single-operator plan fragment.
+Status FormatPlan(const rel::Plan& plan, std::ostringstream& os) {
+  switch (plan.kind()) {
+    case rel::Plan::Kind::kScan:
+      os << "scan " << plan.relation();
+      return Status::Ok();
+    case rel::Plan::Kind::kSelect: {
+      if (plan.child().kind() != rel::Plan::Kind::kScan) break;
+      os << "select " << plan.child().relation() << " ";
+      return FormatCmpPredicate(plan.predicate(), os);
+    }
+    case rel::Plan::Kind::kProject: {
+      if (plan.child().kind() != rel::Plan::Kind::kScan) break;
+      os << "project " << plan.child().relation() << " ";
+      const std::vector<std::string>& attrs = plan.attributes();
+      for (size_t a = 0; a < attrs.size(); ++a) {
+        os << (a == 0 ? "" : ",") << attrs[a];
+      }
+      return Status::Ok();
+    }
+    default:
+      break;
+  }
+  return Status::InvalidArgument("plan beyond the wire grammar");
+}
+
+Status FormatUpdate(const rel::UpdateOp& update, std::ostringstream& os) {
+  if (update.has_world_condition()) {
+    return Status::InvalidArgument("world conditions have no wire syntax");
+  }
+  switch (update.kind()) {
+    case rel::UpdateOp::Kind::kInsert: {
+      os << "insert ";
+      const rel::Relation& rows = update.tuples();
+      if (rows.empty()) {
+        return Status::InvalidArgument("insert without rows: " +
+                                       update.relation());
+      }
+      return FormatRelation(rows, os);
+    }
+    case rel::UpdateOp::Kind::kDelete:
+      os << "delete " << update.relation() << " ";
+      return FormatCmpPredicate(update.predicate(), os);
+    case rel::UpdateOp::Kind::kModify: {
+      os << "modify " << update.relation() << " ";
+      MAYWSD_RETURN_IF_ERROR(FormatCmpPredicate(update.predicate(), os));
+      os << " set ";
+      const std::vector<rel::Assignment>& as = update.assignments();
+      if (as.empty()) {
+        return Status::InvalidArgument("modify without assignments");
+      }
+      for (size_t i = 0; i < as.size(); ++i) {
+        MAYWSD_ASSIGN_OR_RETURN(std::string tok, FormatValue(as[i].value));
+        os << (i == 0 ? "" : ",") << as[i].attr << "=" << tok;
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown update kind");
+}
+
+}  // namespace
+
+Result<std::string> FormatRequest(const Request& request) {
+  std::ostringstream os;
+  switch (request.kind) {
+    case Request::Kind::kListSessions:
+      return std::string("sessions");
+    case Request::Kind::kOpenSession:
+      os << "open " << request.session << " "
+         << api::BackendKindName(request.backend);
+      return os.str();
+    case Request::Kind::kCloseSession:
+      os << "close " << request.session;
+      return os.str();
+    case Request::Kind::kRegister: {
+      if (!request.relation.has_value()) {
+        return Status::InvalidArgument("register without relation");
+      }
+      os << "register " << request.session << " ";
+      MAYWSD_RETURN_IF_ERROR(FormatRelation(*request.relation, os));
+      return os.str();
+    }
+    case Request::Kind::kRun: {
+      if (!request.plan.has_value()) {
+        return Status::InvalidArgument("run without plan");
+      }
+      os << "run " << request.session << " " << request.target << " ";
+      MAYWSD_RETURN_IF_ERROR(FormatPlan(*request.plan, os));
+      return os.str();
+    }
+    case Request::Kind::kApply: {
+      if (!request.update.has_value()) {
+        return Status::InvalidArgument("apply without update");
+      }
+      os << "apply " << request.session << " ";
+      MAYWSD_RETURN_IF_ERROR(FormatUpdate(*request.update, os));
+      return os.str();
+    }
+    case Request::Kind::kPossible:
+      os << "possible " << request.session << " " << request.target;
+      return os.str();
+    case Request::Kind::kCertain:
+      os << "certain " << request.session << " " << request.target;
+      return os.str();
+    case Request::Kind::kSnapshotRead:
+      os << "read " << request.session << " " << request.target;
+      return os.str();
+    case Request::Kind::kConfidence: {
+      os << "conf " << request.session << " " << request.target << " ";
+      if (request.tuple.empty()) {
+        return Status::InvalidArgument("conf without tuple");
+      }
+      for (size_t i = 0; i < request.tuple.size(); ++i) {
+        MAYWSD_ASSIGN_OR_RETURN(std::string tok,
+                                FormatValue(request.tuple[i]));
+        os << (i == 0 ? "" : ",") << tok;
+      }
+      return os.str();
+    }
+    case Request::Kind::kStats:
+      os << "stats " << request.session;
+      return os.str();
+  }
+  return Status::InvalidArgument("unknown request kind");
 }
 
 std::string FormatResponse(const Response& response) {

@@ -37,6 +37,15 @@ namespace maywsd::server {
 /// token. Blank lines and `#` comments are the caller's job to skip.
 Result<Request> ParseRequest(const std::string& line);
 
+/// Renders a Request back to its canonical protocol line — the inverse of
+/// ParseRequest over its canonical output: Parse(Format(r)) reproduces r,
+/// and Format(Parse(line)) == line whenever `line` uses canonical operator
+/// spellings (`!=` for kNe) and single spacing. InvalidArgument when the
+/// request cannot be expressed in the grammar (plans beyond
+/// scan/select/project, values whose text would not re-tokenize — embedded
+/// whitespace or commas).
+Result<std::string> FormatRequest(const Request& request);
+
 /// Renders a Response for the wire: "OK" / "OK <payload>" on one or more
 /// lines (relations print one row per line), "ERR <code>: <message>" on
 /// failure.

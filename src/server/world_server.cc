@@ -14,7 +14,7 @@ std::string FormatSessionStats(const api::SessionStats& s) {
   std::ostringstream os;
   os << "runs=" << s.runs << " sharded_runs=" << s.sharded_runs
      << " applies=" << s.applies << " sharded_applies=" << s.sharded_applies
-     << " snapshots=" << s.snapshots
+     << " snapshots=" << s.snapshots << " forks=" << s.forks
      << " reader_blocked_waits=" << s.reader_blocked_waits
      << " answer_cache_hits=" << s.answer_cache_hits
      << " answer_cache_misses=" << s.answer_cache_misses;
@@ -176,6 +176,8 @@ Response WorldServer::Dispatch(const Request& request) {
     case Request::Kind::kSnapshotRead: {
       // Pin an MVCC view, answer from the private copy: never blocks
       // behind (or observes) a writer applying updates to this session.
+      // Repinning per request is O(relations) — the snapshot is a
+      // copy-on-write clone of the store, not a data copy.
       api::Snapshot snapshot = session.Snapshot();
       auto r = snapshot.PossibleTuples(request.target);
       if (r.ok()) {

@@ -286,6 +286,52 @@ TEST_P(CrossBackendProperty, UnifiedDriverAgreesOnAllBackends) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrossBackendProperty, ::testing::Range(0, 15));
 
+// Randomized pin-teardown leak oracle: pinning a Snapshot and a Fork over
+// a random store, reading through both and running a random plan inside
+// the fork must release every component-store node and cell once the whole
+// session family dies. This is the COW-handle analogue of the scratch
+// leak checks above — a dead pin that retains arena growth fails here.
+class SnapshotForkLeakProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnapshotForkLeakProperty, PinReadForkRunTeardownReleasesStore) {
+  SeededRng rng(static_cast<uint64_t>(GetParam()) * 50021 + 13);
+  MAYWSD_SEED_TRACE(rng);
+  std::vector<RelSpec> specs = {RelSpec{"R", {"A", "B"}, 2, 3},
+                                RelSpec{"S", {"C", "D"}, 2, 3},
+                                RelSpec{"R2", {"A", "B"}, 2, 3}};
+  store::StoreStats store_before = store::GetStoreStats();
+  for (api::BackendKind kind : testutil::AllBackendKinds()) {
+    SCOPED_TRACE(api::BackendKindName(kind));
+    Wsd wsd = testutil::RandomWsd(rng, specs, 3);
+    auto session_or = testutil::OpenSessionOver(kind, wsd);
+    ASSERT_TRUE(session_or.ok());
+    api::Session session = std::move(session_or.value());
+
+    std::vector<std::string> attrs;
+    Plan plan = RandomPlan(rng, 2, &attrs);
+    {
+      api::Snapshot snapshot = session.Snapshot();
+      api::Session fork = session.Fork();
+      // The fork runs (and keeps) a materialized plan result; the
+      // snapshot and the parent only read. All of it must die cleanly.
+      ASSERT_TRUE(fork.Run(plan, "FORK_OUT").ok()) << plan.ToString();
+      ASSERT_TRUE(fork.PossibleTuples("FORK_OUT").ok());
+      ASSERT_TRUE(snapshot.PossibleTuples("R").ok());
+      ASSERT_TRUE(snapshot.CertainTuples("S").ok());
+      EXPECT_FALSE(session.HasRelation("FORK_OUT"));
+    }
+    ASSERT_TRUE(session.PossibleTuples("R").ok());
+  }
+  store::StoreStats store_after = store::GetStoreStats();
+  EXPECT_EQ(store_after.live_nodes, store_before.live_nodes)
+      << "snapshot/fork teardown leaked component-store nodes";
+  EXPECT_EQ(store_after.live_cells, store_before.live_cells)
+      << "snapshot/fork teardown leaked component-store cells";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotForkLeakProperty,
+                         ::testing::Range(0, 10));
+
 class OptimizerProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(OptimizerProperty, OptimizedPlansAgreeOnPlainEvaluation) {

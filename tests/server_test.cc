@@ -304,9 +304,141 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   for (const char* bad :
        {"", "frobnicate s", "open s cassandra", "open s", "run s Q",
         "run s Q select R a ~ 2", "apply s insert R", "apply s modify R a = 1",
-        "register s R", "conf s R"}) {
+        "register s R", "conf s R",
+        // Truncated/doubled commas: the grammar cannot spell an empty
+        // value or attribute, so these are rejected, not parsed as "".
+        "register s R a,b 1,", "register s R a, 1,2", "conf s R 1,",
+        "conf s R ,1", "run s Q project R a,",
+        "apply s modify R a = 1 set b=", "apply s insert R a,b 1,,2"}) {
     auto req = ParseRequest(bad);
     EXPECT_FALSE(req.ok()) << "\"" << bad << "\" parsed";
+  }
+}
+
+// FormatRequest is the canonical inverse of ParseRequest:
+// Format(Parse(line)) == line for every canonical line, and
+// Parse(Format(request)) reproduces the request. The corpus spans every
+// verb and every expressible plan/update shape.
+TEST(ProtocolTest, FormatParseRoundTripIsIdentityOnCanonicalLines) {
+  const char* canonical[] = {
+      "open s wsd",
+      "open s2 urel",
+      "close s",
+      "sessions",
+      "register s R a,b 1,2 3,x",
+      "register s Empty a,b",
+      "run s Q scan R",
+      "run s Q select R a >= 2",
+      "run s Q select R name != bob",
+      "run s Q project R b,a",
+      "apply s insert R a,b 7,8 9,zed",
+      "apply s delete R a = 1",
+      "apply s modify R a <= 1 set b=9,a=0",
+      "possible s R",
+      "certain s Q",
+      "conf s R 1,2",
+      "read s R",
+      "stats s",
+  };
+  for (const char* line : canonical) {
+    SCOPED_TRACE(line);
+    auto request = ParseRequest(line);
+    ASSERT_TRUE(request.ok()) << request.status().message();
+    auto formatted = FormatRequest(*request);
+    ASSERT_TRUE(formatted.ok()) << formatted.status().message();
+    EXPECT_EQ(*formatted, line);
+    // And a second trip through the parser lands on the same text.
+    auto reparsed = ParseRequest(*formatted);
+    ASSERT_TRUE(reparsed.ok());
+    auto reformatted = FormatRequest(*reparsed);
+    ASSERT_TRUE(reformatted.ok());
+    EXPECT_EQ(*reformatted, *formatted);
+  }
+}
+
+// Generated property sweep: random (but canonical) requests survive
+// Format → Parse → Format untouched, across every verb, operator and
+// value shape the grammar can express.
+TEST(ProtocolTest, GeneratedRequestsRoundTrip) {
+  testutil::SeededRng rng(424242);
+  MAYWSD_SEED_TRACE(rng);
+  const char* ops[] = {"=", "!=", "<>", "<", "<=", ">", ">="};
+  const char* names[] = {"R", "S", "T2", "rel_x"};
+  auto value = [&]() -> std::string {
+    if (rng.Bernoulli(0.5)) {
+      return std::to_string(static_cast<int64_t>(rng.Uniform(200)) - 100);
+    }
+    const char* words[] = {"alice", "bob", "x", "zed-9"};
+    return words[rng.Uniform(4)];
+  };
+  for (int i = 0; i < 200; ++i) {
+    std::string line;
+    const char* rel = names[rng.Uniform(4)];
+    switch (rng.Uniform(6)) {
+      case 0:
+        line = std::string("run s Q select ") + rel + " a " +
+               ops[rng.Uniform(7)] + " " + value();
+        break;
+      case 1:
+        line = std::string("run s Q scan ") + rel;
+        break;
+      case 2:
+        line = std::string("apply s delete ") + rel + " b " +
+               ops[rng.Uniform(7)] + " " + value();
+        break;
+      case 3:
+        line = std::string("apply s insert ") + rel + " a,b " + value() +
+               "," + value();
+        break;
+      case 4:
+        line = std::string("apply s modify ") + rel + " a " +
+               ops[rng.Uniform(7)] + " " + value() + " set b=" + value();
+        break;
+      default:
+        line = std::string("conf s ") + rel + " " + value() + "," + value();
+        break;
+    }
+    // "<>" parses but canonicalizes to "!=": normalize the expectation.
+    std::string expected = line;
+    if (size_t pos = expected.find("<>"); pos != std::string::npos) {
+      expected.replace(pos, 2, "!=");
+    }
+    SCOPED_TRACE(line);
+    auto request = ParseRequest(line);
+    ASSERT_TRUE(request.ok()) << request.status().message();
+    auto formatted = FormatRequest(*request);
+    ASSERT_TRUE(formatted.ok()) << formatted.status().message();
+    EXPECT_EQ(*formatted, expected);
+  }
+}
+
+// Truncations of valid lines and malformed mutants must be rejected with
+// an error status — never a crash, never a silent partial parse of a
+// *shorter-arity* verb... unless the truncation happens to be a complete
+// valid request itself (e.g. "conf s R 1,2" → "conf s R" is invalid, but
+// "apply s insert R a,b 7,8 9,9" → "... 7,8" is valid). Accepting those
+// is correct; everything else must fail.
+TEST(ProtocolTest, TruncatedLinesRejectOrStayValid) {
+  const char* lines[] = {
+      "open s wsd",
+      "register s R a,b 1,2",
+      "run s Q select R a >= 2",
+      "apply s modify R a = 1 set b=9",
+      "conf s R 1,2",
+  };
+  for (const char* line : lines) {
+    std::string full(line);
+    for (size_t cut = 0; cut < full.size(); ++cut) {
+      std::string prefix = full.substr(0, cut);
+      auto request = ParseRequest(prefix);
+      if (!request.ok()) continue;  // rejected: fine
+      // Anything accepted must round-trip as a genuinely valid request.
+      auto formatted = FormatRequest(*request);
+      ASSERT_TRUE(formatted.ok()) << "\"" << prefix << "\"";
+      auto reparsed = ParseRequest(*formatted);
+      ASSERT_TRUE(reparsed.ok()) << "\"" << prefix << "\"";
+      EXPECT_EQ(reparsed->kind, request->kind) << "\"" << prefix << "\"";
+    }
   }
 }
 

@@ -588,6 +588,53 @@ TEST(SessionUpdateTest, ApplyAllAppliesInOrder) {
   EXPECT_TRUE(Contains(*possible, {I(1), I(5)}));
 }
 
+// Updates racing pinned views: a Snapshot pinned before an Apply keeps the
+// pre-update answers, a Fork written after the pin diverges privately, and
+// tearing the whole family down releases the component store exactly —
+// the COW break the update forced must not strand the shared payloads.
+TEST(SessionUpdateTest, SnapshotAndForkTeardownAfterUpdatesReleasesStore) {
+  store::StoreStats store_before = store::GetStoreStats();
+  for (api::BackendKind kind : testutil::AllBackendKinds()) {
+    SCOPED_TRACE(api::BackendKindName(kind));
+    api::Session session = api::Session::Open(kind);
+    rel::Relation r(rel::Schema::FromNames({"A", "B"}), "R");
+    r.AppendRow({I(1), I(1)});
+    ASSERT_TRUE(session.Register(r).ok());
+
+    api::Snapshot pinned = session.Snapshot();
+    api::Session fork = session.Fork();
+
+    // Parent mutates after the pin: snapshot and fork keep the old rows.
+    ASSERT_TRUE(
+        session
+            .Apply(UpdateOp::InsertTuples(
+                "R", Tuples({"A", "B"}, {{I(2), I(2)}})))
+            .ok());
+    auto pinned_rows = pinned.PossibleTuples("R");
+    ASSERT_TRUE(pinned_rows.ok());
+    EXPECT_EQ(pinned_rows->NumRows(), 1u);
+    EXPECT_FALSE(Contains(*pinned_rows, {I(2), I(2)}));
+
+    // Fork mutates privately: parent keeps its own state.
+    ASSERT_TRUE(fork.Apply(UpdateOp::ModifyWhere(
+                               "R", Predicate::Cmp("A", CmpOp::kEq, I(1)),
+                               {{"B", I(9)}}))
+                    .ok());
+    auto fork_rows = fork.PossibleTuples("R");
+    ASSERT_TRUE(fork_rows.ok());
+    EXPECT_TRUE(Contains(*fork_rows, {I(1), I(9)}));
+    auto parent_rows = session.PossibleTuples("R");
+    ASSERT_TRUE(parent_rows.ok());
+    EXPECT_TRUE(Contains(*parent_rows, {I(1), I(1)}));
+    EXPECT_FALSE(Contains(*parent_rows, {I(1), I(9)}));
+  }
+  store::StoreStats store_after = store::GetStoreStats();
+  EXPECT_EQ(store_after.live_nodes, store_before.live_nodes)
+      << "post-update snapshot/fork teardown leaked nodes";
+  EXPECT_EQ(store_after.live_cells, store_before.live_cells)
+      << "post-update snapshot/fork teardown leaked cells";
+}
+
 TEST(SessionUpdateTest, ValidationRejectsBadUpdates) {
   api::Session session = api::Session::Open(api::BackendKind::kWsdt);
   rel::Relation r(rel::Schema::FromNames({"A", "B"}), "R");
