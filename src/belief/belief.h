@@ -1,0 +1,243 @@
+// Belief tracking over world-set sessions.
+//
+// The paper's pitch — "what is possible / certain given what I've seen" at
+// 10^10^6-world scale — becomes an agent model here: each belief::Agent
+// owns a world set over shared game state in an api::Session (any
+// backend), every move or observation is a guarded rel::UpdateOp batch,
+// and the knowledge surface (Knows / ConsidersPossible / Believes /
+// CommonlyKnown) is answered through the Session's memoized Section 6
+// answer cache.
+//
+// Epistemics with update semantics only. A world-set update never removes
+// a world (its one-world reference semantics runs in every world
+// independently), so Bayesian conditioning is encoded as state: each agent
+// session carries an alive-marker relation (kAliveRelation, one certain
+// row) and observing a fact deletes the marker exactly in the worlds where
+// the fact's plan evaluates empty (ObservationOps). Eliminated worlds stay
+// represented but marked dead, and every knowledge query is asked relative
+// to the alive worlds:
+//
+//   ConsidersPossible(R, t)  t ∈ R in some alive world
+//   Knows(R, t)              t ∈ R in every alive world (exact — decided
+//                            by possible() on a derived witness relation,
+//                            no float thresholds)
+//   Confidence(R, t)         P(t ∈ R | alive) = conf(live R) / conf(alive)
+//   Believes(R, t, τ)        Confidence(R, t) ≥ τ
+//
+// The derived witness relations are materialized once per (query, input
+// versions) and invalidated by RelationVersion, so repeated questions are
+// answered from the Session answer cache (BeliefStats counts both layers).
+//
+// Speculation. Game::Speculate(agent, actions) expands a successor belief
+// state: an O(1) copy-on-write Session::Fork of the agent's world set with
+// the action batch applied. Successors are memoized per structurally equal
+// action batch (rel::UpdateOpHash/UpdateOpEqual — the GDL-style
+// successor-by-action-hash cache), so re-expanding the same move during
+// game-tree search re-pins the cached fork: no new fork, no re-applied
+// updates (BeliefStats.successor_hits, and the fig_belief CI invariant).
+// Game::Step advances the real state and invalidates the cache.
+//
+// Names starting with "__belief" (the alive/unit markers and derived
+// witness relations) are reserved; game relations must not use the
+// "__OB"/"__UNIT" attribute names, which the witness plans join on.
+//
+// Thread safety: Agents and Games are internally synchronized. Knowledge
+// queries, Observe, Step and Speculate may race freely; AddAgent is
+// setup-time only (not concurrent with anything else).
+
+#ifndef MAYWSD_BELIEF_BELIEF_H_
+#define MAYWSD_BELIEF_BELIEF_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/session.h"
+#include "common/status.h"
+#include "rel/algebra.h"
+#include "rel/update.h"
+
+namespace maywsd::belief {
+
+/// The per-agent alive marker: one certain row (0); an observation deletes
+/// it in the worlds the observed fact eliminates.
+inline constexpr const char* kAliveRelation = "__belief_obs";
+inline constexpr const char* kAliveAttr = "__OB";
+/// A constant one-row relation the witness plans join against.
+inline constexpr const char* kUnitRelation = "__belief_unit";
+inline constexpr const char* kUnitAttr = "__UNIT";
+/// Prefix of the materialized witness relations (reserved).
+inline constexpr const char* kDerivedPrefix = "__belief_k_";
+
+/// The conditioning batch for observing that `fact` holds: one guarded
+/// delete that removes the alive marker exactly in the worlds where the
+/// fact's answer is empty. Pure UpdateOp semantics — the per-world
+/// reference oracle (rel::ApplyUpdate) specifies it like any other update.
+/// `fact` must not reference the reserved __belief relations and its
+/// output schema must not contain kUnitAttr.
+std::vector<rel::UpdateOp> ObservationOps(const rel::Plan& fact);
+
+/// Cumulative counters of an Agent / Game (see Stats()).
+struct BeliefStats {
+  uint64_t observes = 0;       ///< Observe batches applied
+  uint64_t steps = 0;          ///< Game::Step calls
+  uint64_t speculations = 0;   ///< Game::Speculate calls
+  uint64_t successor_hits = 0;    ///< speculations served from the cache
+  uint64_t successor_misses = 0;  ///< speculations that forked + applied
+  uint64_t forks = 0;    ///< sessions forked by the belief layer
+  uint64_t applies = 0;  ///< update ops applied by the belief layer
+  uint64_t knowledge_queries = 0;     ///< knowledge-surface calls
+  uint64_t knowledge_cache_hits = 0;  ///< witness relations reused
+  uint64_t knowledge_cache_misses = 0;  ///< witness relations materialized
+  uint64_t answer_cache_hits = 0;    ///< session answer-cache hits (agents)
+  uint64_t answer_cache_misses = 0;  ///< session answer-cache misses
+};
+
+namespace internal {
+class KnowledgeState;
+}  // namespace internal
+
+class Game;
+
+/// One agent: a name plus a world set over the game state. Construct with
+/// Make (registers the alive/unit markers when absent) or through
+/// Game::AddAgent.
+class Agent {
+ public:
+  /// Wraps `session` as an agent belief state, registering the
+  /// kAliveRelation / kUnitRelation markers if the session lacks them.
+  static Result<Agent> Make(std::string name, api::Session session);
+
+  Agent(Agent&&) noexcept;
+  Agent& operator=(Agent&&) noexcept;
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+  ~Agent();
+
+  const std::string& name() const { return name_; }
+  api::Session& session();
+  const api::Session& session() const;
+
+  /// Applies a guarded update batch to this agent's world set (a private
+  /// move or hand-written conditioning ops).
+  Status Observe(std::span<const rel::UpdateOp> ops);
+  /// Conditioning observation: applies ObservationOps(fact).
+  Status Observe(const rel::Plan& fact);
+
+  /// t ∈ R in every alive world. Exact (decided structurally via
+  /// possible(), not by comparing confidences).
+  Result<bool> Knows(std::string_view relation,
+                     std::span<const rel::Value> tuple);
+  /// t ∈ R in at least one alive world.
+  Result<bool> ConsidersPossible(std::string_view relation,
+                                 std::span<const rel::Value> tuple);
+  /// P(t ∈ R | alive). Inconsistent when the agent's observations
+  /// eliminated every world.
+  Result<double> Confidence(std::string_view relation,
+                            std::span<const rel::Value> tuple);
+  /// Confidence(R, t) ≥ threshold.
+  Result<bool> Believes(std::string_view relation,
+                        std::span<const rel::Value> tuple, double threshold);
+
+  BeliefStats Stats() const;
+
+ private:
+  friend class Game;
+  Agent(std::string name, std::unique_ptr<internal::KnowledgeState> know);
+
+  std::string name_;
+  std::unique_ptr<internal::KnowledgeState> know_;
+  Game* game_ = nullptr;  ///< set by Game::AddAgent; successor invalidation
+};
+
+/// A memoized successor belief state: a COW fork of an agent's session
+/// with one action batch applied. Shared between repeated Speculate calls
+/// for the same batch; offers the same knowledge surface as the agent it
+/// was expanded from. Must not outlive its Game.
+class Successor {
+ public:
+  ~Successor();
+  Successor(const Successor&) = delete;
+  Successor& operator=(const Successor&) = delete;
+
+  const api::Session& session() const;
+
+  Result<bool> Knows(std::string_view relation,
+                     std::span<const rel::Value> tuple);
+  Result<bool> ConsidersPossible(std::string_view relation,
+                                 std::span<const rel::Value> tuple);
+  Result<double> Confidence(std::string_view relation,
+                            std::span<const rel::Value> tuple);
+  Result<bool> Believes(std::string_view relation,
+                        std::span<const rel::Value> tuple, double threshold);
+
+  /// Counters of this successor's private knowledge state and session
+  /// (not aggregated into Game::Stats()).
+  BeliefStats Stats() const;
+
+ private:
+  friend class Game;
+  explicit Successor(std::unique_ptr<internal::KnowledgeState> know);
+
+  std::unique_ptr<internal::KnowledgeState> know_;
+};
+
+/// A set of agents over one game: public moves, private observations, and
+/// the successor cache for speculative expansion.
+class Game {
+ public:
+  Game();
+  ~Game();
+  Game(const Game&) = delete;
+  Game& operator=(const Game&) = delete;
+
+  /// Adds an agent over `session` (its private world set — typically all
+  /// deals consistent with the agent's private information). Setup-time
+  /// only. Fails on duplicate names.
+  Result<Agent*> AddAgent(std::string name, api::Session session);
+
+  Agent* agent(std::string_view name);
+  const Agent* agent(std::string_view name) const;
+  std::vector<std::string> AgentNames() const;
+
+  /// Applies a public action batch to every agent's world set and
+  /// invalidates the successor cache. For a public announcement that
+  /// `fact` holds, pass ObservationOps(fact).
+  Status Step(std::span<const rel::UpdateOp> actions);
+
+  /// Private observation: applies `ops` to one agent and invalidates that
+  /// agent's cached successors.
+  Status Observe(std::string_view agent, std::span<const rel::UpdateOp> ops);
+  Status Observe(std::string_view agent, const rel::Plan& fact);
+
+  /// Expands the successor of `agent` under `actions`: an O(1) COW fork
+  /// with the batch applied, memoized per structurally equal batch.
+  /// Repeated expansion of the same batch returns the cached successor
+  /// without forking or re-applying anything.
+  Result<std::shared_ptr<Successor>> Speculate(
+      std::string_view agent, std::span<const rel::UpdateOp> actions);
+
+  /// Every agent Knows(R, t) — the E-knowledge ("everybody knows")
+  /// approximation of common knowledge; see the README for the
+  /// fixed-point caveat.
+  Result<bool> CommonlyKnown(std::string_view relation,
+                             std::span<const rel::Value> tuple);
+
+  /// Game counters plus the aggregated counters of every agent (successor
+  /// states report their own via Successor::Stats()).
+  BeliefStats Stats() const;
+
+ private:
+  friend class Agent;
+  struct Rep;
+  void InvalidateSuccessors(std::string_view agent);
+
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace maywsd::belief
+
+#endif  // MAYWSD_BELIEF_BELIEF_H_

@@ -85,10 +85,7 @@ Status UniformBackend::SelectAttrAttr(const std::string& src,
                                       const std::string& out,
                                       const std::string& attr_a, rel::CmpOp op,
                                       const std::string& attr_b) {
-  return Fallback([&](Wsdt& wsdt) {
-    return WsdtSelect(wsdt, src, out,
-                      rel::Predicate::CmpAttr(attr_a, op, attr_b));
-  });
+  return UniformSelectAttrAttr(*db_, src, out, attr_a, op, attr_b);
 }
 
 Status UniformBackend::Product(const std::string& left,

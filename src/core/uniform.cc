@@ -1,6 +1,7 @@
 #include "core/uniform.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <map>
 #include <set>
@@ -32,6 +33,119 @@ rel::Schema WSchema() {
   return rel::Schema({rel::Attribute("CID", rel::AttrType::kInt),
                       rel::Attribute("LWID", rel::AttrType::kInt),
                       rel::Attribute("PR", rel::AttrType::kDouble)});
+}
+
+/// Cap on the local-world count of a component product (select[AθB] over
+/// placeholders of independent components) — the same blow-up class the
+/// world-enumeration guards protect against.
+constexpr size_t kMaxComposedWorlds = size_t{1} << 20;
+
+/// Steps 4–6 of the Figure 16 select rewritings, shared by the Aθc and AθB
+/// variants: propagate-⊥ among same-component same-tuple placeholders of
+/// `out_rel` (a placeholder losing its value in a world pads the whole
+/// tuple there), then remove tuples whose `required_attrs` placeholder
+/// lost every value, and finally register the template.
+Status FinishUniformSelect(rel::Database& db, rel::Relation p0,
+                           const std::string& out_rel,
+                           const std::vector<std::string>& required_attrs) {
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* f_rel,
+                          db.GetMutableRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* c_rel,
+                          db.GetMutableRelation(kUniformC));
+  rel::Value out_sym = rel::Value::String(out_rel);
+  // Step 4: remove incomplete world tuples — if placeholder (P,t,X) shares
+  // component k with (P,t,Y) and world w has no value for Y, drop the other
+  // placeholders' values for w too. (This is the relational propagate-⊥.)
+  // Index the P-entries of C and F.
+  std::map<int64_t, std::vector<std::pair<int64_t, std::string>>> cid_fields;
+  for (size_t r = 0; r < f_rel->NumRows(); ++r) {
+    rel::TupleRef row = f_rel->row(r);
+    if (!(row[0] == out_sym)) continue;
+    cid_fields[row[3].AsInt()].push_back(
+        {row[1].AsInt(), std::string(row[2].AsStringView())});
+  }
+  // Values present per (t, attr): set of worlds.
+  std::map<std::pair<int64_t, std::string>, std::set<int64_t>> have;
+  for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+    rel::TupleRef row = c_rel->row(r);
+    if (!(row[0] == out_sym)) continue;
+    have[{row[1].AsInt(), std::string(row[2].AsStringView())}].insert(
+        row[3].AsInt());
+  }
+  // Worlds to drop per (t, attr): those where a same-tuple same-component
+  // sibling lacks a value.
+  std::map<std::pair<int64_t, std::string>, std::set<int64_t>> drop;
+  for (const auto& [cid, fields] : cid_fields) {
+    for (const auto& fx : fields) {
+      for (const auto& fy : fields) {
+        if (fx == fy || fx.first != fy.first) continue;
+        // Worlds where fx has a value but fy does not.
+        const std::set<int64_t>& wx = have[fx];
+        const std::set<int64_t>& wy = have[fy];
+        for (int64_t w : wx) {
+          if (!wy.count(w)) drop[fx].insert(w);
+        }
+      }
+    }
+  }
+  if (!drop.empty()) {
+    rel::Relation next(c_rel->schema(), c_rel->name());
+    for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+      rel::TupleRef row = c_rel->row(r);
+      if (row[0] == out_sym) {
+        auto it = drop.find(
+            {row[1].AsInt(), std::string(row[2].AsStringView())});
+        if (it != drop.end() && it->second.count(row[3].AsInt())) continue;
+      }
+      next.AppendRow(row.span());
+    }
+    *c_rel = std::move(next);
+    // Recompute surviving worlds.
+    have.clear();
+    for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+      rel::TupleRef row = c_rel->row(r);
+      if (!(row[0] == out_sym)) continue;
+      have[{row[1].AsInt(), std::string(row[2].AsStringView())}].insert(
+          row[3].AsInt());
+    }
+  }
+  // Steps 5–6: tuples whose required placeholder lost every value disappear;
+  // drop their placeholders from F and their values from C.
+  std::set<int64_t> dead_tids;
+  for (const std::string& attr : required_attrs) {
+    auto a_idx = p0.schema().IndexOf(attr);
+    if (!a_idx) return Status::NotFound("attribute " + attr);
+    for (size_t r = 0; r < p0.NumRows(); ++r) {
+      rel::TupleRef row = p0.row(r);
+      if (!row[*a_idx].is_question()) continue;
+      if (have[{row[0].AsInt(), attr}].empty()) {
+        dead_tids.insert(row[0].AsInt());
+      }
+    }
+  }
+  if (!dead_tids.empty()) {
+    rel::Relation next_c(c_rel->schema(), c_rel->name());
+    for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+      rel::TupleRef row = c_rel->row(r);
+      if (row[0] == out_sym && dead_tids.count(row[1].AsInt())) continue;
+      next_c.AppendRow(row.span());
+    }
+    *c_rel = std::move(next_c);
+    rel::Relation next_f(f_rel->schema(), f_rel->name());
+    for (size_t r = 0; r < f_rel->NumRows(); ++r) {
+      rel::TupleRef row = f_rel->row(r);
+      if (row[0] == out_sym && dead_tids.count(row[1].AsInt())) continue;
+      next_f.AppendRow(row.span());
+    }
+    *f_rel = std::move(next_f);
+    rel::Relation next_p(p0.schema(), p0.name());
+    for (size_t r = 0; r < p0.NumRows(); ++r) {
+      if (dead_tids.count(p0.row(r)[0].AsInt())) continue;
+      next_p.AppendRow(p0.row(r).span());
+    }
+    p0 = std::move(next_p);
+  }
+  return db.AddRelation(std::move(p0));
 }
 
 }  // namespace
@@ -235,102 +349,262 @@ Status UniformSelectConst(rel::Database& db, const std::string& in_rel,
     c_rel->AppendRow({out_sym, row[1], row[2], row[3], row[4]});
   }
 
-  // Step 4: remove incomplete world tuples — if placeholder (P,t,X) shares
-  // component k with (P,t,Y) and world w has no value for Y, drop the other
-  // placeholders' values for w too. (This is the relational propagate-⊥.)
-  // Step 5/6 bookkeeping: placeholders of A left with no values at all
-  // remove the tuple.
-  // Index the P-entries of C and F.
-  std::map<std::pair<int64_t, std::string>, int64_t> f_cid;  // (t, attr)→cid
-  std::map<int64_t, std::vector<std::pair<int64_t, std::string>>> cid_fields;
+  // Steps 4–6 are shared with the AθB variant: propagate-⊥ among
+  // same-component siblings, then drop tuples whose A-placeholder lost
+  // every value.
+  return FinishUniformSelect(db, std::move(p0), out_rel, {attr});
+}
+
+Status UniformSelectAttrAttr(rel::Database& db, const std::string& in_rel,
+                             const std::string& out_rel,
+                             const std::string& attr_a, rel::CmpOp op,
+                             const std::string& attr_b) {
+  MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* in, db.GetRelation(in_rel));
+  auto tid_idx = in->schema().IndexOf(kTidColumn);
+  if (!tid_idx || *tid_idx != 0) {
+    return Status::InvalidArgument("template " + in_rel +
+                                   " lacks a leading TID column");
+  }
+  rel::Schema logical(std::vector<rel::Attribute>(
+      in->schema().attrs().begin() + 1, in->schema().attrs().end()));
+  auto a_col = logical.IndexOf(attr_a);
+  auto b_col = logical.IndexOf(attr_b);
+  if (!a_col) return Status::NotFound("attribute " + attr_a);
+  if (!b_col) return Status::NotFound("attribute " + attr_b);
+  rel::Predicate pred = rel::Predicate::CmpAttr(attr_a, op, attr_b);
+
+  // Step 1: P⁰ keeps the decided-true rows as-is and the undecided rows
+  // (a placeholder at A or B) for per-local-world filtering; decided-false
+  // rows disappear in every world.
+  rel::Relation p0(in->schema(), out_rel);
+  std::set<int64_t> tids;
+  std::vector<size_t> undecided;  // row indexes into p0
+  for (size_t r = 0; r < in->NumRows(); ++r) {
+    rel::TupleRef row = in->row(r);
+    rel::TupleRef logical_row(row.data() + 1, logical.arity());
+    MAYWSD_ASSIGN_OR_RETURN(Tri tri,
+                            TriEvalPredicate(pred, logical, logical_row));
+    if (tri == Tri::kFalse) continue;
+    if (tri == Tri::kUnknown) undecided.push_back(p0.NumRows());
+    p0.AppendRow(row.span());
+    tids.insert(row[0].AsInt());
+  }
+
+  // Steps 2–3: copy the surviving tuples' F and C entries under the output
+  // name unfiltered — the undecided rows lose values world by world below.
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* f_rel,
+                          db.GetMutableRelation(kUniformF));
+  MAYWSD_ASSIGN_OR_RETURN(rel::Relation* c_rel,
+                          db.GetMutableRelation(kUniformC));
+  rel::Value in_sym = rel::Value::String(in_rel);
+  rel::Value out_sym = rel::Value::String(out_rel);
+  size_t f_rows = f_rel->NumRows();
+  for (size_t r = 0; r < f_rows; ++r) {
+    rel::TupleRef row = f_rel->row(r);
+    if (!(row[0] == in_sym) || !tids.count(row[1].AsInt())) continue;
+    f_rel->AppendRow({out_sym, row[1], row[2], row[3]});
+  }
+  size_t c_rows = c_rel->NumRows();
+  for (size_t r = 0; r < c_rows; ++r) {
+    rel::TupleRef row = c_rel->row(r);
+    if (!(row[0] == in_sym) || !tids.count(row[1].AsInt())) continue;
+    c_rel->AppendRow({out_sym, row[1], row[2], row[3], row[4]});
+  }
+
+  // Undecided rows whose A and B placeholders live in different components
+  // correlate them: merge those components (the relational compose — an
+  // independence product that rewrites W and remaps F/C globally, exactly
+  // what the template semantics' ComposeInPlace does).
+  std::map<std::pair<int64_t, std::string>, int64_t> f_cid;  // (t,attr)→cid
   for (size_t r = 0; r < f_rel->NumRows(); ++r) {
     rel::TupleRef row = f_rel->row(r);
     if (!(row[0] == out_sym)) continue;
-    std::pair<int64_t, std::string> key{row[1].AsInt(),
-                                        std::string(row[2].AsStringView())};
-    f_cid[key] = row[3].AsInt();
-    cid_fields[row[3].AsInt()].push_back(key);
+    f_cid[{row[1].AsInt(), std::string(row[2].AsStringView())}] =
+        row[3].AsInt();
   }
-  // Values present per (t, attr): set of worlds.
-  std::map<std::pair<int64_t, std::string>, std::set<int64_t>> have;
-  for (size_t r = 0; r < c_rel->NumRows(); ++r) {
-    rel::TupleRef row = c_rel->row(r);
-    if (!(row[0] == out_sym)) continue;
-    have[{row[1].AsInt(), std::string(row[2].AsStringView())}].insert(
-        row[3].AsInt());
+  std::map<int64_t, int64_t> parent;
+  auto find = [&parent](int64_t x) {
+    parent.try_emplace(x, x);
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  bool any_merge = false;
+  for (size_t r : undecided) {
+    rel::TupleRef row = p0.row(r);
+    if (!row[1 + *a_col].is_question() || !row[1 + *b_col].is_question()) {
+      continue;
+    }
+    auto ca = f_cid.find({row[0].AsInt(), attr_a});
+    auto cb = f_cid.find({row[0].AsInt(), attr_b});
+    if (ca == f_cid.end() || cb == f_cid.end()) {
+      return Status::Internal("placeholder of " + in_rel + " has no F row");
+    }
+    int64_t ra = find(ca->second);
+    int64_t rb = find(cb->second);
+    if (ra != rb) {
+      parent[rb] = ra;
+      any_merge = true;
+    }
   }
-  // Worlds to drop per (t, attr): those where a same-tuple same-component
-  // sibling lacks a value.
-  std::map<std::pair<int64_t, std::string>, std::set<int64_t>> drop;
-  for (const auto& [cid, fields] : cid_fields) {
-    for (const auto& fx : fields) {
-      for (const auto& fy : fields) {
-        if (fx == fy || fx.first != fy.first) continue;
-        // Worlds where fx has a value but fy does not.
-        const std::set<int64_t>& wx = have[fx];
-        const std::set<int64_t>& wy = have[fy];
-        for (int64_t w : wx) {
-          if (!wy.count(w)) drop[fx].insert(w);
+  if (any_merge) {
+    std::map<int64_t, std::vector<int64_t>> classes;
+    for (const auto& [cid, unused] : parent) {
+      (void)unused;
+      classes[find(cid)].push_back(cid);
+    }
+    MAYWSD_ASSIGN_OR_RETURN(rel::Relation* w_rel,
+                            db.GetMutableRelation(kUniformW));
+    std::map<int64_t, std::vector<std::pair<int64_t, double>>> worlds;
+    for (size_t r = 0; r < w_rel->NumRows(); ++r) {
+      rel::TupleRef row = w_rel->row(r);
+      worlds[row[0].AsInt()].emplace_back(row[1].AsInt(), row[2].AsDouble());
+    }
+    for (auto& [cid, lws] : worlds) std::sort(lws.begin(), lws.end());
+    // member cid → old LWID → the product LWIDs it participates in.
+    std::map<int64_t, std::map<int64_t, std::vector<int64_t>>> fanout;
+    std::set<int64_t> members_all;
+    std::vector<std::array<rel::Value, 3>> product_rows;
+    for (auto& [rep, members] : classes) {
+      if (members.size() < 2) continue;
+      std::sort(members.begin(), members.end());
+      size_t total = 1;
+      for (int64_t m : members) {
+        total *= worlds[m].size();
+        if (total > kMaxComposedWorlds) {
+          return Status::ResourceExhausted(
+              "select[AθB] component product exceeds " +
+              std::to_string(kMaxComposedWorlds) + " local worlds");
         }
       }
-    }
-  }
-  if (!drop.empty()) {
-    rel::Relation next(c_rel->schema(), c_rel->name());
-    for (size_t r = 0; r < c_rel->NumRows(); ++r) {
-      rel::TupleRef row = c_rel->row(r);
-      if (row[0] == out_sym) {
-        auto it = drop.find(
-            {row[1].AsInt(), std::string(row[2].AsStringView())});
-        if (it != drop.end() && it->second.count(row[3].AsInt())) continue;
+      // Mixed-radix enumeration, last member varying fastest; the product
+      // world's probability is the product of its members' (independence).
+      for (size_t flat = 0; flat < total; ++flat) {
+        double pr = 1.0;
+        size_t rem = flat;
+        for (size_t p = members.size(); p-- > 0;) {
+          const auto& lws = worlds[members[p]];
+          size_t i = rem % lws.size();
+          rem /= lws.size();
+          pr *= lws[i].second;
+          fanout[members[p]][lws[i].first].push_back(
+              static_cast<int64_t>(flat));
+        }
+        product_rows.push_back({rel::Value::Int(rep),
+                                rel::Value::Int(static_cast<int64_t>(flat)),
+                                rel::Value::Double(pr)});
       }
-      next.AppendRow(row.span());
+      for (int64_t m : members) members_all.insert(m);
     }
-    *c_rel = std::move(next);
-    // Recompute surviving worlds.
-    have.clear();
-    for (size_t r = 0; r < c_rel->NumRows(); ++r) {
-      rel::TupleRef row = c_rel->row(r);
-      if (!(row[0] == out_sym)) continue;
-      have[{row[1].AsInt(), std::string(row[2].AsStringView())}].insert(
-          row[3].AsInt());
+    // Rewrite W: the merged members' rows become the product rows.
+    rel::Relation next_w(w_rel->schema(), w_rel->name());
+    for (size_t r = 0; r < w_rel->NumRows(); ++r) {
+      if (members_all.count(w_rel->row(r)[0].AsInt())) continue;
+      next_w.AppendRow(w_rel->row(r).span());
     }
-  }
-  // Steps 5–6: tuples whose A-placeholder lost every value disappear; drop
-  // their placeholders from F and their values from C.
-  std::set<int64_t> dead_tids;
-  auto a_idx = p0.schema().IndexOf(attr);
-  if (!a_idx) return Status::NotFound("attribute " + attr);
-  for (size_t r = 0; r < p0.NumRows(); ++r) {
-    rel::TupleRef row = p0.row(r);
-    if (!row[*a_idx].is_question()) continue;
-    if (have[{row[0].AsInt(), attr}].empty()) {
-      dead_tids.insert(row[0].AsInt());
+    for (const auto& row : product_rows) {
+      next_w.AppendRow({row[0], row[1], row[2]});
     }
-  }
-  if (!dead_tids.empty()) {
+    *w_rel = std::move(next_w);
+    // Remap every F row of a merged member (all relations — the merge is a
+    // global re-factorization) to the class representative, remembering
+    // which member each field belonged to.
+    std::map<std::tuple<std::string, int64_t, std::string>, int64_t>
+        field_member;
+    for (size_t r = 0; r < f_rel->NumRows(); ++r) {
+      rel::TupleRef row = f_rel->row(r);
+      int64_t cid = row[3].AsInt();
+      if (!members_all.count(cid)) continue;
+      field_member[{std::string(row[0].AsStringView()), row[1].AsInt(),
+                    std::string(row[2].AsStringView())}] = cid;
+      f_rel->SetCell(r, 3, rel::Value::Int(find(cid)));
+    }
+    // Expand the members' C rows across the product worlds they survive in.
     rel::Relation next_c(c_rel->schema(), c_rel->name());
     for (size_t r = 0; r < c_rel->NumRows(); ++r) {
       rel::TupleRef row = c_rel->row(r);
-      if (row[0] == out_sym && dead_tids.count(row[1].AsInt())) continue;
+      auto it = field_member.find({std::string(row[0].AsStringView()),
+                                   row[1].AsInt(),
+                                   std::string(row[2].AsStringView())});
+      if (it == field_member.end()) {
+        next_c.AppendRow(row.span());
+        continue;
+      }
+      for (int64_t lwid : fanout[it->second][row[3].AsInt()]) {
+        next_c.AppendRow(
+            {row[0], row[1], row[2], rel::Value::Int(lwid), row[4]});
+      }
+    }
+    *c_rel = std::move(next_c);
+    // The copied out_rel fields moved components too.
+    f_cid.clear();
+    for (size_t r = 0; r < f_rel->NumRows(); ++r) {
+      rel::TupleRef row = f_rel->row(r);
+      if (!(row[0] == out_sym)) continue;
+      f_cid[{row[1].AsInt(), std::string(row[2].AsStringView())}] =
+          row[3].AsInt();
+    }
+  }
+
+  // Per-local-world filtering of the undecided rows: resolve A and B in
+  // each world of the (now single) deciding component and drop the output
+  // copy's placeholder values where the comparison fails. A ⊥ on either
+  // side means the source tuple is absent there — the output is too.
+  std::map<int64_t, std::vector<int64_t>> cid_lwids;
+  {
+    MAYWSD_ASSIGN_OR_RETURN(const rel::Relation* w_ro,
+                            db.GetRelation(kUniformW));
+    for (size_t r = 0; r < w_ro->NumRows(); ++r) {
+      cid_lwids[w_ro->row(r)[0].AsInt()].push_back(w_ro->row(r)[1].AsInt());
+    }
+  }
+  std::map<std::tuple<int64_t, std::string, int64_t>, rel::Value> out_vals;
+  for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+    rel::TupleRef row = c_rel->row(r);
+    if (!(row[0] == out_sym)) continue;
+    out_vals[{row[1].AsInt(), std::string(row[2].AsStringView()),
+              row[3].AsInt()}] = row[4];
+  }
+  std::set<std::tuple<int64_t, std::string, int64_t>> drop;
+  for (size_t r : undecided) {
+    rel::TupleRef row = p0.row(r);
+    int64_t tid = row[0].AsInt();
+    bool qa = row[1 + *a_col].is_question();
+    bool qb = row[1 + *b_col].is_question();
+    if (!qa && !qb) continue;  // unreachable: certain rows tri-decide
+    int64_t cid = qa ? f_cid.at({tid, attr_a}) : f_cid.at({tid, attr_b});
+    auto value_at = [&](const std::string& attr,
+                        int64_t lwid) -> rel::Value {
+      auto it = out_vals.find({tid, attr, lwid});
+      return it == out_vals.end() ? rel::Value::Bottom() : it->second;
+    };
+    for (int64_t lwid : cid_lwids[cid]) {
+      rel::Value va = qa ? value_at(attr_a, lwid) : row[1 + *a_col];
+      rel::Value vb = qb ? value_at(attr_b, lwid) : row[1 + *b_col];
+      bool keep =
+          !va.is_bottom() && !vb.is_bottom() && va.Satisfies(op, vb);
+      if (keep) continue;
+      if (qa) drop.insert({tid, attr_a, lwid});
+      if (qb) drop.insert({tid, attr_b, lwid});
+    }
+  }
+  if (!drop.empty()) {
+    rel::Relation next_c(c_rel->schema(), c_rel->name());
+    for (size_t r = 0; r < c_rel->NumRows(); ++r) {
+      rel::TupleRef row = c_rel->row(r);
+      if (row[0] == out_sym &&
+          drop.count({row[1].AsInt(), std::string(row[2].AsStringView()),
+                      row[3].AsInt()})) {
+        continue;
+      }
       next_c.AppendRow(row.span());
     }
     *c_rel = std::move(next_c);
-    rel::Relation next_f(f_rel->schema(), f_rel->name());
-    for (size_t r = 0; r < f_rel->NumRows(); ++r) {
-      rel::TupleRef row = f_rel->row(r);
-      if (row[0] == out_sym && dead_tids.count(row[1].AsInt())) continue;
-      next_f.AppendRow(row.span());
-    }
-    *f_rel = std::move(next_f);
-    rel::Relation next_p(p0.schema(), p0.name());
-    for (size_t r = 0; r < p0.NumRows(); ++r) {
-      if (dead_tids.count(p0.row(r)[0].AsInt())) continue;
-      next_p.AppendRow(p0.row(r).span());
-    }
-    p0 = std::move(next_p);
   }
-  return db.AddRelation(std::move(p0));
+
+  return FinishUniformSelect(db, std::move(p0), out_rel, {attr_a, attr_b});
 }
 
 namespace {

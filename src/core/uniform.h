@@ -57,6 +57,18 @@ Status UniformSelectConst(rel::Database& db, const std::string& in_rel,
                           const std::string& out_rel, const std::string& attr,
                           rel::CmpOp op, const rel::Value& constant);
 
+/// The Figure 16 rewriting generalized to attribute–attribute selections:
+/// P := σ_{AθB}(R) directly on the uniform relations. Rows whose decision
+/// rests on placeholder values are filtered per local world; when A and B
+/// live in different components those components are first merged via
+/// their independence product (the relational compose: W is rewritten to
+/// the mixed-radix product, F is remapped and C expanded globally), so no
+/// import → template → export round trip is paid.
+Status UniformSelectAttrAttr(rel::Database& db, const std::string& in_rel,
+                             const std::string& out_rel,
+                             const std::string& attr_a, rel::CmpOp op,
+                             const std::string& attr_b);
+
 /// T := R ∪ S on the uniform relations: template rows are concatenated
 /// with re-numbered TIDs; F and C entries are copied under the new FIDs
 /// (Section 5's pure-SQL rewriting of the union of Figure 9).

@@ -344,5 +344,128 @@ TEST_P(UniformEngineRoundTrip, EngineOpsPreserveStoreIntegrity) {
 INSTANTIATE_TEST_SUITE_P(Seeds, UniformEngineRoundTrip,
                          ::testing::Range(0, 10));
 
+TEST(UniformTest, SelectAttrAttrMatchesNativePath) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    for (rel::CmpOp op : {rel::CmpOp::kEq, rel::CmpOp::kNe, rel::CmpOp::kLt,
+                          rel::CmpOp::kGe}) {
+      Wsdt wsdt = RandomSmallWsdt(seed);
+      auto db = ExportUniform(wsdt);
+      ASSERT_TRUE(db.ok());
+      ASSERT_TRUE(UniformSelectAttrAttr(*db, "R", "T", "A", op, "B").ok());
+      ASSERT_TRUE(ValidateUniform(*db).ok())
+          << "seed " << seed << " " << rel::CmpOpName(op);
+      auto uniform = ImportUniform(*db, {"R", "R2", "S", "T"});
+      ASSERT_TRUE(uniform.ok()) << uniform.status();
+      auto uw =
+          uniform->ToWsd().value().EnumerateWorlds(1000000, {"T"}).value();
+
+      Wsdt native = RandomSmallWsdt(seed);
+      ASSERT_TRUE(WsdtSelect(native, "R", "T",
+                             rel::Predicate::CmpAttr("A", op, "B"))
+                      .ok());
+      auto nw =
+          native.ToWsd().value().EnumerateWorlds(1000000, {"T"}).value();
+      EXPECT_TRUE(WorldSetsEquivalent(uw, nw))
+          << "seed " << seed << " " << rel::CmpOpName(op);
+    }
+  }
+}
+
+/// A and B of the same tuple in *different* components: σ_{A=B} must merge
+/// them (the independence product on W/F/C) and then filter per product
+/// world. A ⊥ world for A additionally encodes conditional presence — the
+/// tuple must stay absent in those worlds.
+TEST(UniformTest, SelectAttrAttrMergesCrossComponentFields) {
+  Wsdt wsdt;
+  rel::Relation tmpl(rel::Schema::FromNames({"A", "B"}), "R");
+  tmpl.AppendRow({Q(), Q()});        // both uncertain, independent
+  tmpl.AppendRow({I(5), I(5)});      // certain, satisfies A=B
+  tmpl.AppendRow({I(6), I(7)});      // certain, fails A=B
+  ASSERT_TRUE(wsdt.AddTemplateRelation(std::move(tmpl)).ok());
+  Component ca({FieldKey("R", 0, "A")});
+  ca.AddWorld({I(1)}, 0.5);
+  ca.AddWorld({I(2)}, 0.3);
+  ca.AddWorld({testutil::Bot()}, 0.2);  // tuple absent in this world
+  ASSERT_TRUE(wsdt.AddComponent(std::move(ca)).ok());
+  Component cb({FieldKey("R", 0, "B")});
+  cb.AddWorld({I(1)}, 0.4);
+  cb.AddWorld({I(2)}, 0.6);
+  ASSERT_TRUE(wsdt.AddComponent(std::move(cb)).ok());
+
+  auto db = ExportUniform(wsdt);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(
+      UniformSelectAttrAttr(*db, "R", "T", "A", rel::CmpOp::kEq, "B").ok());
+  ASSERT_TRUE(ValidateUniform(*db).ok());
+  auto uniform = ImportUniform(*db, {"R", "T"});
+  ASSERT_TRUE(uniform.ok()) << uniform.status();
+  auto uw = uniform->ToWsd().value().EnumerateWorlds(1000000, {"T"}).value();
+
+  Wsdt native;
+  {
+    rel::Relation t2(rel::Schema::FromNames({"A", "B"}), "R");
+    t2.AppendRow({Q(), Q()});
+    t2.AppendRow({I(5), I(5)});
+    t2.AppendRow({I(6), I(7)});
+    ASSERT_TRUE(native.AddTemplateRelation(std::move(t2)).ok());
+    Component ca2({FieldKey("R", 0, "A")});
+    ca2.AddWorld({I(1)}, 0.5);
+    ca2.AddWorld({I(2)}, 0.3);
+    ca2.AddWorld({testutil::Bot()}, 0.2);
+    ASSERT_TRUE(native.AddComponent(std::move(ca2)).ok());
+    Component cb2({FieldKey("R", 0, "B")});
+    cb2.AddWorld({I(1)}, 0.4);
+    cb2.AddWorld({I(2)}, 0.6);
+    ASSERT_TRUE(native.AddComponent(std::move(cb2)).ok());
+  }
+  ASSERT_TRUE(WsdtSelect(native, "R", "T",
+                         rel::Predicate::CmpAttr("A", rel::CmpOp::kEq, "B"))
+                  .ok());
+  auto nw = native.ToWsd().value().EnumerateWorlds(1000000, {"T"}).value();
+  EXPECT_TRUE(WorldSetsEquivalent(uw, nw));
+
+  // P(t0 ∈ T) = P(A=B, A≠⊥) = 0.5·0.4 + 0.3·0.6 = 0.38.
+  Wsd check = uniform->ToWsd().value();
+  std::vector<PossibleWorld> check_worlds =
+      check.EnumerateWorlds(1000000, {"T"}).value();
+  double mass = 0;
+  for (const PossibleWorld& w : check_worlds) {
+    auto t = w.db.GetRelation("T");
+    if (t.ok() && t.value()->ContainsRow(std::vector<rel::Value>{I(1), I(1)})) {
+      mass += w.prob;
+    }
+    if (t.ok() && t.value()->ContainsRow(std::vector<rel::Value>{I(2), I(2)})) {
+      mass += w.prob;
+    }
+  }
+  EXPECT_NEAR(mass, 0.38, 1e-12);
+}
+
+/// The satellite's contract at the Session layer: an attribute–attribute
+/// selection on the uniform backend runs natively — zero import → template
+/// → export round trips — and still agrees with the wsd backend.
+TEST(UniformTest, SessionSelectAttrAttrPaysNoRoundTrip) {
+  Rng rng(404);
+  Wsd wsd = testutil::RandomWsd(rng, {{"R", {"A", "B"}, 3, 3}}, 4);
+  rel::Plan plan = rel::Plan::Select(
+      rel::Predicate::CmpAttr("A", rel::CmpOp::kEq, "B"),
+      rel::Plan::Scan("R"));
+
+  auto uniform = testutil::OpenSessionOver(api::BackendKind::kUniform, wsd);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(uniform->Run(plan, "P").ok());
+  EXPECT_EQ(uniform->Stats().round_trips, 0u)
+      << "select[AθB] must not fall back to the template semantics";
+
+  auto reference = testutil::OpenSessionOver(api::BackendKind::kWsd, wsd);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(reference->Run(plan, "P").ok());
+  auto up = uniform->PossibleTuples("P");
+  auto rp = reference->PossibleTuples("P");
+  ASSERT_TRUE(up.ok());
+  ASSERT_TRUE(rp.ok());
+  EXPECT_TRUE(up->EqualsAsSet(*rp));
+}
+
 }  // namespace
 }  // namespace maywsd::core
